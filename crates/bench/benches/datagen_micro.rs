@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks of the workload generators: per-tuple zipf
+//! draws (interval binary search), full table generation, and the graph
+//! generator.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use skewjoin::datagen::graph::PowerLawGraph;
+use skewjoin::prelude::*;
+
+fn bench_zipf_draw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zipf_draw");
+    for &theta in &[0.0f64, 1.0] {
+        let dist = ZipfWorkload::new(1 << 20, theta, 1);
+        group.bench_with_input(BenchmarkId::new("draw", theta), &dist, |b, dist| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| black_box(dist.draw(&mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_table_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_generation");
+    group.sample_size(10);
+    let dist = ZipfWorkload::new(1 << 18, 0.9, 2);
+    group.bench_function("zipf_table_256k", |b| {
+        b.iter(|| dist.generate_table(1 << 18, black_box(3)));
+    });
+    group.finish();
+}
+
+fn bench_graph_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_generation");
+    group.sample_size(10);
+    group.bench_function("powerlaw_100k_edges", |b| {
+        b.iter(|| PowerLawGraph::generate(10_000, 100_000, 1.0, black_box(5)));
+    });
+    group.finish();
+}
+
+fn bench_relation_io(c: &mut Criterion) {
+    use skewjoin::datagen::io;
+    let dist = ZipfWorkload::new(1 << 16, 0.5, 9);
+    let rel = dist.generate_table(1 << 16, 10);
+    let mut group = c.benchmark_group("relation_io");
+    group.sample_size(20);
+    group.bench_function("binary_serialize_64k", |b| {
+        b.iter(|| io::to_bytes(black_box(&rel)));
+    });
+    let bytes = io::to_bytes(&rel);
+    group.bench_function("binary_deserialize_64k", |b| {
+        b.iter(|| io::from_bytes(black_box(&bytes)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_zipf_draw,
+    bench_table_generation,
+    bench_graph_generation,
+    bench_relation_io
+);
+criterion_main!(benches);

@@ -1,0 +1,222 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! 1. **CSH sample rate** (paper: 1 %) — detection cost vs. coverage.
+//! 2. **CSH detector** — the paper's sampling vs. the Misra–Gries
+//!    single-pass extension.
+//! 3. **GSH top-k** (paper: "k = 3 is sufficient") — simulated time and
+//!    detected keys as k varies.
+//! 4. **Cbase split factor** — how much the baseline's partition-splitting
+//!    skew handling helps before the single-key wall.
+//! 5. **Radix fan-out** — partition/join balance.
+//! 6. **Scatter mode** — direct stores vs. software write-combining.
+//! 7. **Gbase bucket capacity** — allocation granularity of its dynamic
+//!    partitioning.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use std::time::Duration;
+
+use skewjoin::cpu::partition::ScatterMode;
+use skewjoin::cpu::SkewDetectorKind;
+use skewjoin::prelude::*;
+use skewjoin_bench::{fmt_time, BenchArgs, BenchRecord};
+
+fn cpu_cfg(args: &BenchArgs) -> CpuJoinConfig {
+    CpuJoinConfig {
+        threads: args.threads,
+        ..CpuJoinConfig::sized_for(args.tuples, 2048)
+    }
+}
+
+fn run_cpu(algo: CpuAlgorithm, w: &PaperWorkload, cfg: &CpuJoinConfig) -> JoinStats {
+    skewjoin::run_cpu_join(algo, &w.r, &w.s, cfg, SinkSpec::default()).expect("join failed")
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut record = BenchRecord::new("ablation", &args);
+    let hot = PaperWorkload::generate(WorkloadSpec::paper(args.tuples, 1.0, args.seed));
+    let warm = PaperWorkload::generate(WorkloadSpec::paper(args.tuples, 0.8, args.seed));
+    let flat = PaperWorkload::generate(WorkloadSpec::paper(args.tuples, 0.0, args.seed));
+
+    // ---- 1. CSH sample rate (zipf 1.0). ----
+    println!("[1] CSH sample rate @ zipf 1.0 ({} tuples)", args.tuples);
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "rate", "sample", "total", "skew keys"
+    );
+    for rate in [0.001, 0.005, 0.01, 0.05, 0.1] {
+        let mut cfg = cpu_cfg(&args);
+        cfg.skew.sample_rate = rate;
+        let s = run_cpu(CpuAlgorithm::Csh, &hot, &cfg);
+        println!(
+            "{:>8} {:>12} {:>12} {:>10}",
+            rate,
+            fmt_time(s.phases.get("sample")),
+            fmt_time(s.total_time()),
+            s.skewed_keys_detected
+        );
+        record.push(&format!("csh_rate_{rate}"), 1.0, s.total_time());
+    }
+
+    // ---- 2. Detector kind (zipf 1.0). ----
+    println!("\n[2] CSH detector @ zipf 1.0");
+    println!(
+        "{:>12} {:>12} {:>12} {:>10}",
+        "detector", "detect", "total", "skew keys"
+    );
+    let detectors: [(&str, SkewDetectorKind); 2] = [
+        ("sampling", SkewDetectorKind::Sampling),
+        (
+            "frequent",
+            SkewDetectorKind::Frequent {
+                capacity: 2048,
+                min_fraction: 0.001,
+            },
+        ),
+    ];
+    for (name, detector) in detectors {
+        let mut cfg = cpu_cfg(&args);
+        cfg.detector = detector;
+        let s = run_cpu(CpuAlgorithm::Csh, &hot, &cfg);
+        println!(
+            "{:>12} {:>12} {:>12} {:>10}",
+            name,
+            fmt_time(s.phases.get("sample")),
+            fmt_time(s.total_time()),
+            s.skewed_keys_detected
+        );
+        record.push(&format!("csh_detector_{name}"), 1.0, s.total_time());
+    }
+
+    // ---- 3. GSH top-k (zipf 1.0, simulated). ----
+    let gw = PaperWorkload::generate(WorkloadSpec::paper(args.gpu_tuples, 1.0, args.seed));
+    println!(
+        "\n[3] GSH top-k @ zipf 1.0 ({} tuples, simulated)",
+        args.gpu_tuples
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "k", "nm_join", "total", "skew keys"
+    );
+    for k in [1usize, 2, 3, 5, 8] {
+        let mut cfg = GpuJoinConfig::default();
+        cfg.skew.top_k = k;
+        let s = skewjoin::run_gpu_join(GpuAlgorithm::Gsh, &gw.r, &gw.s, &cfg, SinkSpec::default())
+            .expect("GSH failed");
+        println!(
+            "{:>6} {:>12} {:>12} {:>10}",
+            k,
+            fmt_time(s.phases.get("nm_join")),
+            fmt_time(s.total_time()),
+            s.skewed_keys_detected
+        );
+        record.push(&format!("gsh_topk_{k}"), 1.0, s.total_time());
+    }
+
+    // ---- 4. Cbase split factor (zipf 0.8). ----
+    println!("\n[4] Cbase split factor @ zipf 0.8");
+    println!("{:>8} {:>12}", "factor", "join");
+    for factor in [1.5, 3.0, 8.0, f64::MAX] {
+        let mut cfg = cpu_cfg(&args);
+        cfg.split_factor = factor;
+        let s = run_cpu(CpuAlgorithm::Cbase, &warm, &cfg);
+        let label = if factor == f64::MAX {
+            "off".to_string()
+        } else {
+            format!("{factor}")
+        };
+        println!("{:>8} {:>12}", label, fmt_time(s.phases.get("join")));
+        record.push(&format!("cbase_split_{label}"), 0.8, s.phases.get("join"));
+    }
+
+    // ---- 5. Radix fan-out (zipf 0.5). ----
+    let mid = PaperWorkload::generate(WorkloadSpec::paper(args.tuples, 0.5, args.seed));
+    println!("\n[5] Cbase radix bits @ zipf 0.5");
+    println!("{:>6} {:>12} {:>12}", "bits", "partition", "join");
+    for bits in [6u32, 10, 14] {
+        let mut cfg = cpu_cfg(&args);
+        cfg.radix = skewjoin::common::hash::RadixConfig::two_pass(bits);
+        let s = run_cpu(CpuAlgorithm::Cbase, &mid, &cfg);
+        println!(
+            "{:>6} {:>12} {:>12}",
+            bits,
+            fmt_time(s.phases.get("partition")),
+            fmt_time(s.phases.get("join"))
+        );
+        record.push(&format!("cbase_bits_{bits}"), 0.5, s.total_time());
+    }
+
+    // ---- 6. Scatter mode (uniform data, partition-dominated). ----
+    println!("\n[6] Cbase scatter mode @ zipf 0.0");
+    println!("{:>10} {:>12}", "mode", "partition");
+    for (name, mode) in [
+        ("direct", ScatterMode::Direct),
+        ("buffered", ScatterMode::Buffered),
+    ] {
+        let mut cfg = cpu_cfg(&args);
+        cfg.scatter = mode;
+        let s = run_cpu(CpuAlgorithm::Cbase, &flat, &cfg);
+        println!("{:>10} {:>12}", name, fmt_time(s.phases.get("partition")));
+        record.push(&format!("scatter_{name}"), 0.0, s.phases.get("partition"));
+    }
+
+    // ---- 7. Gbase bucket capacity (zipf 0.5, simulated). ----
+    let gmid = PaperWorkload::generate(WorkloadSpec::paper(args.gpu_tuples, 0.5, args.seed));
+    println!("\n[7] Gbase bucket capacity @ zipf 0.5 (simulated)");
+    println!("{:>10} {:>12}", "capacity", "partition");
+    for cap in [128usize, 512, 2048] {
+        let mut cfg = GpuJoinConfig::default();
+        cfg.bucket_capacity = cap;
+        let s = skewjoin::run_gpu_join(
+            GpuAlgorithm::Gbase,
+            &gmid.r,
+            &gmid.s,
+            &cfg,
+            SinkSpec::default(),
+        )
+        .expect("Gbase failed");
+        println!("{:>10} {:>12}", cap, fmt_time(s.phases.get("partition")));
+        record.push(
+            &format!("gbase_bucket_{cap}"),
+            0.5,
+            s.phases.get("partition"),
+        );
+    }
+
+    // ---- 8. GSH speedup vs SM count (zipf 1.0, simulated). ----
+    // The paper attributes GSH's larger GPU-side gains to "the higher level
+    // of parallelism available in the GPU": the skew phase spreads one hot
+    // key over thousands of blocks, while Gbase's few sub-list blocks
+    // cannot use the extra SMs. The speedup should therefore grow with SM
+    // count.
+    println!("\n[8] GSH vs Gbase speedup by SM count @ zipf 1.0 (simulated)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>9}",
+        "SMs", "Gbase", "GSH", "speedup"
+    );
+    for sms in [8usize, 32, 108] {
+        let mut cfg = GpuJoinConfig::default();
+        cfg.spec.num_sms = sms;
+        let gb =
+            skewjoin::run_gpu_join(GpuAlgorithm::Gbase, &gw.r, &gw.s, &cfg, SinkSpec::default())
+                .expect("Gbase failed");
+        let gs = skewjoin::run_gpu_join(GpuAlgorithm::Gsh, &gw.r, &gw.s, &cfg, SinkSpec::default())
+            .expect("GSH failed");
+        println!(
+            "{:>6} {:>12} {:>12} {:>8.2}x",
+            sms,
+            fmt_time(gb.total_time()),
+            fmt_time(gs.total_time()),
+            gb.total_time().as_secs_f64() / gs.total_time().as_secs_f64().max(1e-12)
+        );
+        record.push(&format!("gbase_sms_{sms}"), 1.0, gb.total_time());
+        record.push(&format!("gsh_sms_{sms}"), 1.0, gs.total_time());
+    }
+
+    // Keep the record from exploding if someone adds zero-duration phases.
+    record
+        .measurements
+        .retain(|m| m.seconds >= 0.0 && Duration::from_secs_f64(m.seconds) < Duration::MAX);
+    record.write(&args);
+}

@@ -1,0 +1,44 @@
+//! Reproduces **Figure 4b**: total GPU hash join time (Gbase, GSH) on the
+//! simulated A100 as the zipf factor grows from 0 to 1.
+//!
+//! Expected shape (§V-B): GSH ≈ Gbase at zipf 0–0.4 (no partition exceeds
+//! the shared-memory capacity, so the skew path never triggers); GSH wins
+//! by a growing factor (paper: up to 13.5×) at 0.5–1.0.
+
+use skewjoin::prelude::*;
+use skewjoin_bench::{figure_zipfs, fmt_time, BenchArgs, BenchRecord};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut record = BenchRecord::new("fig4b", &args);
+
+    println!(
+        "Figure 4b — GPU hash joins, {} tuples/table (simulated A100 time)",
+        args.gpu_tuples
+    );
+    println!(
+        "{:>5} | {:>12} {:>12} | {:>11}",
+        "zipf", "Gbase", "GSH", "GSH speedup"
+    );
+
+    let cfg = GpuJoinConfig::default();
+    for zipf in figure_zipfs() {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(args.gpu_tuples, zipf, args.seed));
+        let mut totals = Vec::new();
+        for algo in GpuAlgorithm::ALL {
+            let stats = skewjoin::run_gpu_join(algo, &w.r, &w.s, &cfg, SinkSpec::default())
+                .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            record.push(algo.name(), zipf, stats.total_time());
+            totals.push(stats.total_time());
+        }
+        println!(
+            "{:>5.1} | {:>12} {:>12} | {:>10.2}x",
+            zipf,
+            fmt_time(totals[0]),
+            fmt_time(totals[1]),
+            totals[0].as_secs_f64() / totals[1].as_secs_f64().max(1e-12)
+        );
+    }
+
+    record.write(&args);
+}

@@ -1,0 +1,48 @@
+//! Redraws the paper's figures as terminal charts from the JSON records the
+//! reproduction binaries wrote.
+//!
+//! ```sh
+//! cargo run --release -p skewjoin-bench --bin fig4a    # writes the record
+//! cargo run --release -p skewjoin-bench --bin plot -- target/bench-results/fig4a.json
+//! ```
+
+use skewjoin_bench::chart::{render_chart, ChartOptions};
+use skewjoin_bench::BenchRecord;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let paths = if paths.is_empty() {
+        // Default: everything in target/bench-results.
+        match std::fs::read_dir("target/bench-results") {
+            Ok(dir) => dir
+                .filter_map(|e| e.ok())
+                .map(|e| e.path().to_string_lossy().into_owned())
+                .filter(|p| p.ends_with(".json"))
+                .collect(),
+            Err(_) => {
+                eprintln!(
+                    "no record paths given and target/bench-results/ not found;\n\
+                     run a reproduction binary (fig1, fig4a, …) first"
+                );
+                std::process::exit(1);
+            }
+        }
+    } else {
+        paths
+    };
+
+    for path in paths {
+        let data =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let record: BenchRecord =
+            serde_json::from_str(&data).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+        println!(
+            "== {} ({} tuples CPU / {} GPU) — {path}",
+            record.experiment, record.tuples, record.gpu_tuples
+        );
+        println!(
+            "{}",
+            render_chart(&record.measurements, &ChartOptions::default())
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! # skewjoin-bench
+//!
+//! Harnesses reproducing every table and figure of the paper's evaluation
+//! (§III Figure 1, §V Figure 4a/4b, Table I, and the large-input
+//! experiment), plus criterion micro-benchmarks of the building blocks.
+//!
+//! Each reproduction binary prints the same rows/series the paper reports
+//! and writes a machine-readable JSON record next to it. Absolute numbers
+//! differ from the paper (different hardware; GPU time is simulated) — the
+//! *shape* is what EXPERIMENTS.md validates.
+//!
+//! Default scales are laptop-friendly (2^18 CPU / 2^16 GPU tuples); pass
+//! `--tuples` / `--gpu-tuples` to approach the paper's 32 M.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod chart;
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+pub use skewjoin;
+
+/// Common CLI arguments for the reproduction binaries.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// CPU tuples per table.
+    pub tuples: usize,
+    /// GPU tuples per table (smaller default: the simulator is host-bound).
+    pub gpu_tuples: usize,
+    /// Worker threads for the CPU joins.
+    pub threads: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Where to write the JSON record (`None` disables).
+    pub json_out: Option<String>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self {
+            tuples: 1 << 18,
+            gpu_tuples: 1 << 16,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            seed: 42,
+            json_out: None,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `--tuples N --gpu-tuples N --threads N --seed N --json PATH`
+    /// from the process arguments; unknown flags abort with usage help.
+    pub fn parse() -> Self {
+        Self::parse_with_defaults(Self::default())
+    }
+
+    /// Like [`BenchArgs::parse`] but starting from caller-supplied defaults
+    /// (e.g. the scale-up harness wants larger tables unless the user says
+    /// otherwise). Explicit flags always win — including flags that happen
+    /// to equal another harness's default, which a sentinel comparison
+    /// could not distinguish.
+    pub fn parse_with_defaults(defaults: Self) -> Self {
+        let mut args = defaults;
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--tuples" => args.tuples = parse_count(&take("--tuples")),
+                "--gpu-tuples" => args.gpu_tuples = parse_count(&take("--gpu-tuples")),
+                "--threads" => args.threads = take("--threads").parse().expect("threads"),
+                "--seed" => args.seed = take("--seed").parse().expect("seed"),
+                "--json" => args.json_out = Some(take("--json")),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --tuples N --gpu-tuples N --threads N --seed N --json PATH\n\
+                         counts accept suffixes: k, m (e.g. --tuples 32m for the paper scale)"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; try --help"),
+            }
+        }
+        args
+    }
+}
+
+/// Parses `32m`, `512k`, or plain integers.
+pub fn parse_count(s: &str) -> usize {
+    let lower = s.to_ascii_lowercase();
+    if let Some(v) = lower.strip_suffix('m') {
+        v.parse::<usize>().expect("count") * 1_000_000
+    } else if let Some(v) = lower.strip_suffix('k') {
+        v.parse::<usize>().expect("count") * 1_000
+    } else {
+        lower.parse().expect("count")
+    }
+}
+
+/// One measured cell of a reproduction run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Series name ("Cbase join", "GSH all other", …).
+    pub series: String,
+    /// Zipf factor of the data point.
+    pub zipf: f64,
+    /// Measured (or simulated) seconds.
+    pub seconds: f64,
+}
+
+/// A full harness record written as JSON.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Which paper artifact this reproduces ("fig1", "table1", …).
+    pub experiment: String,
+    /// Tuples per table used (CPU).
+    pub tuples: usize,
+    /// Tuples per table used (GPU), when applicable.
+    pub gpu_tuples: usize,
+    /// All measured cells.
+    pub measurements: Vec<Measurement>,
+}
+
+impl BenchRecord {
+    /// Creates an empty record.
+    pub fn new(experiment: &str, args: &BenchArgs) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            tuples: args.tuples,
+            gpu_tuples: args.gpu_tuples,
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Records one cell.
+    pub fn push(&mut self, series: &str, zipf: f64, d: Duration) {
+        self.measurements.push(Measurement {
+            series: series.to_string(),
+            zipf,
+            seconds: d.as_secs_f64(),
+        });
+    }
+
+    /// Writes the record as JSON if `--json` was given, else to the default
+    /// location `target/bench-results/<experiment>.json`.
+    pub fn write(&self, args: &BenchArgs) {
+        let path = args.json_out.clone().unwrap_or_else(|| {
+            std::fs::create_dir_all("target/bench-results").ok();
+            format!("target/bench-results/{}.json", self.experiment)
+        });
+        match serde_json::to_string_pretty(self) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("warning: could not write {path}: {e}");
+                } else {
+                    println!("\nJSON record: {path}");
+                }
+            }
+            Err(e) => eprintln!("warning: could not serialize record: {e}"),
+        }
+    }
+}
+
+/// Formats a duration in the paper's style (µs/ms below 1 s, else seconds).
+pub fn fmt_time(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 1e-3 {
+        format!("{:.1}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// The zipf factors of Figure 1 / Figure 4 (0.0–1.0 in steps of 0.1).
+pub fn figure_zipfs() -> Vec<f64> {
+    (0..=10).map(|i| i as f64 * 0.1).collect()
+}
+
+/// The zipf factors of Table I (0.5–1.0).
+pub fn table1_zipfs() -> Vec<f64> {
+    (5..=10).map(|i| i as f64 * 0.1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_count_suffixes() {
+        assert_eq!(parse_count("1024"), 1024);
+        assert_eq!(parse_count("512k"), 512_000);
+        assert_eq!(parse_count("32m"), 32_000_000);
+        assert_eq!(parse_count("32M"), 32_000_000);
+    }
+
+    #[test]
+    fn zipf_grids_match_paper() {
+        let f = figure_zipfs();
+        assert_eq!(f.len(), 11);
+        assert_eq!(f[0], 0.0);
+        assert!((f[10] - 1.0).abs() < 1e-12);
+        let t = table1_zipfs();
+        assert_eq!(t.len(), 6);
+        assert!((t[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fmt_time_units() {
+        assert_eq!(fmt_time(Duration::from_micros(42)), "42.0us");
+        assert_eq!(fmt_time(Duration::from_millis(5)), "5.0ms");
+        assert_eq!(fmt_time(Duration::from_secs_f64(2.5)), "2.50s");
+    }
+
+    #[test]
+    fn record_accumulates_and_serializes() {
+        let args = BenchArgs::default();
+        let mut rec = BenchRecord::new("test", &args);
+        rec.push("A", 0.5, Duration::from_millis(10));
+        assert_eq!(rec.measurements.len(), 1);
+        assert!(
+            serde_json::to_string(&rec)
+                .unwrap()
+                .contains("\"zipf\": 0.5")
+                || serde_json::to_string_pretty(&rec)
+                    .unwrap()
+                    .contains("\"zipf\": 0.5")
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Error types for the skewjoin workspace.
+
+use std::fmt;
+
+/// Errors surfaced by join configuration and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum JoinError {
+    /// A configuration parameter was out of range or inconsistent.
+    InvalidConfig(String),
+    /// The GPU simulator ran out of a modeled resource (e.g. a kernel asked
+    /// for more shared memory than the device provides).
+    GpuResourceExhausted(String),
+    /// An input relation violated a precondition of the chosen algorithm.
+    InvalidInput(String),
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            JoinError::GpuResourceExhausted(msg) => {
+                write!(f, "GPU resource exhausted: {msg}")
+            }
+            JoinError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = JoinError::InvalidConfig("radix bits must be > 0".into());
+        assert!(e.to_string().contains("radix bits"));
+        let e = JoinError::GpuResourceExhausted("shared memory".into());
+        assert!(e.to_string().contains("shared memory"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&JoinError::InvalidInput("empty".into()));
+    }
+}

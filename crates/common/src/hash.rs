@@ -1,0 +1,221 @@
+//! Hash functions and radix extraction.
+//!
+//! Two distinct uses of hashing appear in the joins:
+//!
+//! 1. **Radix partitioning** extracts a run of bits from a (mixed) key to
+//!    pick a partition — [`radix_pass`] / [`RadixConfig`]. Balkesen et al.'s
+//!    code (the paper's `Cbase`) takes radix bits straight from the key
+//!    (`HASH_BIT_MODULO`); we first apply a cheap multiplicative mix so the
+//!    algorithms behave on *any* key space, with a `raw` mode to match the
+//!    original exactly when keys are already dense.
+//! 2. **Hash-table placement** maps a key to a bucket within a partition's
+//!    chained hash table — [`table_hash`].
+//!
+//! Both are cheap multiplicative hashes (Fibonacci hashing); per the Rust
+//! Performance Book guidance, SipHash-grade quality is unnecessary for
+//! integer join keys and would dominate the probe cost.
+
+use crate::tuple::Key;
+
+/// Knuth's multiplicative constant: `2^32 / phi`, odd.
+pub const FIB_MULT_32: u32 = 0x9E37_79B1;
+
+/// 64-bit variant for mixing wider values.
+pub const FIB_MULT_64: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Cheap, invertible 32-bit mix used before radix extraction.
+///
+/// Multiplication by an odd constant permutes `u32`, so distinct keys stay
+/// distinct and every partition fan-out sees a near-uniform bit diet even
+/// when the key space is a dense `0..n` range.
+#[inline(always)]
+pub fn mix32(key: Key) -> u32 {
+    key.wrapping_mul(FIB_MULT_32)
+}
+
+/// SplitMix64 finalizer; used for checksums and sampling, where we want
+/// high-quality 64-bit dispersion.
+#[inline(always)]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(FIB_MULT_64);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// How partition bits are derived from a key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RadixMode {
+    /// Take radix bits straight from the raw key (Balkesen's
+    /// `HASH_BIT_MODULO`): faithful to the original `Cbase` code, correct
+    /// when keys are dense.
+    Raw,
+    /// Multiplicatively mix the key first; robust to arbitrary key spaces.
+    Mixed,
+}
+
+/// Static description of a multi-pass radix partitioning scheme.
+///
+/// `bits_per_pass[i]` is the fan-out (log2) of pass `i`; passes consume key
+/// bits from least significant upward, like the original radix join.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RadixConfig {
+    /// Bits consumed by each pass, pass 0 first.
+    pub bits_per_pass: Vec<u32>,
+    /// Key-bit derivation mode.
+    pub mode: RadixMode,
+}
+
+impl RadixConfig {
+    /// Two-pass configuration splitting `total_bits` as evenly as possible,
+    /// the default shape of both `Cbase` and the GPU joins.
+    pub fn two_pass(total_bits: u32) -> Self {
+        let first = total_bits / 2;
+        let second = total_bits - first;
+        Self {
+            bits_per_pass: vec![first, second],
+            mode: RadixMode::Mixed,
+        }
+    }
+
+    /// Single-pass configuration with the given fan-out bits.
+    pub fn single_pass(bits: u32) -> Self {
+        Self {
+            bits_per_pass: vec![bits],
+            mode: RadixMode::Mixed,
+        }
+    }
+
+    /// Total radix bits across all passes.
+    pub fn total_bits(&self) -> u32 {
+        self.bits_per_pass.iter().sum()
+    }
+
+    /// Total number of final partitions (`2^total_bits`).
+    pub fn total_fanout(&self) -> usize {
+        1usize << self.total_bits()
+    }
+
+    /// Fan-out of pass `pass`.
+    pub fn fanout(&self, pass: usize) -> usize {
+        1usize << self.bits_per_pass[pass]
+    }
+
+    /// Bit shift at which pass `pass` starts consuming key bits.
+    pub fn shift(&self, pass: usize) -> u32 {
+        self.bits_per_pass[..pass].iter().sum()
+    }
+
+    /// Partition index of `key` within pass `pass`.
+    #[inline(always)]
+    pub fn partition_of(&self, key: Key, pass: usize) -> usize {
+        let h = match self.mode {
+            RadixMode::Raw => key,
+            RadixMode::Mixed => mix32(key),
+        };
+        radix_pass(h, self.shift(pass), self.bits_per_pass[pass])
+    }
+
+    /// Final (all passes combined) partition index of `key`.
+    #[inline(always)]
+    pub fn final_partition_of(&self, key: Key) -> usize {
+        let h = match self.mode {
+            RadixMode::Raw => key,
+            RadixMode::Mixed => mix32(key),
+        };
+        radix_pass(h, 0, self.total_bits())
+    }
+}
+
+/// Extracts `bits` bits starting at `shift` from an already-mixed hash.
+#[inline(always)]
+pub fn radix_pass(hash: u32, shift: u32, bits: u32) -> usize {
+    debug_assert!(bits <= 32 && shift + bits <= 32);
+    ((hash >> shift) as usize) & ((1usize << bits) - 1)
+}
+
+/// Bucket index for a chained hash table with `2^bits` buckets.
+///
+/// Uses the *high* bits of the mixed key so it is independent of the radix
+/// partition bits (which consume the low bits) — otherwise every key in a
+/// partition would collide into a handful of buckets.
+#[inline(always)]
+pub fn table_hash(key: Key, bits: u32) -> usize {
+    debug_assert!((1..=32).contains(&bits));
+    (mix32(key) >> (32 - bits)) as usize
+}
+
+/// Number of hash-table bucket bits appropriate for `n` entries (~1 bucket
+/// per entry, minimum 1 bit).
+#[inline]
+pub fn bucket_bits_for(n: usize) -> u32 {
+    (n.max(2).next_power_of_two().trailing_zeros()).clamp(1, 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix32_is_injective_on_sample() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..10_000u32 {
+            assert!(seen.insert(mix32(k)));
+        }
+    }
+
+    #[test]
+    fn radix_config_two_pass_shapes() {
+        let cfg = RadixConfig::two_pass(14);
+        assert_eq!(cfg.bits_per_pass, vec![7, 7]);
+        assert_eq!(cfg.total_fanout(), 1 << 14);
+        assert_eq!(cfg.fanout(0), 128);
+        assert_eq!(cfg.shift(0), 0);
+        assert_eq!(cfg.shift(1), 7);
+    }
+
+    #[test]
+    fn two_pass_partitions_compose_to_final() {
+        let cfg = RadixConfig::two_pass(10);
+        for k in [0u32, 1, 17, 12345, u32::MAX, 0xDEAD_BEEF] {
+            let p0 = cfg.partition_of(k, 0);
+            let p1 = cfg.partition_of(k, 1);
+            let combined = p0 | (p1 << cfg.bits_per_pass[0]);
+            assert_eq!(combined, cfg.final_partition_of(k));
+        }
+    }
+
+    #[test]
+    fn raw_mode_uses_key_bits_directly() {
+        let cfg = RadixConfig {
+            bits_per_pass: vec![4],
+            mode: RadixMode::Raw,
+        };
+        for k in 0..64u32 {
+            assert_eq!(cfg.partition_of(k, 0), (k & 0xF) as usize);
+        }
+    }
+
+    #[test]
+    fn table_hash_within_range() {
+        for bits in 1..=16 {
+            for k in [0u32, 5, 999, u32::MAX] {
+                assert!(table_hash(k, bits) < (1 << bits));
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_bits_sized_to_input() {
+        assert_eq!(bucket_bits_for(0), 1);
+        assert_eq!(bucket_bits_for(2), 1);
+        assert_eq!(bucket_bits_for(1024), 10);
+        assert_eq!(bucket_bits_for(1025), 11);
+    }
+
+    #[test]
+    fn mix64_changes_all_zero_input() {
+        assert_ne!(mix64(0), 0);
+        assert_ne!(mix64(1), mix64(2));
+    }
+}

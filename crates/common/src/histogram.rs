@@ -1,0 +1,185 @@
+//! Histogram and prefix-sum helpers shared by every partitioning phase.
+//!
+//! Radix partitioning is "count, prefix-sum, scatter": each worker counts
+//! tuples per target partition over its input segment, the counts become
+//! contention-free write cursors via an exclusive prefix sum across
+//! `(partition, worker)` pairs, and a second scan copies tuples into place.
+//! These helpers implement the count and prefix-sum parts; the scatter loops
+//! live with each algorithm because their memory layouts differ.
+
+use crate::hash::RadixConfig;
+use crate::tuple::Tuple;
+
+/// Counts tuples per partition for one radix pass over `tuples`.
+pub fn histogram(tuples: &[Tuple], cfg: &RadixConfig, pass: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; cfg.fanout(pass)];
+    for t in tuples {
+        hist[cfg.partition_of(t.key, pass)] += 1;
+    }
+    hist
+}
+
+/// In-place exclusive prefix sum; returns the total.
+///
+/// `[3, 1, 4]` becomes `[0, 3, 4]` and `8` is returned.
+pub fn exclusive_prefix_sum(values: &mut [usize]) -> usize {
+    let mut acc = 0usize;
+    for v in values.iter_mut() {
+        let next = acc + *v;
+        *v = acc;
+        acc = next;
+    }
+    acc
+}
+
+/// Combines per-worker histograms into per-`(partition, worker)` start
+/// offsets within one contiguous output array, in partition-major order —
+/// exactly the layout `Cbase`'s first partitioning pass writes.
+///
+/// `hists[w][p]` is worker `w`'s count for partition `p`. The return value
+/// `offsets[w][p]` is the absolute index at which worker `w` starts writing
+/// partition `p`'s tuples; `partition_starts[p]` gives each partition's
+/// overall start, and the final element is the grand total.
+pub fn per_worker_offsets(hists: &[Vec<usize>]) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let workers = hists.len();
+    assert!(workers > 0, "need at least one worker histogram");
+    let parts = hists[0].len();
+    debug_assert!(hists.iter().all(|h| h.len() == parts));
+
+    let mut offsets = vec![vec![0usize; parts]; workers];
+    let mut partition_starts = Vec::with_capacity(parts + 1);
+    let mut acc = 0usize;
+    for p in 0..parts {
+        partition_starts.push(acc);
+        for (w, hist) in hists.iter().enumerate() {
+            offsets[w][p] = acc;
+            acc += hist[p];
+        }
+    }
+    partition_starts.push(acc);
+    (offsets, partition_starts)
+}
+
+/// A partition directory over one contiguous tuple array: partition `p`
+/// occupies `data[starts[p]..starts[p + 1]]`.
+#[derive(Debug, Clone)]
+pub struct PartitionDirectory {
+    starts: Vec<usize>,
+}
+
+impl PartitionDirectory {
+    /// Builds a directory from partition start offsets (length = partitions + 1).
+    pub fn new(starts: Vec<usize>) -> Self {
+        debug_assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+        assert!(!starts.is_empty(), "directory needs a terminating offset");
+        Self { starts }
+    }
+
+    /// Builds a directory directly from per-partition sizes.
+    pub fn from_sizes(sizes: &[usize]) -> Self {
+        let mut starts = Vec::with_capacity(sizes.len() + 1);
+        let mut acc = 0;
+        for &s in sizes {
+            starts.push(acc);
+            acc += s;
+        }
+        starts.push(acc);
+        Self { starts }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Range of partition `p` within the backing array.
+    #[inline]
+    pub fn range(&self, p: usize) -> std::ops::Range<usize> {
+        self.starts[p]..self.starts[p + 1]
+    }
+
+    /// Size of partition `p`.
+    #[inline]
+    pub fn size(&self, p: usize) -> usize {
+        self.starts[p + 1] - self.starts[p]
+    }
+
+    /// Total number of tuples across all partitions.
+    pub fn total(&self) -> usize {
+        *self.starts.last().expect("non-empty starts")
+    }
+
+    /// Slice of partition `p` out of the backing array.
+    #[inline]
+    pub fn slice<'a>(&self, data: &'a [Tuple], p: usize) -> &'a [Tuple] {
+        &data[self.range(p)]
+    }
+
+    /// Raw start offsets (length = partitions + 1).
+    pub fn starts(&self) -> &[usize] {
+        &self.starts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::RadixMode;
+
+    fn raw_cfg(bits: u32) -> RadixConfig {
+        RadixConfig {
+            bits_per_pass: vec![bits],
+            mode: RadixMode::Raw,
+        }
+    }
+
+    #[test]
+    fn histogram_counts_by_partition() {
+        let tuples: Vec<Tuple> = [0u32, 1, 2, 3, 0, 1, 0]
+            .iter()
+            .map(|&k| Tuple::new(k, 0))
+            .collect();
+        let hist = histogram(&tuples, &raw_cfg(2), 0);
+        assert_eq!(hist, vec![3, 2, 1, 1]);
+    }
+
+    #[test]
+    fn exclusive_prefix_sum_basics() {
+        let mut v = vec![3, 1, 4];
+        let total = exclusive_prefix_sum(&mut v);
+        assert_eq!(v, vec![0, 3, 4]);
+        assert_eq!(total, 8);
+
+        let mut empty: Vec<usize> = vec![];
+        assert_eq!(exclusive_prefix_sum(&mut empty), 0);
+    }
+
+    #[test]
+    fn per_worker_offsets_partition_major() {
+        // worker 0: [2, 1], worker 1: [1, 3]
+        let hists = vec![vec![2, 1], vec![1, 3]];
+        let (offsets, starts) = per_worker_offsets(&hists);
+        // layout: p0w0 p0w0 p0w1 | p1w0 p1w1 p1w1 p1w1
+        assert_eq!(offsets[0], vec![0, 3]);
+        assert_eq!(offsets[1], vec![2, 4]);
+        assert_eq!(starts, vec![0, 3, 7]);
+    }
+
+    #[test]
+    fn directory_from_sizes() {
+        let dir = PartitionDirectory::from_sizes(&[3, 0, 2]);
+        assert_eq!(dir.partitions(), 3);
+        assert_eq!(dir.range(0), 0..3);
+        assert_eq!(dir.range(1), 3..3);
+        assert_eq!(dir.size(2), 2);
+        assert_eq!(dir.total(), 5);
+    }
+
+    #[test]
+    fn directory_slicing() {
+        let data: Vec<Tuple> = (0..5).map(|i| Tuple::new(i, i)).collect();
+        let dir = PartitionDirectory::new(vec![0, 2, 5]);
+        assert_eq!(dir.slice(&data, 0).len(), 2);
+        assert_eq!(dir.slice(&data, 1)[0].key, 2);
+    }
+}

@@ -1,0 +1,28 @@
+//! # skewjoin-common
+//!
+//! Shared building blocks for the `skewjoin` workspace: tuple and relation
+//! types, hash functions and radix extraction, histogram/prefix-sum helpers,
+//! join output sinks (including the paper's volcano-style ring buffer), and
+//! per-phase timing statistics.
+//!
+//! Every join algorithm in the workspace (CPU `Cbase`/`cbase-npj`/`CSH` and
+//! GPU `Gbase`/`GSH`) is built on these primitives, which keeps their results
+//! directly comparable: all of them report an order-independent
+//! [`sink::OutputSink::checksum`] plus a result count, so integration tests
+//! can assert bit-for-bit agreement across algorithms and devices.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod error;
+pub mod hash;
+pub mod histogram;
+pub mod report;
+pub mod sink;
+pub mod stats;
+pub mod tuple;
+
+pub use error::JoinError;
+pub use sink::{CountingSink, MaterializeSink, OutputSink, SinkSpec, VolcanoSink};
+pub use stats::{JoinStats, PhaseTimes};
+pub use tuple::{Key, Payload, Relation, Tuple};

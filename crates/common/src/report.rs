@@ -1,0 +1,190 @@
+//! Rendering helpers for join statistics: algorithm comparison tables and
+//! phase breakdowns, used by the examples and the bench harnesses.
+
+use std::time::Duration;
+
+use crate::stats::JoinStats;
+
+/// Formats a duration compactly (µs/ms/s).
+pub fn human_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// A side-by-side comparison of several join runs over the same input.
+/// The first added run is the baseline for the speedup column.
+#[derive(Debug, Default)]
+pub struct ComparisonTable {
+    rows: Vec<JoinStats>,
+}
+
+impl ComparisonTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one run. Returns `self` for chaining.
+    pub fn add(&mut self, stats: JoinStats) -> &mut Self {
+        self.rows.push(stats);
+        self
+    }
+
+    /// Number of runs added.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Checks that every run produced the same result count (and checksum,
+    /// where computed); returns the offending algorithm name on mismatch.
+    pub fn validate_agreement(&self) -> Result<(), String> {
+        let Some(first) = self.rows.first() else {
+            return Ok(());
+        };
+        for row in &self.rows[1..] {
+            if row.result_count != first.result_count {
+                return Err(format!(
+                    "{} produced {} results, {} produced {}",
+                    first.algorithm, first.result_count, row.algorithm, row.result_count
+                ));
+            }
+            if row.checksum != 0 && first.checksum != 0 && row.checksum != first.checksum {
+                return Err(format!(
+                    "checksum mismatch between {} and {}",
+                    first.algorithm, row.algorithm
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the table. Columns: algorithm, total time, speedup vs the
+    /// first row, throughput (output tuples/s), skew-path share.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>12} {:>9} {:>14} {:>10}\n",
+            "algorithm", "total", "speedup", "results/s", "skew path"
+        ));
+        let base = self
+            .rows
+            .first()
+            .map(|r| r.total_time().as_secs_f64())
+            .unwrap_or(0.0);
+        for row in &self.rows {
+            let t = row.total_time().as_secs_f64();
+            let speedup = if t > 0.0 { base / t } else { f64::INFINITY };
+            let rate = if t > 0.0 {
+                row.result_count as f64 / t
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{:<12} {:>12} {:>8.2}x {:>14.3e} {:>9.1}%\n",
+                row.algorithm,
+                human_duration(row.total_time()),
+                speedup,
+                rate,
+                row.skew_output_fraction() * 100.0
+            ));
+        }
+        out
+    }
+
+    /// Renders each run's per-phase breakdown, one block per run.
+    pub fn render_phases(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push_str(&format!("{}:\n", row.algorithm));
+            let total = row.total_time().as_secs_f64().max(1e-12);
+            for (name, d) in row.phases.iter() {
+                out.push_str(&format!(
+                    "  {:<14} {:>12} {:>6.1}%\n",
+                    name,
+                    human_duration(d),
+                    d.as_secs_f64() / total * 100.0
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(name: &str, millis: u64, count: u64) -> JoinStats {
+        let mut s = JoinStats::new(name);
+        s.result_count = count;
+        s.checksum = 99;
+        s.phases.record("join", Duration::from_millis(millis));
+        s
+    }
+
+    #[test]
+    fn human_duration_units() {
+        assert_eq!(human_duration(Duration::from_micros(3)), "3.0µs");
+        assert_eq!(human_duration(Duration::from_millis(250)), "250.0ms");
+        assert_eq!(human_duration(Duration::from_secs(3)), "3.00s");
+    }
+
+    #[test]
+    fn speedup_is_relative_to_first_row() {
+        let mut t = ComparisonTable::new();
+        t.add(stats("Cbase", 100, 10)).add(stats("CSH", 25, 10));
+        let rendered = t.render();
+        assert!(rendered.contains("Cbase"), "{rendered}");
+        assert!(rendered.contains("4.00x"), "{rendered}");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn agreement_validation() {
+        let mut ok = ComparisonTable::new();
+        ok.add(stats("A", 1, 10)).add(stats("B", 2, 10));
+        assert!(ok.validate_agreement().is_ok());
+
+        let mut bad = ComparisonTable::new();
+        bad.add(stats("A", 1, 10)).add(stats("B", 2, 11));
+        let err = bad.validate_agreement().unwrap_err();
+        assert!(err.contains("10") && err.contains("11"));
+
+        let mut mismatch = ComparisonTable::new();
+        let mut b = stats("B", 2, 10);
+        b.checksum = 7;
+        mismatch.add(stats("A", 1, 10)).add(b);
+        assert!(mismatch.validate_agreement().is_err());
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = ComparisonTable::new();
+        assert!(t.is_empty());
+        assert!(t.validate_agreement().is_ok());
+        assert_eq!(t.render().lines().count(), 1);
+    }
+
+    #[test]
+    fn phase_breakdown_shows_percentages() {
+        let mut s = JoinStats::new("X");
+        s.phases.record("a", Duration::from_millis(75));
+        s.phases.record("b", Duration::from_millis(25));
+        let mut t = ComparisonTable::new();
+        t.add(s);
+        let rendered = t.render_phases();
+        assert!(rendered.contains("75.0%"), "{rendered}");
+        assert!(rendered.contains("25.0%"), "{rendered}");
+    }
+}

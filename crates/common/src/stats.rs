@@ -1,0 +1,230 @@
+//! Per-phase timing and join result statistics.
+//!
+//! Table I of the paper breaks execution time into named phases ("Cbase
+//! partition", "CSH sample+part", "GSH all other", …). [`PhaseTimes`] is the
+//! ordered phase→duration map every algorithm fills in, and [`JoinStats`]
+//! bundles it with the result count/checksum and algorithm-specific counters
+//! (skewed keys detected, partitions produced, simulated GPU cycles, …).
+
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// An ordered list of `(phase name, duration)` pairs.
+///
+/// Insertion order is preserved so reports read in execution order; phases
+/// recorded twice accumulate (useful when a phase runs once per pass).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTimes {
+    entries: Vec<(String, Duration)>,
+}
+
+impl PhaseTimes {
+    /// Creates an empty phase map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `duration` under `phase`, accumulating on repeats.
+    pub fn record(&mut self, phase: &str, duration: Duration) {
+        if let Some((_, d)) = self.entries.iter_mut().find(|(n, _)| n == phase) {
+            *d += duration;
+        } else {
+            self.entries.push((phase.to_string(), duration));
+        }
+    }
+
+    /// Duration recorded for `phase`, or zero if absent.
+    pub fn get(&self, phase: &str) -> Duration {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == phase)
+            .map(|(_, d)| *d)
+            .unwrap_or_default()
+    }
+
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.entries.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Iterates phases in execution order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Duration)> {
+        self.entries.iter().map(|(n, d)| (n.as_str(), *d))
+    }
+
+    /// Sum of every phase *except* the named ones — e.g. Table I's
+    /// "GSH all other" row is `all_but(&["partition"])`.
+    pub fn all_but(&self, excluded: &[&str]) -> Duration {
+        self.entries
+            .iter()
+            .filter(|(n, _)| !excluded.contains(&n.as_str()))
+            .map(|(_, d)| *d)
+            .sum()
+    }
+
+    /// Number of distinct phases recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no phase has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for PhaseTimes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (name, d)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}: {:.3?}", d)?;
+        }
+        Ok(())
+    }
+}
+
+/// Full result record of one join execution.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct JoinStats {
+    /// Human-readable algorithm name ("Cbase", "CSH", "Gbase", "GSH", …).
+    pub algorithm: String,
+    /// Number of join result tuples produced.
+    pub result_count: u64,
+    /// Order-independent checksum over all result tuples.
+    pub checksum: u64,
+    /// Wall-clock (CPU) or simulated (GPU) time per phase.
+    pub phases: PhaseTimes,
+    /// Number of join keys the algorithm classified as skewed (0 for
+    /// baselines and for runs where the skew path never triggered).
+    pub skewed_keys_detected: usize,
+    /// Join results produced through the dedicated skew path.
+    pub skew_path_results: u64,
+    /// Final partition count (0 for no-partition join).
+    pub partitions: usize,
+    /// For GPU algorithms: total simulated device cycles.
+    pub simulated_cycles: u64,
+}
+
+impl JoinStats {
+    /// Creates a stats record for the named algorithm.
+    pub fn new(algorithm: &str) -> Self {
+        Self {
+            algorithm: algorithm.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Total execution time across phases.
+    pub fn total_time(&self) -> Duration {
+        self.phases.total()
+    }
+
+    /// Fraction of results produced by the skew path (0.0 when none).
+    pub fn skew_output_fraction(&self) -> f64 {
+        if self.result_count == 0 {
+            0.0
+        } else {
+            self.skew_path_results as f64 / self.result_count as f64
+        }
+    }
+}
+
+impl fmt::Display for JoinStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} results", self.algorithm, self.result_count)?;
+        if self.checksum != 0 {
+            // Volcano sinks skip checksumming; don't print a meaningless 0.
+            write!(f, " (checksum {:#018x})", self.checksum)?;
+        }
+        write!(f, " in {:.3?} [{}]", self.total_time(), self.phases)
+    }
+}
+
+/// Scope-based timer that records into a [`PhaseTimes`] on drop.
+pub struct PhaseTimer<'a> {
+    phases: &'a mut PhaseTimes,
+    name: &'a str,
+    start: std::time::Instant,
+}
+
+impl<'a> PhaseTimer<'a> {
+    /// Starts timing `name`; the elapsed time is recorded when dropped.
+    pub fn start(phases: &'a mut PhaseTimes, name: &'a str) -> Self {
+        Self {
+            phases,
+            name,
+            start: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Drop for PhaseTimer<'_> {
+    fn drop(&mut self) {
+        self.phases.record(self.name, self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_repeats() {
+        let mut p = PhaseTimes::new();
+        p.record("partition", Duration::from_millis(10));
+        p.record("partition", Duration::from_millis(5));
+        p.record("join", Duration::from_millis(7));
+        assert_eq!(p.get("partition"), Duration::from_millis(15));
+        assert_eq!(p.total(), Duration::from_millis(22));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn all_but_excludes_named_phases() {
+        let mut p = PhaseTimes::new();
+        p.record("partition", Duration::from_millis(10));
+        p.record("detect", Duration::from_millis(1));
+        p.record("skew", Duration::from_millis(2));
+        assert_eq!(p.all_but(&["partition"]), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn missing_phase_is_zero() {
+        let p = PhaseTimes::new();
+        assert_eq!(p.get("nothing"), Duration::ZERO);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn phase_timer_records_on_drop() {
+        let mut p = PhaseTimes::new();
+        {
+            let _t = PhaseTimer::start(&mut p, "work");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(p.get("work") >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn stats_skew_fraction() {
+        let mut s = JoinStats::new("CSH");
+        assert_eq!(s.skew_output_fraction(), 0.0);
+        s.result_count = 100;
+        s.skew_path_results = 75;
+        assert!((s.skew_output_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let mut p = PhaseTimes::new();
+        p.record("a", Duration::from_millis(1));
+        p.record("b", Duration::from_millis(2));
+        let rendered = p.to_string();
+        assert!(rendered.starts_with("a:"));
+        assert!(rendered.contains("b:"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Tuple and relation types.
+//!
+//! The paper's workload uses fixed-width tuples: a 4-byte join key and a
+//! 4-byte payload (§III, §V-A). We mirror that exactly: [`Tuple`] is a
+//! `#[repr(C)]` 8-byte struct, and a [`Relation`] is a flat, contiguous
+//! `Vec<Tuple>` — the same layout the CPU radix join scatters through and
+//! the GPU simulator's global memory stores.
+
+use serde::{Deserialize, Serialize};
+
+/// Join key type — 4 bytes, per the paper's workload description.
+pub type Key = u32;
+
+/// Payload type — 4 bytes. In the paper's experiments the payload is the
+/// tuple's row id, which is also what [`Relation::from_keys`] assigns.
+pub type Payload = u32;
+
+/// A fixed-width 8-byte relation tuple: `(key, payload)`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Tuple {
+    /// The join key.
+    pub key: Key,
+    /// The carried payload (row id in generated workloads).
+    pub payload: Payload,
+}
+
+impl Tuple {
+    /// Creates a tuple from a key and payload.
+    #[inline]
+    pub const fn new(key: Key, payload: Payload) -> Self {
+        Self { key, payload }
+    }
+}
+
+/// An in-memory relation: a flat array of [`Tuple`]s.
+///
+/// This is deliberately minimal — just enough structure for the join
+/// algorithms to share. It derefs to a slice so all slice operations apply.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Relation {
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation.
+    pub fn new() -> Self {
+        Self { tuples: Vec::new() }
+    }
+
+    /// Creates an empty relation with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            tuples: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Wraps an existing tuple vector.
+    pub fn from_tuples(tuples: Vec<Tuple>) -> Self {
+        Self { tuples }
+    }
+
+    /// Builds a relation from a key slice; payload `i` is the row id of key `i`.
+    pub fn from_keys(keys: &[Key]) -> Self {
+        Self {
+            tuples: keys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| Tuple::new(k, i as Payload))
+                .collect(),
+        }
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Immutable view of the tuples.
+    #[inline]
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Mutable view of the tuples.
+    #[inline]
+    pub fn tuples_mut(&mut self) -> &mut [Tuple] {
+        &mut self.tuples
+    }
+
+    /// Appends a tuple.
+    #[inline]
+    pub fn push(&mut self, tuple: Tuple) {
+        self.tuples.push(tuple);
+    }
+
+    /// Consumes the relation, returning the tuple vector.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// Total payload bytes of the relation (8 bytes per tuple).
+    pub fn bytes(&self) -> usize {
+        self.tuples.len() * std::mem::size_of::<Tuple>()
+    }
+}
+
+impl std::ops::Deref for Relation {
+    type Target = [Tuple];
+
+    fn deref(&self) -> &[Tuple] {
+        &self.tuples
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        Self {
+            tuples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_is_eight_bytes() {
+        assert_eq!(std::mem::size_of::<Tuple>(), 8);
+        assert_eq!(std::mem::align_of::<Tuple>(), 4);
+    }
+
+    #[test]
+    fn from_keys_assigns_row_ids() {
+        let r = Relation::from_keys(&[7, 7, 9]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0], Tuple::new(7, 0));
+        assert_eq!(r[1], Tuple::new(7, 1));
+        assert_eq!(r[2], Tuple::new(9, 2));
+    }
+
+    #[test]
+    fn relation_deref_and_iter() {
+        let r = Relation::from_keys(&[1, 2, 3]);
+        let keys: Vec<Key> = r.iter().map(|t| t.key).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+        assert_eq!(r.bytes(), 24);
+    }
+
+    #[test]
+    fn with_capacity_and_push() {
+        let mut r = Relation::with_capacity(2);
+        assert!(r.is_empty());
+        r.push(Tuple::new(5, 0));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.into_tuples(), vec![Tuple::new(5, 0)]);
+    }
+
+    #[test]
+    fn tuple_serde_roundtrip() {
+        let t = Tuple::new(0xDEAD_BEEF, 42);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tuple = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn collect_into_relation() {
+        let r: Relation = (0..4).map(|i| Tuple::new(i, i)).collect();
+        assert_eq!(r.len(), 4);
+    }
+}

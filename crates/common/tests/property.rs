@@ -1,0 +1,129 @@
+//! Property tests for the shared primitives: histograms, prefix sums,
+//! partition directories, sinks, and hashing.
+
+use proptest::prelude::*;
+
+use skewjoin_common::hash::{mix32, radix_pass, RadixConfig, RadixMode};
+use skewjoin_common::histogram::{
+    exclusive_prefix_sum, histogram, per_worker_offsets, PartitionDirectory,
+};
+use skewjoin_common::{CountingSink, OutputSink, Tuple};
+
+proptest! {
+    #[test]
+    fn prefix_sum_matches_cumulative(values in prop::collection::vec(0usize..1000, 0..50)) {
+        let mut v = values.clone();
+        let total = exclusive_prefix_sum(&mut v);
+        prop_assert_eq!(total, values.iter().sum::<usize>());
+        let mut acc = 0;
+        for (i, &orig) in values.iter().enumerate() {
+            prop_assert_eq!(v[i], acc);
+            acc += orig;
+        }
+    }
+
+    #[test]
+    fn histogram_totals_match_input(
+        keys in prop::collection::vec(any::<u32>(), 0..500),
+        bits in 1u32..8,
+    ) {
+        let tuples: Vec<Tuple> = keys.iter().map(|&k| Tuple::new(k, 0)).collect();
+        let cfg = RadixConfig { bits_per_pass: vec![bits], mode: RadixMode::Mixed };
+        let hist = histogram(&tuples, &cfg, 0);
+        prop_assert_eq!(hist.len(), 1 << bits);
+        prop_assert_eq!(hist.iter().sum::<usize>(), tuples.len());
+        // Every tuple's partition bin counted it.
+        for t in &tuples {
+            prop_assert!(hist[cfg.partition_of(t.key, 0)] >= 1);
+        }
+    }
+
+    #[test]
+    fn per_worker_offsets_are_disjoint_and_dense(
+        hists in prop::collection::vec(
+            prop::collection::vec(0usize..20, 4),
+            1..6,
+        ),
+    ) {
+        let (offsets, starts) = per_worker_offsets(&hists);
+        let total: usize = hists.iter().flatten().sum();
+        prop_assert_eq!(*starts.last().unwrap(), total);
+        // Writing hists[w][p] items from offsets[w][p] covers 0..total with
+        // no overlap.
+        let mut covered = vec![false; total];
+        for (w, hist) in hists.iter().enumerate() {
+            for (p, &count) in hist.iter().enumerate() {
+                for i in 0..count {
+                    let idx = offsets[w][p] + i;
+                    prop_assert!(!covered[idx], "overlap at {idx}");
+                    covered[idx] = true;
+                }
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn directory_ranges_partition_the_array(sizes in prop::collection::vec(0usize..30, 1..20)) {
+        let dir = PartitionDirectory::from_sizes(&sizes);
+        prop_assert_eq!(dir.partitions(), sizes.len());
+        let mut acc = 0;
+        for (p, &size) in sizes.iter().enumerate() {
+            prop_assert_eq!(dir.range(p), acc..acc + size);
+            prop_assert_eq!(dir.size(p), size);
+            acc += size;
+        }
+        prop_assert_eq!(dir.total(), acc);
+    }
+
+    #[test]
+    fn checksum_invariant_under_permutation(
+        results in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 0..100),
+        seed in any::<u64>(),
+    ) {
+        let mut a = CountingSink::new();
+        for &(k, r, s) in &results {
+            a.emit(k, r, s);
+        }
+        // A deterministic pseudo-shuffle from the seed.
+        let mut shuffled = results.clone();
+        let n = shuffled.len();
+        if n > 1 {
+            let mut state = seed;
+            for i in (1..n).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                shuffled.swap(i, (state as usize) % (i + 1));
+            }
+        }
+        let mut b = CountingSink::new();
+        for &(k, r, s) in &shuffled {
+            b.emit(k, r, s);
+        }
+        prop_assert_eq!(a.checksum(), b.checksum());
+        prop_assert_eq!(a.count(), b.count());
+    }
+
+    #[test]
+    fn mix32_preserves_distinctness(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(a == b, mix32(a) == mix32(b));
+    }
+
+    #[test]
+    fn radix_pass_extracts_expected_bits(hash in any::<u32>(), shift in 0u32..28, bits in 1u32..5) {
+        prop_assume!(shift + bits <= 32);
+        let p = radix_pass(hash, shift, bits);
+        prop_assert!(p < (1 << bits));
+        prop_assert_eq!(p as u32, (hash >> shift) & ((1 << bits) - 1));
+    }
+
+    #[test]
+    fn two_pass_pid_composition(key in any::<u32>(), bits in 2u32..12) {
+        let cfg = RadixConfig::two_pass(bits);
+        let p0 = cfg.partition_of(key, 0);
+        let p1 = cfg.partition_of(key, 1);
+        prop_assert_eq!(
+            p0 | (p1 << cfg.bits_per_pass[0]),
+            cfg.final_partition_of(key)
+        );
+    }
+}

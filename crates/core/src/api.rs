@@ -1,0 +1,230 @@
+//! Unified entry points over the five join algorithms.
+
+use skewjoin_common::{CountingSink, JoinError, JoinStats, Relation, SinkSpec, VolcanoSink};
+use skewjoin_cpu::{cbase_join, csh_join, npj_join, CpuJoinConfig};
+use skewjoin_gpu::{gbase_join, gsh_join, GpuJoinConfig};
+
+/// The CPU join algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuAlgorithm {
+    /// Baseline parallel radix join (Balkesen et al.).
+    Cbase,
+    /// No-partition join from the same repository.
+    CbaseNpj,
+    /// The paper's CPU Skew-conscious Hash join.
+    Csh,
+}
+
+impl CpuAlgorithm {
+    /// All CPU algorithms, in the paper's presentation order.
+    pub const ALL: [CpuAlgorithm; 3] = [
+        CpuAlgorithm::Cbase,
+        CpuAlgorithm::CbaseNpj,
+        CpuAlgorithm::Csh,
+    ];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CpuAlgorithm::Cbase => "Cbase",
+            CpuAlgorithm::CbaseNpj => "cbase-npj",
+            CpuAlgorithm::Csh => "CSH",
+        }
+    }
+}
+
+impl std::fmt::Display for CpuAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The GPU join algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuAlgorithm {
+    /// Baseline hardware-conscious GPU join (Sioulas et al.).
+    Gbase,
+    /// The paper's GPU Skew-conscious Hash join.
+    Gsh,
+}
+
+impl GpuAlgorithm {
+    /// All GPU algorithms, in the paper's presentation order.
+    pub const ALL: [GpuAlgorithm; 2] = [GpuAlgorithm::Gbase, GpuAlgorithm::Gsh];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GpuAlgorithm::Gbase => "Gbase",
+            GpuAlgorithm::Gsh => "GSH",
+        }
+    }
+}
+
+impl std::fmt::Display for GpuAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runs a CPU join with per-thread sinks built from `sink`, returning the
+/// aggregate statistics (wall-clock phase times).
+pub fn run_cpu_join(
+    algorithm: CpuAlgorithm,
+    r: &Relation,
+    s: &Relation,
+    cfg: &CpuJoinConfig,
+    sink: SinkSpec,
+) -> Result<JoinStats, JoinError> {
+    validate_sink(sink)?;
+    match sink {
+        SinkSpec::Count => {
+            let make = |_tid: usize| CountingSink::new();
+            Ok(match algorithm {
+                CpuAlgorithm::Cbase => cbase_join(r, s, cfg, make)?.stats,
+                CpuAlgorithm::CbaseNpj => npj_join(r, s, cfg, make)?.stats,
+                CpuAlgorithm::Csh => csh_join(r, s, cfg, make)?.stats,
+            })
+        }
+        SinkSpec::Volcano { capacity } => {
+            let make = |_tid: usize| VolcanoSink::new(capacity);
+            Ok(match algorithm {
+                CpuAlgorithm::Cbase => cbase_join(r, s, cfg, make)?.stats,
+                CpuAlgorithm::CbaseNpj => npj_join(r, s, cfg, make)?.stats,
+                CpuAlgorithm::Csh => csh_join(r, s, cfg, make)?.stats,
+            })
+        }
+    }
+}
+
+/// Runs a GPU join with per-SM-slot sinks built from `sink`, returning the
+/// aggregate statistics (simulated phase times).
+pub fn run_gpu_join(
+    algorithm: GpuAlgorithm,
+    r: &Relation,
+    s: &Relation,
+    cfg: &GpuJoinConfig,
+    sink: SinkSpec,
+) -> Result<JoinStats, JoinError> {
+    validate_sink(sink)?;
+    match sink {
+        SinkSpec::Count => {
+            let make = |_slot: usize| CountingSink::new();
+            Ok(match algorithm {
+                GpuAlgorithm::Gbase => gbase_join(r, s, cfg, make)?.stats,
+                GpuAlgorithm::Gsh => gsh_join(r, s, cfg, make)?.stats,
+            })
+        }
+        SinkSpec::Volcano { capacity } => {
+            let make = |_slot: usize| VolcanoSink::new(capacity);
+            Ok(match algorithm {
+                GpuAlgorithm::Gbase => gbase_join(r, s, cfg, make)?.stats,
+                GpuAlgorithm::Gsh => gsh_join(r, s, cfg, make)?.stats,
+            })
+        }
+    }
+}
+
+/// Rejects sink specifications that would panic at worker construction.
+fn validate_sink(sink: SinkSpec) -> Result<(), JoinError> {
+    if let SinkSpec::Volcano { capacity: 0 } = sink {
+        return Err(JoinError::InvalidConfig(
+            "volcano sink capacity must be at least 1 tuple".into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skewjoin_datagen::{PaperWorkload, WorkloadSpec};
+    use skewjoin_gpu_sim::DeviceSpec;
+
+    #[test]
+    fn all_cpu_algorithms_agree() {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(2048, 0.8, 3));
+        let cfg = CpuJoinConfig::with_threads(4);
+        let results: Vec<JoinStats> = CpuAlgorithm::ALL
+            .iter()
+            .map(|&a| run_cpu_join(a, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap())
+            .collect();
+        for r in &results[1..] {
+            assert_eq!(r.result_count, results[0].result_count, "{}", r.algorithm);
+            assert_eq!(r.checksum, results[0].checksum, "{}", r.algorithm);
+        }
+    }
+
+    #[test]
+    fn gpu_matches_cpu() {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(2048, 0.9, 5));
+        let cpu = run_cpu_join(
+            CpuAlgorithm::Cbase,
+            &w.r,
+            &w.s,
+            &CpuJoinConfig::with_threads(2),
+            SinkSpec::Count,
+        )
+        .unwrap();
+        let gcfg = GpuJoinConfig {
+            spec: DeviceSpec::tiny(1 << 26),
+            block_dim: 64,
+            ..GpuJoinConfig::default()
+        };
+        for algo in GpuAlgorithm::ALL {
+            let gpu = run_gpu_join(algo, &w.r, &w.s, &gcfg, SinkSpec::Count).unwrap();
+            assert_eq!(gpu.result_count, cpu.result_count, "{algo}");
+            assert_eq!(gpu.checksum, cpu.checksum, "{algo}");
+        }
+    }
+
+    #[test]
+    fn volcano_sink_counts_match_counting_sink() {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(1024, 0.5, 7));
+        let cfg = CpuJoinConfig::with_threads(2);
+        let a = run_cpu_join(CpuAlgorithm::Csh, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
+        let b = run_cpu_join(
+            CpuAlgorithm::Csh,
+            &w.r,
+            &w.s,
+            &cfg,
+            SinkSpec::Volcano { capacity: 64 },
+        )
+        .unwrap();
+        assert_eq!(a.result_count, b.result_count);
+        // Volcano sinks skip checksumming by design.
+        assert_eq!(b.checksum, 0);
+    }
+
+    #[test]
+    fn zero_capacity_volcano_is_an_error_not_a_panic() {
+        let r = Relation::from_keys(&[1, 2]);
+        let err = run_cpu_join(
+            CpuAlgorithm::Csh,
+            &r,
+            &r,
+            &CpuJoinConfig::with_threads(1),
+            SinkSpec::Volcano { capacity: 0 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, JoinError::InvalidConfig(_)));
+        let err = run_gpu_join(
+            GpuAlgorithm::Gsh,
+            &r,
+            &r,
+            &GpuJoinConfig::default(),
+            SinkSpec::Volcano { capacity: 0 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, JoinError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn names_are_paper_names() {
+        assert_eq!(CpuAlgorithm::Cbase.to_string(), "Cbase");
+        assert_eq!(CpuAlgorithm::CbaseNpj.to_string(), "cbase-npj");
+        assert_eq!(CpuAlgorithm::Csh.to_string(), "CSH");
+        assert_eq!(GpuAlgorithm::Gbase.to_string(), "Gbase");
+        assert_eq!(GpuAlgorithm::Gsh.to_string(), "GSH");
+    }
+}

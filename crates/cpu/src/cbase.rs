@@ -1,0 +1,332 @@
+//! **Cbase** — the baseline parallel radix join (Balkesen et al., ICDE 2013,
+//! the paper's \[16\]).
+//!
+//! Partition phase: two radix passes ([`parallel_radix_partition_with`]), the
+//! first segment-parallel with contention-free scatter, the second pulled
+//! from a task queue. Join phase: every `(R partition, S partition)` pair is
+//! a task in a dynamic queue; each task builds a bucket-chaining hash table
+//! over its R partition and probes with its S partition.
+//!
+//! Skew handling (§II-B): (1) a task whose partitions are much larger than
+//! average is *split* by re-partitioning both sides with extra radix bits,
+//! the sub-pairs re-entering the queue; (2) the task queue itself absorbs
+//! load variance. Both stop helping once a single key dominates — tuples
+//! with one key can never be split apart, which is exactly the pathology
+//! §III measures and `CSH` fixes.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use skewjoin_common::hash::mix32;
+use skewjoin_common::{JoinError, JoinStats, OutputSink, Relation, Tuple};
+
+use crate::config::CpuJoinConfig;
+use crate::hashtable::ChainedTable;
+use crate::partition::{parallel_radix_partition_with, partition_slice_by, PartitionedRelation};
+use crate::task::TaskQueue;
+use crate::{aggregate_sinks, JoinOutcome};
+
+/// A tuple buffer a join task can reference: either a slice of the global
+/// partitioned relation, or a shared buffer produced by task splitting.
+#[derive(Clone)]
+enum TupleBuf<'a> {
+    Slice(&'a [Tuple]),
+    Shared(Arc<[Tuple]>),
+}
+
+impl TupleBuf<'_> {
+    #[inline]
+    fn get(&self, range: &std::ops::Range<usize>) -> &[Tuple] {
+        match self {
+            TupleBuf::Slice(s) => &s[range.clone()],
+            TupleBuf::Shared(s) => &s[range.clone()],
+        }
+    }
+}
+
+/// One join task: matching ranges of R and S tuples plus the radix depth at
+/// which further splitting would continue.
+struct JoinTask<'a> {
+    r_buf: TupleBuf<'a>,
+    r_range: std::ops::Range<usize>,
+    s_buf: TupleBuf<'a>,
+    s_range: std::ops::Range<usize>,
+    /// Next unconsumed bit of the mixed key for splitting.
+    shift: u32,
+    depth: u32,
+}
+
+/// Shared parameters of the join phase.
+struct JoinPhase<'a> {
+    queue: TaskQueue<JoinTask<'a>>,
+    r_split_threshold: usize,
+    s_split_threshold: usize,
+    extra_bits: u32,
+    max_depth: u32,
+    max_bucket_bits: u32,
+}
+
+impl<'a> JoinPhase<'a> {
+    /// Executes one task: split if oversized and splittable, else build and
+    /// probe.
+    fn run_task<S: OutputSink>(&self, task: JoinTask<'a>, sink: &mut S) {
+        let r = task.r_buf.get(&task.r_range);
+        let s = task.s_buf.get(&task.s_range);
+        if r.is_empty() || s.is_empty() {
+            return;
+        }
+
+        let oversized = r.len() > self.r_split_threshold || s.len() > self.s_split_threshold;
+        let can_split = task.depth < self.max_depth && task.shift + self.extra_bits <= 32;
+        if oversized && can_split {
+            if let Some(()) = self.try_split(&task, r, s) {
+                return;
+            }
+        }
+
+        let table = ChainedTable::build(r, self.max_bucket_bits);
+        table.probe_all(s, sink);
+    }
+
+    /// Re-partitions both sides with `extra_bits` more radix bits and
+    /// enqueues the matching sub-pairs. Returns `None` when splitting makes
+    /// no progress (all tuples of both sides land in one sub-partition —
+    /// i.e. the task is dominated by a single join key), in which case the
+    /// caller joins the task directly.
+    fn try_split(&self, task: &JoinTask<'a>, r: &[Tuple], s: &[Tuple]) -> Option<()> {
+        let fanout = 1usize << self.extra_bits;
+        let shift = task.shift;
+        let part_of = |key: u32| ((mix32(key) >> shift) as usize) & (fanout - 1);
+
+        let (r_out, r_starts) = partition_slice_by(r, fanout, part_of);
+        let r_nonempty = (0..fanout)
+            .filter(|&p| r_starts[p + 1] > r_starts[p])
+            .count();
+        let (s_out, s_starts) = partition_slice_by(s, fanout, part_of);
+        let s_nonempty = (0..fanout)
+            .filter(|&p| s_starts[p + 1] > s_starts[p])
+            .count();
+
+        if r_nonempty <= 1 && s_nonempty <= 1 {
+            // A single key (or hash-identical key group) dominates: splitting
+            // cannot reduce the work. Cbase's fundamental skew limitation.
+            return None;
+        }
+
+        let r_shared: Arc<[Tuple]> = r_out.into();
+        let s_shared: Arc<[Tuple]> = s_out.into();
+        for p in 0..fanout {
+            let r_range = r_starts[p]..r_starts[p + 1];
+            let s_range = s_starts[p]..s_starts[p + 1];
+            if r_range.is_empty() || s_range.is_empty() {
+                continue;
+            }
+            self.queue.push(JoinTask {
+                r_buf: TupleBuf::Shared(Arc::clone(&r_shared)),
+                r_range,
+                s_buf: TupleBuf::Shared(Arc::clone(&s_shared)),
+                s_range,
+                shift: shift + self.extra_bits,
+                depth: task.depth + 1,
+            });
+        }
+        Some(())
+    }
+}
+
+/// Runs the Cbase parallel radix join. `make_sink(tid)` constructs each
+/// worker thread's output sink.
+pub fn cbase_join<S, F>(
+    r: &Relation,
+    s: &Relation,
+    cfg: &CpuJoinConfig,
+    make_sink: F,
+) -> Result<JoinOutcome<S>, JoinError>
+where
+    S: OutputSink,
+    F: Fn(usize) -> S + Sync,
+{
+    cfg.validate()?;
+    let mut stats = JoinStats::new("Cbase");
+
+    // ---- Partition phase. ----
+    let t0 = Instant::now();
+    let parted_r = parallel_radix_partition_with(r, &cfg.radix, cfg.threads, cfg.scatter);
+    let parted_s = parallel_radix_partition_with(s, &cfg.radix, cfg.threads, cfg.scatter);
+    stats.phases.record("partition", t0.elapsed());
+    stats.partitions = parted_r.partitions();
+
+    // ---- Join phase. ----
+    let t1 = Instant::now();
+    let sinks: Vec<S> = (0..cfg.threads).map(&make_sink).collect();
+    let sinks = join_partitions(&parted_r, &parted_s, cfg, sinks, true);
+    stats.phases.record("join", t1.elapsed());
+
+    aggregate_sinks(&mut stats, &sinks);
+    Ok(JoinOutcome { stats, sinks })
+}
+
+/// Join-phase driver shared by Cbase and CSH's NM-join: seeds the task
+/// queue with all non-empty partition pairs (largest first) and runs it to
+/// completion on one worker per sink in `sinks` (which are handed back,
+/// updated, in the same order). `allow_split` enables Cbase's large-task
+/// splitting.
+pub(crate) fn join_partitions<S>(
+    parted_r: &PartitionedRelation,
+    parted_s: &PartitionedRelation,
+    cfg: &CpuJoinConfig,
+    sinks: Vec<S>,
+    allow_split: bool,
+) -> Vec<S>
+where
+    S: OutputSink,
+{
+    let parts = parted_r.partitions();
+    assert_eq!(parts, parted_s.partitions(), "mismatched partition fan-out");
+
+    let avg_r = (parted_r.data.len() / parts.max(1)).max(1);
+    let avg_s = (parted_s.data.len() / parts.max(1)).max(1);
+    let phase = JoinPhase {
+        queue: TaskQueue::new(),
+        r_split_threshold: if allow_split {
+            ((avg_r as f64 * cfg.split_factor) as usize).max(64)
+        } else {
+            usize::MAX
+        },
+        s_split_threshold: if allow_split {
+            ((avg_s as f64 * cfg.split_factor) as usize).max(64)
+        } else {
+            usize::MAX
+        },
+        extra_bits: cfg.extra_pass_bits,
+        max_depth: 6,
+        max_bucket_bits: cfg.max_bucket_bits,
+    };
+
+    // Largest pairs first so stragglers start early.
+    let mut pids: Vec<usize> = (0..parts)
+        .filter(|&p| parted_r.directory.size(p) > 0 && parted_s.directory.size(p) > 0)
+        .collect();
+    pids.sort_unstable_by_key(|&p| {
+        std::cmp::Reverse(parted_r.directory.size(p) + parted_s.directory.size(p))
+    });
+    for p in pids {
+        phase.queue.push(JoinTask {
+            r_buf: TupleBuf::Slice(&parted_r.data),
+            r_range: parted_r.directory.range(p),
+            s_buf: TupleBuf::Slice(&parted_s.data),
+            s_range: parted_s.directory.range(p),
+            shift: cfg.radix.total_bits(),
+            depth: 0,
+        });
+    }
+
+    let slots: Vec<Mutex<S>> = sinks.into_iter().map(Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for slot in &slots {
+            let phase = &phase;
+            scope.spawn(move || {
+                // Each worker owns its slot for the whole run — the lock is
+                // taken exactly once per thread, so there is no contention.
+                let mut sink = slot.lock();
+                phase
+                    .queue
+                    .run_worker(|task| phase.run_task(task, &mut *sink));
+            });
+        }
+    });
+    slots.into_iter().map(Mutex::into_inner).collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_join;
+    use skewjoin_common::CountingSink;
+    use skewjoin_datagen::{PaperWorkload, WorkloadSpec};
+
+    fn assert_matches_reference(r: &Relation, s: &Relation, cfg: &CpuJoinConfig) {
+        let outcome = cbase_join(r, s, cfg, |_| CountingSink::new()).unwrap();
+        let mut reference = CountingSink::new();
+        let ref_stats = reference_join(r, s, &mut reference);
+        assert_eq!(outcome.stats.result_count, ref_stats.result_count);
+        assert_eq!(outcome.stats.checksum, ref_stats.checksum);
+    }
+
+    #[test]
+    fn matches_reference_on_uniform_data() {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(4096, 0.0, 1));
+        assert_matches_reference(&w.r, &w.s, &CpuJoinConfig::with_threads(4));
+    }
+
+    #[test]
+    fn matches_reference_on_skewed_data() {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(4096, 1.0, 2));
+        assert_matches_reference(&w.r, &w.s, &CpuJoinConfig::with_threads(4));
+    }
+
+    #[test]
+    fn single_key_tables() {
+        let r = Relation::from_tuples(vec![Tuple::new(9, 1); 500]);
+        let s = Relation::from_tuples(vec![Tuple::new(9, 2); 300]);
+        let outcome = cbase_join(&r, &s, &CpuJoinConfig::with_threads(4), |_| {
+            CountingSink::new()
+        })
+        .unwrap();
+        assert_eq!(outcome.stats.result_count, 150_000);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let cfg = CpuJoinConfig::with_threads(2);
+        let r = Relation::new();
+        let s = Relation::from_keys(&[1, 2, 3]);
+        let outcome = cbase_join(&r, &s, &cfg, |_| CountingSink::new()).unwrap();
+        assert_eq!(outcome.stats.result_count, 0);
+    }
+
+    #[test]
+    fn task_splitting_triggers_and_stays_correct() {
+        // One partition gets ~half the data (hot key) plus scattered normals;
+        // splitting must engage without changing results.
+        let mut keys: Vec<u32> = vec![77; 4000];
+        keys.extend((0..4000u32).map(|i| i * 13 + 1));
+        let r = Relation::from_keys(&keys);
+        let s = Relation::from_keys(&keys);
+        let mut cfg = CpuJoinConfig::with_threads(4);
+        cfg.radix = skewjoin_common::hash::RadixConfig::two_pass(4);
+        cfg.split_factor = 1.5;
+        assert_matches_reference(&r, &s, &cfg);
+    }
+
+    #[test]
+    fn buffered_scatter_matches_reference() {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(8192, 0.9, 31));
+        let mut cfg = CpuJoinConfig::with_threads(4);
+        cfg.scatter = crate::partition::ScatterMode::Buffered;
+        assert_matches_reference(&w.r, &w.s, &cfg);
+    }
+
+    #[test]
+    fn records_both_phases() {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(2048, 0.5, 3));
+        let outcome = cbase_join(&w.r, &w.s, &CpuJoinConfig::with_threads(2), |_| {
+            CountingSink::new()
+        })
+        .unwrap();
+        assert!(outcome.stats.phases.get("partition") > std::time::Duration::ZERO);
+        assert!(outcome.stats.phases.get("join") > std::time::Duration::ZERO);
+        assert!(outcome.stats.partitions > 0);
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let mut cfg = CpuJoinConfig::default();
+        cfg.threads = 0;
+        let r = Relation::from_keys(&[1]);
+        assert!(cbase_join(&r, &r, &cfg, |_| CountingSink::new()).is_err());
+    }
+}

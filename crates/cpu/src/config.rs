@@ -1,0 +1,249 @@
+//! CPU join configuration.
+
+use skewjoin_common::hash::RadixConfig;
+use skewjoin_common::JoinError;
+
+use crate::partition::ScatterMode;
+
+/// Which mechanism CSH uses to find skewed keys before partitioning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SkewDetectorKind {
+    /// The paper's detector: sample ~1 % of R, threshold on sample
+    /// frequency (cheap, probabilistic).
+    Sampling,
+    /// Extension: a single-pass Misra–Gries *Frequent* summary over all of
+    /// R — deterministic coverage of every key above `min_fraction` of the
+    /// table, at the cost of a full scan.
+    Frequent {
+        /// Counters in the summary; must exceed `1 / min_fraction` for the
+        /// no-false-negative guarantee.
+        capacity: usize,
+        /// Keys above this fraction of the table are skewed.
+        min_fraction: f64,
+    },
+}
+
+/// Skew-detection parameters for CSH (§IV-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewDetectConfig {
+    /// Fraction of R tuples sampled (paper: 1 %).
+    pub sample_rate: f64,
+    /// A sampled key is skewed once its sample frequency reaches this
+    /// threshold (paper: 2).
+    pub min_sample_freq: u32,
+    /// Seed for the sampling RNG (sampling is pseudo-random but
+    /// reproducible).
+    pub seed: u64,
+}
+
+impl Default for SkewDetectConfig {
+    fn default() -> Self {
+        Self {
+            sample_rate: 0.01,
+            min_sample_freq: 2,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+impl SkewDetectConfig {
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), JoinError> {
+        if !(self.sample_rate > 0.0 && self.sample_rate <= 1.0) {
+            return Err(JoinError::InvalidConfig(format!(
+                "sample_rate must be in (0, 1], got {}",
+                self.sample_rate
+            )));
+        }
+        if self.min_sample_freq < 2 {
+            return Err(JoinError::InvalidConfig(
+                "min_sample_freq must be at least 2 (1 would mark every sampled key skewed)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Configuration shared by all CPU join algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuJoinConfig {
+    /// Worker threads (paper: 20). Defaults to the machine's parallelism.
+    pub threads: usize,
+    /// Radix partitioning scheme (paper/Cbase default: two passes, 14 bits
+    /// total → 16 Ki cache-sized partitions for 32 M tuples).
+    pub radix: RadixConfig,
+    /// Cbase skew handling: a partition pair whose R side exceeds
+    /// `split_factor ×` the average partition size is re-partitioned with
+    /// `extra_pass_bits` additional radix bits (recursively, while splitting
+    /// makes progress).
+    pub split_factor: f64,
+    /// Radix bits for each recursive splitting pass.
+    pub extra_pass_bits: u32,
+    /// CSH skew detection parameters.
+    pub skew: SkewDetectConfig,
+    /// Which detector CSH runs (sampling per the paper, or the Misra–Gries
+    /// extension).
+    pub detector: SkewDetectorKind,
+    /// How the first partitioning pass scatters tuples (direct stores or
+    /// software write-combining buffers).
+    pub scatter: ScatterMode,
+    /// Bucket bits per partition hash table are sized to the build side; this
+    /// caps them to bound memory on pathological partitions.
+    pub max_bucket_bits: u32,
+}
+
+impl Default for CpuJoinConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            radix: RadixConfig::two_pass(12),
+            split_factor: 3.0,
+            extra_pass_bits: 4,
+            skew: SkewDetectConfig::default(),
+            detector: SkewDetectorKind::Sampling,
+            scatter: ScatterMode::Direct,
+            max_bucket_bits: 22,
+        }
+    }
+}
+
+impl CpuJoinConfig {
+    /// Convenience constructor with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// Configuration sized for a given input cardinality: total radix bits
+    /// chosen so final partitions are roughly `target_partition_tuples`.
+    pub fn sized_for(tuples: usize, target_partition_tuples: usize) -> Self {
+        let parts = (tuples / target_partition_tuples.max(1)).max(1);
+        let bits = (parts.next_power_of_two().trailing_zeros()).clamp(2, 18);
+        Self {
+            radix: RadixConfig::two_pass(bits),
+            ..Self::default()
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), JoinError> {
+        if self.threads == 0 {
+            return Err(JoinError::InvalidConfig("threads must be > 0".into()));
+        }
+        if self.radix.bits_per_pass.is_empty() || self.radix.total_bits() == 0 {
+            return Err(JoinError::InvalidConfig(
+                "radix config needs at least one pass with > 0 bits".into(),
+            ));
+        }
+        if self.radix.total_bits() > 24 {
+            return Err(JoinError::InvalidConfig(format!(
+                "radix fan-out 2^{} is unreasonably large",
+                self.radix.total_bits()
+            )));
+        }
+        if self.split_factor < 1.0 {
+            return Err(JoinError::InvalidConfig(
+                "split_factor below 1.0 would split every partition".into(),
+            ));
+        }
+        if self.extra_pass_bits == 0 || self.extra_pass_bits > 12 {
+            return Err(JoinError::InvalidConfig(
+                "extra_pass_bits must be in 1..=12".into(),
+            ));
+        }
+        if let SkewDetectorKind::Frequent {
+            capacity,
+            min_fraction,
+        } = self.detector
+        {
+            if capacity == 0 {
+                return Err(JoinError::InvalidConfig(
+                    "Frequent detector needs at least one counter".into(),
+                ));
+            }
+            if !(min_fraction > 0.0 && min_fraction < 1.0) {
+                return Err(JoinError::InvalidConfig(
+                    "Frequent min_fraction must be in (0, 1)".into(),
+                ));
+            }
+            if (capacity as f64) < 1.0 / min_fraction {
+                return Err(JoinError::InvalidConfig(format!(
+                    "Frequent capacity {capacity} breaks the no-false-negative \
+                     guarantee for min_fraction {min_fraction} (needs > {:.0})",
+                    1.0 / min_fraction
+                )));
+            }
+        }
+        self.skew.validate()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        CpuJoinConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn sized_for_picks_reasonable_bits() {
+        let cfg = CpuJoinConfig::sized_for(1 << 20, 1 << 10);
+        assert_eq!(cfg.radix.total_bits(), 10);
+        let tiny = CpuJoinConfig::sized_for(100, 1 << 10);
+        assert_eq!(tiny.radix.total_bits(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let mut cfg = CpuJoinConfig::default();
+        cfg.threads = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = CpuJoinConfig::default();
+        cfg.split_factor = 0.5;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = CpuJoinConfig::default();
+        cfg.skew.sample_rate = 0.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = CpuJoinConfig::default();
+        cfg.skew.min_sample_freq = 1;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn frequent_detector_validation() {
+        let mut cfg = CpuJoinConfig::default();
+        cfg.detector = SkewDetectorKind::Frequent {
+            capacity: 1024,
+            min_fraction: 0.01,
+        };
+        cfg.validate().unwrap();
+
+        cfg.detector = SkewDetectorKind::Frequent {
+            capacity: 10, // < 1 / 0.01: guarantee broken
+            min_fraction: 0.01,
+        };
+        assert!(cfg.validate().is_err());
+
+        cfg.detector = SkewDetectorKind::Frequent {
+            capacity: 0,
+            min_fraction: 0.01,
+        };
+        assert!(cfg.validate().is_err());
+
+        cfg.detector = SkewDetectorKind::Frequent {
+            capacity: 1024,
+            min_fraction: 1.5,
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

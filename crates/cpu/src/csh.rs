@@ -1,0 +1,392 @@
+//! **CSH** — the paper's CPU Skew-conscious Hash join (§IV-A).
+//!
+//! Four phases:
+//!
+//! 1. **Detect** skewed keys by sampling ~1 % of table R; keys sampled at
+//!    least twice are skewed and each gets a dedicated *skewed partition*
+//!    recorded in the [`SkewCheckupTable`].
+//! 2. **Partition R**: every tuple is checked against the checkup table;
+//!    skewed tuples go to their per-key array, normal tuples go through the
+//!    usual radix partitioning.
+//! 3. **Partition S**: normal tuples are radix-partitioned; a *skewed* S
+//!    tuple is never copied — its join results are produced immediately by
+//!    a sequential scan of the matching skewed R array (hybrid-hash-join
+//!    style, no per-result key verification needed since every R tuple in
+//!    the array carries the same key).
+//! 4. **NM-join**: the remaining normal partitions are joined exactly like
+//!    Cbase's join phase.
+//!
+//! The phase names recorded in [`JoinStats`] are `sample`, `partition_r`,
+//! `partition_s`, and `nm_join`; Table I's "CSH sample+part" row is the sum
+//! of the first three.
+
+use std::time::Instant;
+
+use skewjoin_common::histogram::{per_worker_offsets, PartitionDirectory};
+use skewjoin_common::{JoinError, JoinStats, OutputSink, Relation, Tuple};
+
+use crate::cbase::join_partitions;
+use crate::config::CpuJoinConfig;
+use crate::partition::{refine_passes, PartitionedRelation};
+use crate::skew::{detect_skewed_keys, SkewCheckupTable};
+use crate::util::{segment, SharedTupleSlice};
+use crate::{aggregate_sinks, JoinOutcome};
+
+/// Runs the CSH join. `make_sink(tid)` constructs each worker thread's
+/// output sink; sinks receive results both during S partitioning (skewed
+/// tuples) and during the NM-join (normal tuples).
+///
+/// ```
+/// use skewjoin_common::{CountingSink, Relation, Tuple};
+/// use skewjoin_cpu::{csh_join, CpuJoinConfig};
+///
+/// // A heavily skewed input: one key is half of each table.
+/// let mut keys = vec![7u32; 1000];
+/// keys.extend(1000..2000u32);
+/// let r = Relation::from_keys(&keys);
+/// let s = Relation::from_keys(&keys);
+///
+/// let outcome = csh_join(&r, &s, &CpuJoinConfig::with_threads(2), |_| {
+///     CountingSink::new()
+/// })
+/// .unwrap();
+/// // 1000×1000 for the hot key + 1 match per distinct key.
+/// assert_eq!(outcome.stats.result_count, 1_000_000 + 1000);
+/// assert!(outcome.stats.skewed_keys_detected >= 1);
+/// ```
+pub fn csh_join<S, F>(
+    r: &Relation,
+    s: &Relation,
+    cfg: &CpuJoinConfig,
+    make_sink: F,
+) -> Result<JoinOutcome<S>, JoinError>
+where
+    S: OutputSink,
+    F: Fn(usize) -> S + Sync,
+{
+    cfg.validate()?;
+    let mut stats = JoinStats::new("CSH");
+    let threads = cfg.threads;
+
+    // ---- Phase 1: skew detection over R (sampling per the paper, or the
+    // Misra–Gries single-pass extension). ----
+    let t0 = Instant::now();
+    let skewed = match cfg.detector {
+        crate::config::SkewDetectorKind::Sampling => detect_skewed_keys(r, &cfg.skew),
+        crate::config::SkewDetectorKind::Frequent {
+            capacity,
+            min_fraction,
+        } => crate::frequent::detect_heavy_hitters(r, capacity, min_fraction),
+    };
+    let checkup = SkewCheckupTable::build(&skewed);
+    stats.phases.record("sample", t0.elapsed());
+    stats.skewed_keys_detected = skewed.len();
+
+    // ---- Phase 2: partition R, splitting skewed tuples out. ----
+    let t1 = Instant::now();
+    let (norm_r, skew_data, skew_dir) = partition_r_with_skew(r, cfg, &checkup);
+    stats.phases.record("partition_r", t1.elapsed());
+    stats.partitions = norm_r.partitions();
+
+    // ---- Phase 3: partition S; skewed S tuples emit results on the fly. ----
+    let t2 = Instant::now();
+    let mut sinks: Vec<S> = (0..threads).map(&make_sink).collect();
+    let norm_s = partition_s_with_skew(s, cfg, &checkup, &skew_data, &skew_dir, &mut sinks);
+    stats.phases.record("partition_s", t2.elapsed());
+    stats.skew_path_results = sinks.iter().map(|s| s.count()).sum();
+
+    // ---- Phase 4: NM-join over normal partitions. ----
+    let t3 = Instant::now();
+    let sinks = join_partitions(&norm_r, &norm_s, cfg, sinks, false);
+    stats.phases.record("nm_join", t3.elapsed());
+
+    aggregate_sinks(&mut stats, &sinks);
+    Ok(JoinOutcome { stats, sinks })
+}
+
+/// Partitions R into (normal radix partitions, per-skewed-key arrays).
+///
+/// Same two-scan contention-free scheme as Cbase's first pass, except both
+/// scans consult the checkup table: scan 1 counts normal tuples per radix
+/// partition *and* skewed tuples per skewed key; the prefix sums then give
+/// every thread private cursors into both output buffers.
+fn partition_r_with_skew(
+    r: &Relation,
+    cfg: &CpuJoinConfig,
+    checkup: &SkewCheckupTable,
+) -> (PartitionedRelation, Vec<Tuple>, PartitionDirectory) {
+    let threads = cfg.threads;
+    let radix = &cfg.radix;
+    let n_skew = checkup.len();
+
+    // Scan 1: per-thread histograms.
+    let mut norm_hists = vec![Vec::new(); threads];
+    let mut skew_hists = vec![Vec::new(); threads];
+    std::thread::scope(|scope| {
+        for (w, (nh, sh)) in norm_hists.iter_mut().zip(skew_hists.iter_mut()).enumerate() {
+            let chunk = &r[segment(r.len(), threads, w)];
+            scope.spawn(move || {
+                let mut norm = vec![0usize; radix.fanout(0)];
+                let mut skew = vec![0usize; n_skew];
+                for t in chunk {
+                    match checkup.lookup(t.key) {
+                        Some(pid) => skew[pid as usize] += 1,
+                        None => norm[radix.partition_of(t.key, 0)] += 1,
+                    }
+                }
+                *nh = norm;
+                *sh = skew;
+            });
+        }
+    });
+
+    let (norm_offsets, norm_starts) = per_worker_offsets(&norm_hists);
+    let total_norm = *norm_starts.last().expect("non-empty");
+    let (skew_offsets, skew_starts) = if n_skew > 0 {
+        per_worker_offsets(&skew_hists)
+    } else {
+        (vec![Vec::new(); threads], vec![0])
+    };
+    let total_skew = *skew_starts.last().expect("non-empty");
+    debug_assert_eq!(total_norm + total_skew, r.len());
+
+    // Scan 2: contention-free scatter into both buffers.
+    let mut norm_data = vec![Tuple::default(); total_norm];
+    let mut skew_data = vec![Tuple::default(); total_skew];
+    {
+        let norm_shared = SharedTupleSlice::new(&mut norm_data);
+        let skew_shared = SharedTupleSlice::new(&mut skew_data);
+        std::thread::scope(|scope| {
+            for (w, (mut ncur, mut scur)) in norm_offsets.into_iter().zip(skew_offsets).enumerate()
+            {
+                let chunk = &r[segment(r.len(), threads, w)];
+                scope.spawn(move || {
+                    for t in chunk {
+                        match checkup.lookup(t.key) {
+                            Some(pid) => {
+                                let c = &mut scur[pid as usize];
+                                // SAFETY: per-(key, thread) cursor ranges are
+                                // disjoint by prefix-sum construction.
+                                unsafe { skew_shared.write(*c, *t) };
+                                *c += 1;
+                            }
+                            None => {
+                                let p = radix.partition_of(t.key, 0);
+                                let c = &mut ncur[p];
+                                // SAFETY: as above for normal partitions.
+                                unsafe { norm_shared.write(*c, *t) };
+                                *c += 1;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    // Remaining radix passes over the normal buffer only.
+    let (norm_data, norm_dir_starts) = refine_passes(norm_data, norm_starts, radix, threads, 1);
+
+    (
+        PartitionedRelation {
+            data: norm_data,
+            directory: PartitionDirectory::new(norm_dir_starts),
+        },
+        skew_data,
+        PartitionDirectory::new(skew_starts),
+    )
+}
+
+/// Partitions S's normal tuples and immediately joins its skewed tuples
+/// against the skewed R arrays.
+fn partition_s_with_skew<S: OutputSink>(
+    s: &Relation,
+    cfg: &CpuJoinConfig,
+    checkup: &SkewCheckupTable,
+    skew_data: &[Tuple],
+    skew_dir: &PartitionDirectory,
+    sinks: &mut [S],
+) -> PartitionedRelation {
+    let threads = cfg.threads;
+    let radix = &cfg.radix;
+
+    // Scan 1: count normal tuples only.
+    let mut norm_hists = vec![Vec::new(); threads];
+    std::thread::scope(|scope| {
+        for (w, nh) in norm_hists.iter_mut().enumerate() {
+            let chunk = &s[segment(s.len(), threads, w)];
+            scope.spawn(move || {
+                let mut norm = vec![0usize; radix.fanout(0)];
+                for t in chunk {
+                    if checkup.lookup(t.key).is_none() {
+                        norm[radix.partition_of(t.key, 0)] += 1;
+                    }
+                }
+                *nh = norm;
+            });
+        }
+    });
+
+    let (norm_offsets, norm_starts) = per_worker_offsets(&norm_hists);
+    let total_norm = *norm_starts.last().expect("non-empty");
+
+    // Scan 2: scatter normals; skewed tuples join on the fly — a sequential
+    // read of the skewed R array, no key verification per result (§IV-A).
+    let mut norm_data = vec![Tuple::default(); total_norm];
+    {
+        let norm_shared = SharedTupleSlice::new(&mut norm_data);
+        std::thread::scope(|scope| {
+            for (w, (mut ncur, sink)) in norm_offsets.into_iter().zip(sinks.iter_mut()).enumerate()
+            {
+                let chunk = &s[segment(s.len(), threads, w)];
+                scope.spawn(move || {
+                    for t in chunk {
+                        match checkup.lookup(t.key) {
+                            Some(pid) => {
+                                let run = &skew_data[skew_dir.range(pid as usize)];
+                                sink.emit_r_run(t.key, run, t.payload);
+                            }
+                            None => {
+                                let p = radix.partition_of(t.key, 0);
+                                let c = &mut ncur[p];
+                                // SAFETY: disjoint cursor ranges, as in R.
+                                unsafe { norm_shared.write(*c, *t) };
+                                *c += 1;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    let (norm_data, norm_dir_starts) = refine_passes(norm_data, norm_starts, radix, threads, 1);
+    PartitionedRelation {
+        data: norm_data,
+        directory: PartitionDirectory::new(norm_dir_starts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_join;
+    use skewjoin_common::CountingSink;
+    use skewjoin_datagen::{PaperWorkload, WorkloadSpec};
+
+    fn assert_matches_reference(r: &Relation, s: &Relation, cfg: &CpuJoinConfig) -> JoinStats {
+        let outcome = csh_join(r, s, cfg, |_| CountingSink::new()).unwrap();
+        let mut reference = CountingSink::new();
+        let ref_stats = reference_join(r, s, &mut reference);
+        assert_eq!(outcome.stats.result_count, ref_stats.result_count);
+        assert_eq!(outcome.stats.checksum, ref_stats.checksum);
+        outcome.stats
+    }
+
+    #[test]
+    fn matches_reference_across_skews() {
+        for zipf in [0.0, 0.5, 0.9, 1.0] {
+            let w = PaperWorkload::generate(WorkloadSpec::paper(4096, zipf, 13));
+            assert_matches_reference(&w.r, &w.s, &CpuJoinConfig::with_threads(4));
+        }
+    }
+
+    #[test]
+    fn detects_skew_and_routes_output_through_skew_path() {
+        // Hot key = 50 % of both tables: must be detected, and the skew path
+        // must carry the bulk of the output.
+        let mut keys: Vec<u32> = vec![99; 8192];
+        keys.extend((0..8192u32).map(|i| i * 7 + 1));
+        let r = Relation::from_keys(&keys);
+        let s = Relation::from_keys(&keys);
+        let stats = assert_matches_reference(&r, &s, &CpuJoinConfig::with_threads(4));
+        assert!(stats.skewed_keys_detected >= 1);
+        assert!(
+            stats.skew_output_fraction() > 0.9,
+            "skew path produced only {:.3} of output",
+            stats.skew_output_fraction()
+        );
+    }
+
+    #[test]
+    fn no_skew_detected_on_distinct_keys() {
+        let keys: Vec<u32> = (0..4096u32).map(|i| i * 3 + 1).collect();
+        let r = Relation::from_keys(&keys);
+        let s = Relation::from_keys(&keys);
+        let stats = assert_matches_reference(&r, &s, &CpuJoinConfig::with_threads(4));
+        assert_eq!(stats.skew_path_results, 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let cfg = CpuJoinConfig::with_threads(2);
+        let e = Relation::new();
+        let r = Relation::from_keys(&[1, 2, 3]);
+        let outcome = csh_join(&e, &r, &cfg, |_| CountingSink::new()).unwrap();
+        assert_eq!(outcome.stats.result_count, 0);
+        let outcome = csh_join(&r, &e, &cfg, |_| CountingSink::new()).unwrap();
+        assert_eq!(outcome.stats.result_count, 0);
+    }
+
+    #[test]
+    fn single_key_everything_skewed() {
+        let r = Relation::from_tuples(vec![Tuple::new(5, 1); 1000]);
+        let s = Relation::from_tuples(vec![Tuple::new(5, 2); 1000]);
+        let stats = assert_matches_reference(&r, &s, &CpuJoinConfig::with_threads(4));
+        assert_eq!(stats.result_count, 1_000_000);
+        assert_eq!(stats.skew_path_results, 1_000_000);
+    }
+
+    #[test]
+    fn skewed_key_only_in_s_is_harmless() {
+        // The hot key exists in S but not in R: the skew array stays empty
+        // (detection samples R), results must still match.
+        let r = Relation::from_keys(&(0..2048u32).collect::<Vec<_>>());
+        let mut s_keys = vec![1_000_000u32; 2048];
+        s_keys.extend(0..2048u32);
+        let s = Relation::from_keys(&s_keys);
+        assert_matches_reference(&r, &s, &CpuJoinConfig::with_threads(4));
+    }
+
+    #[test]
+    fn all_phases_recorded() {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(2048, 0.8, 17));
+        let outcome = csh_join(&w.r, &w.s, &CpuJoinConfig::with_threads(2), |_| {
+            CountingSink::new()
+        })
+        .unwrap();
+        for phase in ["sample", "partition_r", "partition_s", "nm_join"] {
+            assert!(
+                outcome.stats.phases.iter().any(|(n, _)| n == phase),
+                "missing phase {phase}"
+            );
+        }
+    }
+
+    #[test]
+    fn frequent_detector_matches_reference_and_sampling() {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(8192, 1.0, 29));
+        let mut cfg = CpuJoinConfig::with_threads(4);
+        cfg.detector = crate::config::SkewDetectorKind::Frequent {
+            capacity: 512,
+            min_fraction: 0.005,
+        };
+        let stats = assert_matches_reference(&w.r, &w.s, &cfg);
+        assert!(stats.skewed_keys_detected > 0);
+        assert!(stats.skew_output_fraction() > 0.5);
+    }
+
+    #[test]
+    fn higher_sample_rate_finds_more_skew() {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(8192, 1.0, 23));
+        let mut lo = CpuJoinConfig::with_threads(2);
+        lo.skew.sample_rate = 0.005;
+        let mut hi = lo.clone();
+        hi.skew.sample_rate = 0.2;
+        let a = csh_join(&w.r, &w.s, &lo, |_| CountingSink::new()).unwrap();
+        let b = csh_join(&w.r, &w.s, &hi, |_| CountingSink::new()).unwrap();
+        assert!(b.stats.skewed_keys_detected >= a.stats.skewed_keys_detected);
+        assert_eq!(a.stats.result_count, b.stats.result_count);
+        assert_eq!(a.stats.checksum, b.stats.checksum);
+    }
+}

@@ -1,0 +1,229 @@
+//! Streaming heavy-hitter detection: the Misra–Gries *Frequent* summary.
+//!
+//! An alternative to CSH's sampling detector (§IV-A uses a 1 % sample; this
+//! module is our extension for workloads where sampling's false
+//! negatives/positives matter). Misra–Gries scans the whole build side once
+//! with `capacity` counters and guarantees:
+//!
+//! * every key with true frequency `> n / capacity` is present in the
+//!   summary (no false negatives above that bound), and
+//! * each reported estimate undercounts by at most `n / capacity`.
+//!
+//! Cost is amortized O(1) per tuple (the occasional decrement-all pass is
+//! paid for by prior increments), so detection is a strict single pass —
+//! more expensive than a 1 % sample but deterministic. The `ablation`
+//! harness compares the two.
+
+use std::collections::HashMap;
+
+use skewjoin_common::{Key, Tuple};
+
+use crate::skew::SkewedKey;
+
+/// A Misra–Gries heavy-hitter summary over join keys.
+///
+/// ```
+/// use skewjoin_cpu::frequent::MisraGries;
+///
+/// let mut summary = MisraGries::new(4);
+/// for key in [9, 9, 9, 1, 2, 9, 3, 9] {
+///     summary.offer(key);
+/// }
+/// // Key 9 (5 of 8 occurrences) dominates the summary.
+/// assert!(summary.estimate(9) >= 3);
+/// assert_eq!(summary.entries()[0].0, 9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MisraGries {
+    counters: HashMap<Key, u64>,
+    capacity: usize,
+    /// Total decrement passes performed; each lowers every estimate by one.
+    decrements: u64,
+    items_seen: u64,
+}
+
+impl MisraGries {
+    /// Creates a summary with `capacity` counters.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "summary needs at least one counter");
+        Self {
+            counters: HashMap::with_capacity(capacity + 1),
+            capacity,
+            decrements: 0,
+            items_seen: 0,
+        }
+    }
+
+    /// Number of counters the summary may hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total keys offered so far.
+    pub fn items_seen(&self) -> u64 {
+        self.items_seen
+    }
+
+    /// Offers one key to the summary.
+    pub fn offer(&mut self, key: Key) {
+        self.items_seen += 1;
+        if let Some(c) = self.counters.get_mut(&key) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(key, 1);
+            return;
+        }
+        // Summary full and key untracked: decrement everything, drop zeros.
+        // Equivalent to inserting the key with count 1 and immediately
+        // decrementing — so the new key is NOT inserted.
+        self.decrements += 1;
+        self.counters.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+    }
+
+    /// Lower-bound frequency estimate for `key` (0 if untracked).
+    pub fn estimate(&self, key: Key) -> u64 {
+        self.counters.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Upper-bound frequency estimate (lower bound + maximum undercount).
+    pub fn estimate_upper(&self, key: Key) -> u64 {
+        self.estimate(key) + self.decrements
+    }
+
+    /// All tracked keys with their lower-bound estimates, largest first.
+    pub fn entries(&self) -> Vec<(Key, u64)> {
+        let mut v: Vec<(Key, u64)> = self.counters.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+/// Scans `tuples` once through a Misra–Gries summary and returns the keys
+/// whose *upper-bound* frequency estimate is at least
+/// `min_fraction × tuples.len()`, hottest first.
+///
+/// Using the upper bound keeps the detector's no-false-negative guarantee:
+/// any key with true fraction ≥ `min_fraction` is returned provided
+/// `capacity > 1 / min_fraction` (a configuration the caller validates).
+pub fn detect_heavy_hitters(
+    tuples: &[Tuple],
+    capacity: usize,
+    min_fraction: f64,
+) -> Vec<SkewedKey> {
+    let mut summary = MisraGries::new(capacity);
+    for t in tuples {
+        summary.offer(t.key);
+    }
+    let threshold = (min_fraction * tuples.len() as f64).max(2.0) as u64;
+    let mut hitters: Vec<SkewedKey> = summary
+        .entries()
+        .into_iter()
+        .filter(|&(_, est)| est + summary.decrements >= threshold)
+        .map(|(key, est)| SkewedKey {
+            key,
+            sample_freq: est.min(u64::from(u32::MAX)) as u32,
+        })
+        .collect();
+    hitters.sort_unstable_by(|a, b| b.sample_freq.cmp(&a.sample_freq).then(a.key.cmp(&b.key)));
+    hitters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuples_of(keys: &[u32]) -> Vec<Tuple> {
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| Tuple::new(k, i as u32))
+            .collect()
+    }
+
+    #[test]
+    fn tracks_exact_counts_when_under_capacity() {
+        let mut mg = MisraGries::new(10);
+        for k in [1u32, 2, 1, 3, 1, 2] {
+            mg.offer(k);
+        }
+        assert_eq!(mg.estimate(1), 3);
+        assert_eq!(mg.estimate(2), 2);
+        assert_eq!(mg.estimate(3), 1);
+        assert_eq!(mg.estimate(9), 0);
+        assert_eq!(mg.items_seen(), 6);
+    }
+
+    #[test]
+    fn guarantees_no_false_negatives_above_bound() {
+        // Key 7 is 40 % of a stream far exceeding capacity: must survive.
+        let mut keys = vec![7u32; 4000];
+        keys.extend(0..6000u32);
+        let mut mg = MisraGries::new(16);
+        for t in tuples_of(&keys) {
+            mg.offer(t.key);
+        }
+        // True freq 4000; estimate ≥ 4000 - n/capacity = 4000 - 625.
+        assert!(mg.estimate(7) >= 4000 - 10_000 / 16);
+        assert!(mg.estimate_upper(7) >= 4000);
+    }
+
+    #[test]
+    fn undercount_is_bounded() {
+        let keys: Vec<u32> = (0..10_000).map(|i| i % 97).collect();
+        let mut mg = MisraGries::new(32);
+        for t in tuples_of(&keys) {
+            mg.offer(t.key);
+        }
+        for (k, est) in mg.entries() {
+            let true_count = keys.iter().filter(|&&x| x == k).count() as u64;
+            assert!(est <= true_count, "estimate must be a lower bound");
+            assert!(mg.estimate_upper(k) + 1 >= true_count);
+        }
+    }
+
+    #[test]
+    fn summary_never_exceeds_capacity() {
+        let mut mg = MisraGries::new(8);
+        for k in 0..10_000u32 {
+            mg.offer(k);
+        }
+        assert!(mg.entries().len() <= 8);
+    }
+
+    #[test]
+    fn detect_heavy_hitters_finds_hot_keys() {
+        let mut keys = vec![42u32; 3000];
+        keys.extend(vec![43u32; 1500]);
+        keys.extend(0..5500u32);
+        let hitters = detect_heavy_hitters(&tuples_of(&keys), 64, 0.05);
+        let found: Vec<Key> = hitters.iter().map(|h| h.key).collect();
+        assert!(found.contains(&42));
+        assert!(found.contains(&43));
+        assert_eq!(found[0], 42, "hottest first");
+    }
+
+    #[test]
+    fn detect_heavy_hitters_rejects_uniform() {
+        let keys: Vec<u32> = (0..10_000).collect();
+        let hitters = detect_heavy_hitters(&tuples_of(&keys), 64, 0.05);
+        assert!(hitters.is_empty());
+    }
+
+    #[test]
+    fn empty_stream() {
+        assert!(detect_heavy_hitters(&[], 8, 0.1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one counter")]
+    fn zero_capacity_rejected() {
+        let _ = MisraGries::new(0);
+    }
+}

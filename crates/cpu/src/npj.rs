@@ -1,0 +1,146 @@
+//! **cbase-npj** — the no-partition hash join from the Cbase code
+//! repository (Blanas et al.'s design as implemented by Balkesen et al.).
+//!
+//! One global bucket-chaining hash table over all of R, built concurrently
+//! by all threads with CAS insertions, then probed segment-parallel with S.
+//! No partitioning means no cache-sized working sets, which is why the
+//! paper's Figure 4a shows it as the worst CPU performer — and it inherits
+//! the same long-chain pathology under skew.
+
+use std::time::Instant;
+
+use skewjoin_common::{JoinError, JoinStats, OutputSink, Relation};
+
+use crate::config::CpuJoinConfig;
+use crate::hashtable::ConcurrentChainedTable;
+use crate::util::segment;
+use crate::{aggregate_sinks, JoinOutcome};
+
+/// Runs the no-partition join. `make_sink(tid)` constructs each worker
+/// thread's output sink.
+pub fn npj_join<S, F>(
+    r: &Relation,
+    s: &Relation,
+    cfg: &CpuJoinConfig,
+    make_sink: F,
+) -> Result<JoinOutcome<S>, JoinError>
+where
+    S: OutputSink,
+    F: Fn(usize) -> S + Sync,
+{
+    cfg.validate()?;
+    let mut stats = JoinStats::new("cbase-npj");
+    let threads = cfg.threads;
+
+    // ---- Build phase: all threads insert disjoint segments of R. ----
+    let t0 = Instant::now();
+    let table = ConcurrentChainedTable::sized(r, cfg.max_bucket_bits);
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let table = &table;
+            let range = segment(r.len(), threads, w);
+            scope.spawn(move || table.insert_range(range));
+        }
+    });
+    stats.phases.record("build", t0.elapsed());
+
+    // ---- Probe phase: segment-parallel scan of S. ----
+    let t1 = Instant::now();
+    let mut sinks: Vec<S> = (0..threads).map(&make_sink).collect();
+    std::thread::scope(|scope| {
+        for (w, sink) in sinks.iter_mut().enumerate() {
+            let table = &table;
+            let chunk = &s[segment(s.len(), threads, w)];
+            scope.spawn(move || {
+                for t in chunk {
+                    table.probe(t.key, |r_t| sink.emit(t.key, r_t.payload, t.payload));
+                }
+            });
+        }
+    });
+    stats.phases.record("probe", t1.elapsed());
+
+    aggregate_sinks(&mut stats, &sinks);
+    Ok(JoinOutcome { stats, sinks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_join;
+    use skewjoin_common::{CountingSink, Tuple};
+    use skewjoin_datagen::{PaperWorkload, WorkloadSpec};
+
+    #[test]
+    fn matches_reference_across_skews() {
+        for zipf in [0.0, 0.7, 1.0] {
+            let w = PaperWorkload::generate(WorkloadSpec::paper(4096, zipf, 5));
+            let outcome = npj_join(&w.r, &w.s, &CpuJoinConfig::with_threads(4), |_| {
+                CountingSink::new()
+            })
+            .unwrap();
+            let mut reference = CountingSink::new();
+            let ref_stats = reference_join(&w.r, &w.s, &mut reference);
+            assert_eq!(
+                outcome.stats.result_count, ref_stats.result_count,
+                "zipf {zipf}"
+            );
+            assert_eq!(outcome.stats.checksum, ref_stats.checksum, "zipf {zipf}");
+        }
+    }
+
+    #[test]
+    fn empty_relations() {
+        let cfg = CpuJoinConfig::with_threads(2);
+        let e = Relation::new();
+        let r = Relation::from_keys(&[1, 2]);
+        assert_eq!(
+            npj_join(&e, &r, &cfg, |_| CountingSink::new())
+                .unwrap()
+                .stats
+                .result_count,
+            0
+        );
+        assert_eq!(
+            npj_join(&r, &e, &cfg, |_| CountingSink::new())
+                .unwrap()
+                .stats
+                .result_count,
+            0
+        );
+    }
+
+    #[test]
+    fn single_hot_key() {
+        let r = Relation::from_tuples(vec![Tuple::new(3, 0); 128]);
+        let s = Relation::from_tuples(vec![Tuple::new(3, 1); 64]);
+        let outcome = npj_join(&r, &s, &CpuJoinConfig::with_threads(4), |_| {
+            CountingSink::new()
+        })
+        .unwrap();
+        assert_eq!(outcome.stats.result_count, 128 * 64);
+    }
+
+    #[test]
+    fn more_threads_than_tuples() {
+        let r = Relation::from_keys(&[1, 2, 3]);
+        let s = Relation::from_keys(&[2, 3, 3]);
+        let outcome = npj_join(&r, &s, &CpuJoinConfig::with_threads(16), |_| {
+            CountingSink::new()
+        })
+        .unwrap();
+        assert_eq!(outcome.stats.result_count, 3);
+        assert_eq!(outcome.sinks.len(), 16);
+    }
+
+    #[test]
+    fn phases_recorded() {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(1024, 0.3, 9));
+        let outcome = npj_join(&w.r, &w.s, &CpuJoinConfig::with_threads(2), |_| {
+            CountingSink::new()
+        })
+        .unwrap();
+        assert_eq!(outcome.stats.phases.len(), 2);
+        assert!(outcome.stats.phases.get("build") > std::time::Duration::ZERO);
+    }
+}

@@ -1,0 +1,441 @@
+//! Parallel multi-pass radix partitioning (the partition phase of `Cbase`
+//! and `CSH`).
+//!
+//! Pass 0 follows Balkesen et al.'s contention-free scheme: the input is
+//! divided into equal segments, one per thread; each thread scans its
+//! segment twice — once to build a histogram, once to scatter — with the
+//! per-`(partition, thread)` write cursors produced by a global prefix sum
+//! in between, so no two threads ever write the same output index.
+//!
+//! Later passes treat each existing partition as an independent task pulled
+//! from a [`TaskQueue`], exactly like `Cbase`'s
+//! second pass: a thread claims a partition, sub-partitions it by the next
+//! run of radix bits into a disjoint output range, and moves on.
+
+use skewjoin_common::hash::RadixConfig;
+use skewjoin_common::histogram::{
+    exclusive_prefix_sum, histogram, per_worker_offsets, PartitionDirectory,
+};
+use skewjoin_common::Tuple;
+
+use crate::task::{run_to_completion, TaskQueue};
+use crate::util::{segment, SharedTupleSlice};
+
+/// A relation laid out in final-partition order plus its directory.
+#[derive(Debug, Clone)]
+pub struct PartitionedRelation {
+    /// Tuples, grouped contiguously by final partition.
+    pub data: Vec<Tuple>,
+    /// Partition boundaries over `data`, in *memory order* (see
+    /// [`memory_pid`]).
+    pub directory: PartitionDirectory,
+}
+
+impl PartitionedRelation {
+    /// Slice of partition `pid` (memory order).
+    #[inline]
+    pub fn partition(&self, pid: usize) -> &[Tuple] {
+        self.directory.slice(&self.data, pid)
+    }
+
+    /// Number of final partitions.
+    pub fn partitions(&self) -> usize {
+        self.directory.partitions()
+    }
+}
+
+/// Memory-order partition id of `key`: pass-0 index is most significant, so
+/// partitions produced by multi-pass refinement stay contiguous per parent.
+#[inline]
+pub fn memory_pid(cfg: &RadixConfig, key: u32) -> usize {
+    let mut pid = 0usize;
+    for pass in 0..cfg.bits_per_pass.len() {
+        pid = (pid << cfg.bits_per_pass[pass]) | cfg.partition_of(key, pass);
+    }
+    pid
+}
+
+/// How the scatter scan writes tuples to their target partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScatterMode {
+    /// One store per tuple straight to the target partition.
+    #[default]
+    Direct,
+    /// Software write-combining (Balkesen et al.'s optimization): each
+    /// thread stages tuples in cache-line-sized per-partition buffers and
+    /// flushes a full line at a time, so the scatter touches one cache
+    /// line per partition instead of one per tuple. Most effective at high
+    /// fan-outs where direct stores thrash the TLB/cache.
+    Buffered,
+}
+
+/// Tuples per software write-combining buffer: one 64-byte cache line.
+pub const SWWC_TUPLES: usize = 8;
+
+/// Partitions `tuples` with all passes of `cfg` using `threads` workers and
+/// direct stores.
+pub fn parallel_radix_partition(
+    tuples: &[Tuple],
+    cfg: &RadixConfig,
+    threads: usize,
+) -> PartitionedRelation {
+    parallel_radix_partition_with(tuples, cfg, threads, ScatterMode::Direct)
+}
+
+/// Partitions `tuples` with all passes of `cfg` using `threads` workers and
+/// the chosen [`ScatterMode`] for the first pass. (Later passes always use
+/// direct stores: their working set is one parent partition, already
+/// cache-resident.)
+pub fn parallel_radix_partition_with(
+    tuples: &[Tuple],
+    cfg: &RadixConfig,
+    threads: usize,
+    mode: ScatterMode,
+) -> PartitionedRelation {
+    assert!(threads > 0, "need at least one thread");
+    assert!(
+        !cfg.bits_per_pass.is_empty(),
+        "radix config needs at least one pass"
+    );
+
+    // ---- Pass 0: segment-parallel count, prefix sum, scatter. ----
+    let mut hists = vec![Vec::new(); threads];
+    std::thread::scope(|scope| {
+        for (w, hist_slot) in hists.iter_mut().enumerate() {
+            let seg = segment(tuples.len(), threads, w);
+            let chunk = &tuples[seg];
+            scope.spawn(move || {
+                *hist_slot = histogram(chunk, cfg, 0);
+            });
+        }
+    });
+    let (offsets, starts) = per_worker_offsets(&hists);
+
+    let mut out = vec![Tuple::default(); tuples.len()];
+    {
+        let shared = SharedTupleSlice::new(&mut out);
+        std::thread::scope(|scope| {
+            for (w, cursors) in offsets.into_iter().enumerate() {
+                let seg = segment(tuples.len(), threads, w);
+                let chunk = &tuples[seg];
+                scope.spawn(move || match mode {
+                    ScatterMode::Direct => scatter_direct(chunk, cfg, cursors, shared),
+                    ScatterMode::Buffered => scatter_buffered(chunk, cfg, cursors, shared),
+                });
+            }
+        });
+    }
+
+    let (data, dir_starts) = refine_passes(out, starts, cfg, threads, 1);
+
+    PartitionedRelation {
+        data,
+        directory: PartitionDirectory::new(dir_starts),
+    }
+}
+
+/// Direct per-tuple scatter for one worker's segment.
+fn scatter_direct(
+    chunk: &[Tuple],
+    cfg: &RadixConfig,
+    mut cursors: Vec<usize>,
+    shared: SharedTupleSlice,
+) {
+    for t in chunk {
+        let p = cfg.partition_of(t.key, 0);
+        // SAFETY: cursors for (p, w) ranges are disjoint by construction of
+        // `per_worker_offsets`.
+        unsafe { shared.write(cursors[p], *t) };
+        cursors[p] += 1;
+    }
+}
+
+/// Software write-combining scatter: stage up to [`SWWC_TUPLES`] tuples per
+/// partition in a thread-local buffer; flush a full line at once.
+fn scatter_buffered(
+    chunk: &[Tuple],
+    cfg: &RadixConfig,
+    mut cursors: Vec<usize>,
+    shared: SharedTupleSlice,
+) {
+    let fanout = cursors.len();
+    let mut buffers = vec![[Tuple::default(); SWWC_TUPLES]; fanout];
+    let mut fill = vec![0u8; fanout];
+
+    for t in chunk {
+        let p = cfg.partition_of(t.key, 0);
+        let f = fill[p] as usize;
+        buffers[p][f] = *t;
+        if f + 1 == SWWC_TUPLES {
+            // Flush the full line contiguously (maps to streaming stores).
+            for (k, buffered) in buffers[p].iter().enumerate() {
+                // SAFETY: same disjointness argument as the direct path —
+                // the buffered writes land in this worker's private range.
+                unsafe { shared.write(cursors[p] + k, *buffered) };
+            }
+            cursors[p] += SWWC_TUPLES;
+            fill[p] = 0;
+        } else {
+            fill[p] = (f + 1) as u8;
+        }
+    }
+    // Flush remainders.
+    for p in 0..fanout {
+        for (k, buffered) in buffers[p][..fill[p] as usize].iter().enumerate() {
+            // SAFETY: as above.
+            unsafe { shared.write(cursors[p] + k, *buffered) };
+        }
+    }
+}
+
+/// Applies radix passes `from_pass..` to an already partially partitioned
+/// buffer: each existing partition (delimited by `dir_starts`) is
+/// independently sub-partitioned, task-queue parallel. Returns the new
+/// buffer and directory starts. Used by both `Cbase`'s pass 2 and `CSH`'s
+/// refinement of normal partitions.
+pub(crate) fn refine_passes(
+    mut data: Vec<Tuple>,
+    mut dir_starts: Vec<usize>,
+    cfg: &RadixConfig,
+    threads: usize,
+    from_pass: usize,
+) -> (Vec<Tuple>, Vec<usize>) {
+    for pass in from_pass..cfg.bits_per_pass.len() {
+        let fanout = cfg.fanout(pass);
+        let parents = dir_starts.len() - 1;
+        let mut next = vec![Tuple::default(); data.len()];
+        let mut child_starts = vec![0usize; parents * fanout + 1];
+
+        {
+            let shared = SharedTupleSlice::new(&mut next);
+            // Child start offsets are written by the owning task only.
+            let child_ptr = SharedUsizeSlice::new(&mut child_starts);
+            let data_ref = &data;
+            let dir_ref = &dir_starts;
+            let queue = TaskQueue::seeded(0..parents);
+            run_to_completion(&queue, threads.min(parents.max(1)), |_tid| {
+                move |parent: usize| {
+                    let base = dir_ref[parent];
+                    let slice = &data_ref[base..dir_ref[parent + 1]];
+                    let mut hist = histogram(slice, cfg, pass);
+                    exclusive_prefix_sum(&mut hist);
+                    for (j, h) in hist.iter().enumerate() {
+                        // SAFETY: each (parent, j) slot written once.
+                        unsafe { child_ptr.write(parent * fanout + j, base + h) };
+                    }
+                    let mut cursors = hist;
+                    for t in slice {
+                        let p = cfg.partition_of(t.key, pass);
+                        // SAFETY: parents own disjoint [base, end) ranges.
+                        unsafe { shared.write(base + cursors[p], *t) };
+                        cursors[p] += 1;
+                    }
+                }
+            });
+        }
+
+        *child_starts.last_mut().expect("non-empty") = data.len();
+        data = next;
+        dir_starts = child_starts;
+    }
+    (data, dir_starts)
+}
+
+/// Sequentially partitions a slice by an arbitrary key→partition function —
+/// used by `Cbase`'s recursive large-task splitting, where the fan-out comes
+/// from extra radix bits beyond the configured passes.
+pub fn partition_slice_by<F: Fn(u32) -> usize>(
+    slice: &[Tuple],
+    fanout: usize,
+    part_of: F,
+) -> (Vec<Tuple>, Vec<usize>) {
+    let mut hist = vec![0usize; fanout];
+    for t in slice {
+        hist[part_of(t.key)] += 1;
+    }
+    let mut starts = hist.clone();
+    let total = exclusive_prefix_sum(&mut starts);
+    debug_assert_eq!(total, slice.len());
+    let mut out = vec![Tuple::default(); slice.len()];
+    let mut cursors = starts.clone();
+    for t in slice {
+        let p = part_of(t.key);
+        out[cursors[p]] = *t;
+        cursors[p] += 1;
+    }
+    starts.push(slice.len());
+    (out, starts)
+}
+
+/// Raw shared view over a `usize` slice for disjoint parallel writes
+/// (mirrors [`SharedTupleSlice`]; see its safety contract).
+#[derive(Clone, Copy)]
+struct SharedUsizeSlice {
+    ptr: *mut usize,
+    len: usize,
+}
+
+unsafe impl Send for SharedUsizeSlice {}
+unsafe impl Sync for SharedUsizeSlice {}
+
+impl SharedUsizeSlice {
+    fn new(slice: &mut [usize]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// # Safety
+    /// `idx` in bounds; each index written by exactly one thread.
+    #[inline(always)]
+    unsafe fn write(&self, idx: usize, value: usize) {
+        debug_assert!(idx < self.len);
+        unsafe { self.ptr.add(idx).write(value) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skewjoin_common::hash::RadixMode;
+    use skewjoin_common::Relation;
+
+    fn check_partitioning(tuples: &[Tuple], cfg: &RadixConfig, threads: usize) {
+        let parted = parallel_radix_partition(tuples, cfg, threads);
+        // Same multiset.
+        assert_eq!(parted.data.len(), tuples.len());
+        let mut orig: Vec<Tuple> = tuples.to_vec();
+        let mut got = parted.data.clone();
+        orig.sort_unstable_by_key(|t| (t.key, t.payload));
+        got.sort_unstable_by_key(|t| (t.key, t.payload));
+        assert_eq!(orig, got);
+        // Every tuple in its memory_pid partition.
+        for pid in 0..parted.partitions() {
+            for t in parted.partition(pid) {
+                assert_eq!(memory_pid(cfg, t.key), pid);
+            }
+        }
+        assert_eq!(parted.partitions(), cfg.total_fanout());
+    }
+
+    fn test_relation(n: usize) -> Relation {
+        Relation::from_tuples(
+            (0..n)
+                .map(|i| Tuple::new((i as u32).wrapping_mul(2654435761) % 97, i as u32))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn single_pass_partitioning() {
+        let r = test_relation(1000);
+        check_partitioning(&r, &RadixConfig::single_pass(4), 4);
+    }
+
+    #[test]
+    fn two_pass_partitioning() {
+        let r = test_relation(5000);
+        check_partitioning(&r, &RadixConfig::two_pass(8), 4);
+    }
+
+    #[test]
+    fn three_pass_partitioning() {
+        let r = test_relation(3000);
+        let cfg = RadixConfig {
+            bits_per_pass: vec![3, 2, 3],
+            mode: RadixMode::Mixed,
+        };
+        check_partitioning(&r, &cfg, 3);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        check_partitioning(&[], &RadixConfig::two_pass(6), 4);
+        let one = [Tuple::new(42, 0)];
+        check_partitioning(&one, &RadixConfig::two_pass(6), 4);
+    }
+
+    #[test]
+    fn more_threads_than_tuples() {
+        let r = test_relation(5);
+        check_partitioning(&r, &RadixConfig::two_pass(4), 16);
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let r = test_relation(2000);
+        let cfg = RadixConfig::two_pass(6);
+        let a = parallel_radix_partition(&r, &cfg, 1);
+        let b = parallel_radix_partition(&r, &cfg, 8);
+        assert_eq!(a.directory.starts(), b.directory.starts());
+        // Partition contents may be ordered differently across thread counts
+        // within a partition; compare as multisets per partition.
+        for pid in 0..a.partitions() {
+            let mut x = a.partition(pid).to_vec();
+            let mut y = b.partition(pid).to_vec();
+            x.sort_unstable_by_key(|t| (t.key, t.payload));
+            y.sort_unstable_by_key(|t| (t.key, t.payload));
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn buffered_scatter_matches_direct() {
+        let r = test_relation(7777);
+        for bits in [4u32, 8] {
+            let cfg = RadixConfig::two_pass(bits);
+            let direct = parallel_radix_partition_with(&r, &cfg, 3, ScatterMode::Direct);
+            let buffered = parallel_radix_partition_with(&r, &cfg, 3, ScatterMode::Buffered);
+            assert_eq!(direct.directory.starts(), buffered.directory.starts());
+            for pid in 0..direct.partitions() {
+                let mut a = direct.partition(pid).to_vec();
+                let mut b = buffered.partition(pid).to_vec();
+                a.sort_unstable_by_key(|t| (t.key, t.payload));
+                b.sort_unstable_by_key(|t| (t.key, t.payload));
+                assert_eq!(a, b, "partition {pid} bits {bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn buffered_scatter_handles_non_multiple_fills() {
+        // Sizes that leave partial SWWC buffers at every partition.
+        for n in [1usize, 7, 9, 63, 65] {
+            let r = test_relation(n);
+            let cfg = RadixConfig::single_pass(3);
+            let parted = parallel_radix_partition_with(&r, &cfg, 2, ScatterMode::Buffered);
+            assert_eq!(parted.data.len(), n);
+            let mut got = parted.data.clone();
+            let mut orig = r.tuples().to_vec();
+            got.sort_unstable_by_key(|t| (t.key, t.payload));
+            orig.sort_unstable_by_key(|t| (t.key, t.payload));
+            assert_eq!(got, orig, "n={n}");
+        }
+    }
+
+    #[test]
+    fn skewed_keys_stay_together() {
+        // All tuples share one key → exactly one non-empty partition.
+        let tuples: Vec<Tuple> = (0..500).map(|i| Tuple::new(7, i)).collect();
+        let cfg = RadixConfig::two_pass(8);
+        let parted = parallel_radix_partition(&tuples, &cfg, 4);
+        let non_empty = (0..parted.partitions())
+            .filter(|&p| !parted.partition(p).is_empty())
+            .count();
+        assert_eq!(non_empty, 1);
+    }
+
+    #[test]
+    fn partition_slice_by_groups_correctly() {
+        let tuples: Vec<Tuple> = (0..100).map(|i| Tuple::new(i % 10, i)).collect();
+        let (out, starts) = partition_slice_by(&tuples, 5, |k| (k % 5) as usize);
+        assert_eq!(out.len(), 100);
+        assert_eq!(starts.len(), 6);
+        for p in 0..5 {
+            for t in &out[starts[p]..starts[p + 1]] {
+                assert_eq!((t.key % 5) as usize, p);
+            }
+        }
+    }
+}

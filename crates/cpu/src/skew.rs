@@ -1,0 +1,224 @@
+//! CSH's skew detection (§IV-A step 1) and the skew checkup table.
+//!
+//! CSH samples ~1 % of table R's keys before partitioning and counts their
+//! frequencies in a hash table; a key sampled at least `min_sample_freq`
+//! times (paper: 2) is declared skewed and assigned a *skewed partition id*.
+//! During both partition scans every tuple is looked up in the
+//! [`SkewCheckupTable`] — an open-addressing table kept deliberately small
+//! and read-only so the per-tuple check is a couple of cache-resident loads.
+
+use std::collections::HashMap;
+
+use skewjoin_common::hash::{mix32, mix64};
+use skewjoin_common::{Key, Tuple};
+
+use crate::config::SkewDetectConfig;
+
+/// A detected skewed key and its sample frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkewedKey {
+    /// The key value.
+    pub key: Key,
+    /// How many times the key appeared in the sample.
+    pub sample_freq: u32,
+}
+
+/// Samples `tuples` and returns the keys whose sample frequency reaches the
+/// configured threshold, hottest first.
+///
+/// Sampling is strided with a pseudo-random phase per stride window: cheap,
+/// deterministic per seed, and unbiased for the frequency estimate (every
+/// tuple has probability `sample_rate` of selection).
+pub fn detect_skewed_keys(tuples: &[Tuple], cfg: &SkewDetectConfig) -> Vec<SkewedKey> {
+    let stride = (1.0 / cfg.sample_rate).round().max(1.0) as usize;
+    let mut freq: HashMap<Key, u32> = HashMap::new();
+    let mut window_start = 0usize;
+    let mut counter = cfg.seed;
+    while window_start < tuples.len() {
+        let window_end = (window_start + stride).min(tuples.len());
+        let window = window_end - window_start;
+        // One pseudo-random pick per stride window.
+        counter = counter.wrapping_add(1);
+        let pick = window_start + (mix64(counter) as usize) % window;
+        *freq.entry(tuples[pick].key).or_insert(0) += 1;
+        window_start = window_end;
+    }
+
+    let mut skewed: Vec<SkewedKey> = freq
+        .into_iter()
+        .filter(|&(_, f)| f >= cfg.min_sample_freq)
+        .map(|(key, sample_freq)| SkewedKey { key, sample_freq })
+        .collect();
+    // Hottest first; tie-break on key for determinism.
+    skewed.sort_unstable_by(|a, b| b.sample_freq.cmp(&a.sample_freq).then(a.key.cmp(&b.key)));
+    skewed
+}
+
+/// Read-only open-addressing map from skewed key → skewed partition id,
+/// consulted for every tuple during partitioning (§IV-A steps 2–3).
+#[derive(Debug, Clone)]
+pub struct SkewCheckupTable {
+    /// Parallel arrays; `part_ids[i] == EMPTY` marks a free slot.
+    keys: Vec<Key>,
+    part_ids: Vec<u32>,
+    mask: usize,
+    len: usize,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+impl SkewCheckupTable {
+    /// Builds the table from detected skewed keys; key `i` in the input gets
+    /// partition id `i`.
+    pub fn build(skewed: &[SkewedKey]) -> Self {
+        // ≥4× the entries keeps load factor ≤ 0.25: lookups on the per-tuple
+        // hot path should almost never probe twice.
+        let capacity = (skewed.len() * 4).next_power_of_two().max(8);
+        let mut table = Self {
+            keys: vec![0; capacity],
+            part_ids: vec![EMPTY; capacity],
+            mask: capacity - 1,
+            len: skewed.len(),
+        };
+        for (pid, sk) in skewed.iter().enumerate() {
+            let mut slot = (mix32(sk.key) as usize) & table.mask;
+            loop {
+                if table.part_ids[slot] == EMPTY {
+                    table.keys[slot] = sk.key;
+                    table.part_ids[slot] = pid as u32;
+                    break;
+                }
+                assert_ne!(table.keys[slot], sk.key, "duplicate skewed key {}", sk.key);
+                slot = (slot + 1) & table.mask;
+            }
+        }
+        table
+    }
+
+    /// Number of skewed keys in the table.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no key is marked skewed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up `key`; returns its skewed partition id if skewed.
+    #[inline(always)]
+    pub fn lookup(&self, key: Key) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut slot = (mix32(key) as usize) & self.mask;
+        loop {
+            let pid = self.part_ids[slot];
+            if pid == EMPTY {
+                return None;
+            }
+            if self.keys[slot] == key {
+                return Some(pid);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuples_of(keys: &[u32]) -> Vec<Tuple> {
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| Tuple::new(k, i as u32))
+            .collect()
+    }
+
+    #[test]
+    fn detects_overwhelmingly_hot_key() {
+        // Key 7 is 50 % of a 10 000-tuple table; with 1 % sampling (~100
+        // samples) it is sampled ~50 times — far above threshold 2.
+        let mut keys = vec![7u32; 5000];
+        keys.extend(0..5000u32);
+        let skewed = detect_skewed_keys(&tuples_of(&keys), &SkewDetectConfig::default());
+        assert!(skewed.iter().any(|s| s.key == 7), "hot key missed");
+        assert_eq!(skewed[0].key, 7, "hot key must rank first");
+    }
+
+    #[test]
+    fn uniform_keys_mostly_not_skewed() {
+        // 10 000 distinct keys, 1 sample each expected ⇒ few (birthday
+        // collisions aside) reach frequency 2.
+        let keys: Vec<u32> = (0..10_000).collect();
+        let skewed = detect_skewed_keys(&tuples_of(&keys), &SkewDetectConfig::default());
+        assert!(
+            skewed.len() < 10,
+            "uniform data produced {} skewed keys",
+            skewed.len()
+        );
+    }
+
+    #[test]
+    fn detection_is_deterministic() {
+        let keys: Vec<u32> = (0..1000).map(|i| i % 17).collect();
+        let cfg = SkewDetectConfig::default();
+        assert_eq!(
+            detect_skewed_keys(&tuples_of(&keys), &cfg),
+            detect_skewed_keys(&tuples_of(&keys), &cfg)
+        );
+    }
+
+    #[test]
+    fn empty_input_no_skew() {
+        assert!(detect_skewed_keys(&[], &SkewDetectConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn checkup_table_roundtrip() {
+        let skewed = vec![
+            SkewedKey {
+                key: 100,
+                sample_freq: 9,
+            },
+            SkewedKey {
+                key: 200,
+                sample_freq: 5,
+            },
+            SkewedKey {
+                key: 300,
+                sample_freq: 2,
+            },
+        ];
+        let table = SkewCheckupTable::build(&skewed);
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.lookup(100), Some(0));
+        assert_eq!(table.lookup(200), Some(1));
+        assert_eq!(table.lookup(300), Some(2));
+        assert_eq!(table.lookup(400), None);
+        assert_eq!(table.lookup(0), None);
+    }
+
+    #[test]
+    fn empty_checkup_table() {
+        let table = SkewCheckupTable::build(&[]);
+        assert!(table.is_empty());
+        assert_eq!(table.lookup(1), None);
+    }
+
+    #[test]
+    fn checkup_table_handles_many_keys() {
+        let skewed: Vec<SkewedKey> = (0..1000)
+            .map(|i| SkewedKey {
+                key: i * 31 + 7,
+                sample_freq: 2,
+            })
+            .collect();
+        let table = SkewCheckupTable::build(&skewed);
+        for (pid, sk) in skewed.iter().enumerate() {
+            assert_eq!(table.lookup(sk.key), Some(pid as u32));
+        }
+        assert_eq!(table.lookup(u32::MAX), None);
+    }
+}

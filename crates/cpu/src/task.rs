@@ -1,0 +1,158 @@
+//! Dynamic task queue for the partition and join phases.
+//!
+//! Cbase's join phase pulls `(R partition, S partition)` tasks from a shared
+//! queue so threads that finish small tasks keep working — the paper calls
+//! this out as one of the two skew-handling techniques. Our queue also
+//! supports *task spawning*: a worker that decides a task is too large can
+//! push the split pieces back, which implements the other technique
+//! (breaking up large partitions).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::queue::SegQueue;
+use crossbeam::utils::Backoff;
+
+/// A lock-free multi-producer multi-consumer task queue with termination
+/// detection: workers exit when the queue is empty *and* no task is still in
+/// flight (an in-flight task may spawn more).
+pub struct TaskQueue<T> {
+    queue: SegQueue<T>,
+    /// Tasks queued or currently being executed.
+    pending: AtomicUsize,
+}
+
+impl<T> Default for TaskQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TaskQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            queue: SegQueue::new(),
+            pending: AtomicUsize::new(0),
+        }
+    }
+
+    /// Creates a queue seeded with `tasks`.
+    pub fn seeded(tasks: impl IntoIterator<Item = T>) -> Self {
+        let q = Self::new();
+        for t in tasks {
+            q.push(t);
+        }
+        q
+    }
+
+    /// Adds a task (callable from inside a running task).
+    pub fn push(&self, task: T) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.queue.push(task);
+    }
+
+    /// Number of tasks queued or in flight.
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::SeqCst)
+    }
+
+    /// Worker loop: repeatedly pops tasks and runs `f` on them until the
+    /// queue drains and all in-flight tasks (which may spawn new ones via
+    /// [`TaskQueue::push`]) have completed.
+    pub fn run_worker<F: FnMut(T)>(&self, mut f: F) {
+        let backoff = Backoff::new();
+        loop {
+            match self.queue.pop() {
+                Some(task) => {
+                    backoff.reset();
+                    f(task);
+                    // Decrement *after* running: an in-flight task keeps
+                    // other workers alive because it may spawn successors.
+                    self.pending.fetch_sub(1, Ordering::SeqCst);
+                }
+                None => {
+                    if self.pending.load(Ordering::SeqCst) == 0 {
+                        return;
+                    }
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+}
+
+/// Runs `queue` to completion on `threads` scoped worker threads; `make_fn`
+/// builds each worker's task handler (so handlers can own per-thread state
+/// such as an output sink).
+pub fn run_to_completion<T, F>(
+    queue: &TaskQueue<T>,
+    threads: usize,
+    make_fn: impl Fn(usize) -> F + Sync,
+) where
+    T: Send,
+    F: FnMut(T) + Send,
+{
+    assert!(threads > 0);
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let handler = make_fn(tid);
+            scope.spawn(move || {
+                let handler = handler;
+                queue.run_worker(handler);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn drains_all_seeded_tasks() {
+        let q = TaskQueue::seeded(0..1000u64);
+        let sum = AtomicU64::new(0);
+        run_to_completion(&q, 4, |_tid| {
+            |t: u64| {
+                sum.fetch_add(t, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn spawned_tasks_are_executed() {
+        // Each task n > 0 spawns n-1; seeding with 10 should run 10, 9, …, 0.
+        let q = TaskQueue::new();
+        q.push(10u32);
+        let count = AtomicUsize::new(0);
+        let qref = &q;
+        let count_ref = &count;
+        run_to_completion(qref, 3, |_tid| {
+            move |t: u32| {
+                count_ref.fetch_add(1, Ordering::Relaxed);
+                if t > 0 {
+                    qref.push(t - 1);
+                }
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let q = TaskQueue::seeded([1, 2, 3]);
+        let mut seen = Vec::new();
+        q.run_worker(|t| seen.push(t));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_queue_returns_immediately() {
+        let q: TaskQueue<u32> = TaskQueue::new();
+        run_to_completion(&q, 2, |_tid| |_t: u32| unreachable!());
+    }
+}

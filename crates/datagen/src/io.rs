@@ -1,0 +1,268 @@
+//! Relation import/export: CSV for interchange, a compact binary format
+//! for fast reload of generated workloads.
+//!
+//! The binary format is a 16-byte header (`magic`, version, tuple count)
+//! followed by little-endian `(key, payload)` pairs — 8 bytes per tuple,
+//! the same in-memory layout the joins use, so loading is a single
+//! buffered read.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use skewjoin_common::{Relation, Tuple};
+
+/// Magic bytes identifying the binary relation format.
+pub const MAGIC: &[u8; 4] = b"SKJR";
+/// Current binary format version.
+pub const VERSION: u32 = 1;
+
+/// Errors from relation I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a valid relation in the expected format.
+    Format(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Serializes a relation into the binary format.
+pub fn to_bytes(relation: &Relation) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + relation.len() * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(relation.len() as u64);
+    for t in relation.iter() {
+        buf.put_u32_le(t.key);
+        buf.put_u32_le(t.payload);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a relation from the binary format.
+pub fn from_bytes(mut data: &[u8]) -> Result<Relation, IoError> {
+    if data.len() < 16 {
+        return Err(IoError::Format("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(IoError::Format(format!(
+            "bad magic {magic:?}, expected {MAGIC:?}"
+        )));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(IoError::Format(format!(
+            "unsupported version {version} (this build reads {VERSION})"
+        )));
+    }
+    let count = data.get_u64_le() as usize;
+    if data.remaining() != count * 8 {
+        return Err(IoError::Format(format!(
+            "expected {} tuple bytes, found {}",
+            count * 8,
+            data.remaining()
+        )));
+    }
+    let mut tuples = Vec::with_capacity(count);
+    for _ in 0..count {
+        let key = data.get_u32_le();
+        let payload = data.get_u32_le();
+        tuples.push(Tuple::new(key, payload));
+    }
+    Ok(Relation::from_tuples(tuples))
+}
+
+/// Writes a relation to `path` in the binary format.
+pub fn write_binary(relation: &Relation, path: &Path) -> Result<(), IoError> {
+    let mut out = BufWriter::new(File::create(path)?);
+    out.write_all(&to_bytes(relation))?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads a relation from a binary file written by [`write_binary`].
+pub fn read_binary(path: &Path) -> Result<Relation, IoError> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    from_bytes(&data)
+}
+
+/// Writes a relation as a two-column `key,payload` CSV with a header row.
+pub fn write_csv(relation: &Relation, path: &Path) -> Result<(), IoError> {
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(out, "key,payload")?;
+    for t in relation.iter() {
+        writeln!(out, "{},{}", t.key, t.payload)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads a relation from a CSV file.
+///
+/// The first row may be a header (detected by a non-numeric first field).
+/// Each data row needs at least `key_col + 1` comma-separated fields; the
+/// payload comes from `payload_col`, or defaults to the row index if the
+/// column is absent.
+pub fn read_csv(
+    path: &Path,
+    key_col: usize,
+    payload_col: Option<usize>,
+) -> Result<Relation, IoError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut tuples = Vec::new();
+    let mut line_no = 0usize;
+    let mut header_candidate = true;
+    for line in reader.lines() {
+        let line = line?;
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        let key_field = *fields.get(key_col).ok_or_else(|| {
+            IoError::Format(format!("line {line_no}: missing key column {key_col}"))
+        })?;
+        let first_content_line = header_candidate;
+        header_candidate = false;
+        let key: u32 = match key_field.parse() {
+            Ok(k) => k,
+            // A non-numeric key in the first non-empty line is a header row.
+            Err(_) if first_content_line => continue,
+            Err(e) => {
+                return Err(IoError::Format(format!(
+                    "line {line_no}: bad key {key_field:?}: {e}"
+                )))
+            }
+        };
+        let payload = match payload_col.and_then(|col| fields.get(col)) {
+            Some(f) => f
+                .parse()
+                .map_err(|e| IoError::Format(format!("line {line_no}: bad payload {f:?}: {e}")))?,
+            None => tuples.len() as u32,
+        };
+        tuples.push(Tuple::new(key, payload));
+    }
+    Ok(Relation::from_tuples(tuples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("skewjoin-io-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn sample_relation() -> Relation {
+        Relation::from_tuples(vec![
+            Tuple::new(7, 0),
+            Tuple::new(42, 1),
+            Tuple::new(u32::MAX, 2),
+        ])
+    }
+
+    #[test]
+    fn binary_roundtrip_in_memory() {
+        let rel = sample_relation();
+        let bytes = to_bytes(&rel);
+        assert_eq!(bytes.len(), 16 + 24);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn binary_roundtrip_on_disk() {
+        let rel = sample_relation();
+        let path = temp_path("bin");
+        write_binary(&rel, &path).unwrap();
+        let back = read_binary(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn empty_relation_roundtrip() {
+        let rel = Relation::new();
+        let back = from_bytes(&to_bytes(&rel)).unwrap();
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        assert!(from_bytes(b"short").is_err());
+        assert!(from_bytes(b"XXXX\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00").is_err());
+        // Valid header claiming one tuple but no body.
+        let mut bad = to_bytes(&sample_relation()).to_vec();
+        bad.truncate(20);
+        assert!(from_bytes(&bad).is_err());
+        // Wrong version.
+        let mut wrong_ver = to_bytes(&Relation::new()).to_vec();
+        wrong_ver[4] = 99;
+        assert!(matches!(from_bytes(&wrong_ver), Err(IoError::Format(_))));
+    }
+
+    #[test]
+    fn csv_roundtrip_with_header() {
+        let rel = sample_relation();
+        let path = temp_path("csv");
+        write_csv(&rel, &path).unwrap();
+        let back = read_csv(&path, 0, Some(1)).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn csv_default_payload_is_row_index() {
+        let path = temp_path("csv2");
+        std::fs::write(&path, "key\n5\n6\n5\n").unwrap();
+        let rel = read_csv(&path, 0, None).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel[0], Tuple::new(5, 0));
+        assert_eq!(rel[2], Tuple::new(5, 2));
+    }
+
+    #[test]
+    fn csv_header_after_blank_line_is_skipped() {
+        let path = temp_path("csv4");
+        std::fs::write(&path, "\n\nkey,payload\n5,9\n").unwrap();
+        let rel = read_csv(&path, 0, Some(1)).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel[0], Tuple::new(5, 9));
+    }
+
+    #[test]
+    fn csv_reports_bad_rows() {
+        let path = temp_path("csv3");
+        std::fs::write(&path, "key\n5\nnot-a-number\n").unwrap();
+        let err = read_csv(&path, 0, None).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("line 3"));
+    }
+}

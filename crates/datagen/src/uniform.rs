@@ -1,0 +1,109 @@
+//! Uniform and primary/foreign-key table generators.
+//!
+//! These cover the non-skewed corners of the evaluation space: the zipf
+//! factor 0 points of Figures 1 and 4 are uniform draws, and the
+//! primary/foreign-key generator produces the classic "every probe matches
+//! exactly once" microbenchmark shape that the baselines were originally
+//! tuned for.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use skewjoin_common::hash::mix32;
+use skewjoin_common::{Key, Relation, Tuple};
+
+/// Generates `num_tuples` tuples with keys drawn uniformly from a domain of
+/// `num_keys` distinct values (the same bijective key spreading as the zipf
+/// generator, so key spaces are comparable).
+pub fn uniform_table(num_tuples: usize, num_keys: usize, seed: u64) -> Relation {
+    assert!(num_keys > 0, "key domain must be non-empty");
+    let salt = (seed as u32) ^ ((seed >> 32) as u32);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tuples = Vec::with_capacity(num_tuples);
+    for i in 0..num_tuples {
+        let rank = rng.gen_range(0..num_keys) as u32;
+        tuples.push(Tuple::new(mix32(rank ^ salt), i as u32));
+    }
+    Relation::from_tuples(tuples)
+}
+
+/// Generates a primary-key relation: a random permutation of `num_tuples`
+/// distinct keys, payload = row id.
+pub fn primary_key_table(num_tuples: usize, seed: u64) -> Relation {
+    let salt = (seed as u32) ^ ((seed >> 32) as u32);
+    let mut keys: Vec<Key> = (0..num_tuples as u32).map(|i| mix32(i ^ salt)).collect();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    keys.shuffle(&mut rng);
+    Relation::from_keys(&keys)
+}
+
+/// Generates a foreign-key relation referencing `primary`: every key is
+/// drawn uniformly from the primary relation's keys, so each probe matches
+/// exactly one build tuple.
+pub fn foreign_key_table(primary: &Relation, num_tuples: usize, seed: u64) -> Relation {
+    assert!(!primary.is_empty(), "primary relation must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tuples = Vec::with_capacity(num_tuples);
+    for i in 0..num_tuples {
+        let pick = rng.gen_range(0..primary.len());
+        tuples.push(Tuple::new(primary[pick].key, i as u32));
+    }
+    Relation::from_tuples(tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn uniform_table_stays_in_domain() {
+        let t = uniform_table(1000, 16, 7);
+        let distinct: HashSet<Key> = t.iter().map(|t| t.key).collect();
+        assert!(distinct.len() <= 16);
+        assert_eq!(t.len(), 1000);
+    }
+
+    #[test]
+    fn uniform_is_roughly_balanced() {
+        let t = uniform_table(16_000, 16, 3);
+        let mut counts = std::collections::HashMap::new();
+        for tup in t.iter() {
+            *counts.entry(tup.key).or_insert(0usize) += 1;
+        }
+        for &c in counts.values() {
+            // 1000 expected; allow generous sampling noise.
+            assert!((600..1400).contains(&c), "count {c} out of range");
+        }
+    }
+
+    #[test]
+    fn primary_keys_are_distinct() {
+        let t = primary_key_table(5000, 11);
+        let distinct: HashSet<Key> = t.iter().map(|t| t.key).collect();
+        assert_eq!(distinct.len(), 5000);
+    }
+
+    #[test]
+    fn foreign_keys_all_resolve() {
+        let pk = primary_key_table(100, 1);
+        let fk = foreign_key_table(&pk, 1000, 2);
+        let universe: HashSet<Key> = pk.iter().map(|t| t.key).collect();
+        assert!(fk.iter().all(|t| universe.contains(&t.key)));
+        assert_eq!(fk.len(), 1000);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform_table(100, 8, 5), uniform_table(100, 8, 5));
+        assert_eq!(primary_key_table(100, 5), primary_key_table(100, 5));
+        assert_ne!(primary_key_table(100, 5), primary_key_table(100, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn foreign_key_requires_primary() {
+        let _ = foreign_key_table(&Relation::new(), 10, 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! The paper's end-to-end workload: two equal-sized tables over a shared
+//! zipf key distribution (§III and §V-A).
+
+use skewjoin_common::Relation;
+
+use crate::zipf::ZipfWorkload;
+
+/// Declarative description of one experimental data point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Tuples per table (the paper uses 32 M; 560 M for the scale-up run).
+    pub tuples: usize,
+    /// Number of distinct keys; the paper's generator uses one interval per
+    /// potential key, i.e. `tuples` intervals.
+    pub num_keys: usize,
+    /// Zipf factor, 0.0–1.0 in the evaluation.
+    pub zipf_factor: f64,
+    /// Base RNG seed; R and S derive distinct streams from it.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's configuration for a given scale and skew: `num_keys`
+    /// equals the table size (§III: at zipf 1.0 and 32 M tuples the top key
+    /// appears ≈1.79 M times, which is `32 M / H_{32M}` — one interval per
+    /// tuple slot).
+    pub fn paper(tuples: usize, zipf_factor: f64, seed: u64) -> Self {
+        Self {
+            tuples,
+            // One interval per tuple slot; a minimum of one key keeps the
+            // degenerate empty workload constructible (empty tables over a
+            // one-key distribution).
+            num_keys: tuples.max(1),
+            zipf_factor,
+            seed,
+        }
+    }
+}
+
+/// A fully generated R ⋈ S workload, retaining the distribution for
+/// analytical expectations.
+#[derive(Debug, Clone)]
+pub struct PaperWorkload {
+    /// Build-side table.
+    pub r: Relation,
+    /// Probe-side table.
+    pub s: Relation,
+    /// The shared key distribution both tables were drawn from.
+    pub distribution: ZipfWorkload,
+    /// The spec this workload was generated from.
+    pub spec: WorkloadSpec,
+}
+
+impl PaperWorkload {
+    /// Generates both tables from the *same* interval/key arrays (the
+    /// paper's "highly skewed" model).
+    pub fn generate(spec: WorkloadSpec) -> Self {
+        let distribution = ZipfWorkload::new(spec.num_keys, spec.zipf_factor, spec.seed);
+        let r = distribution.generate_table(spec.tuples, spec.seed.wrapping_add(0x52));
+        let s = distribution.generate_table(spec.tuples, spec.seed.wrapping_add(0x53));
+        Self {
+            r,
+            s,
+            distribution,
+            spec,
+        }
+    }
+
+    /// Analytic expectation of the join output size for this workload.
+    pub fn expected_join_output(&self) -> f64 {
+        self.distribution.expected_join_output(self.spec.tuples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn empty_workload_is_constructible() {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(0, 1.0, 1));
+        assert!(w.r.is_empty());
+        assert!(w.s.is_empty());
+        assert_eq!(w.expected_join_output(), 0.0);
+    }
+
+    #[test]
+    fn generates_equal_sized_tables() {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(1 << 12, 0.7, 42));
+        assert_eq!(w.r.len(), 1 << 12);
+        assert_eq!(w.s.len(), 1 << 12);
+        assert_ne!(w.r, w.s, "R and S must be independent draws");
+    }
+
+    #[test]
+    fn r_and_s_share_hot_keys() {
+        // At zipf 1.0 the hottest key must be hot in both tables.
+        let w = PaperWorkload::generate(WorkloadSpec::paper(1 << 14, 1.0, 7));
+        let top = w.distribution.key_of_rank(0);
+        let count = |rel: &Relation| rel.iter().filter(|t| t.key == top).count();
+        let (cr, cs) = (count(&w.r), count(&w.s));
+        let expected = w.distribution.expected_frequency(0, w.spec.tuples);
+        assert!(cr as f64 > expected * 0.7, "R top count {cr} vs {expected}");
+        assert!(cs as f64 > expected * 0.7, "S top count {cs} vs {expected}");
+    }
+
+    #[test]
+    fn expected_output_close_to_actual() {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(1 << 12, 0.9, 3));
+        let mut r_freq: HashMap<u32, u64> = HashMap::new();
+        for t in w.r.iter() {
+            *r_freq.entry(t.key).or_default() += 1;
+        }
+        let actual: u64 =
+            w.s.iter()
+                .map(|t| r_freq.get(&t.key).copied().unwrap_or(0))
+                .sum();
+        let expected = w.expected_join_output();
+        // The realized output is a random variable; expect same order of
+        // magnitude at this scale.
+        assert!(
+            actual as f64 > expected * 0.3 && (actual as f64) < expected * 3.0,
+            "actual {actual} vs expected {expected}"
+        );
+    }
+}

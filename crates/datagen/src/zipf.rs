@@ -1,0 +1,288 @@
+//! The paper's zipf workload generator (§V-A), implemented literally:
+//!
+//! > "we generate an array of intervals for a given zipf factor. Each array
+//! > element stores an interval whose length corresponds to the probability
+//! > of the element in the zipf distribution. Then we randomly assign a
+//! > unique key to each interval. After that, for each input tuple, we
+//! > generate a random number, and search it in the interval array. […] we
+//! > model highly skewed cases by using the same interval array and unique
+//! > key array for both table R and table S for a given zipf factor."
+//!
+//! With `n` intervals and zipf factor `θ`, interval `i` (1-based) has length
+//! `(1/i^θ) / H_{n,θ}` where `H_{n,θ} = Σ 1/i^θ` is the generalized harmonic
+//! number. At `θ = 1` and `n = 32 M` the hottest key covers `1/H ≈ 5.6 %` of
+//! the mass — ≈1.79 M of 32 M tuples, exactly the figure quoted in §III.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use skewjoin_common::hash::mix32;
+use skewjoin_common::{Key, Relation, Tuple};
+
+/// A zipf key distribution shared by both join inputs.
+///
+/// Holds the cumulative interval array and the unique key assigned to each
+/// interval. Construction is `O(n)`; drawing each tuple is `O(log n)`
+/// (binary search, as in the paper).
+///
+/// ```
+/// use skewjoin_datagen::ZipfWorkload;
+///
+/// // 10 000 possible keys, classic zipf (θ = 1).
+/// let dist = ZipfWorkload::new(10_000, 1.0, 42);
+/// let table = dist.generate_table(50_000, 7);
+/// assert_eq!(table.len(), 50_000);
+///
+/// // The hottest key covers 1/H_n of the mass — about 10% here.
+/// let hottest = dist.probability_of_rank(0);
+/// assert!(hottest > 0.08 && hottest < 0.13);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfWorkload {
+    /// `cumulative[i]` = upper bound of interval `i` in `[0, 1)`; strictly
+    /// increasing, last element is 1.0.
+    cumulative: Vec<f64>,
+    /// Unique key of each interval (interval 0 is the most probable).
+    keys: Vec<Key>,
+    theta: f64,
+}
+
+impl ZipfWorkload {
+    /// Builds the interval and key arrays for `num_keys` distinct keys with
+    /// zipf factor `theta` (`0.0` = uniform, `1.0` = classic zipf).
+    ///
+    /// Keys are "randomly assigned" per the paper: a seeded bijective mix of
+    /// the interval index spreads them over the `u32` domain while keeping
+    /// them unique.
+    ///
+    /// # Panics
+    /// Panics if `num_keys` is zero or `theta` is negative/non-finite.
+    pub fn new(num_keys: usize, theta: f64, seed: u64) -> Self {
+        assert!(num_keys > 0, "zipf workload needs at least one key");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "zipf factor must be a finite non-negative number"
+        );
+        assert!(
+            num_keys <= (u32::MAX as usize) + 1,
+            "key domain limited to u32"
+        );
+
+        // Interval lengths ∝ 1 / i^theta, normalized by the harmonic sum.
+        let mut weights: Vec<f64> = Vec::with_capacity(num_keys);
+        if theta == 0.0 {
+            weights.resize(num_keys, 1.0);
+        } else {
+            for i in 1..=num_keys {
+                weights.push(1.0 / (i as f64).powf(theta));
+            }
+        }
+        let total: f64 = weights.iter().sum();
+
+        let mut cumulative = Vec::with_capacity(num_keys);
+        let mut acc = 0.0f64;
+        for w in &weights {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        // Guard against floating-point drift so every draw lands in range.
+        *cumulative.last_mut().expect("num_keys > 0") = 1.0;
+
+        // Random unique key per interval: XOR with a seed-derived salt then a
+        // bijective multiplicative mix keeps keys unique over u32.
+        let salt = (seed as u32) ^ ((seed >> 32) as u32);
+        let keys = (0..num_keys as u32).map(|i| mix32(i ^ salt)).collect();
+
+        Self {
+            cumulative,
+            keys,
+            theta,
+        }
+    }
+
+    /// The zipf factor this workload was built with.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Number of distinct keys (intervals).
+    pub fn num_keys(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The unique key of interval `rank` (rank 0 = hottest key).
+    pub fn key_of_rank(&self, rank: usize) -> Key {
+        self.keys[rank]
+    }
+
+    /// Probability mass of interval `rank`.
+    pub fn probability_of_rank(&self, rank: usize) -> f64 {
+        let hi = self.cumulative[rank];
+        let lo = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
+        hi - lo
+    }
+
+    /// Draws one key: generate a uniform random in `[0, 1)` and binary-search
+    /// the interval array (the paper's per-tuple procedure).
+    #[inline]
+    pub fn draw<R: Rng>(&self, rng: &mut R) -> Key {
+        let x: f64 = rng.gen::<f64>();
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        // partition_point can return len() only if x >= 1.0, which gen()
+        // excludes; clamp defensively anyway.
+        self.keys[idx.min(self.keys.len() - 1)]
+    }
+
+    /// Generates a table of `num_tuples` tuples whose keys follow this
+    /// distribution; payload `i` is the row id.
+    pub fn generate_table(&self, num_tuples: usize, seed: u64) -> Relation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tuples = Vec::with_capacity(num_tuples);
+        for i in 0..num_tuples {
+            tuples.push(Tuple::new(self.draw(&mut rng), i as u32));
+        }
+        Relation::from_tuples(tuples)
+    }
+
+    /// Expected number of occurrences of the rank-`rank` key in a table of
+    /// `num_tuples` tuples.
+    pub fn expected_frequency(&self, rank: usize, num_tuples: usize) -> f64 {
+        self.probability_of_rank(rank) * num_tuples as f64
+    }
+
+    /// Expected join output size when R and S each have `n` tuples drawn
+    /// from this distribution: `n² · Σ p_i²`.
+    pub fn expected_join_output(&self, n: usize) -> f64 {
+        let sum_sq: f64 = (0..self.num_keys())
+            .map(|r| {
+                let p = self.probability_of_rank(r);
+                p * p
+            })
+            .sum();
+        (n as f64) * (n as f64) * sum_sq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for theta in [0.0, 0.5, 1.0] {
+            let z = ZipfWorkload::new(1000, theta, 42);
+            let sum: f64 = (0..1000).map(|r| z.probability_of_rank(r)).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "theta={theta} sum={sum}");
+        }
+    }
+
+    #[test]
+    fn probabilities_are_monotone_nonincreasing() {
+        let z = ZipfWorkload::new(500, 0.8, 7);
+        for r in 1..500 {
+            assert!(z.probability_of_rank(r) <= z.probability_of_rank(r - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = ZipfWorkload::new(100, 0.0, 1);
+        for r in 0..100 {
+            assert!((z.probability_of_rank(r) - 0.01).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let z = ZipfWorkload::new(10_000, 1.0, 99);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..z.num_keys() {
+            assert!(seen.insert(z.key_of_rank(r)));
+        }
+    }
+
+    #[test]
+    fn hottest_key_frequency_matches_harmonic_prediction() {
+        // Paper §III: at zipf 1.0 with n keys the top key holds 1/H_n of the
+        // mass. Empirically verify within sampling noise.
+        let n_keys = 10_000;
+        let n_tuples = 200_000;
+        let z = ZipfWorkload::new(n_keys, 1.0, 5);
+        let table = z.generate_table(n_tuples, 6);
+        let mut freq: HashMap<Key, usize> = HashMap::new();
+        for t in table.iter() {
+            *freq.entry(t.key).or_default() += 1;
+        }
+        let top = *freq.get(&z.key_of_rank(0)).unwrap_or(&0) as f64;
+        let expected = z.expected_frequency(0, n_tuples);
+        assert!(
+            (top - expected).abs() < expected * 0.1,
+            "top key count {top} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn generate_table_is_deterministic_per_seed() {
+        let z = ZipfWorkload::new(100, 0.9, 3);
+        let a = z.generate_table(1000, 11);
+        let b = z.generate_table(1000, 11);
+        let c = z.generate_table(1000, 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tables_share_key_universe() {
+        let z = ZipfWorkload::new(64, 1.0, 21);
+        let r = z.generate_table(512, 1);
+        let s = z.generate_table(512, 2);
+        let universe: std::collections::HashSet<Key> =
+            (0..z.num_keys()).map(|i| z.key_of_rank(i)).collect();
+        assert!(r.iter().all(|t| universe.contains(&t.key)));
+        assert!(s.iter().all(|t| universe.contains(&t.key)));
+    }
+
+    #[test]
+    fn expected_join_output_uniform_case() {
+        // Uniform over k keys: expected output = n²/k.
+        let z = ZipfWorkload::new(100, 0.0, 1);
+        let expected = z.expected_join_output(1000);
+        assert!((expected - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn payloads_are_row_ids() {
+        let z = ZipfWorkload::new(10, 0.5, 4);
+        let t = z.generate_table(100, 9);
+        for (i, tup) in t.iter().enumerate() {
+            assert_eq!(tup.payload, i as u32);
+        }
+    }
+
+    #[test]
+    fn single_key_domain() {
+        let z = ZipfWorkload::new(1, 1.0, 0);
+        assert!((z.probability_of_rank(0) - 1.0).abs() < 1e-12);
+        let t = z.generate_table(100, 5);
+        let k = z.key_of_rank(0);
+        assert!(t.iter().all(|tup| tup.key == k));
+        assert_eq!(z.expected_join_output(100) as u64, 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn zero_keys_rejected() {
+        let _ = ZipfWorkload::new(0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_theta_rejected() {
+        let _ = ZipfWorkload::new(10, -0.5, 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # skewjoin-gpu-sim
+//!
+//! A software SIMT execution simulator standing in for the paper's NVIDIA
+//! A100. GPU join kernels written against this crate compute **real
+//! results** (they are ordinary Rust transformations over device buffers)
+//! while the simulator charges **modeled cycles** for the four mechanisms
+//! the paper's GPU findings hinge on:
+//!
+//! 1. **Block-level load imbalance** — blocks are dispatched to the
+//!    least-loaded streaming multiprocessor (SM), and simulated device time
+//!    is the *maximum* over SMs of their accumulated cycles, so one huge
+//!    join task dominates exactly as it does on hardware.
+//! 2. **Warp divergence** — SIMT execution charges every warp loop for its
+//!    *longest* lane's trip count ([`exec::BlockCtx::warp_loop`]); ragged
+//!    hash-chain walks thus waste lanes, as §III describes.
+//! 3. **Memory coalescing** — a warp access is split into 128-byte
+//!    transactions ([`memory`]); sequential accesses cost 2 transactions
+//!    per warp of 8-byte tuples, scattered accesses up to 32.
+//! 4. **Synchronization and atomics** — `__syncthreads`, ballots, and
+//!    atomics carry fixed plus serialization costs, so Gbase's per-chain-
+//!    step write-bitmap coordination becomes expensive on long chains.
+//!
+//! Blocks execute sequentially on the host (deterministic, no real
+//! concurrency); the cost model alone decides the simulated timeline. The
+//! default [`spec::DeviceSpec::a100`] mirrors the paper's hardware at the
+//! spec-sheet level (108 SMs, 1555 GB/s, 40 GB global memory).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod exec;
+pub mod memory;
+pub mod metrics;
+pub mod spec;
+
+pub use exec::{BlockCtx, Device, Kernel, LaunchStats};
+pub use memory::{BufferId, GlobalMemory};
+pub use metrics::Metrics;
+pub use spec::{CostParams, DeviceSpec};

@@ -1,0 +1,265 @@
+//! Simulated global memory: a capacity-checked arena of typed buffers plus
+//! the 128-byte-transaction coalescing model.
+//!
+//! Buffers store `u64` elements with a declared *element width* of 4 or 8
+//! bytes — wide enough for packed 8-byte tuples (`key | payload << 32`) and
+//! for 4-byte histogram/offset words, which is all the GPU join kernels
+//! need. The element width only affects the coalescing math; storage is
+//! uniform.
+
+use crate::metrics::Metrics;
+
+/// Handle to a device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(usize);
+
+impl BufferId {
+    /// Constructs a raw id for task-list plumbing tests that never touch
+    /// memory through it.
+    #[doc(hidden)]
+    pub fn from_raw_for_tests(raw: usize) -> Self {
+        BufferId(raw)
+    }
+}
+
+struct Buffer {
+    data: Vec<u64>,
+    elem_bytes: usize,
+    /// Freed buffers keep their slot (ids stay stable) but drop their data.
+    live: bool,
+}
+
+/// The device's global memory.
+pub struct GlobalMemory {
+    buffers: Vec<Buffer>,
+    capacity_bytes: usize,
+    used_bytes: usize,
+    high_water_bytes: usize,
+}
+
+impl GlobalMemory {
+    /// Creates a memory arena with the given capacity.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            buffers: Vec::new(),
+            capacity_bytes,
+            used_bytes: 0,
+            high_water_bytes: 0,
+        }
+    }
+
+    /// Allocates a zero-initialized buffer of `len` elements of
+    /// `elem_bytes` (4 or 8) each. Returns `None` if the device is out of
+    /// memory.
+    pub fn alloc(&mut self, len: usize, elem_bytes: usize) -> Option<BufferId> {
+        assert!(
+            elem_bytes == 4 || elem_bytes == 8,
+            "element width must be 4 or 8 bytes"
+        );
+        let bytes = len * elem_bytes;
+        if self.used_bytes + bytes > self.capacity_bytes {
+            return None;
+        }
+        self.used_bytes += bytes;
+        self.high_water_bytes = self.high_water_bytes.max(self.used_bytes);
+        self.buffers.push(Buffer {
+            data: vec![0u64; len],
+            elem_bytes,
+            live: true,
+        });
+        Some(BufferId(self.buffers.len() - 1))
+    }
+
+    /// Frees a buffer, returning its bytes to the pool.
+    pub fn free(&mut self, id: BufferId) {
+        let buf = &mut self.buffers[id.0];
+        assert!(buf.live, "double free of {id:?}");
+        self.used_bytes -= buf.data.len() * buf.elem_bytes;
+        buf.data = Vec::new();
+        buf.live = false;
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Peak bytes ever allocated (the paper's 38.5 GB figure is this
+    /// number for the 560 M-tuple run).
+    pub fn high_water_bytes(&self) -> usize {
+        self.high_water_bytes
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    fn buf(&self, id: BufferId) -> &Buffer {
+        let b = &self.buffers[id.0];
+        assert!(b.live, "access to freed {id:?}");
+        b
+    }
+
+    fn buf_mut(&mut self, id: BufferId) -> &mut Buffer {
+        let b = &mut self.buffers[id.0];
+        assert!(b.live, "access to freed {id:?}");
+        b
+    }
+
+    /// Length of a buffer in elements.
+    pub fn len(&self, id: BufferId) -> usize {
+        self.buf(id).data.len()
+    }
+
+    /// Whether the buffer has zero elements.
+    pub fn is_empty(&self, id: BufferId) -> bool {
+        self.buf(id).data.is_empty()
+    }
+
+    /// Element width of a buffer in bytes.
+    pub fn elem_bytes(&self, id: BufferId) -> usize {
+        self.buf(id).elem_bytes
+    }
+
+    // ---- Host-side (un-costed) access, for upload/download and checks ----
+
+    /// Host read of one element (no cost — models pinned-memory setup).
+    pub fn host_read(&self, id: BufferId, idx: usize) -> u64 {
+        self.buf(id).data[idx]
+    }
+
+    /// Host write of one element (no cost).
+    pub fn host_write(&mut self, id: BufferId, idx: usize, value: u64) {
+        self.buf_mut(id).data[idx] = value;
+    }
+
+    /// Host upload of a slice starting at `offset` (no cost).
+    pub fn host_upload(&mut self, id: BufferId, offset: usize, values: &[u64]) {
+        self.buf_mut(id).data[offset..offset + values.len()].copy_from_slice(values);
+    }
+
+    /// Host view of a buffer's contents (no cost).
+    pub fn host_slice(&self, id: BufferId) -> &[u64] {
+        &self.buf(id).data
+    }
+
+    // ---- Device-side access used by `BlockCtx` (costed by the caller) ----
+
+    pub(crate) fn read(&self, id: BufferId, idx: usize) -> u64 {
+        self.buf(id).data[idx]
+    }
+
+    pub(crate) fn write(&mut self, id: BufferId, idx: usize, value: u64) {
+        self.buf_mut(id).data[idx] = value;
+    }
+
+    pub(crate) fn fetch_add(&mut self, id: BufferId, idx: usize, delta: u64) -> u64 {
+        let slot = &mut self.buf_mut(id).data[idx];
+        let old = *slot;
+        *slot += delta;
+        old
+    }
+
+    /// Counts the 128-byte transactions a warp access to `indices` of
+    /// buffer `id` generates, and records them in `metrics`.
+    pub(crate) fn account_transactions(
+        &self,
+        id: BufferId,
+        indices: &[usize],
+        metrics: &mut Metrics,
+    ) -> u64 {
+        let elem = self.buf(id).elem_bytes;
+        let tx = count_transactions(indices, elem);
+        metrics.transactions += tx;
+        tx
+    }
+}
+
+/// Number of distinct 128-byte lines touched by accesses to `indices`
+/// (element width `elem_bytes`). Buffers are modeled line-aligned.
+pub(crate) fn count_transactions(indices: &[usize], elem_bytes: usize) -> u64 {
+    // Warp-sized fast path: a tiny sort-free dedup over line ids. The spill
+    // vector keeps oversized (non-warp) accesses correct instead of
+    // panicking — the warp bound on callers is only a debug assertion.
+    let mut lines = [u64::MAX; 64];
+    let mut n = 0usize;
+    let mut spill: Vec<u64> = Vec::new();
+    for &idx in indices {
+        let line = (idx * elem_bytes / 128) as u64;
+        if lines[..n].contains(&line) || spill.contains(&line) {
+            continue;
+        }
+        if n < lines.len() {
+            lines[n] = line;
+            n += 1;
+        } else {
+            spill.push(line);
+        }
+    }
+    (n + spill.len()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_capacity_tracking() {
+        let mut mem = GlobalMemory::new(1024);
+        let a = mem.alloc(64, 8).expect("fits"); // 512 B
+        assert_eq!(mem.used_bytes(), 512);
+        assert!(mem.alloc(128, 8).is_none(), "would exceed capacity");
+        let b = mem.alloc(128, 4).expect("512 B more fits");
+        assert_eq!(mem.used_bytes(), 1024);
+        mem.free(a);
+        assert_eq!(mem.used_bytes(), 512);
+        assert_eq!(mem.high_water_bytes(), 1024);
+        mem.free(b);
+        assert_eq!(mem.used_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut mem = GlobalMemory::new(1024);
+        let a = mem.alloc(1, 8).unwrap();
+        mem.free(a);
+        mem.free(a);
+    }
+
+    #[test]
+    fn host_roundtrip() {
+        let mut mem = GlobalMemory::new(1024);
+        let a = mem.alloc(4, 8).unwrap();
+        mem.host_write(a, 2, 99);
+        assert_eq!(mem.host_read(a, 2), 99);
+        mem.host_upload(a, 0, &[1, 2]);
+        assert_eq!(mem.host_slice(a), &[1, 2, 99, 0]);
+        assert_eq!(mem.len(a), 4);
+        assert_eq!(mem.elem_bytes(a), 8);
+    }
+
+    #[test]
+    fn coalesced_sequential_access_is_cheap() {
+        // 32 consecutive 8-byte elements = 256 B = 2 transactions.
+        let idx: Vec<usize> = (0..32).collect();
+        assert_eq!(count_transactions(&idx, 8), 2);
+        // 4-byte elements: 128 B = 1 transaction.
+        assert_eq!(count_transactions(&idx, 4), 1);
+    }
+
+    #[test]
+    fn scattered_access_is_expensive() {
+        // Strided by ≥ one line each: every lane its own transaction.
+        let idx: Vec<usize> = (0..32).map(|i| i * 1000).collect();
+        assert_eq!(count_transactions(&idx, 8), 32);
+    }
+
+    #[test]
+    fn duplicate_addresses_collapse() {
+        let idx = vec![5usize; 32];
+        assert_eq!(count_transactions(&idx, 8), 1);
+        assert_eq!(count_transactions(&[], 8), 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Execution metrics accumulated per kernel launch.
+
+/// Counters describing what a launch (or a single block) did, in modeled
+/// units. Used by tests and ablation benches to verify that the *mechanism*
+//  behind a slowdown is the modeled one (e.g. Gbase's sync cycles explode
+/// with skew while GSH's stay flat).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// 128-byte global-memory transactions.
+    pub transactions: u64,
+    /// Cycles charged to global-memory traffic.
+    pub mem_cycles: u64,
+    /// Cycles charged to un-hidable dependent-access latency.
+    pub dependent_cycles: u64,
+    /// Throughput wasted to warp divergence: cycles during which lanes sat
+    /// idle while the longest lane finished. **Diagnostic only** — the lost
+    /// time is already part of the other charges (a diverged loop runs its
+    /// max-lane trip count through every charged instruction), so this is
+    /// *not* added to [`Metrics::total_cycles`].
+    pub divergence_waste_cycles: u64,
+    /// Cycles charged to `__syncthreads` barriers.
+    pub sync_cycles: u64,
+    /// Cycles charged to atomics (fixed + serialization).
+    pub atomic_cycles: u64,
+    /// Cycles charged to shared-memory accesses (incl. bank conflicts).
+    pub shared_cycles: u64,
+    /// Cycles charged to ALU work.
+    pub alu_cycles: u64,
+    /// Number of barriers executed.
+    pub barriers: u64,
+}
+
+impl Metrics {
+    /// Sum of all charged cycles (the block's simulated runtime). Excludes
+    /// `divergence_waste_cycles`, which is a throughput diagnostic rather
+    /// than additional time.
+    pub fn total_cycles(&self) -> u64 {
+        self.mem_cycles
+            + self.dependent_cycles
+            + self.sync_cycles
+            + self.atomic_cycles
+            + self.shared_cycles
+            + self.alu_cycles
+    }
+
+    /// Accumulates another metrics record into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.transactions += other.transactions;
+        self.mem_cycles += other.mem_cycles;
+        self.dependent_cycles += other.dependent_cycles;
+        self.divergence_waste_cycles += other.divergence_waste_cycles;
+        self.sync_cycles += other.sync_cycles;
+        self.atomic_cycles += other.atomic_cycles;
+        self.shared_cycles += other.shared_cycles;
+        self.alu_cycles += other.alu_cycles;
+        self.barriers += other.barriers;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_sum_of_components() {
+        let m = Metrics {
+            transactions: 10,
+            mem_cycles: 1,
+            dependent_cycles: 2,
+            divergence_waste_cycles: 3,
+            sync_cycles: 4,
+            atomic_cycles: 5,
+            shared_cycles: 6,
+            alu_cycles: 7,
+            barriers: 1,
+        };
+        // Divergence waste is diagnostic-only and excluded.
+        assert_eq!(m.total_cycles(), 25);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Metrics::default();
+        let b = Metrics {
+            transactions: 2,
+            mem_cycles: 3,
+            ..Metrics::default()
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.transactions, 4);
+        assert_eq!(a.mem_cycles, 6);
+    }
+}

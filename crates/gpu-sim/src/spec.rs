@@ -1,0 +1,174 @@
+//! Device specification and cycle-cost parameters.
+
+/// Static description of the simulated GPU.
+///
+/// Defaults mirror the paper's NVIDIA A100-PCIE-40GB at spec-sheet level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Number of streaming multiprocessors (A100: 108).
+    pub num_sms: usize,
+    /// Threads per warp (32 on every NVIDIA architecture to date).
+    pub warp_size: usize,
+    /// Maximum threads per block (1024).
+    pub max_threads_per_block: usize,
+    /// Shared memory available to one block, in bytes. The A100 offers
+    /// 192 KB combined L1/shared per SM; 48 KB is the portable static limit
+    /// and the default partition-sizing target here.
+    pub shared_mem_per_block: usize,
+    /// Global memory capacity in bytes (A100-40GB: 40 GB).
+    pub global_mem_bytes: usize,
+    /// Global memory bandwidth in GB/s (A100: 1555).
+    pub mem_bandwidth_gbps: f64,
+    /// Core clock in GHz (A100: ~1.41 boost).
+    pub clock_ghz: f64,
+    /// Per-SM load/store throughput ceiling in bytes/cycle (~32 on modern
+    /// parts). Caps the per-SM share of total bandwidth so devices with few
+    /// SMs don't get modeled as if one SM could drain all of HBM.
+    pub max_bytes_per_cycle_per_sm: f64,
+    /// Cost parameters (cycles per modeled event).
+    pub costs: CostParams,
+}
+
+/// Cycle costs of modeled events. These are calibrated to the right order
+/// of magnitude for Ampere-class hardware; the evaluation compares
+/// algorithms under the *same* model, so relative results are insensitive
+/// to modest miscalibration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Fixed issue overhead per warp-wide memory instruction.
+    pub mem_issue: u64,
+    /// Un-hidable latency charged for a *dependent* access (pointer
+    /// chasing, e.g. hash-chain walks), where no other warp work can cover
+    /// it.
+    pub dependent_latency: u64,
+    /// Cycles per warp-wide shared-memory access without bank conflicts;
+    /// an n-way conflict costs n× this.
+    pub shared_access: u64,
+    /// Fixed cost of a global atomic; each additional lane serialized on
+    /// the same address adds `atomic_serial`.
+    pub atomic_global: u64,
+    /// Per-colliding-lane serialization increment for global atomics.
+    pub atomic_serial: u64,
+    /// Fixed cost of a shared-memory atomic.
+    pub atomic_shared: u64,
+    /// Per-colliding-lane serialization increment for shared atomics.
+    pub atomic_shared_serial: u64,
+    /// Cost of `__syncthreads()` per block barrier.
+    pub sync_threads: u64,
+    /// Cost of a warp vote (`__ballot_sync`) / population count.
+    pub ballot: u64,
+    /// Cycles per warp-wide ALU instruction.
+    pub alu: u64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        Self {
+            mem_issue: 4,
+            dependent_latency: 350,
+            shared_access: 2,
+            atomic_global: 24,
+            atomic_serial: 8,
+            atomic_shared: 6,
+            atomic_shared_serial: 4,
+            sync_threads: 24,
+            ballot: 2,
+            alu: 1,
+        }
+    }
+}
+
+impl DeviceSpec {
+    /// The paper's evaluation GPU: NVIDIA A100-PCIE-40GB.
+    pub fn a100() -> Self {
+        Self {
+            num_sms: 108,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            shared_mem_per_block: 48 * 1024,
+            global_mem_bytes: 40 * 1024 * 1024 * 1024,
+            mem_bandwidth_gbps: 1555.0,
+            clock_ghz: 1.41,
+            max_bytes_per_cycle_per_sm: 32.0,
+            costs: CostParams::default(),
+        }
+    }
+
+    /// A deliberately small device for unit tests: 4 SMs, 4 KB shared
+    /// memory, tight global memory — exercises capacity paths quickly.
+    pub fn tiny(global_mem_bytes: usize) -> Self {
+        Self {
+            num_sms: 4,
+            warp_size: 32,
+            max_threads_per_block: 256,
+            shared_mem_per_block: 4 * 1024,
+            global_mem_bytes,
+            mem_bandwidth_gbps: 100.0,
+            clock_ghz: 1.0,
+            max_bytes_per_cycle_per_sm: 32.0,
+            costs: CostParams::default(),
+        }
+    }
+
+    /// Global-memory bytes one SM can move per cycle: its even share of
+    /// total bandwidth, capped by the per-SM load/store ceiling. The even
+    /// share is exact when all SMs stream; the cap keeps few-SM
+    /// configurations honest (one SM cannot drain all of HBM).
+    pub fn bytes_per_cycle_per_sm(&self) -> f64 {
+        let share = (self.mem_bandwidth_gbps * 1e9) / (self.clock_ghz * 1e9) / self.num_sms as f64;
+        share.min(self.max_bytes_per_cycle_per_sm)
+    }
+
+    /// Cycles one SM needs to transfer one 128-byte transaction.
+    pub fn cycles_per_transaction(&self) -> u64 {
+        (128.0 / self.bytes_per_cycle_per_sm()).ceil() as u64
+    }
+
+    /// Converts simulated cycles to wall-clock seconds at the device clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e9)
+    }
+
+    /// Converts simulated cycles to a [`std::time::Duration`].
+    pub fn cycles_to_duration(&self, cycles: u64) -> std::time::Duration {
+        std::time::Duration::from_secs_f64(self.cycles_to_seconds(cycles))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_bandwidth_math() {
+        let spec = DeviceSpec::a100();
+        // 1555 GB/s over 108 SMs at 1.41 GHz ≈ 10.2 B/cycle/SM.
+        let bpc = spec.bytes_per_cycle_per_sm();
+        assert!((10.0..10.5).contains(&bpc), "bytes/cycle/SM = {bpc}");
+        // One 128 B transaction ≈ 13 cycles of one SM's bandwidth share.
+        assert_eq!(spec.cycles_per_transaction(), 13);
+    }
+
+    #[test]
+    fn cycle_time_conversion() {
+        let spec = DeviceSpec::a100();
+        let s = spec.cycles_to_seconds(1_410_000_000);
+        assert!((s - 1.0).abs() < 1e-9);
+        assert_eq!(spec.cycles_to_duration(1_410_000).as_millis(), 1);
+    }
+
+    #[test]
+    fn per_sm_bandwidth_is_capped() {
+        let mut spec = DeviceSpec::a100();
+        spec.num_sms = 4; // even share would be ~275 B/cycle
+        assert_eq!(spec.bytes_per_cycle_per_sm(), 32.0);
+        assert_eq!(spec.cycles_per_transaction(), 4);
+    }
+
+    #[test]
+    fn tiny_device_is_small() {
+        let spec = DeviceSpec::tiny(1 << 20);
+        assert_eq!(spec.num_sms, 4);
+        assert_eq!(spec.global_mem_bytes, 1 << 20);
+    }
+}

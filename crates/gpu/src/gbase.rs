@@ -1,0 +1,174 @@
+//! **Gbase** — the baseline GPU partitioned hash join (Sioulas et al., the
+//! paper's \[24\]), end to end on the simulator.
+//!
+//! Partition phase: two radix passes in the linked-bucket style (single
+//! scan per pass, atomic bucket cursors, an allocation atomic per bucket
+//! overflow). Join phase: one thread block per (R sub-list, S partition)
+//! pair — oversized R partitions are decomposed into sub-lists of at most
+//! the shared-memory table capacity, each of which probes the *full* S
+//! partition, with the write-bitmap output protocol synchronizing the block
+//! on every chain step. These are precisely the skew pathologies §III
+//! quantifies.
+
+use std::time::Instant;
+
+use skewjoin_common::{JoinError, JoinStats, OutputSink, Relation};
+use skewjoin_gpu_sim::Device;
+
+use crate::config::GpuJoinConfig;
+use crate::nmjoin::{build_nm_tasks, NmJoinKernel};
+use crate::pack::upload_relation;
+use crate::partition::{gpu_partition, PartitionStyle};
+use crate::{aggregate_sinks, GpuJoinOutcome};
+
+/// Runs the Gbase join on a fresh simulated device. `make_sink(slot)`
+/// builds the per-SM-slot output sinks. Phase durations in the returned
+/// stats are *simulated* device time; `simulated_cycles` carries the raw
+/// total.
+pub fn gbase_join<S, F>(
+    r: &Relation,
+    s: &Relation,
+    cfg: &GpuJoinConfig,
+    make_sink: F,
+) -> Result<GpuJoinOutcome<S>, JoinError>
+where
+    S: OutputSink,
+    F: Fn(usize) -> S,
+{
+    cfg.validate()?;
+    let mut device = Device::new(cfg.spec.clone());
+    let mut stats = JoinStats::new("Gbase");
+
+    let r_buf = upload_relation(&mut device, r).ok_or_else(|| {
+        JoinError::GpuResourceExhausted(format!(
+            "table R ({} tuples) exceeds global memory",
+            r.len()
+        ))
+    })?;
+    let s_buf = upload_relation(&mut device, s).ok_or_else(|| {
+        JoinError::GpuResourceExhausted(format!(
+            "table S ({} tuples) exceeds global memory",
+            s.len()
+        ))
+    })?;
+
+    let radix = cfg.derived_radix(r.len().max(s.len()).max(1));
+    let capacity = cfg.derived_table_capacity();
+    let style = PartitionStyle::LinkedBuckets {
+        bucket_capacity: cfg.bucket_capacity,
+    };
+
+    // ---- Partition phase (simulated time). ----
+    let c0 = device.total_cycles();
+    let parted_r = gpu_partition(&mut device, r_buf, &radix, style, cfg.block_dim);
+    let parted_s = gpu_partition(&mut device, s_buf, &radix, style, cfg.block_dim);
+    stats.phases.record(
+        "partition",
+        device.spec().cycles_to_duration(device.total_cycles() - c0),
+    );
+    stats.partitions = parted_r.partitions();
+
+    // ---- Join phase: sub-list decomposition + write-bitmap probe. ----
+    let c1 = device.total_cycles();
+    let host_t = Instant::now();
+    let tasks = build_nm_tasks(
+        parted_r.buf,
+        &parted_r.starts,
+        parted_s.buf,
+        &parted_s.starts,
+        capacity,
+    );
+    let mut sinks: Vec<S> = (0..device.spec().num_sms).map(&make_sink).collect();
+    if !tasks.is_empty() {
+        let mut kernel = NmJoinKernel::new(&tasks, &mut sinks);
+        device.launch("gbase_join", tasks.len(), cfg.block_dim, &mut kernel);
+    }
+    stats.phases.record(
+        "join",
+        device.spec().cycles_to_duration(device.total_cycles() - c1),
+    );
+    // Host-side simulation time is not part of the model; drop it.
+    let _ = host_t.elapsed();
+
+    stats.simulated_cycles = device.total_cycles();
+    let timeline = device.render_timeline();
+    aggregate_sinks(&mut stats, &sinks);
+    Ok(GpuJoinOutcome {
+        stats,
+        sinks,
+        timeline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skewjoin_common::CountingSink;
+    use skewjoin_cpu::reference_join;
+    use skewjoin_datagen::{PaperWorkload, WorkloadSpec};
+    use skewjoin_gpu_sim::DeviceSpec;
+
+    fn small_cfg() -> GpuJoinConfig {
+        GpuJoinConfig {
+            spec: DeviceSpec::tiny(1 << 26),
+            block_dim: 64,
+            ..GpuJoinConfig::default()
+        }
+    }
+
+    fn assert_matches_reference(r: &Relation, s: &Relation, cfg: &GpuJoinConfig) -> JoinStats {
+        let outcome = gbase_join(r, s, cfg, |_| CountingSink::new()).unwrap();
+        let mut reference = CountingSink::new();
+        let ref_stats = reference_join(r, s, &mut reference);
+        assert_eq!(outcome.stats.result_count, ref_stats.result_count);
+        assert_eq!(outcome.stats.checksum, ref_stats.checksum);
+        outcome.stats
+    }
+
+    #[test]
+    fn matches_reference_across_skews() {
+        for zipf in [0.0, 0.75, 1.0] {
+            let w = PaperWorkload::generate(WorkloadSpec::paper(4096, zipf, 31));
+            assert_matches_reference(&w.r, &w.s, &small_cfg());
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let cfg = small_cfg();
+        let e = Relation::new();
+        let r = Relation::from_keys(&[1, 2]);
+        let out = gbase_join(&e, &r, &cfg, |_| CountingSink::new()).unwrap();
+        assert_eq!(out.stats.result_count, 0);
+        let out = gbase_join(&r, &e, &cfg, |_| CountingSink::new()).unwrap();
+        assert_eq!(out.stats.result_count, 0);
+    }
+
+    #[test]
+    fn join_time_grows_with_skew() {
+        let lo = PaperWorkload::generate(WorkloadSpec::paper(1 << 13, 0.2, 7));
+        let hi = PaperWorkload::generate(WorkloadSpec::paper(1 << 13, 1.0, 7));
+        let cfg = small_cfg();
+        let a = assert_matches_reference(&lo.r, &lo.s, &cfg);
+        let b = assert_matches_reference(&hi.r, &hi.s, &cfg);
+        let ja = a.phases.get("join");
+        let jb = b.phases.get("join");
+        assert!(jb > ja * 3, "high-skew join {jb:?} not ≫ low-skew {ja:?}");
+        // Partition time must stay comparatively stable.
+        let pa = a.phases.get("partition");
+        let pb = b.phases.get("partition");
+        assert!(pb < pa * 3, "partition {pb:?} vs {pa:?}");
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let cfg = GpuJoinConfig {
+            spec: DeviceSpec::tiny(64),
+            block_dim: 64,
+            ..GpuJoinConfig::default()
+        };
+        let r = Relation::from_keys(&(0..1000).collect::<Vec<_>>());
+        let err = gbase_join(&r, &r, &cfg, |_| CountingSink::new()).unwrap_err();
+        assert!(matches!(err, JoinError::GpuResourceExhausted(_)));
+    }
+}

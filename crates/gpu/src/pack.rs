@@ -1,0 +1,79 @@
+//! Packing 8-byte tuples into the simulator's `u64` device words.
+//!
+//! A device tuple is `key | payload << 32` — the same layout a CUDA kernel
+//! gets from an 8-byte vectorized load of a `{u32 key; u32 payload;}`
+//! struct.
+
+use skewjoin_common::{Key, Payload, Relation, Tuple};
+use skewjoin_gpu_sim::{BufferId, Device};
+
+/// Packs a tuple into a device word.
+#[inline(always)]
+pub fn pack(t: Tuple) -> u64 {
+    (t.key as u64) | ((t.payload as u64) << 32)
+}
+
+/// Unpacks a device word into a tuple.
+#[inline(always)]
+pub fn unpack(word: u64) -> Tuple {
+    Tuple::new(word as Key, (word >> 32) as Payload)
+}
+
+/// Key half of a packed tuple.
+#[inline(always)]
+pub fn key_of(word: u64) -> Key {
+    word as Key
+}
+
+/// Payload half of a packed tuple.
+#[inline(always)]
+pub fn payload_of(word: u64) -> Payload {
+    (word >> 32) as Payload
+}
+
+/// Uploads a relation into a fresh device buffer (host-side transfer; the
+/// paper joins GPU-resident data, so no cost is charged).
+///
+/// Returns `None` if the device is out of global memory.
+pub fn upload_relation(device: &mut Device, relation: &Relation) -> Option<BufferId> {
+    let buf = device.memory.alloc(relation.len(), 8)?;
+    let words: Vec<u64> = relation.iter().map(|&t| pack(t)).collect();
+    device.memory.host_upload(buf, 0, &words);
+    Some(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skewjoin_gpu_sim::DeviceSpec;
+
+    #[test]
+    fn pack_roundtrip() {
+        for t in [
+            Tuple::new(0, 0),
+            Tuple::new(u32::MAX, 0),
+            Tuple::new(0, u32::MAX),
+            Tuple::new(0xDEAD_BEEF, 0x1234_5678),
+        ] {
+            assert_eq!(unpack(pack(t)), t);
+            assert_eq!(key_of(pack(t)), t.key);
+            assert_eq!(payload_of(pack(t)), t.payload);
+        }
+    }
+
+    #[test]
+    fn upload_places_all_tuples() {
+        let mut dev = Device::new(DeviceSpec::tiny(1 << 16));
+        let rel = Relation::from_keys(&[3, 1, 4, 1, 5]);
+        let buf = upload_relation(&mut dev, &rel).unwrap();
+        assert_eq!(dev.memory.len(buf), 5);
+        assert_eq!(unpack(dev.memory.host_read(buf, 2)), Tuple::new(4, 2));
+    }
+
+    #[test]
+    fn upload_fails_when_out_of_memory() {
+        let mut dev = Device::new(DeviceSpec::tiny(16));
+        let rel = Relation::from_keys(&[1, 2, 3]);
+        assert!(upload_relation(&mut dev, &rel).is_none());
+    }
+}

@@ -1,0 +1,605 @@
+//! GSH's post-partition skew machinery (§IV-B steps 2–3 and 5):
+//! sampling-based detection in large partitions, splitting large partitions
+//! into per-skewed-key arrays plus a normal residue, and the dedicated
+//! skew-output kernel (one thread block per skewed R tuple).
+
+use skewjoin_common::hash::mix32;
+use skewjoin_common::{Key, OutputSink};
+use skewjoin_gpu_sim::{BlockCtx, BufferId, Device, Kernel};
+
+use crate::config::GpuSkewConfig;
+use crate::pack::{key_of, payload_of};
+use crate::partition::DevicePartitioned;
+
+/// Skewed keys detected in one large partition.
+#[derive(Debug, Clone)]
+pub struct DetectedSkew {
+    /// The partition id.
+    pub pid: usize,
+    /// Up to `top_k` keys, most frequent in the sample first.
+    pub keys: Vec<Key>,
+}
+
+/// Samples each large partition (~1 %), counts key frequencies in a
+/// linear-probing shared-memory table, and returns the top-k keys per
+/// partition (§IV-B step 2). One block per large partition.
+pub fn detect_skew(
+    device: &mut Device,
+    parted_r: &DevicePartitioned,
+    large_pids: &[usize],
+    cfg: &GpuSkewConfig,
+    block_dim: usize,
+) -> Vec<DetectedSkew> {
+    if large_pids.is_empty() {
+        return Vec::new();
+    }
+    let results = match cfg.detection {
+        crate::config::GpuDetectionMode::Sampled => {
+            let mut kernel = SampleKernel {
+                parted: parted_r,
+                pids: large_pids,
+                cfg,
+                results: vec![Vec::new(); large_pids.len()],
+                scratch_idx: Vec::new(),
+                scratch_vals: Vec::new(),
+            };
+            device.launch("gsh_detect", large_pids.len(), block_dim, &mut kernel);
+            kernel.results
+        }
+        crate::config::GpuDetectionMode::Exact => {
+            let mut kernel = ExactCountKernel {
+                parted: parted_r,
+                pids: large_pids,
+                top_k: cfg.top_k,
+                results: vec![Vec::new(); large_pids.len()],
+            };
+            device.launch("gsh_detect_exact", large_pids.len(), block_dim, &mut kernel);
+            kernel.results
+        }
+    };
+    large_pids
+        .iter()
+        .zip(results)
+        .map(|(&pid, keys)| DetectedSkew { pid, keys })
+        .collect()
+}
+
+/// Exact detection: hash every tuple of the partition through a
+/// global-memory count table (one global atomic per tuple — the cost the
+/// paper's sampling avoids), then take the true top-k.
+struct ExactCountKernel<'a> {
+    parted: &'a DevicePartitioned,
+    pids: &'a [usize],
+    top_k: usize,
+    results: Vec<Vec<Key>>,
+}
+
+impl Kernel for ExactCountKernel<'_> {
+    fn block(&mut self, ctx: &mut BlockCtx<'_>) {
+        let pid = self.pids[ctx.block_idx];
+        let range = self.parted.range(pid);
+        let len = range.len();
+        if len == 0 {
+            return;
+        }
+        // Stream the partition (coalesced) and charge one global atomic per
+        // warp with moderate serialization (hot keys collide on a counter).
+        ctx.account_contiguous_read(self.parted.buf, len);
+        let warp = ctx.warp_size() as u64;
+        let warps = (len as u64).div_ceil(warp);
+        ctx.alu(warps * 2);
+        ctx.charge_global_atomics(warps, 4);
+
+        // Functional exact counts.
+        let mut counts: std::collections::HashMap<Key, u64> = std::collections::HashMap::new();
+        for i in range {
+            let key = key_of(ctx.read_run(self.parted.buf, i));
+            *counts.entry(key).or_default() += 1;
+        }
+        // Top-k scan of the count table (read back, coalesced).
+        ctx.account_contiguous_read(self.parted.buf, counts.len().min(len));
+        let mut entries: Vec<(u64, Key)> = counts.into_iter().map(|(k, c)| (c, k)).collect();
+        entries.sort_unstable_by(|a, b| b.cmp(a));
+        self.results[ctx.block_idx] = entries
+            .into_iter()
+            .filter(|&(c, _)| c >= 2)
+            .take(self.top_k)
+            .map(|(_, k)| k)
+            .collect();
+        ctx.account_stream_bytes((self.top_k * 8) as u64);
+    }
+}
+
+struct SampleKernel<'a> {
+    parted: &'a DevicePartitioned,
+    pids: &'a [usize],
+    cfg: &'a GpuSkewConfig,
+    results: Vec<Vec<Key>>,
+    scratch_idx: Vec<usize>,
+    scratch_vals: Vec<u64>,
+}
+
+impl Kernel for SampleKernel<'_> {
+    fn block(&mut self, ctx: &mut BlockCtx<'_>) {
+        let pid = self.pids[ctx.block_idx];
+        let range = self.parted.range(pid);
+        let len = range.len();
+        if len == 0 {
+            return;
+        }
+        let samples = ((len as f64 * self.cfg.sample_rate).round() as usize).clamp(1, len);
+        let stride = len / samples;
+
+        // Linear-probing frequency table in shared memory (key, count).
+        let cap = (samples * 2).next_power_of_two().max(8);
+        let table_region = ctx.try_shared_alloc(cap, 8);
+        // If the sample table would not fit (enormous partition), fall back
+        // to a smaller capacity — the hardware code would clamp likewise.
+        let cap = if table_region.is_some() {
+            cap
+        } else {
+            let fit = (ctx.spec().shared_mem_per_block - ctx.shared_used()) / 8;
+            let c = fit.next_power_of_two() / 2;
+            ctx.shared_alloc(c, 8);
+            c
+        };
+        let mask = cap - 1;
+        let mut keys = vec![0u32; cap];
+        let mut counts = vec![0u32; cap];
+
+        // Strided sampling: scattered reads (charged as such).
+        let warp = ctx.warp_size();
+        let mut j = 0usize;
+        while j < samples {
+            let hi = (j + warp).min(samples);
+            self.scratch_idx.clear();
+            self.scratch_idx
+                .extend((j..hi).map(|k| range.start + (k * stride).min(len - 1)));
+            ctx.warp_gather(self.parted.buf, &self.scratch_idx, &mut self.scratch_vals);
+            ctx.alu(2);
+            for &w in &self.scratch_vals {
+                let key = key_of(w);
+                let mut slot = (mix32(key) as usize) & mask;
+                let mut probes = 1u64;
+                loop {
+                    if counts[slot] == 0 {
+                        keys[slot] = key;
+                        counts[slot] = 1;
+                        break;
+                    }
+                    if keys[slot] == key {
+                        counts[slot] += 1;
+                        break;
+                    }
+                    slot = (slot + 1) & mask;
+                    probes += 1;
+                }
+                ctx.charge_shared_accesses(probes);
+            }
+            // One insert atomic per warp (amortized view of per-lane CAS).
+            ctx.charge_shared_atomics(1, 2);
+            j = hi;
+        }
+        ctx.syncthreads();
+
+        // Top-k scan over the table.
+        ctx.charge_shared_accesses((cap as u64).div_ceil(warp as u64));
+        ctx.alu((cap as u64).div_ceil(warp as u64));
+        let mut entries: Vec<(u32, Key)> = keys
+            .iter()
+            .zip(counts.iter())
+            .filter(|(_, &c)| c > 0)
+            .map(|(&k, &c)| (c, k))
+            .collect();
+        entries.sort_unstable_by(|a, b| b.cmp(a));
+        // Only keys sampled more than once qualify — a singleton sample
+        // carries no evidence of skew.
+        let top: Vec<Key> = entries
+            .into_iter()
+            .filter(|&(c, _)| c >= 2)
+            .take(self.cfg.top_k)
+            .map(|(_, k)| k)
+            .collect();
+        // Write the result row to global memory for the host.
+        ctx.account_stream_bytes((self.cfg.top_k * 8) as u64);
+        self.results[ctx.block_idx] = top;
+    }
+}
+
+/// One large partition divided into per-skewed-key arrays and a normal
+/// residue (§IV-B step 3).
+#[derive(Debug, Clone)]
+pub struct SplitPartition {
+    /// The source partition id.
+    pub pid: usize,
+    /// The skewed keys (same order as `skew_starts` segments).
+    pub keys: Vec<Key>,
+    /// Device buffer holding all skewed-key arrays back to back.
+    pub skew_buf: BufferId,
+    /// Array boundaries within `skew_buf` (length = keys + 1).
+    pub skew_starts: Vec<usize>,
+    /// Device buffer holding the normal residue.
+    pub norm_buf: BufferId,
+    /// Residue length in tuples.
+    pub norm_len: usize,
+}
+
+/// Splits partition `pid` of `parted` by `keys` with a count kernel + a
+/// contention-free scatter kernel (the same count-then-scatter discipline
+/// as GSH's partitioning).
+pub fn split_large_partition(
+    device: &mut Device,
+    parted: &DevicePartitioned,
+    pid: usize,
+    keys: &[Key],
+    block_dim: usize,
+    label: &str,
+) -> SplitPartition {
+    let range = parted.range(pid);
+
+    // Host mirror for cursor planning (the kernels do the costed work).
+    let words: Vec<u64> = device.memory.host_slice(parted.buf)[range.clone()].to_vec();
+    let mut key_counts = vec![0usize; keys.len()];
+    let mut norm_len = 0usize;
+    for &w in &words {
+        match keys.iter().position(|&k| k == key_of(w)) {
+            Some(i) => key_counts[i] += 1,
+            None => norm_len += 1,
+        }
+    }
+    let mut skew_starts = Vec::with_capacity(keys.len() + 1);
+    let mut acc = 0usize;
+    for &c in &key_counts {
+        skew_starts.push(acc);
+        acc += c;
+    }
+    skew_starts.push(acc);
+
+    let skew_buf = device
+        .memory
+        .alloc(acc.max(1), 8)
+        .expect("device out of memory for skew arrays");
+    let norm_buf = device
+        .memory
+        .alloc(norm_len.max(1), 8)
+        .expect("device out of memory for normal residue");
+
+    let mut kernel = SplitKernel {
+        src: parted.buf,
+        range: range.clone(),
+        keys,
+        skew_buf,
+        skew_cursors: skew_starts[..keys.len()].to_vec(),
+        norm_buf,
+        norm_cursor: 0,
+        block_dim,
+        scratch_idx: Vec::new(),
+        scratch_vals: Vec::new(),
+        scratch_writes: Vec::new(),
+    };
+    // Count pass + scatter pass: the count is charged as a first streaming
+    // launch, the scatter does the real work.
+    let chunks = range.len().div_ceil(block_dim * 8).max(1);
+    let mut count_pass = CountOnlyKernel {
+        src: parted.buf,
+        range,
+        keys_len: keys.len(),
+        block_dim,
+    };
+    device.launch(
+        &format!("{label}_count"),
+        chunks,
+        block_dim,
+        &mut count_pass,
+    );
+    device.launch(&format!("{label}_scatter"), chunks, block_dim, &mut kernel);
+
+    SplitPartition {
+        pid,
+        keys: keys.to_vec(),
+        skew_buf,
+        skew_starts,
+        norm_buf,
+        norm_len,
+    }
+}
+
+/// Count pass of the split: streams the partition comparing each tuple with
+/// the ≤ k skewed keys (registers), accumulating per-block counters.
+struct CountOnlyKernel {
+    src: BufferId,
+    range: std::ops::Range<usize>,
+    keys_len: usize,
+    block_dim: usize,
+}
+
+impl Kernel for CountOnlyKernel {
+    fn block(&mut self, ctx: &mut BlockCtx<'_>) {
+        let chunk = self.block_dim * 8;
+        let lo = self.range.start + ctx.block_idx * chunk;
+        let hi = (lo + chunk).min(self.range.end);
+        if lo >= hi {
+            return;
+        }
+        ctx.account_contiguous_read(self.src, hi - lo);
+        // k comparisons per tuple, one warp instruction per key per warp.
+        let warps = ((hi - lo) as u64).div_ceil(ctx.warp_size() as u64);
+        ctx.alu(warps * self.keys_len.max(1) as u64);
+        // Flush the (k + 1) per-block counters.
+        ctx.account_stream_bytes(((self.keys_len + 1) * 4) as u64);
+    }
+}
+
+/// Scatter pass of the split. Cursors are shared across blocks here (the
+/// host precomputed a single cursor set); contention-free because blocks
+/// run in block order in the simulator — the modeled cost is identical to
+/// per-block prefix-summed cursors.
+struct SplitKernel<'a> {
+    src: BufferId,
+    range: std::ops::Range<usize>,
+    keys: &'a [Key],
+    skew_buf: BufferId,
+    skew_cursors: Vec<usize>,
+    norm_buf: BufferId,
+    norm_cursor: usize,
+    block_dim: usize,
+    scratch_idx: Vec<usize>,
+    scratch_vals: Vec<u64>,
+    scratch_writes: Vec<(usize, u64)>,
+}
+
+impl Kernel for SplitKernel<'_> {
+    fn block(&mut self, ctx: &mut BlockCtx<'_>) {
+        let chunk = self.block_dim * 8;
+        let lo = self.range.start + ctx.block_idx * chunk;
+        let hi = (lo + chunk).min(self.range.end);
+        if lo >= hi {
+            return;
+        }
+        let warp = ctx.warp_size();
+        let mut i = lo;
+        while i < hi {
+            let end = (i + warp).min(hi);
+            self.scratch_idx.clear();
+            self.scratch_idx.extend(i..end);
+            ctx.warp_gather(self.src, &self.scratch_idx, &mut self.scratch_vals);
+            ctx.alu(self.keys.len().max(1) as u64);
+
+            // Partition the warp's tuples between skew arrays and residue.
+            self.scratch_writes.clear();
+            let mut norm_writes: Vec<(usize, u64)> = Vec::new();
+            for &w in &self.scratch_vals {
+                match self.keys.iter().position(|&k| k == key_of(w)) {
+                    Some(ki) => {
+                        self.scratch_writes.push((self.skew_cursors[ki], w));
+                        self.skew_cursors[ki] += 1;
+                    }
+                    None => {
+                        norm_writes.push((self.norm_cursor, w));
+                        self.norm_cursor += 1;
+                    }
+                }
+            }
+            if !self.scratch_writes.is_empty() {
+                ctx.warp_scatter(self.skew_buf, &self.scratch_writes);
+            }
+            if !norm_writes.is_empty() {
+                ctx.warp_scatter(self.norm_buf, &norm_writes);
+            }
+            i = end;
+        }
+    }
+}
+
+/// One skew-output block task: one skewed R tuple crossed with the matching
+/// skewed S array (§IV-B step 5).
+#[derive(Debug, Clone)]
+pub struct SkewOutputTask {
+    /// The skewed key.
+    pub key: Key,
+    /// The packed R tuple this block owns.
+    pub r_word: u64,
+    /// Buffer holding the skewed S array.
+    pub s_buf: BufferId,
+    /// The S array range.
+    pub s_range: std::ops::Range<usize>,
+}
+
+/// The skew-output kernel: block `i` streams `tasks[i]`'s S array with
+/// coalesced reads and writes the cross-product results — no per-tuple
+/// synchronization, no hash probing, no key verification.
+pub struct SkewJoinKernel<'a, S> {
+    /// One task per block.
+    pub tasks: &'a [SkewOutputTask],
+    /// Per-SM-slot sinks.
+    pub sinks: &'a mut [S],
+}
+
+impl<S: OutputSink> Kernel for SkewJoinKernel<'_, S> {
+    fn block(&mut self, ctx: &mut BlockCtx<'_>) {
+        let task = &self.tasks[ctx.block_idx];
+        if task.s_range.is_empty() {
+            return;
+        }
+        // One read for the block's own R tuple.
+        ctx.account_stream_bytes(8);
+        let r_payload = payload_of(task.r_word);
+        let sink = &mut self.sinks[ctx.sm_slot];
+
+        let block_dim = ctx.block_dim;
+        let mut s = task.s_range.start;
+        while s < task.s_range.end {
+            let end = (s + block_dim).min(task.s_range.end);
+            let len = end - s;
+            ctx.account_contiguous_read(task.s_buf, len);
+            for idx in s..end {
+                let sw = ctx.read_run(task.s_buf, idx);
+                sink.emit(task.key, r_payload, payload_of(sw));
+            }
+            ctx.alu((len as u64).div_ceil(ctx.warp_size() as u64));
+            // Fully coalesced output write.
+            ctx.account_stream_bytes(len as u64 * 12);
+            s = end;
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use crate::pack::{pack, upload_relation};
+    use skewjoin_common::{CountingSink, Relation, Tuple};
+    use skewjoin_gpu_sim::DeviceSpec;
+
+    fn device() -> Device {
+        Device::new(DeviceSpec::tiny(1 << 24))
+    }
+
+    fn single_partition(device: &mut Device, rel: &Relation) -> DevicePartitioned {
+        let buf = upload_relation(device, rel).unwrap();
+        DevicePartitioned {
+            buf,
+            starts: vec![0, rel.len()],
+        }
+    }
+
+    #[test]
+    fn detects_dominant_keys() {
+        let mut dev = device();
+        let mut keys = vec![100u32; 3000];
+        keys.extend(vec![200u32; 2000]);
+        keys.extend(0..3000u32);
+        let rel = Relation::from_keys(&keys);
+        let parted = single_partition(&mut dev, &rel);
+        let found = detect_skew(&mut dev, &parted, &[0], &GpuSkewConfig::default(), 64);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].keys.contains(&100), "keys: {:?}", found[0].keys);
+        assert!(found[0].keys.contains(&200));
+        assert!(found[0].keys.len() <= 3);
+    }
+
+    #[test]
+    fn no_large_partitions_no_work() {
+        let mut dev = device();
+        let before = dev.total_cycles();
+        let found = detect_skew(
+            &mut dev,
+            &DevicePartitioned {
+                buf: BufferId::from_raw_for_tests(0),
+                starts: vec![0],
+            },
+            &[],
+            &GpuSkewConfig::default(),
+            64,
+        );
+        assert!(found.is_empty());
+        assert_eq!(dev.total_cycles(), before);
+    }
+
+    #[test]
+    fn uniform_partition_detects_nothing() {
+        let mut dev = device();
+        let keys: Vec<u32> = (0..5000).collect();
+        let rel = Relation::from_keys(&keys);
+        let parted = single_partition(&mut dev, &rel);
+        let found = detect_skew(&mut dev, &parted, &[0], &GpuSkewConfig::default(), 64);
+        assert!(
+            found[0].keys.is_empty(),
+            "uniform data flagged {:?}",
+            found[0].keys
+        );
+    }
+
+    #[test]
+    fn exact_detection_finds_true_top_keys() {
+        let mut dev = device();
+        let mut keys = vec![100u32; 3000];
+        keys.extend(vec![200u32; 2000]);
+        keys.extend(0..3000u32);
+        let rel = Relation::from_keys(&keys);
+        let parted = single_partition(&mut dev, &rel);
+        let mut cfg = GpuSkewConfig::default();
+        cfg.detection = crate::config::GpuDetectionMode::Exact;
+        let found = detect_skew(&mut dev, &parted, &[0], &cfg, 64);
+        assert_eq!(found[0].keys[0], 100, "exact top-1 must be the hottest key");
+        assert_eq!(found[0].keys[1], 200);
+    }
+
+    #[test]
+    fn exact_detection_costs_more_than_sampling() {
+        let keys: Vec<u32> = (0..20_000u32).map(|i| i % 500).collect();
+        let rel = Relation::from_keys(&keys);
+
+        let mut dev_a = device();
+        let parted_a = single_partition(&mut dev_a, &rel);
+        detect_skew(&mut dev_a, &parted_a, &[0], &GpuSkewConfig::default(), 64);
+
+        let mut dev_b = device();
+        let parted_b = single_partition(&mut dev_b, &rel);
+        let mut cfg = GpuSkewConfig::default();
+        cfg.detection = crate::config::GpuDetectionMode::Exact;
+        detect_skew(&mut dev_b, &parted_b, &[0], &cfg, 64);
+
+        assert!(
+            dev_b.total_cycles() > dev_a.total_cycles(),
+            "exact {} ≤ sampled {}",
+            dev_b.total_cycles(),
+            dev_a.total_cycles()
+        );
+    }
+
+    #[test]
+    fn split_separates_skewed_and_normal() {
+        let mut dev = device();
+        let mut keys = vec![7u32; 500];
+        keys.extend(vec![9u32; 300]);
+        keys.extend(1000..1200u32);
+        let rel = Relation::from_keys(&keys);
+        let parted = single_partition(&mut dev, &rel);
+        let split = split_large_partition(&mut dev, &parted, 0, &[7, 9], 64, "split");
+
+        assert_eq!(split.skew_starts, vec![0, 500, 800]);
+        assert_eq!(split.norm_len, 200);
+        // Array 0 = key 7, array 1 = key 9.
+        for i in 0..500 {
+            assert_eq!(key_of(dev.memory.host_read(split.skew_buf, i)), 7);
+        }
+        for i in 500..800 {
+            assert_eq!(key_of(dev.memory.host_read(split.skew_buf, i)), 9);
+        }
+        for i in 0..200 {
+            let k = key_of(dev.memory.host_read(split.norm_buf, i));
+            assert!((1000..1200).contains(&k));
+        }
+    }
+
+    #[test]
+    fn skew_kernel_emits_cross_product() {
+        let mut dev = device();
+        let s_rel = Relation::from_tuples((0..100).map(|i| Tuple::new(7, i)).collect());
+        let s_buf = upload_relation(&mut dev, &s_rel).unwrap();
+        // 10 R tuples → 10 blocks, each emitting 100 results.
+        let tasks: Vec<SkewOutputTask> = (0..10)
+            .map(|i| SkewOutputTask {
+                key: 7,
+                r_word: pack(Tuple::new(7, i)),
+                s_buf,
+                s_range: 0..100,
+            })
+            .collect();
+        let mut sinks: Vec<CountingSink> = (0..dev.spec().num_sms)
+            .map(|_| CountingSink::new())
+            .collect();
+        let mut kernel = SkewJoinKernel {
+            tasks: &tasks,
+            sinks: &mut sinks,
+        };
+        let stats = dev.launch("skew", tasks.len(), 64, &mut kernel);
+        let total: u64 = sinks.iter().map(|s| s.count()).sum();
+        assert_eq!(total, 1000);
+        // No synchronization in this phase.
+        assert_eq!(stats.metrics.barriers, 0);
+        assert_eq!(stats.metrics.sync_cycles, 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests on the GPU partitioning kernels: both cost styles must
+//! produce exact partitionings for arbitrary inputs, and the directory must
+//! agree with `final_pid`.
+
+use proptest::prelude::*;
+
+use skewjoin_common::hash::RadixConfig;
+use skewjoin_common::{Relation, Tuple};
+use skewjoin_gpu::pack::{unpack, upload_relation};
+use skewjoin_gpu::partition::{final_pid, gpu_partition, PartitionStyle};
+use skewjoin_gpu_sim::{Device, DeviceSpec};
+
+fn check(keys: &[u32], bits: u32, style: PartitionStyle, block_dim: usize) -> Result<(), String> {
+    let rel = Relation::from_keys(keys);
+    let mut dev = Device::new(DeviceSpec::tiny(1 << 24));
+    let buf = upload_relation(&mut dev, &rel).ok_or("alloc failed")?;
+    let cfg = RadixConfig::two_pass(bits);
+    let parted = gpu_partition(&mut dev, buf, &cfg, style, block_dim);
+
+    if *parted.starts.last().unwrap() != rel.len() {
+        return Err("directory total mismatch".into());
+    }
+    // Multiset preserved.
+    let mut got: Vec<Tuple> = dev
+        .memory
+        .host_slice(parted.buf)
+        .iter()
+        .map(|&w| unpack(w))
+        .collect();
+    let mut orig = rel.tuples().to_vec();
+    got.sort_unstable_by_key(|t| (t.key, t.payload));
+    orig.sort_unstable_by_key(|t| (t.key, t.payload));
+    if got != orig {
+        return Err("multiset changed".into());
+    }
+    // Placement agrees with final_pid.
+    for pid in 0..parted.partitions() {
+        for i in parted.range(pid) {
+            let t = unpack(dev.memory.host_read(parted.buf, i));
+            if final_pid(&cfg, t.key) != pid {
+                return Err(format!("tuple {t:?} misplaced in {pid}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn count_scatter_partitions_exactly(
+        keys in prop::collection::vec(any::<u32>(), 0..600),
+        bits in 2u32..8,
+    ) {
+        check(&keys, bits, PartitionStyle::CountScatter, 64)
+            .map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn linked_buckets_partitions_exactly(
+        keys in prop::collection::vec(0u32..64, 0..600), // collision-heavy
+        bits in 2u32..8,
+        bucket_capacity in 1usize..100,
+    ) {
+        check(
+            &keys,
+            bits,
+            PartitionStyle::LinkedBuckets { bucket_capacity },
+            32,
+        )
+        .map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn styles_produce_identical_directories(
+        keys in prop::collection::vec(any::<u32>(), 1..400),
+        bits in 2u32..6,
+    ) {
+        let rel = Relation::from_keys(&keys);
+        let cfg = RadixConfig::two_pass(bits);
+
+        let mut dev_a = Device::new(DeviceSpec::tiny(1 << 24));
+        let buf_a = upload_relation(&mut dev_a, &rel).unwrap();
+        let a = gpu_partition(&mut dev_a, buf_a, &cfg, PartitionStyle::CountScatter, 64);
+
+        let mut dev_b = Device::new(DeviceSpec::tiny(1 << 24));
+        let buf_b = upload_relation(&mut dev_b, &rel).unwrap();
+        let b = gpu_partition(
+            &mut dev_b,
+            buf_b,
+            &cfg,
+            PartitionStyle::LinkedBuckets { bucket_capacity: 32 },
+            64,
+        );
+        prop_assert_eq!(&a.starts, &b.starts);
+    }
+}

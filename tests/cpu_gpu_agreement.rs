@@ -1,0 +1,158 @@
+//! CPU ↔ GPU cross-validation under varied GPU configurations: device
+//! specs, block sizes, explicit radix fan-outs, and skew parameters must
+//! never change the result set.
+
+use skewjoin::common::hash::RadixConfig;
+use skewjoin::prelude::*;
+
+fn cpu_truth(r: &Relation, s: &Relation) -> (u64, u64) {
+    let stats = skewjoin::run_cpu_join(
+        CpuAlgorithm::Csh,
+        r,
+        s,
+        &CpuJoinConfig::with_threads(4),
+        SinkSpec::Count,
+    )
+    .unwrap();
+    (stats.result_count, stats.checksum)
+}
+
+fn check_gpu(r: &Relation, s: &Relation, cfg: &GpuJoinConfig, label: &str) {
+    let (count, checksum) = cpu_truth(r, s);
+    for algo in GpuAlgorithm::ALL {
+        let stats = skewjoin::run_gpu_join(algo, r, s, cfg, SinkSpec::Count)
+            .unwrap_or_else(|e| panic!("{label}/{algo}: {e}"));
+        assert_eq!(stats.result_count, count, "{label}/{algo} count");
+        assert_eq!(stats.checksum, checksum, "{label}/{algo} checksum");
+    }
+}
+
+#[test]
+fn agreement_on_a100_profile() {
+    let w = PaperWorkload::generate(WorkloadSpec::paper(1 << 13, 0.9, 3));
+    check_gpu(&w.r, &w.s, &GpuJoinConfig::default(), "a100");
+}
+
+#[test]
+fn agreement_across_block_dims() {
+    let w = PaperWorkload::generate(WorkloadSpec::paper(4096, 0.8, 5));
+    // The tiny test device caps blocks at 256 threads.
+    for block_dim in [32, 128, 256] {
+        let cfg = GpuJoinConfig {
+            spec: DeviceSpec::tiny(1 << 26),
+            block_dim,
+            ..GpuJoinConfig::default()
+        };
+        check_gpu(&w.r, &w.s, &cfg, &format!("block_dim={block_dim}"));
+    }
+}
+
+#[test]
+fn agreement_with_explicit_radix() {
+    let w = PaperWorkload::generate(WorkloadSpec::paper(4096, 1.0, 7));
+    for bits in [3, 8] {
+        let cfg = GpuJoinConfig {
+            spec: DeviceSpec::tiny(1 << 26),
+            block_dim: 64,
+            radix: Some(RadixConfig::two_pass(bits)),
+            ..GpuJoinConfig::default()
+        };
+        check_gpu(&w.r, &w.s, &cfg, &format!("radix={bits}"));
+    }
+}
+
+#[test]
+fn agreement_with_tiny_table_capacity() {
+    // Force sub-list decomposition (Gbase) and skew splitting (GSH) even at
+    // small scale by shrinking the table capacity.
+    let w = PaperWorkload::generate(WorkloadSpec::paper(4096, 1.0, 11));
+    let cfg = GpuJoinConfig {
+        spec: DeviceSpec::tiny(1 << 26),
+        block_dim: 64,
+        table_capacity: Some(128),
+        ..GpuJoinConfig::default()
+    };
+    check_gpu(&w.r, &w.s, &cfg, "capacity=128");
+}
+
+#[test]
+fn agreement_with_aggressive_skew_params() {
+    let w = PaperWorkload::generate(WorkloadSpec::paper(4096, 0.9, 13));
+    let mut cfg = GpuJoinConfig {
+        spec: DeviceSpec::tiny(1 << 26),
+        block_dim: 64,
+        table_capacity: Some(256),
+        ..GpuJoinConfig::default()
+    };
+    cfg.skew.sample_rate = 0.2;
+    cfg.skew.top_k = 8;
+    check_gpu(&w.r, &w.s, &cfg, "aggressive-skew");
+}
+
+#[test]
+fn gpu_memory_high_water_reported() {
+    // Verify the simulator's memory accounting through a join: two tables
+    // plus partition buffers must be reflected in the high-water mark.
+    let w = PaperWorkload::generate(WorkloadSpec::paper(2048, 0.5, 17));
+    let cfg = GpuJoinConfig {
+        spec: DeviceSpec::tiny(1 << 24),
+        block_dim: 64,
+        ..GpuJoinConfig::default()
+    };
+    // Runs without GpuResourceExhausted.
+    for algo in GpuAlgorithm::ALL {
+        skewjoin::run_gpu_join(algo, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
+    }
+    // And genuinely fails when memory cannot hold the tables.
+    let small = GpuJoinConfig {
+        spec: DeviceSpec::tiny(1 << 10),
+        block_dim: 64,
+        ..GpuJoinConfig::default()
+    };
+    let err =
+        skewjoin::run_gpu_join(GpuAlgorithm::Gsh, &w.r, &w.s, &small, SinkSpec::Count).unwrap_err();
+    assert!(matches!(err, JoinError::GpuResourceExhausted(_)));
+}
+
+#[test]
+fn gpu_volcano_sink_counts_match() {
+    let w = PaperWorkload::generate(WorkloadSpec::paper(2048, 0.9, 19));
+    let cfg = GpuJoinConfig {
+        spec: DeviceSpec::tiny(1 << 26),
+        block_dim: 64,
+        ..GpuJoinConfig::default()
+    };
+    for algo in GpuAlgorithm::ALL {
+        let count = skewjoin::run_gpu_join(algo, &w.r, &w.s, &cfg, SinkSpec::Count)
+            .unwrap()
+            .result_count;
+        let volcano =
+            skewjoin::run_gpu_join(algo, &w.r, &w.s, &cfg, SinkSpec::Volcano { capacity: 32 })
+                .unwrap()
+                .result_count;
+        assert_eq!(count, volcano, "{algo}");
+    }
+}
+
+#[test]
+fn exact_gpu_detection_matches_sampled() {
+    use skewjoin::gpu::config::GpuDetectionMode;
+    let w = PaperWorkload::generate(WorkloadSpec::paper(4096, 1.0, 23));
+    let mut sampled_cfg = GpuJoinConfig {
+        spec: DeviceSpec::tiny(1 << 26),
+        block_dim: 64,
+        table_capacity: Some(256),
+        ..GpuJoinConfig::default()
+    };
+    let mut exact_cfg = sampled_cfg.clone();
+    sampled_cfg.skew.detection = GpuDetectionMode::Sampled;
+    exact_cfg.skew.detection = GpuDetectionMode::Exact;
+    let a = skewjoin::run_gpu_join(GpuAlgorithm::Gsh, &w.r, &w.s, &sampled_cfg, SinkSpec::Count)
+        .unwrap();
+    let b =
+        skewjoin::run_gpu_join(GpuAlgorithm::Gsh, &w.r, &w.s, &exact_cfg, SinkSpec::Count).unwrap();
+    assert_eq!(a.result_count, b.result_count);
+    assert_eq!(a.checksum, b.checksum);
+    // Exact detection can only find at least as many true heavy keys.
+    assert!(b.skewed_keys_detected >= a.skewed_keys_detected);
+}

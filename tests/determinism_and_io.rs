@@ -1,0 +1,92 @@
+//! Determinism guarantees and relation I/O round-trips through real joins.
+
+use skewjoin::datagen::io;
+use skewjoin::prelude::*;
+
+#[test]
+fn generated_workloads_are_deterministic() {
+    let a = PaperWorkload::generate(WorkloadSpec::paper(4096, 0.8, 123));
+    let b = PaperWorkload::generate(WorkloadSpec::paper(4096, 0.8, 123));
+    assert_eq!(a.r, b.r);
+    assert_eq!(a.s, b.s);
+    let c = PaperWorkload::generate(WorkloadSpec::paper(4096, 0.8, 124));
+    assert_ne!(a.r, c.r);
+}
+
+#[test]
+fn join_results_are_deterministic_across_runs_and_threads() {
+    let w = PaperWorkload::generate(WorkloadSpec::paper(4096, 1.0, 9));
+    let mut counts = std::collections::HashSet::new();
+    let mut checksums = std::collections::HashSet::new();
+    for threads in [1, 3, 8] {
+        for _ in 0..2 {
+            let cfg = CpuJoinConfig::with_threads(threads);
+            let s = skewjoin::run_cpu_join(CpuAlgorithm::Csh, &w.r, &w.s, &cfg, SinkSpec::Count)
+                .unwrap();
+            counts.insert(s.result_count);
+            checksums.insert(s.checksum);
+        }
+    }
+    assert_eq!(counts.len(), 1, "count varied across runs/threads");
+    assert_eq!(checksums.len(), 1, "checksum varied across runs/threads");
+}
+
+#[test]
+fn gpu_simulated_cycles_are_deterministic() {
+    let w = PaperWorkload::generate(WorkloadSpec::paper(2048, 0.9, 11));
+    let cfg = GpuJoinConfig {
+        spec: DeviceSpec::tiny(1 << 26),
+        block_dim: 64,
+        ..GpuJoinConfig::default()
+    };
+    let a = skewjoin::run_gpu_join(GpuAlgorithm::Gsh, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
+    let b = skewjoin::run_gpu_join(GpuAlgorithm::Gsh, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
+    assert_eq!(a.simulated_cycles, b.simulated_cycles);
+    assert_eq!(a.checksum, b.checksum);
+}
+
+#[test]
+fn binary_roundtrip_preserves_join_results() {
+    let w = PaperWorkload::generate(WorkloadSpec::paper(2048, 0.9, 13));
+    let dir = std::env::temp_dir();
+    let rp = dir.join(format!("skewjoin-it-{}-r.skjr", std::process::id()));
+    let sp = dir.join(format!("skewjoin-it-{}-s.skjr", std::process::id()));
+    io::write_binary(&w.r, &rp).unwrap();
+    io::write_binary(&w.s, &sp).unwrap();
+    let r2 = io::read_binary(&rp).unwrap();
+    let s2 = io::read_binary(&sp).unwrap();
+    std::fs::remove_file(&rp).ok();
+    std::fs::remove_file(&sp).ok();
+
+    let cfg = CpuJoinConfig::with_threads(2);
+    let orig =
+        skewjoin::run_cpu_join(CpuAlgorithm::Csh, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
+    let reloaded =
+        skewjoin::run_cpu_join(CpuAlgorithm::Csh, &r2, &s2, &cfg, SinkSpec::Count).unwrap();
+    assert_eq!(orig.result_count, reloaded.result_count);
+    assert_eq!(orig.checksum, reloaded.checksum);
+}
+
+#[test]
+fn csv_roundtrip_preserves_join_results() {
+    let w = PaperWorkload::generate(WorkloadSpec::paper(512, 1.0, 17));
+    let dir = std::env::temp_dir();
+    let rp = dir.join(format!("skewjoin-it-{}-r.csv", std::process::id()));
+    io::write_csv(&w.r, &rp).unwrap();
+    let r2 = io::read_csv(&rp, 0, Some(1)).unwrap();
+    std::fs::remove_file(&rp).ok();
+    assert_eq!(w.r.tuples(), r2.tuples());
+}
+
+#[test]
+fn stats_serialize_to_json() {
+    let w = PaperWorkload::generate(WorkloadSpec::paper(1024, 0.7, 19));
+    let cfg = CpuJoinConfig::with_threads(2);
+    let stats =
+        skewjoin::run_cpu_join(CpuAlgorithm::Csh, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
+    let json = serde_json::to_string(&stats).expect("serialize");
+    assert!(json.contains("\"algorithm\":\"CSH\""));
+    let back: JoinStats = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.result_count, stats.result_count);
+    assert_eq!(back.phases.total(), stats.phases.total());
+}

@@ -1,0 +1,109 @@
+//! Property-based end-to-end tests: for *arbitrary* small tables, every
+//! algorithm on both devices must agree with the nested-loop reference on
+//! count and checksum, and structural invariants must hold.
+
+use proptest::prelude::*;
+
+use skewjoin::common::CountingSink;
+use skewjoin::cpu::reference_join;
+use skewjoin::prelude::*;
+
+/// Arbitrary relation: up to 400 tuples over a small key domain (forcing
+/// collisions and skew) mixed with a few wide-range keys.
+fn arb_relation(max_len: usize) -> impl Strategy<Value = Relation> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => 0u32..16,          // hot, collision-heavy domain
+            1 => 0u32..u32::MAX,    // arbitrary keys
+        ],
+        0..max_len,
+    )
+    .prop_map(|keys| Relation::from_keys(&keys))
+}
+
+fn reference(r: &Relation, s: &Relation) -> (u64, u64) {
+    let mut sink = CountingSink::new();
+    let stats = reference_join(r, s, &mut sink);
+    (stats.result_count, stats.checksum)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn cpu_algorithms_agree_with_reference(
+        r in arb_relation(400),
+        s in arb_relation(400),
+        threads in 1usize..5,
+    ) {
+        let (count, checksum) = reference(&r, &s);
+        let cfg = CpuJoinConfig::with_threads(threads);
+        for algo in CpuAlgorithm::ALL {
+            let stats = skewjoin::run_cpu_join(algo, &r, &s, &cfg, SinkSpec::Count).unwrap();
+            prop_assert_eq!(stats.result_count, count, "{} count", algo);
+            prop_assert_eq!(stats.checksum, checksum, "{} checksum", algo);
+        }
+    }
+
+    #[test]
+    fn gpu_algorithms_agree_with_reference(
+        r in arb_relation(250),
+        s in arb_relation(250),
+    ) {
+        let (count, checksum) = reference(&r, &s);
+        let cfg = GpuJoinConfig {
+            spec: DeviceSpec::tiny(1 << 24),
+            block_dim: 64,
+            table_capacity: Some(64), // exercise sub-lists & splits often
+            ..GpuJoinConfig::default()
+        };
+        for algo in GpuAlgorithm::ALL {
+            let stats = skewjoin::run_gpu_join(algo, &r, &s, &cfg, SinkSpec::Count).unwrap();
+            prop_assert_eq!(stats.result_count, count, "{} count", algo);
+            prop_assert_eq!(stats.checksum, checksum, "{} checksum", algo);
+        }
+    }
+
+    #[test]
+    fn join_count_formula_holds(r in arb_relation(300), s in arb_relation(300)) {
+        // |R ⋈ S| = Σ_k f_R(k) · f_S(k)
+        use std::collections::HashMap;
+        let mut fr: HashMap<u32, u64> = HashMap::new();
+        for t in r.iter() { *fr.entry(t.key).or_default() += 1; }
+        let mut fs: HashMap<u32, u64> = HashMap::new();
+        for t in s.iter() { *fs.entry(t.key).or_default() += 1; }
+        let expected: u64 = fr.iter()
+            .map(|(k, &c)| c * fs.get(k).copied().unwrap_or(0))
+            .sum();
+        let (count, _) = reference(&r, &s);
+        prop_assert_eq!(count, expected);
+    }
+
+    #[test]
+    fn csh_skew_split_is_exact(r in arb_relation(300), s in arb_relation(300)) {
+        // skew_path_results + NM results == total; never double-counted.
+        let cfg = CpuJoinConfig::with_threads(2);
+        let stats = skewjoin::run_cpu_join(CpuAlgorithm::Csh, &r, &s, &cfg, SinkSpec::Count)
+            .unwrap();
+        let (count, _) = reference(&r, &s);
+        prop_assert_eq!(stats.result_count, count);
+        prop_assert!(stats.skew_path_results <= stats.result_count);
+    }
+
+    #[test]
+    fn volcano_capacity_never_changes_results(
+        r in arb_relation(200),
+        s in arb_relation(200),
+        capacity in 1usize..512,
+    ) {
+        let cfg = CpuJoinConfig::with_threads(2);
+        let a = skewjoin::run_cpu_join(CpuAlgorithm::Csh, &r, &s, &cfg, SinkSpec::Count).unwrap();
+        let b = skewjoin::run_cpu_join(
+            CpuAlgorithm::Csh, &r, &s, &cfg, SinkSpec::Volcano { capacity },
+        ).unwrap();
+        prop_assert_eq!(a.result_count, b.result_count);
+    }
+}

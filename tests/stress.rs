@@ -1,0 +1,59 @@
+//! Large-scale stress tests — `#[ignore]`d by default (minutes of runtime);
+//! run with `cargo test --release -p skewjoin-integration --test stress -- --ignored`.
+
+use skewjoin::prelude::*;
+
+/// 2M-tuple tables at zipf 0.9: all CPU algorithms agree and CSH leads.
+#[test]
+#[ignore = "minutes of runtime; run explicitly with --ignored"]
+fn cpu_agreement_at_2m_tuples() {
+    let w = PaperWorkload::generate(WorkloadSpec::paper(1 << 21, 0.9, 42));
+    let cfg = CpuJoinConfig::sized_for(1 << 21, 2048);
+    let cbase =
+        skewjoin::run_cpu_join(CpuAlgorithm::Cbase, &w.r, &w.s, &cfg, SinkSpec::default()).unwrap();
+    let csh =
+        skewjoin::run_cpu_join(CpuAlgorithm::Csh, &w.r, &w.s, &cfg, SinkSpec::default()).unwrap();
+    assert_eq!(cbase.result_count, csh.result_count);
+    assert!(
+        csh.total_time() < cbase.total_time(),
+        "CSH {:?} vs Cbase {:?}",
+        csh.total_time(),
+        cbase.total_time()
+    );
+}
+
+/// 512k-tuple tables on the simulated A100 at zipf 1.0: GSH ≥ 5× Gbase.
+#[test]
+#[ignore = "minutes of runtime; run explicitly with --ignored"]
+fn gpu_speedup_at_512k_tuples() {
+    let w = PaperWorkload::generate(WorkloadSpec::paper(1 << 19, 1.0, 42));
+    let cfg = GpuJoinConfig::default();
+    let gbase =
+        skewjoin::run_gpu_join(GpuAlgorithm::Gbase, &w.r, &w.s, &cfg, SinkSpec::default()).unwrap();
+    let gsh =
+        skewjoin::run_gpu_join(GpuAlgorithm::Gsh, &w.r, &w.s, &cfg, SinkSpec::default()).unwrap();
+    assert_eq!(gbase.result_count, gsh.result_count);
+    assert!(
+        gbase.simulated_cycles > gsh.simulated_cycles * 5,
+        "only {:.1}× at 512k tuples",
+        gbase.simulated_cycles as f64 / gsh.simulated_cycles as f64
+    );
+}
+
+/// Memory boundary: the simulated 40 GB device must accept tables that fit
+/// and reject tables that do not (the paper's 560 M-tuple run uses 38.5 GB).
+#[test]
+#[ignore = "allocates multi-GB buffers"]
+fn gpu_memory_boundary() {
+    // 2 × 1.5G-tuple tables = 24 GB of tuples + partition buffers > 40 GB.
+    // Use the allocation path only (no join) via a tiny spec check instead:
+    let spec = DeviceSpec::a100();
+    let mut device = skewjoin::gpu_sim::Device::new(spec);
+    // 40 GB capacity: five 1 GB buffers fit, a sixth 36 GB one does not.
+    let gb = 1usize << 30;
+    for _ in 0..5 {
+        assert!(device.memory.alloc(gb / 8, 8).is_some());
+    }
+    assert!(device.memory.alloc(36 * gb / 8, 8).is_none());
+    assert_eq!(device.memory.high_water_bytes(), 5 * gb);
+}
