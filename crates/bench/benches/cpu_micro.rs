@@ -1,112 +1,96 @@
-//! Criterion micro-benchmarks of the CPU join building blocks: radix
-//! partitioning, hash table build/probe, skew detection, and the full joins
-//! at two skew levels.
-
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Micro-benchmarks of the CPU join building blocks: radix partitioning,
+//! hash table build/probe, skew detection, and the full joins at two skew
+//! levels. Prints mean time per iteration (see `skewjoin_bench::micro`).
 
 use skewjoin::common::hash::RadixConfig;
 use skewjoin::common::CountingSink;
 use skewjoin::cpu::hashtable::ChainedTable;
-use skewjoin::cpu::partition::parallel_radix_partition;
+use skewjoin::cpu::partition::{
+    parallel_radix_partition, parallel_radix_partition_with, ScatterMode,
+};
 use skewjoin::cpu::skew::detect_skewed_keys;
 use skewjoin::prelude::*;
+use skewjoin_bench::micro::{bench, black_box, group};
 
 const N: usize = 1 << 18;
 
-fn bench_partitioning(c: &mut Criterion) {
+fn bench_partitioning() {
+    group("cpu_partition");
     let w = PaperWorkload::generate(WorkloadSpec::paper(N, 0.5, 1));
-    let mut group = c.benchmark_group("cpu_partition");
-    group.sample_size(10);
     for bits in [8u32, 12] {
         let cfg = RadixConfig::two_pass(bits);
-        group.bench_with_input(BenchmarkId::new("two_pass", bits), &cfg, |b, cfg| {
-            b.iter(|| parallel_radix_partition(black_box(&w.r), cfg, 4));
+        bench(&format!("two_pass/{bits}"), 5, || {
+            parallel_radix_partition(black_box(&w.r), &cfg, 4)
         });
     }
-    group.finish();
 }
 
-fn bench_hash_table(c: &mut Criterion) {
+fn bench_hash_table() {
+    group("cpu_hash_table");
     let w = PaperWorkload::generate(WorkloadSpec::paper(1 << 14, 0.0, 2));
     let skewed = PaperWorkload::generate(WorkloadSpec::paper(1 << 14, 1.0, 2));
-    let mut group = c.benchmark_group("cpu_hash_table");
-    group.bench_function("build_uniform", |b| {
-        b.iter(|| ChainedTable::build(black_box(w.r.tuples()), 22));
+    bench("build_uniform", 20, || {
+        ChainedTable::build(black_box(w.r.tuples()), 22)
     });
-    group.bench_function("probe_uniform", |b| {
-        let table = ChainedTable::build(w.r.tuples(), 22);
-        b.iter(|| {
-            let mut sink = CountingSink::new();
-            table.probe_all(black_box(w.s.tuples()), &mut sink);
-            sink.count()
-        });
+    let table = ChainedTable::build(w.r.tuples(), 22);
+    bench("probe_uniform", 20, || {
+        let mut sink = CountingSink::new();
+        table.probe_all(black_box(w.s.tuples()), &mut sink);
+        sink.count()
     });
-    group.bench_function("probe_skewed_chains", |b| {
-        // Long chains: the §III pathology, visible as a large per-probe cost.
-        let table = ChainedTable::build(skewed.r.tuples(), 22);
-        let probes = &skewed.s.tuples()[..256];
-        b.iter(|| {
-            let mut sink = CountingSink::new();
-            table.probe_all(black_box(probes), &mut sink);
-            sink.count()
-        });
+    // Long chains: the §III pathology, visible as a large per-probe cost.
+    let skew_table = ChainedTable::build(skewed.r.tuples(), 22);
+    let probes = &skewed.s.tuples()[..256];
+    bench("probe_skewed_chains", 20, || {
+        let mut sink = CountingSink::new();
+        skew_table.probe_all(black_box(probes), &mut sink);
+        sink.count()
     });
-    group.finish();
 }
 
-fn bench_skew_detection(c: &mut Criterion) {
+fn bench_skew_detection() {
+    group("skew_detection");
     let w = PaperWorkload::generate(WorkloadSpec::paper(N, 1.0, 3));
-    let mut group = c.benchmark_group("skew_detection");
-    group.bench_function("sampling_1pct", |b| {
-        let cfg = SkewDetectConfig::default();
-        b.iter(|| detect_skewed_keys(black_box(w.r.tuples()), &cfg));
+    let cfg = SkewDetectConfig::default();
+    bench("sampling_1pct", 50, || {
+        detect_skewed_keys(black_box(w.r.tuples()), &cfg)
     });
-    group.bench_function("misra_gries_full_scan", |b| {
-        b.iter(|| {
-            skewjoin::cpu::frequent::detect_heavy_hitters(black_box(w.r.tuples()), 2048, 0.001)
-        });
+    bench("misra_gries_full_scan", 10, || {
+        skewjoin::cpu::frequent::detect_heavy_hitters(black_box(w.r.tuples()), 2048, 0.001)
     });
-    group.finish();
 }
 
-fn bench_scatter_modes(c: &mut Criterion) {
-    use skewjoin::cpu::partition::{parallel_radix_partition_with, ScatterMode};
+fn bench_scatter_modes() {
+    group("scatter_mode");
     let w = PaperWorkload::generate(WorkloadSpec::paper(N, 0.0, 5));
     let cfg = RadixConfig::two_pass(12);
-    let mut group = c.benchmark_group("scatter_mode");
-    group.sample_size(10);
     for (name, mode) in [
         ("direct", ScatterMode::Direct),
         ("buffered", ScatterMode::Buffered),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| parallel_radix_partition_with(black_box(w.r.tuples()), &cfg, 4, mode));
+        bench(name, 5, || {
+            parallel_radix_partition_with(black_box(w.r.tuples()), &cfg, 4, mode)
         });
     }
-    group.finish();
 }
 
-fn bench_full_joins(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cpu_join");
-    group.sample_size(10);
+fn bench_full_joins() {
+    group("cpu_join");
     for &zipf in &[0.25f64, 0.9] {
         let w = PaperWorkload::generate(WorkloadSpec::paper(1 << 16, zipf, 4));
         let cfg = CpuJoinConfig::sized_for(1 << 16, 2048);
         for algo in [CpuAlgorithm::Cbase, CpuAlgorithm::Csh] {
-            group.bench_with_input(BenchmarkId::new(algo.name(), zipf), &w, |b, w| {
-                b.iter(|| skewjoin::run_cpu_join(algo, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap());
+            bench(&format!("{}/{zipf}", algo.name()), 3, || {
+                skewjoin::run_cpu_join(algo, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap()
             });
         }
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_partitioning,
-    bench_hash_table,
-    bench_skew_detection,
-    bench_scatter_modes,
-    bench_full_joins
-);
-criterion_main!(benches);
+fn main() {
+    bench_partitioning();
+    bench_hash_table();
+    bench_skew_detection();
+    bench_scatter_modes();
+    bench_full_joins();
+}

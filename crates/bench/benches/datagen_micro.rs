@@ -1,67 +1,58 @@
-//! Criterion micro-benchmarks of the workload generators: per-tuple zipf
-//! draws (interval binary search), full table generation, and the graph
-//! generator.
-
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Micro-benchmarks of the workload generators: per-tuple zipf draws
+//! (interval binary search), full table generation, the graph generator,
+//! and relation I/O.
 
 use skewjoin::datagen::graph::PowerLawGraph;
+use skewjoin::datagen::Rng;
 use skewjoin::prelude::*;
+use skewjoin_bench::micro::{bench, black_box, group};
 
-fn bench_zipf_draw(c: &mut Criterion) {
-    let mut group = c.benchmark_group("zipf_draw");
+fn bench_zipf_draw() {
+    group("zipf_draw");
     for &theta in &[0.0f64, 1.0] {
         let dist = ZipfWorkload::new(1 << 20, theta, 1);
-        group.bench_with_input(BenchmarkId::new("draw", theta), &dist, |b, dist| {
-            let mut rng = StdRng::seed_from_u64(7);
-            b.iter(|| black_box(dist.draw(&mut rng)));
+        let mut rng = Rng::seed_from_u64(7);
+        // 10k draws per iteration: a single draw is nanoseconds.
+        bench(&format!("draw_10k/{theta}"), 50, || {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc = acc.wrapping_add(u64::from(dist.draw(&mut rng)));
+            }
+            black_box(acc)
         });
     }
-    group.finish();
 }
 
-fn bench_table_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table_generation");
-    group.sample_size(10);
+fn bench_table_generation() {
+    group("table_generation");
     let dist = ZipfWorkload::new(1 << 18, 0.9, 2);
-    group.bench_function("zipf_table_256k", |b| {
-        b.iter(|| dist.generate_table(1 << 18, black_box(3)));
+    bench("zipf_table_256k", 5, || {
+        dist.generate_table(1 << 18, black_box(3))
     });
-    group.finish();
 }
 
-fn bench_graph_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("graph_generation");
-    group.sample_size(10);
-    group.bench_function("powerlaw_100k_edges", |b| {
-        b.iter(|| PowerLawGraph::generate(10_000, 100_000, 1.0, black_box(5)));
+fn bench_graph_generation() {
+    group("graph_generation");
+    bench("powerlaw_100k_edges", 5, || {
+        PowerLawGraph::generate(10_000, 100_000, 1.0, black_box(5))
     });
-    group.finish();
 }
 
-fn bench_relation_io(c: &mut Criterion) {
+fn bench_relation_io() {
     use skewjoin::datagen::io;
+    group("relation_io");
     let dist = ZipfWorkload::new(1 << 16, 0.5, 9);
     let rel = dist.generate_table(1 << 16, 10);
-    let mut group = c.benchmark_group("relation_io");
-    group.sample_size(20);
-    group.bench_function("binary_serialize_64k", |b| {
-        b.iter(|| io::to_bytes(black_box(&rel)));
-    });
+    bench("binary_serialize_64k", 20, || io::to_bytes(black_box(&rel)));
     let bytes = io::to_bytes(&rel);
-    group.bench_function("binary_deserialize_64k", |b| {
-        b.iter(|| io::from_bytes(black_box(&bytes)).unwrap());
+    bench("binary_deserialize_64k", 20, || {
+        io::from_bytes(black_box(&bytes)).unwrap()
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_zipf_draw,
-    bench_table_generation,
-    bench_graph_generation,
-    bench_relation_io
-);
-criterion_main!(benches);
+fn main() {
+    bench_zipf_draw();
+    bench_table_generation();
+    bench_graph_generation();
+    bench_relation_io();
+}

@@ -1,20 +1,18 @@
-//! Criterion micro-benchmarks of the simulated GPU components. These
-//! measure *simulation throughput* (host time to execute the kernels), with
-//! the simulated-cycle outputs reported by the reproduction binaries; they
+//! Micro-benchmarks of the simulated GPU components. These measure
+//! *simulation throughput* (host time to execute the kernels), with the
+//! simulated-cycle outputs reported by the reproduction binaries; they
 //! guard against regressions in the simulator's own overhead.
-
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use skewjoin::common::hash::RadixConfig;
 use skewjoin::gpu::pack::upload_relation;
 use skewjoin::gpu::partition::{gpu_partition, PartitionStyle};
 use skewjoin::gpu_sim::Device;
 use skewjoin::prelude::*;
+use skewjoin_bench::micro::{bench, black_box, group};
 
-fn bench_gpu_partition(c: &mut Criterion) {
+fn bench_gpu_partition() {
+    group("gpu_partition_sim");
     let w = PaperWorkload::generate(WorkloadSpec::paper(1 << 15, 0.5, 1));
-    let mut group = c.benchmark_group("gpu_partition_sim");
-    group.sample_size(10);
     for (name, style) in [
         ("count_scatter", PartitionStyle::CountScatter),
         (
@@ -24,37 +22,34 @@ fn bench_gpu_partition(c: &mut Criterion) {
             },
         ),
     ] {
-        group.bench_with_input(BenchmarkId::new(name, 1 << 15), &style, |b, &style| {
-            b.iter(|| {
-                let mut dev = Device::new(DeviceSpec::a100());
-                let buf = upload_relation(&mut dev, &w.r).unwrap();
-                gpu_partition(
-                    &mut dev,
-                    black_box(buf),
-                    &RadixConfig::two_pass(8),
-                    style,
-                    256,
-                )
-            });
+        bench(name, 5, || {
+            let mut dev = Device::new(DeviceSpec::a100());
+            let buf = upload_relation(&mut dev, &w.r).unwrap();
+            gpu_partition(
+                &mut dev,
+                black_box(buf),
+                &RadixConfig::two_pass(8),
+                style,
+                256,
+            )
         });
     }
-    group.finish();
 }
 
-fn bench_gpu_joins(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gpu_join_sim");
-    group.sample_size(10);
+fn bench_gpu_joins() {
+    group("gpu_join_sim");
     for &zipf in &[0.25f64, 0.9] {
         let w = PaperWorkload::generate(WorkloadSpec::paper(1 << 13, zipf, 2));
         let cfg = GpuJoinConfig::default();
         for algo in GpuAlgorithm::ALL {
-            group.bench_with_input(BenchmarkId::new(algo.name(), zipf), &w, |b, w| {
-                b.iter(|| skewjoin::run_gpu_join(algo, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap());
+            bench(&format!("{}/{zipf}", algo.name()), 3, || {
+                skewjoin::run_gpu_join(algo, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap()
             });
         }
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_gpu_partition, bench_gpu_joins);
-criterion_main!(benches);
+fn main() {
+    bench_gpu_partition();
+    bench_gpu_joins();
+}

@@ -87,6 +87,7 @@ fn main() {
             s.skewed_keys_detected
         );
         record.push(&format!("csh_detector_{name}"), 1.0, s.total_time());
+        record.attach_trace(&format!("csh_detector_{name}"), 1.0, &s);
     }
 
     // ---- 3. GSH top-k (zipf 1.0, simulated). ----

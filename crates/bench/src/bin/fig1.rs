@@ -64,6 +64,8 @@ fn main() {
         record.push("Cbase join", zipf, cj);
         record.push("Gbase partition", zipf, gp);
         record.push("Gbase join", zipf, gj);
+        record.attach_trace("Cbase", zipf, &cpu);
+        record.attach_trace("Gbase", zipf, &gpu);
     }
 
     record.write(&args);

@@ -29,6 +29,7 @@ fn main() {
             let stats = skewjoin::run_gpu_join(algo, &w.r, &w.s, &cfg, SinkSpec::default())
                 .unwrap_or_else(|e| panic!("{algo}: {e}"));
             record.push(algo.name(), zipf, stats.total_time());
+            record.attach_trace(algo.name(), zipf, &stats);
             totals.push(stats.total_time());
         }
         println!(

@@ -7,6 +7,7 @@
 //! ```
 
 use skewjoin_bench::chart::{render_chart, ChartOptions};
+use skewjoin_bench::skewjoin::common::Json;
 use skewjoin_bench::BenchRecord;
 
 fn main() {
@@ -34,8 +35,9 @@ fn main() {
     for path in paths {
         let data =
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-        let record: BenchRecord =
-            serde_json::from_str(&data).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+        let json = Json::parse(&data).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+        let record =
+            BenchRecord::from_json(&json).unwrap_or_else(|| panic!("{path} is not a bench record"));
         println!(
             "== {} ({} tuples CPU / {} GPU) — {path}",
             record.experiment, record.tuples, record.gpu_tuples
@@ -44,5 +46,13 @@ fn main() {
             "{}",
             render_chart(&record.measurements, &ChartOptions::default())
         );
+        if !record.traces.is_empty() {
+            println!(
+                "   {} embedded per-phase trace(s); first: {} @ zipf {}",
+                record.traces.len(),
+                record.traces[0].series,
+                record.traces[0].zipf
+            );
+        }
     }
 }

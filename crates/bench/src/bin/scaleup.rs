@@ -51,6 +51,8 @@ fn main() {
     assert_eq!(cbase.result_count, csh.result_count, "CPU result mismatch");
     record.push("Cbase", zipf, cbase.total_time());
     record.push("CSH", zipf, csh.total_time());
+    record.attach_trace("Cbase", zipf, &cbase);
+    record.attach_trace("CSH", zipf, &csh);
     println!(
         "CPU: Cbase {} vs CSH {} → {:.2}× speedup (paper at 560M: 3.5×)",
         fmt_time(cbase.total_time()),
@@ -79,6 +81,8 @@ fn main() {
     assert_eq!(gbase.result_count, gsh.result_count, "GPU result mismatch");
     record.push("Gbase", zipf, gbase.total_time());
     record.push("GSH", zipf, gsh.total_time());
+    record.attach_trace("Gbase", zipf, &gbase);
+    record.attach_trace("GSH", zipf, &gsh);
     println!(
         "GPU: Gbase {} vs GSH {} (simulated) → {:.2}× speedup (paper at 560M: 10.4×)",
         fmt_time(gbase.total_time()),

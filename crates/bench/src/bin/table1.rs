@@ -96,6 +96,10 @@ fn main() {
         for (label, &cell) in labels.iter().zip(cells.iter()) {
             record.push(label, zipf, cell);
         }
+        record.attach_trace("Cbase", zipf, &cbase);
+        record.attach_trace("CSH", zipf, &csh);
+        record.attach_trace("Gbase", zipf, &gbase);
+        record.attach_trace("GSH", zipf, &gsh);
     }
 
     println!(

@@ -2,7 +2,7 @@
 //!
 //! Harnesses reproducing every table and figure of the paper's evaluation
 //! (§III Figure 1, §V Figure 4a/4b, Table I, and the large-input
-//! experiment), plus criterion micro-benchmarks of the building blocks.
+//! experiment), plus self-contained micro-benchmarks of the building blocks (see [`micro`]).
 //!
 //! Each reproduction binary prints the same rows/series the paper reports
 //! and writes a machine-readable JSON record next to it. Absolute numbers
@@ -16,10 +16,11 @@
 #![warn(clippy::all)]
 
 pub mod chart;
+pub mod micro;
 
 use std::time::Duration;
 
-use serde::{Deserialize, Serialize};
+use skewjoin::common::{JoinStats, Json, Trace};
 
 pub use skewjoin;
 
@@ -105,7 +106,7 @@ pub fn parse_count(s: &str) -> usize {
 }
 
 /// One measured cell of a reproduction run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     /// Series name ("Cbase join", "GSH all other", …).
     pub series: String,
@@ -115,8 +116,40 @@ pub struct Measurement {
     pub seconds: f64,
 }
 
+impl Measurement {
+    /// JSON object form (`{"series":…,"zipf":…,"seconds":…}`).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("series", Json::str(self.series.clone())),
+            ("zipf", Json::num(self.zipf)),
+            ("seconds", Json::num(self.seconds)),
+        ])
+    }
+
+    /// Parses the object form; `None` if a field is missing or mistyped.
+    pub fn from_json(json: &Json) -> Option<Measurement> {
+        Some(Measurement {
+            series: json.get("series")?.as_str()?.to_string(),
+            zipf: json.get("zipf")?.as_f64()?,
+            seconds: json.get("seconds")?.as_f64()?,
+        })
+    }
+}
+
+/// A per-phase execution trace captured for one (algorithm, zipf) cell of a
+/// reproduction run — the diagnostic companion to the timing series.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// Algorithm/series the trace belongs to ("Cbase", "GSH", …).
+    pub series: String,
+    /// Zipf factor of the run.
+    pub zipf: f64,
+    /// The per-phase counters recorded by the join.
+    pub trace: Trace,
+}
+
 /// A full harness record written as JSON.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BenchRecord {
     /// Which paper artifact this reproduces ("fig1", "table1", …).
     pub experiment: String,
@@ -126,6 +159,8 @@ pub struct BenchRecord {
     pub gpu_tuples: usize,
     /// All measured cells.
     pub measurements: Vec<Measurement>,
+    /// Per-phase traces, one per (algorithm, zipf) join run.
+    pub traces: Vec<TraceEntry>,
 }
 
 impl BenchRecord {
@@ -136,6 +171,7 @@ impl BenchRecord {
             tuples: args.tuples,
             gpu_tuples: args.gpu_tuples,
             measurements: Vec::new(),
+            traces: Vec::new(),
         }
     }
 
@@ -148,6 +184,74 @@ impl BenchRecord {
         });
     }
 
+    /// Attaches the per-phase trace of one join run to the record.
+    pub fn attach_trace(&mut self, series: &str, zipf: f64, stats: &JoinStats) {
+        if stats.trace.is_empty() {
+            return;
+        }
+        self.traces.push(TraceEntry {
+            series: series.to_string(),
+            zipf,
+            trace: stats.trace.clone(),
+        });
+    }
+
+    /// The whole record as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("experiment", Json::str(self.experiment.clone())),
+            ("tuples", Json::from_u64(self.tuples as u64)),
+            ("gpu_tuples", Json::from_u64(self.gpu_tuples as u64)),
+            (
+                "measurements",
+                Json::Arr(self.measurements.iter().map(|m| m.to_json()).collect()),
+            ),
+            (
+                "traces",
+                Json::Arr(
+                    self.traces
+                        .iter()
+                        .map(|t| {
+                            Json::obj(vec![
+                                ("series", Json::str(t.series.clone())),
+                                ("zipf", Json::num(t.zipf)),
+                                ("trace", t.trace.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a record; the `traces` field is optional so that records from
+    /// older harness versions still load.
+    pub fn from_json(json: &Json) -> Option<BenchRecord> {
+        let measurements = json
+            .get("measurements")?
+            .as_array()?
+            .iter()
+            .map(Measurement::from_json)
+            .collect::<Option<Vec<_>>>()?;
+        let mut traces = Vec::new();
+        if let Some(arr) = json.get("traces").and_then(|t| t.as_array()) {
+            for entry in arr {
+                traces.push(TraceEntry {
+                    series: entry.get("series")?.as_str()?.to_string(),
+                    zipf: entry.get("zipf")?.as_f64()?,
+                    trace: Trace::from_json(entry.get("trace")?)?,
+                });
+            }
+        }
+        Some(BenchRecord {
+            experiment: json.get("experiment")?.as_str()?.to_string(),
+            tuples: json.get("tuples")?.as_u64()? as usize,
+            gpu_tuples: json.get("gpu_tuples")?.as_u64()? as usize,
+            measurements,
+            traces,
+        })
+    }
+
     /// Writes the record as JSON if `--json` was given, else to the default
     /// location `target/bench-results/<experiment>.json`.
     pub fn write(&self, args: &BenchArgs) {
@@ -155,15 +259,11 @@ impl BenchRecord {
             std::fs::create_dir_all("target/bench-results").ok();
             format!("target/bench-results/{}.json", self.experiment)
         });
-        match serde_json::to_string_pretty(self) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("warning: could not write {path}: {e}");
-                } else {
-                    println!("\nJSON record: {path}");
-                }
-            }
-            Err(e) => eprintln!("warning: could not serialize record: {e}"),
+        let json = self.to_json().to_string_pretty();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("\nJSON record: {path}");
         }
     }
 }
@@ -226,13 +326,36 @@ mod tests {
         let mut rec = BenchRecord::new("test", &args);
         rec.push("A", 0.5, Duration::from_millis(10));
         assert_eq!(rec.measurements.len(), 1);
-        assert!(
-            serde_json::to_string(&rec)
-                .unwrap()
-                .contains("\"zipf\": 0.5")
-                || serde_json::to_string_pretty(&rec)
-                    .unwrap()
-                    .contains("\"zipf\": 0.5")
+        assert!(rec.to_json().to_string().contains("\"zipf\":0.5"));
+    }
+
+    #[test]
+    fn record_roundtrips_with_traces() {
+        let args = BenchArgs::default();
+        let mut rec = BenchRecord::new("test", &args);
+        rec.push("A", 0.5, Duration::from_millis(10));
+        let mut stats = JoinStats::new("Cbase");
+        stats.trace.set("partition", "tuples_in", 100);
+        stats.trace.record_skewed_key(7, 42);
+        rec.attach_trace("Cbase", 0.5, &stats);
+
+        let json = Json::parse(&rec.to_json().to_string_pretty()).unwrap();
+        let back = BenchRecord::from_json(&json).unwrap();
+        assert_eq!(back.experiment, "test");
+        assert_eq!(back.measurements.len(), 1);
+        assert_eq!(back.traces.len(), 1);
+        assert_eq!(
+            back.traces[0].trace.get("partition", "tuples_in"),
+            Some(100)
         );
+        assert_eq!(back.traces[0].trace.skew_frequency(7), Some(42));
+    }
+
+    #[test]
+    fn empty_trace_is_not_attached() {
+        let args = BenchArgs::default();
+        let mut rec = BenchRecord::new("test", &args);
+        rec.attach_trace("Cbase", 0.0, &JoinStats::new("Cbase"));
+        assert!(rec.traces.is_empty());
     }
 }

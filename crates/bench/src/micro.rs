@@ -1,0 +1,45 @@
+//! A minimal micro-benchmark harness for the `benches/` targets
+//! (`harness = false`): warm up, time a fixed number of iterations, print
+//! mean time per iteration. No statistics beyond the mean — these benches
+//! exist to catch order-of-magnitude regressions and to document the
+//! relative cost of the building blocks, not to resolve 1 % deltas.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Times `f` over `iters` iterations (after up to 2 warm-up runs) and
+/// prints the mean time per iteration under `name`.
+pub fn bench<R>(name: &str, iters: usize, mut f: impl FnMut() -> R) {
+    assert!(iters > 0, "bench needs at least one iteration");
+    for _ in 0..iters.min(2) {
+        black_box(f());
+    }
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let total = t.elapsed();
+    println!(
+        "{name:<44} {:>10}/iter  ({iters} iters)",
+        crate::fmt_time(total / iters as u32)
+    );
+}
+
+/// Prints a section header separating groups of related benches.
+pub fn group(title: &str) {
+    println!("\n== {title}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut calls = 0u32;
+        bench("noop", 3, || calls += 1);
+        // 2 warm-up runs + 3 timed runs.
+        assert_eq!(calls, 5);
+    }
+}

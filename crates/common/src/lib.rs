@@ -17,12 +17,16 @@
 pub mod error;
 pub mod hash;
 pub mod histogram;
+pub mod json;
 pub mod report;
 pub mod sink;
 pub mod stats;
+pub mod trace;
 pub mod tuple;
 
 pub use error::JoinError;
+pub use json::Json;
 pub use sink::{CountingSink, MaterializeSink, OutputSink, SinkSpec, VolcanoSink};
 pub use stats::{JoinStats, PhaseTimes};
+pub use trace::{PhaseTrace, SkewedKey, Trace};
 pub use tuple::{Key, Payload, Relation, Tuple};

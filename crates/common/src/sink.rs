@@ -28,9 +28,11 @@ pub struct OutputTuple {
 }
 
 /// Order-independent mix of one output tuple, accumulated by wrapping
-/// addition so any emission order yields the same checksum.
+/// addition so any emission order yields the same checksum. Public so that
+/// custom sinks (e.g. the diffcheck oracle's per-key counting sink) can
+/// produce checksums comparable with [`CountingSink`].
 #[inline(always)]
-fn tuple_mix(key: Key, r_payload: Payload, s_payload: Payload) -> u64 {
+pub fn tuple_mix(key: Key, r_payload: Payload, s_payload: Payload) -> u64 {
     let a = ((key as u64) << 32) | r_payload as u64;
     mix64(a ^ mix64(s_payload as u64))
 }

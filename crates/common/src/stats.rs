@@ -9,13 +9,14 @@
 use std::fmt;
 use std::time::Duration;
 
-use serde::{Deserialize, Serialize};
+use crate::json::Json;
+use crate::trace::Trace;
 
 /// An ordered list of `(phase name, duration)` pairs.
 ///
 /// Insertion order is preserved so reports read in execution order; phases
 /// recorded twice accumulate (useful when a phase runs once per pass).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PhaseTimes {
     entries: Vec<(String, Duration)>,
 }
@@ -73,6 +74,34 @@ impl PhaseTimes {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Serializes to a JSON array of `{"name", "nanos"}` objects.
+    /// Nanosecond integers keep the round-trip exact.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.entries
+                .iter()
+                .map(|(name, d)| {
+                    Json::obj(vec![
+                        ("name", Json::str(name)),
+                        ("nanos", Json::from_u64(d.as_nanos() as u64)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Rebuilds from the JSON produced by [`PhaseTimes::to_json`].
+    pub fn from_json(json: &Json) -> Option<PhaseTimes> {
+        let mut phases = PhaseTimes::new();
+        for entry in json.as_array()? {
+            phases.record(
+                entry.get("name")?.as_str()?,
+                Duration::from_nanos(entry.get("nanos")?.as_u64()?),
+            );
+        }
+        Some(phases)
+    }
 }
 
 impl fmt::Display for PhaseTimes {
@@ -88,7 +117,7 @@ impl fmt::Display for PhaseTimes {
 }
 
 /// Full result record of one join execution.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct JoinStats {
     /// Human-readable algorithm name ("Cbase", "CSH", "Gbase", "GSH", …).
     pub algorithm: String,
@@ -107,6 +136,8 @@ pub struct JoinStats {
     pub partitions: usize,
     /// For GPU algorithms: total simulated device cycles.
     pub simulated_cycles: u64,
+    /// Structured per-phase counters and detected skewed keys.
+    pub trace: Trace,
 }
 
 impl JoinStats {
@@ -130,6 +161,45 @@ impl JoinStats {
         } else {
             self.skew_path_results as f64 / self.result_count as f64
         }
+    }
+
+    /// Serializes the full record — including the per-phase [`Trace`] —
+    /// to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("algorithm", Json::str(&self.algorithm)),
+            ("result_count", Json::from_u64(self.result_count)),
+            // Full-width u64: a JSON number (f64) would round above 2^53,
+            // so the checksum travels as a hex string.
+            ("checksum", Json::str(format!("{:#018x}", self.checksum))),
+            ("phases", self.phases.to_json()),
+            (
+                "skewed_keys_detected",
+                Json::from_u64(self.skewed_keys_detected as u64),
+            ),
+            ("skew_path_results", Json::from_u64(self.skew_path_results)),
+            ("partitions", Json::from_u64(self.partitions as u64)),
+            ("simulated_cycles", Json::from_u64(self.simulated_cycles)),
+            ("trace", self.trace.to_json()),
+        ])
+    }
+
+    /// Rebuilds a record from the JSON produced by [`JoinStats::to_json`].
+    pub fn from_json(json: &Json) -> Option<JoinStats> {
+        Some(JoinStats {
+            algorithm: json.get("algorithm")?.as_str()?.to_string(),
+            result_count: json.get("result_count")?.as_u64()?,
+            checksum: {
+                let hex = json.get("checksum")?.as_str()?;
+                u64::from_str_radix(hex.strip_prefix("0x")?, 16).ok()?
+            },
+            phases: PhaseTimes::from_json(json.get("phases")?)?,
+            skewed_keys_detected: json.get("skewed_keys_detected")?.as_u64()? as usize,
+            skew_path_results: json.get("skew_path_results")?.as_u64()?,
+            partitions: json.get("partitions")?.as_u64()? as usize,
+            simulated_cycles: json.get("simulated_cycles")?.as_u64()?,
+            trace: Trace::from_json(json.get("trace")?)?,
+        })
     }
 }
 
@@ -216,6 +286,25 @@ mod tests {
         s.result_count = 100;
         s.skew_path_results = 75;
         assert!((s.skew_output_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_json_roundtrip_preserves_full_width_checksum() {
+        let mut s = JoinStats::new("GSH");
+        s.result_count = 12345;
+        s.checksum = 0xFFFF_FFFF_FFFF_FFFD; // not representable as f64
+        s.phases
+            .record("partition", Duration::from_nanos(1_234_567));
+        s.partitions = 64;
+        s.trace.add("partition", "tuples_in", 12345);
+        s.trace.record_skewed_key(9, 77);
+        let text = s.to_json().to_string();
+        assert!(text.contains("\"algorithm\":\"GSH\""));
+        let back = JoinStats::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.checksum, s.checksum);
+        assert_eq!(back.result_count, s.result_count);
+        assert_eq!(back.phases, s.phases);
+        assert_eq!(back.trace, s.trace);
     }
 
     #[test]

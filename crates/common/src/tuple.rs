@@ -6,8 +6,6 @@
 //! `Vec<Tuple>` — the same layout the CPU radix join scatters through and
 //! the GPU simulator's global memory stores.
 
-use serde::{Deserialize, Serialize};
-
 /// Join key type — 4 bytes, per the paper's workload description.
 pub type Key = u32;
 
@@ -17,7 +15,7 @@ pub type Payload = u32;
 
 /// A fixed-width 8-byte relation tuple: `(key, payload)`.
 #[repr(C)]
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Tuple {
     /// The join key.
     pub key: Key,
@@ -174,11 +172,20 @@ mod tests {
     }
 
     #[test]
-    fn tuple_serde_roundtrip() {
+    fn tuple_json_roundtrip() {
+        use crate::json::Json;
         let t = Tuple::new(0xDEAD_BEEF, 42);
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Tuple = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, t);
+        let json = Json::obj(vec![
+            ("key", Json::from_u64(t.key as u64)),
+            ("payload", Json::from_u64(t.payload as u64)),
+        ])
+        .to_string();
+        let back = Json::parse(&json).unwrap();
+        assert_eq!(back.get("key").and_then(Json::as_u64), Some(t.key as u64));
+        assert_eq!(
+            back.get("payload").and_then(Json::as_u64),
+            Some(t.payload as u64)
+        );
     }
 
     #[test]

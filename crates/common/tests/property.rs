@@ -1,7 +1,7 @@
-//! Property tests for the shared primitives: histograms, prefix sums,
-//! partition directories, sinks, and hashing.
-
-use proptest::prelude::*;
+//! Property-style tests for the shared primitives: histograms, prefix sums,
+//! partition directories, sinks, and hashing. Each test sweeps many
+//! deterministically generated cases from a fixed seed, so failures are
+//! reproducible without an external property-testing framework.
 
 use skewjoin_common::hash::{mix32, radix_pass, RadixConfig, RadixMode};
 use skewjoin_common::histogram::{
@@ -9,45 +9,81 @@ use skewjoin_common::histogram::{
 };
 use skewjoin_common::{CountingSink, OutputSink, Tuple};
 
-proptest! {
-    #[test]
-    fn prefix_sum_matches_cumulative(values in prop::collection::vec(0usize..1000, 0..50)) {
+/// SplitMix64: deterministic case generator.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn vec_usize(&mut self, max_value: usize, len_range: std::ops::Range<usize>) -> Vec<usize> {
+        let len = len_range.start + self.below(len_range.end - len_range.start);
+        (0..len).map(|_| self.below(max_value)).collect()
+    }
+}
+
+#[test]
+fn prefix_sum_matches_cumulative() {
+    let mut g = Gen::new(0xA11CE);
+    for _ in 0..200 {
+        let values = g.vec_usize(1000, 0..50);
         let mut v = values.clone();
         let total = exclusive_prefix_sum(&mut v);
-        prop_assert_eq!(total, values.iter().sum::<usize>());
+        assert_eq!(total, values.iter().sum::<usize>());
         let mut acc = 0;
         for (i, &orig) in values.iter().enumerate() {
-            prop_assert_eq!(v[i], acc);
+            assert_eq!(v[i], acc);
             acc += orig;
         }
     }
+}
 
-    #[test]
-    fn histogram_totals_match_input(
-        keys in prop::collection::vec(any::<u32>(), 0..500),
-        bits in 1u32..8,
-    ) {
-        let tuples: Vec<Tuple> = keys.iter().map(|&k| Tuple::new(k, 0)).collect();
-        let cfg = RadixConfig { bits_per_pass: vec![bits], mode: RadixMode::Mixed };
+#[test]
+fn histogram_totals_match_input() {
+    let mut g = Gen::new(0xB0B);
+    for case in 0..200 {
+        let bits = 1 + (case % 7) as u32;
+        let len = g.below(500);
+        let tuples: Vec<Tuple> = (0..len).map(|_| Tuple::new(g.next_u32(), 0)).collect();
+        let cfg = RadixConfig {
+            bits_per_pass: vec![bits],
+            mode: RadixMode::Mixed,
+        };
         let hist = histogram(&tuples, &cfg, 0);
-        prop_assert_eq!(hist.len(), 1 << bits);
-        prop_assert_eq!(hist.iter().sum::<usize>(), tuples.len());
-        // Every tuple's partition bin counted it.
+        assert_eq!(hist.len(), 1 << bits);
+        assert_eq!(hist.iter().sum::<usize>(), tuples.len());
         for t in &tuples {
-            prop_assert!(hist[cfg.partition_of(t.key, 0)] >= 1);
+            assert!(hist[cfg.partition_of(t.key, 0)] >= 1);
         }
     }
+}
 
-    #[test]
-    fn per_worker_offsets_are_disjoint_and_dense(
-        hists in prop::collection::vec(
-            prop::collection::vec(0usize..20, 4),
-            1..6,
-        ),
-    ) {
+#[test]
+fn per_worker_offsets_are_disjoint_and_dense() {
+    let mut g = Gen::new(0xC0FFEE);
+    for _ in 0..200 {
+        let workers = 1 + g.below(5);
+        let hists: Vec<Vec<usize>> = (0..workers).map(|_| g.vec_usize(20, 4..5)).collect();
         let (offsets, starts) = per_worker_offsets(&hists);
         let total: usize = hists.iter().flatten().sum();
-        prop_assert_eq!(*starts.last().unwrap(), total);
+        assert_eq!(*starts.last().unwrap(), total);
         // Writing hists[w][p] items from offsets[w][p] covers 0..total with
         // no overlap.
         let mut covered = vec![false; total];
@@ -55,41 +91,50 @@ proptest! {
             for (p, &count) in hist.iter().enumerate() {
                 for i in 0..count {
                     let idx = offsets[w][p] + i;
-                    prop_assert!(!covered[idx], "overlap at {idx}");
+                    assert!(!covered[idx], "overlap at {idx}");
                     covered[idx] = true;
                 }
             }
         }
-        prop_assert!(covered.iter().all(|&c| c));
+        assert!(covered.iter().all(|&c| c));
     }
+}
 
-    #[test]
-    fn directory_ranges_partition_the_array(sizes in prop::collection::vec(0usize..30, 1..20)) {
+#[test]
+fn directory_ranges_partition_the_array() {
+    let mut g = Gen::new(0xD1CE);
+    for _ in 0..200 {
+        let len = 1 + g.below(19);
+        let sizes = g.vec_usize(30, len..len + 1);
         let dir = PartitionDirectory::from_sizes(&sizes);
-        prop_assert_eq!(dir.partitions(), sizes.len());
+        assert_eq!(dir.partitions(), sizes.len());
         let mut acc = 0;
         for (p, &size) in sizes.iter().enumerate() {
-            prop_assert_eq!(dir.range(p), acc..acc + size);
-            prop_assert_eq!(dir.size(p), size);
+            assert_eq!(dir.range(p), acc..acc + size);
+            assert_eq!(dir.size(p), size);
             acc += size;
         }
-        prop_assert_eq!(dir.total(), acc);
+        assert_eq!(dir.total(), acc);
     }
+}
 
-    #[test]
-    fn checksum_invariant_under_permutation(
-        results in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 0..100),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn checksum_invariant_under_permutation() {
+    let mut g = Gen::new(0xFACADE);
+    for _ in 0..100 {
+        let len = g.below(100);
+        let results: Vec<(u32, u32, u32)> = (0..len)
+            .map(|_| (g.next_u32(), g.next_u32(), g.next_u32()))
+            .collect();
         let mut a = CountingSink::new();
         for &(k, r, s) in &results {
             a.emit(k, r, s);
         }
-        // A deterministic pseudo-shuffle from the seed.
+        // A deterministic pseudo-shuffle from the generator state.
         let mut shuffled = results.clone();
         let n = shuffled.len();
         if n > 1 {
-            let mut state = seed;
+            let mut state = g.next_u64();
             for i in (1..n).rev() {
                 state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
                 shuffled.swap(i, (state as usize) % (i + 1));
@@ -99,29 +144,51 @@ proptest! {
         for &(k, r, s) in &shuffled {
             b.emit(k, r, s);
         }
-        prop_assert_eq!(a.checksum(), b.checksum());
-        prop_assert_eq!(a.count(), b.count());
+        assert_eq!(a.checksum(), b.checksum());
+        assert_eq!(a.count(), b.count());
     }
+}
 
-    #[test]
-    fn mix32_preserves_distinctness(a in any::<u32>(), b in any::<u32>()) {
-        prop_assert_eq!(a == b, mix32(a) == mix32(b));
+#[test]
+fn mix32_preserves_distinctness() {
+    let mut g = Gen::new(0x5EED);
+    for _ in 0..1000 {
+        let a = g.next_u32();
+        let b = g.next_u32();
+        assert_eq!(a == b, mix32(a) == mix32(b));
     }
+    // And a few forced-equal cases.
+    for k in [0u32, 1, u32::MAX, 0x8000_0000] {
+        assert_eq!(mix32(k), mix32(k));
+    }
+}
 
-    #[test]
-    fn radix_pass_extracts_expected_bits(hash in any::<u32>(), shift in 0u32..28, bits in 1u32..5) {
-        prop_assume!(shift + bits <= 32);
+#[test]
+fn radix_pass_extracts_expected_bits() {
+    let mut g = Gen::new(0xBEEF);
+    for _ in 0..1000 {
+        let hash = g.next_u32();
+        let shift = (g.next_u64() % 28) as u32;
+        let bits = 1 + (g.next_u64() % 4) as u32;
+        if shift + bits > 32 {
+            continue;
+        }
         let p = radix_pass(hash, shift, bits);
-        prop_assert!(p < (1 << bits));
-        prop_assert_eq!(p as u32, (hash >> shift) & ((1 << bits) - 1));
+        assert!(p < (1 << bits));
+        assert_eq!(p as u32, (hash >> shift) & ((1 << bits) - 1));
     }
+}
 
-    #[test]
-    fn two_pass_pid_composition(key in any::<u32>(), bits in 2u32..12) {
+#[test]
+fn two_pass_pid_composition() {
+    let mut g = Gen::new(0x2A55);
+    for _ in 0..1000 {
+        let key = g.next_u32();
+        let bits = 2 + (g.next_u64() % 10) as u32;
         let cfg = RadixConfig::two_pass(bits);
         let p0 = cfg.partition_of(key, 0);
         let p1 = cfg.partition_of(key, 1);
-        prop_assert_eq!(
+        assert_eq!(
             p0 | (p1 << cfg.bits_per_pass[0]),
             cfg.final_partition_of(key)
         );

@@ -14,13 +14,13 @@
 //! with one key can never be split apart, which is exactly the pathology
 //! §III measures and `CSH` fixes.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use parking_lot::Mutex;
-
 use skewjoin_common::hash::mix32;
-use skewjoin_common::{JoinError, JoinStats, OutputSink, Relation, Tuple};
+use skewjoin_common::trace::counter;
+use skewjoin_common::{JoinError, JoinStats, OutputSink, Relation, Trace, Tuple};
 
 use crate::config::CpuJoinConfig;
 use crate::hashtable::ChainedTable;
@@ -66,6 +66,40 @@ struct JoinPhase<'a> {
     extra_bits: u32,
     max_depth: u32,
     max_bucket_bits: u32,
+    counters: JoinPhaseCounters,
+}
+
+/// Cross-thread counters the join phase accumulates for the trace layer.
+#[derive(Default)]
+struct JoinPhaseCounters {
+    tasks_run: AtomicU64,
+    task_splits: AtomicU64,
+    build_tuples: AtomicU64,
+    probe_tuples: AtomicU64,
+    max_chain_len: AtomicU64,
+}
+
+/// Final counter values of one [`join_partitions`] run, recorded into the
+/// caller's [`Trace`] under its own phase name ("join" for Cbase, "nm_join"
+/// for CSH).
+pub(crate) struct JoinPhaseReport {
+    pub tasks_run: u64,
+    pub task_splits: u64,
+    pub build_tuples: u64,
+    pub probe_tuples: u64,
+    pub max_chain_len: u64,
+}
+
+impl JoinPhaseReport {
+    /// Records this report under `phase` in `trace`.
+    pub fn record(&self, trace: &mut Trace, phase: &str) {
+        let p = trace.phase(phase);
+        p.add(counter::TASKS_RUN, self.tasks_run);
+        p.add(counter::TASK_SPLITS, self.task_splits);
+        p.add(counter::BUILD_TUPLES, self.build_tuples);
+        p.add(counter::PROBE_TUPLES, self.probe_tuples);
+        p.max(counter::MAX_CHAIN_LEN, self.max_chain_len);
+    }
 }
 
 impl<'a> JoinPhase<'a> {
@@ -77,16 +111,27 @@ impl<'a> JoinPhase<'a> {
         if r.is_empty() || s.is_empty() {
             return;
         }
+        self.counters.tasks_run.fetch_add(1, Ordering::Relaxed);
 
         let oversized = r.len() > self.r_split_threshold || s.len() > self.s_split_threshold;
         let can_split = task.depth < self.max_depth && task.shift + self.extra_bits <= 32;
         if oversized && can_split {
             if let Some(()) = self.try_split(&task, r, s) {
+                self.counters.task_splits.fetch_add(1, Ordering::Relaxed);
                 return;
             }
         }
 
         let table = ChainedTable::build(r, self.max_bucket_bits);
+        self.counters
+            .build_tuples
+            .fetch_add(r.len() as u64, Ordering::Relaxed);
+        self.counters
+            .probe_tuples
+            .fetch_add(s.len() as u64, Ordering::Relaxed);
+        self.counters
+            .max_chain_len
+            .fetch_max(table.max_chain_len() as u64, Ordering::Relaxed);
         table.probe_all(s, sink);
     }
 
@@ -157,14 +202,27 @@ where
     let parted_s = parallel_radix_partition_with(s, &cfg.radix, cfg.threads, cfg.scatter);
     stats.phases.record("partition", t0.elapsed());
     stats.partitions = parted_r.partitions();
+    {
+        let p = stats.trace.phase("partition");
+        p.add(counter::TUPLES_IN, (r.len() + s.len()) as u64);
+        p.add(
+            counter::TUPLES_OUT,
+            (parted_r.data.len() + parted_s.data.len()) as u64,
+        );
+        p.set(counter::PARTITIONS, parted_r.partitions() as u64);
+    }
 
     // ---- Join phase. ----
     let t1 = Instant::now();
     let sinks: Vec<S> = (0..cfg.threads).map(&make_sink).collect();
-    let sinks = join_partitions(&parted_r, &parted_s, cfg, sinks, true);
+    let (sinks, report) = join_partitions(&parted_r, &parted_s, cfg, sinks, true);
     stats.phases.record("join", t1.elapsed());
+    report.record(&mut stats.trace, "join");
 
     aggregate_sinks(&mut stats, &sinks);
+    stats
+        .trace
+        .set("join", counter::RESULTS, stats.result_count);
     Ok(JoinOutcome { stats, sinks })
 }
 
@@ -179,7 +237,7 @@ pub(crate) fn join_partitions<S>(
     cfg: &CpuJoinConfig,
     sinks: Vec<S>,
     allow_split: bool,
-) -> Vec<S>
+) -> (Vec<S>, JoinPhaseReport)
 where
     S: OutputSink,
 {
@@ -203,6 +261,7 @@ where
         extra_bits: cfg.extra_pass_bits,
         max_depth: 6,
         max_bucket_bits: cfg.max_bucket_bits,
+        counters: JoinPhaseCounters::default(),
     };
 
     // Largest pairs first so stragglers start early.
@@ -230,14 +289,22 @@ where
             scope.spawn(move || {
                 // Each worker owns its slot for the whole run — the lock is
                 // taken exactly once per thread, so there is no contention.
-                let mut sink = slot.lock();
+                let mut sink = slot.lock().unwrap();
                 phase
                     .queue
                     .run_worker(|task| phase.run_task(task, &mut *sink));
             });
         }
     });
-    slots.into_iter().map(Mutex::into_inner).collect()
+    let report = JoinPhaseReport {
+        tasks_run: phase.counters.tasks_run.load(Ordering::Relaxed),
+        task_splits: phase.counters.task_splits.load(Ordering::Relaxed),
+        build_tuples: phase.counters.build_tuples.load(Ordering::Relaxed),
+        probe_tuples: phase.counters.probe_tuples.load(Ordering::Relaxed),
+        max_chain_len: phase.counters.max_chain_len.load(Ordering::Relaxed),
+    };
+    let sinks = slots.into_iter().map(|m| m.into_inner().unwrap()).collect();
+    (sinks, report)
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@
 use std::time::Instant;
 
 use skewjoin_common::histogram::{per_worker_offsets, PartitionDirectory};
+use skewjoin_common::trace::counter;
 use skewjoin_common::{JoinError, JoinStats, OutputSink, Relation, Tuple};
 
 use crate::cbase::join_partitions;
@@ -81,12 +82,27 @@ where
     let checkup = SkewCheckupTable::build(&skewed);
     stats.phases.record("sample", t0.elapsed());
     stats.skewed_keys_detected = skewed.len();
+    for sk in &skewed {
+        stats.trace.record_skewed_key(sk.key, sk.sample_freq as u64);
+    }
+    stats
+        .trace
+        .set("sample", counter::SKEWED_KEYS, skewed.len() as u64);
 
     // ---- Phase 2: partition R, splitting skewed tuples out. ----
     let t1 = Instant::now();
     let (norm_r, skew_data, skew_dir) = partition_r_with_skew(r, cfg, &checkup);
     stats.phases.record("partition_r", t1.elapsed());
     stats.partitions = norm_r.partitions();
+    {
+        let p = stats.trace.phase("partition_r");
+        p.add(counter::TUPLES_IN, r.len() as u64);
+        p.add(
+            counter::TUPLES_OUT,
+            (norm_r.data.len() + skew_data.len()) as u64,
+        );
+        p.set(counter::PARTITIONS, norm_r.partitions() as u64);
+    }
 
     // ---- Phase 3: partition S; skewed S tuples emit results on the fly. ----
     let t2 = Instant::now();
@@ -94,13 +110,30 @@ where
     let norm_s = partition_s_with_skew(s, cfg, &checkup, &skew_data, &skew_dir, &mut sinks);
     stats.phases.record("partition_s", t2.elapsed());
     stats.skew_path_results = sinks.iter().map(|s| s.count()).sum();
+    {
+        let skew_s_tuples = (s.len() - norm_s.data.len()) as u64;
+        let p = stats.trace.phase("partition_s");
+        p.add(counter::TUPLES_IN, s.len() as u64);
+        p.add(
+            counter::TUPLES_OUT,
+            norm_s.data.len() as u64 + skew_s_tuples,
+        );
+        p.set("skew_probe_tuples", skew_s_tuples);
+        p.set("skew_results", stats.skew_path_results);
+    }
 
     // ---- Phase 4: NM-join over normal partitions. ----
     let t3 = Instant::now();
-    let sinks = join_partitions(&norm_r, &norm_s, cfg, sinks, false);
+    let (sinks, report) = join_partitions(&norm_r, &norm_s, cfg, sinks, false);
     stats.phases.record("nm_join", t3.elapsed());
+    report.record(&mut stats.trace, "nm_join");
 
     aggregate_sinks(&mut stats, &sinks);
+    stats.trace.set(
+        "nm_join",
+        counter::RESULTS,
+        stats.result_count - stats.skew_path_results,
+    );
     Ok(JoinOutcome { stats, sinks })
 }
 

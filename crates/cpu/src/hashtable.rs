@@ -156,6 +156,22 @@ impl<'a> ConcurrentChainedTable<'a> {
             slot = self.next[(slot - 1) as usize].load(Ordering::Relaxed);
         }
     }
+
+    /// Length of the longest chain (diagnostic; call after all inserts
+    /// complete).
+    pub fn max_chain_len(&self) -> usize {
+        let mut max = 0usize;
+        for head in &self.buckets {
+            let mut len = 0;
+            let mut slot = head.load(Ordering::Acquire);
+            while slot != 0 {
+                len += 1;
+                slot = self.next[(slot - 1) as usize].load(Ordering::Relaxed);
+            }
+            max = max.max(len);
+        }
+        max
+    }
 }
 
 #[cfg(test)]

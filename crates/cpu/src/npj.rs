@@ -9,6 +9,7 @@
 
 use std::time::Instant;
 
+use skewjoin_common::trace::counter;
 use skewjoin_common::{JoinError, JoinStats, OutputSink, Relation};
 
 use crate::config::CpuJoinConfig;
@@ -43,6 +44,11 @@ where
         }
     });
     stats.phases.record("build", t0.elapsed());
+    {
+        let p = stats.trace.phase("build");
+        p.add(counter::BUILD_TUPLES, r.len() as u64);
+        p.max(counter::MAX_CHAIN_LEN, table.max_chain_len() as u64);
+    }
 
     // ---- Probe phase: segment-parallel scan of S. ----
     let t1 = Instant::now();
@@ -61,6 +67,11 @@ where
     stats.phases.record("probe", t1.elapsed());
 
     aggregate_sinks(&mut stats, &sinks);
+    {
+        let p = stats.trace.phase("probe");
+        p.add(counter::PROBE_TUPLES, s.len() as u64);
+        p.set(counter::RESULTS, stats.result_count);
+    }
     Ok(JoinOutcome { stats, sinks })
 }
 

@@ -106,13 +106,19 @@ impl SkewCheckupTable {
     }
 
     /// Looks up `key`; returns its skewed partition id if skewed.
+    ///
+    /// The probe count is bounded by the table capacity: with no empty slot
+    /// left (a caller violating `build`'s ≤0.25 load-factor invariant, or a
+    /// future writable-table variant filling up), an unbounded scan would
+    /// spin forever on a missing key because no `EMPTY` sentinel remains to
+    /// stop it.
     #[inline(always)]
     pub fn lookup(&self, key: Key) -> Option<u32> {
         if self.len == 0 {
             return None;
         }
         let mut slot = (mix32(key) as usize) & self.mask;
-        loop {
+        for _ in 0..=self.mask {
             let pid = self.part_ids[slot];
             if pid == EMPTY {
                 return None;
@@ -122,6 +128,8 @@ impl SkewCheckupTable {
             }
             slot = (slot + 1) & self.mask;
         }
+        // Visited every slot without finding the key or an empty slot.
+        None
     }
 }
 
@@ -205,6 +213,35 @@ mod tests {
         let table = SkewCheckupTable::build(&[]);
         assert!(table.is_empty());
         assert_eq!(table.lookup(1), None);
+    }
+
+    #[test]
+    fn lookup_terminates_on_completely_full_table() {
+        // Regression: force a table with zero EMPTY slots. A miss must
+        // return None after at most `capacity` probes instead of spinning
+        // forever looking for an EMPTY sentinel that does not exist.
+        let skewed = vec![
+            SkewedKey {
+                key: 1,
+                sample_freq: 2,
+            },
+            SkewedKey {
+                key: 2,
+                sample_freq: 2,
+            },
+        ];
+        let mut table = SkewCheckupTable::build(&skewed);
+        // Saturate every slot (bypassing build's load-factor headroom).
+        for slot in 0..=table.mask {
+            if table.part_ids[slot] == EMPTY {
+                table.keys[slot] = 1_000_000 + slot as u32;
+                table.part_ids[slot] = 99;
+            }
+        }
+        assert_eq!(table.lookup(1), Some(0));
+        assert_eq!(table.lookup(2), Some(1));
+        // Key absent from the full table: must terminate with None.
+        assert_eq!(table.lookup(3), None);
     }
 
     #[test]

@@ -7,16 +7,16 @@
 //! push the split pieces back, which implements the other technique
 //! (breaking up large partitions).
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use crossbeam::queue::SegQueue;
-use crossbeam::utils::Backoff;
-
-/// A lock-free multi-producer multi-consumer task queue with termination
-/// detection: workers exit when the queue is empty *and* no task is still in
-/// flight (an in-flight task may spawn more).
+/// A multi-producer multi-consumer task queue with termination detection:
+/// workers exit when the queue is empty *and* no task is still in flight
+/// (an in-flight task may spawn more). Tasks are coarse (whole partitions),
+/// so a mutex-guarded deque is plenty — pop cost is dwarfed by task cost.
 pub struct TaskQueue<T> {
-    queue: SegQueue<T>,
+    queue: Mutex<VecDeque<T>>,
     /// Tasks queued or currently being executed.
     pending: AtomicUsize,
 }
@@ -31,7 +31,7 @@ impl<T> TaskQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         Self {
-            queue: SegQueue::new(),
+            queue: Mutex::new(VecDeque::new()),
             pending: AtomicUsize::new(0),
         }
     }
@@ -48,7 +48,7 @@ impl<T> TaskQueue<T> {
     /// Adds a task (callable from inside a running task).
     pub fn push(&self, task: T) {
         self.pending.fetch_add(1, Ordering::SeqCst);
-        self.queue.push(task);
+        self.queue.lock().unwrap().push_back(task);
     }
 
     /// Number of tasks queued or in flight.
@@ -60,11 +60,12 @@ impl<T> TaskQueue<T> {
     /// queue drains and all in-flight tasks (which may spawn new ones via
     /// [`TaskQueue::push`]) have completed.
     pub fn run_worker<F: FnMut(T)>(&self, mut f: F) {
-        let backoff = Backoff::new();
+        let mut idle_spins: u32 = 0;
         loop {
-            match self.queue.pop() {
+            let task = self.queue.lock().unwrap().pop_front();
+            match task {
                 Some(task) => {
-                    backoff.reset();
+                    idle_spins = 0;
                     f(task);
                     // Decrement *after* running: an in-flight task keeps
                     // other workers alive because it may spawn successors.
@@ -74,7 +75,14 @@ impl<T> TaskQueue<T> {
                     if self.pending.load(Ordering::SeqCst) == 0 {
                         return;
                     }
-                    backoff.snooze();
+                    // Another worker's in-flight task may spawn successors;
+                    // spin briefly, then yield so it can make progress.
+                    idle_spins = idle_spins.saturating_add(1);
+                    if idle_spins < 16 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
                 }
             }
         }

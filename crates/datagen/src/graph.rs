@@ -9,11 +9,9 @@
 //! `e1.dst = e2.src` enumerates all 2-hop paths, and hub vertices make the
 //! join key distribution heavily skewed.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use skewjoin_common::{Relation, Tuple};
 
+use crate::rng::Rng;
 use crate::zipf::ZipfWorkload;
 
 /// A directed edge `(src, dst)` over `u32` vertex ids.
@@ -42,7 +40,7 @@ impl PowerLawGraph {
         // Hub structure on the destination side.
         let dst_dist = ZipfWorkload::new(num_vertices, theta, seed);
         let src_dist = ZipfWorkload::new(num_vertices, 0.0, seed ^ 0xABCD);
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x5851_F42D_4C95_7F2D));
+        let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x5851_F42D_4C95_7F2D));
         let mut edges = Vec::with_capacity(num_edges);
         for _ in 0..num_edges {
             // Ranks → vertex ids: rank order is already a permutation of the

@@ -10,8 +10,6 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use skewjoin_common::{Relation, Tuple};
 
 /// Magic bytes identifying the binary relation format.
@@ -46,48 +44,52 @@ impl From<io::Error> for IoError {
 }
 
 /// Serializes a relation into the binary format.
-pub fn to_bytes(relation: &Relation) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + relation.len() * 8);
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u64_le(relation.len() as u64);
+pub fn to_bytes(relation: &Relation) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + relation.len() * 8);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(relation.len() as u64).to_le_bytes());
     for t in relation.iter() {
-        buf.put_u32_le(t.key);
-        buf.put_u32_le(t.payload);
+        buf.extend_from_slice(&t.key.to_le_bytes());
+        buf.extend_from_slice(&t.payload.to_le_bytes());
     }
-    buf.freeze()
+    buf
+}
+
+fn read_u32_le(data: &[u8], offset: usize) -> u32 {
+    u32::from_le_bytes(data[offset..offset + 4].try_into().expect("4 bytes"))
 }
 
 /// Deserializes a relation from the binary format.
-pub fn from_bytes(mut data: &[u8]) -> Result<Relation, IoError> {
+pub fn from_bytes(data: &[u8]) -> Result<Relation, IoError> {
     if data.len() < 16 {
         return Err(IoError::Format("truncated header".into()));
     }
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
+    let magic: [u8; 4] = data[0..4].try_into().expect("4 bytes");
     if &magic != MAGIC {
         return Err(IoError::Format(format!(
             "bad magic {magic:?}, expected {MAGIC:?}"
         )));
     }
-    let version = data.get_u32_le();
+    let version = read_u32_le(data, 4);
     if version != VERSION {
         return Err(IoError::Format(format!(
             "unsupported version {version} (this build reads {VERSION})"
         )));
     }
-    let count = data.get_u64_le() as usize;
-    if data.remaining() != count * 8 {
+    let count = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes")) as usize;
+    let body = &data[16..];
+    if body.len() != count * 8 {
         return Err(IoError::Format(format!(
             "expected {} tuple bytes, found {}",
             count * 8,
-            data.remaining()
+            body.len()
         )));
     }
     let mut tuples = Vec::with_capacity(count);
-    for _ in 0..count {
-        let key = data.get_u32_le();
-        let payload = data.get_u32_le();
+    for i in 0..count {
+        let key = read_u32_le(body, i * 8);
+        let payload = read_u32_le(body, i * 8 + 4);
         tuples.push(Tuple::new(key, payload));
     }
     Ok(Relation::from_tuples(tuples))

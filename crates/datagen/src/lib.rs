@@ -19,9 +19,11 @@
 
 pub mod graph;
 pub mod io;
+pub mod rng;
 pub mod uniform;
 pub mod workload;
 pub mod zipf;
 
+pub use rng::Rng;
 pub use workload::{PaperWorkload, WorkloadSpec};
 pub use zipf::ZipfWorkload;

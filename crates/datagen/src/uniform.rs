@@ -6,12 +6,10 @@
 //! exactly once" microbenchmark shape that the baselines were originally
 //! tuned for.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
 use skewjoin_common::hash::mix32;
 use skewjoin_common::{Key, Relation, Tuple};
+
+use crate::rng::Rng;
 
 /// Generates `num_tuples` tuples with keys drawn uniformly from a domain of
 /// `num_keys` distinct values (the same bijective key spreading as the zipf
@@ -19,10 +17,10 @@ use skewjoin_common::{Key, Relation, Tuple};
 pub fn uniform_table(num_tuples: usize, num_keys: usize, seed: u64) -> Relation {
     assert!(num_keys > 0, "key domain must be non-empty");
     let salt = (seed as u32) ^ ((seed >> 32) as u32);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut tuples = Vec::with_capacity(num_tuples);
     for i in 0..num_tuples {
-        let rank = rng.gen_range(0..num_keys) as u32;
+        let rank = rng.below(num_keys) as u32;
         tuples.push(Tuple::new(mix32(rank ^ salt), i as u32));
     }
     Relation::from_tuples(tuples)
@@ -33,8 +31,8 @@ pub fn uniform_table(num_tuples: usize, num_keys: usize, seed: u64) -> Relation 
 pub fn primary_key_table(num_tuples: usize, seed: u64) -> Relation {
     let salt = (seed as u32) ^ ((seed >> 32) as u32);
     let mut keys: Vec<Key> = (0..num_tuples as u32).map(|i| mix32(i ^ salt)).collect();
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
-    keys.shuffle(&mut rng);
+    let mut rng = Rng::seed_from_u64(seed.wrapping_add(1));
+    rng.shuffle(&mut keys);
     Relation::from_keys(&keys)
 }
 
@@ -43,10 +41,10 @@ pub fn primary_key_table(num_tuples: usize, seed: u64) -> Relation {
 /// exactly one build tuple.
 pub fn foreign_key_table(primary: &Relation, num_tuples: usize, seed: u64) -> Relation {
     assert!(!primary.is_empty(), "primary relation must be non-empty");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut tuples = Vec::with_capacity(num_tuples);
     for i in 0..num_tuples {
-        let pick = rng.gen_range(0..primary.len());
+        let pick = rng.below(primary.len());
         tuples.push(Tuple::new(primary[pick].key, i as u32));
     }
     Relation::from_tuples(tuples)

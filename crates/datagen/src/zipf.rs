@@ -13,11 +13,10 @@
 //! number. At `θ = 1` and `n = 32 M` the hottest key covers `1/H ≈ 5.6 %` of
 //! the mass — ≈1.79 M of 32 M tuples, exactly the figure quoted in §III.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use skewjoin_common::hash::mix32;
 use skewjoin_common::{Key, Relation, Tuple};
+
+use crate::rng::Rng;
 
 /// A zipf key distribution shared by both join inputs.
 ///
@@ -129,18 +128,18 @@ impl ZipfWorkload {
     /// Draws one key: generate a uniform random in `[0, 1)` and binary-search
     /// the interval array (the paper's per-tuple procedure).
     #[inline]
-    pub fn draw<R: Rng>(&self, rng: &mut R) -> Key {
-        let x: f64 = rng.gen::<f64>();
+    pub fn draw(&self, rng: &mut Rng) -> Key {
+        let x: f64 = rng.next_f64();
         let idx = self.cumulative.partition_point(|&c| c <= x);
-        // partition_point can return len() only if x >= 1.0, which gen()
-        // excludes; clamp defensively anyway.
+        // partition_point can return len() only if x >= 1.0, which
+        // next_f64() excludes; clamp defensively anyway.
         self.keys[idx.min(self.keys.len() - 1)]
     }
 
     /// Generates a table of `num_tuples` tuples whose keys follow this
     /// distribution; payload `i` is the row id.
     pub fn generate_table(&self, num_tuples: usize, seed: u64) -> Relation {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut tuples = Vec::with_capacity(num_tuples);
         for i in 0..num_tuples {
             tuples.push(Tuple::new(self.draw(&mut rng), i as u32));

@@ -420,6 +420,8 @@ pub struct LaunchStats {
     pub block_dim: usize,
     /// Simulated device time: max over SMs of their summed block cycles.
     pub device_cycles: u64,
+    /// Cycles of the single most expensive block (always ≤ `device_cycles`).
+    pub max_block_cycles: u64,
     /// Aggregated event counters across all blocks.
     pub metrics: Metrics,
 }
@@ -468,6 +470,7 @@ impl Device {
 
         let mut sm_loads = vec![0u64; self.spec.num_sms];
         let mut agg = Metrics::default();
+        let mut max_block_cycles = 0u64;
         for block_idx in 0..grid_blocks {
             // Greedy dispatch to the least-loaded SM.
             let sm_slot = sm_loads
@@ -487,7 +490,9 @@ impl Device {
                 shared_used: 0,
             };
             kernel.block(&mut ctx);
-            sm_loads[sm_slot] += ctx.metrics.total_cycles();
+            let block_cycles = ctx.metrics.total_cycles();
+            sm_loads[sm_slot] += block_cycles;
+            max_block_cycles = max_block_cycles.max(block_cycles);
             agg.merge(&ctx.metrics);
         }
 
@@ -498,6 +503,7 @@ impl Device {
             grid_blocks,
             block_dim,
             device_cycles,
+            max_block_cycles,
             metrics: agg,
         };
         self.launch_log.push(stats.clone());

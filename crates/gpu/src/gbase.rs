@@ -12,6 +12,7 @@
 
 use std::time::Instant;
 
+use skewjoin_common::trace::counter;
 use skewjoin_common::{JoinError, JoinStats, OutputSink, Relation};
 use skewjoin_gpu_sim::Device;
 
@@ -19,7 +20,7 @@ use crate::config::GpuJoinConfig;
 use crate::nmjoin::{build_nm_tasks, NmJoinKernel};
 use crate::pack::upload_relation;
 use crate::partition::{gpu_partition, PartitionStyle};
-use crate::{aggregate_sinks, GpuJoinOutcome};
+use crate::{aggregate_sinks, record_launches, GpuJoinOutcome};
 
 /// Runs the Gbase join on a fresh simulated device. `make_sink(slot)`
 /// builds the per-SM-slot output sinks. Phase durations in the returned
@@ -60,6 +61,7 @@ where
 
     // ---- Partition phase (simulated time). ----
     let c0 = device.total_cycles();
+    let l0 = device.launch_log().len();
     let parted_r = gpu_partition(&mut device, r_buf, &radix, style, cfg.block_dim);
     let parted_s = gpu_partition(&mut device, s_buf, &radix, style, cfg.block_dim);
     stats.phases.record(
@@ -67,9 +69,25 @@ where
         device.spec().cycles_to_duration(device.total_cycles() - c0),
     );
     stats.partitions = parted_r.partitions();
+    record_launches(&mut stats.trace, "partition", &device.launch_log()[l0..]);
+    stats
+        .trace
+        .set("partition", counter::TUPLES_IN, (r.len() + s.len()) as u64);
+    let parted_out: usize = (0..parted_r.partitions())
+        .map(|p| parted_r.size(p) + parted_s.size(p))
+        .sum();
+    stats
+        .trace
+        .set("partition", counter::TUPLES_OUT, parted_out as u64);
+    stats.trace.set(
+        "partition",
+        counter::PARTITIONS,
+        parted_r.partitions() as u64,
+    );
 
     // ---- Join phase: sub-list decomposition + write-bitmap probe. ----
     let c1 = device.total_cycles();
+    let l1 = device.launch_log().len();
     let host_t = Instant::now();
     let tasks = build_nm_tasks(
         parted_r.buf,
@@ -89,10 +107,21 @@ where
     );
     // Host-side simulation time is not part of the model; drop it.
     let _ = host_t.elapsed();
+    record_launches(&mut stats.trace, "join", &device.launch_log()[l1..]);
+    stats
+        .trace
+        .set("join", counter::TASKS_RUN, tasks.len() as u64);
+    let build: usize = tasks.iter().map(|t| t.r_range.len()).sum();
+    let probe: usize = tasks.iter().map(|t| t.s_range.len()).sum();
+    stats.trace.set("join", counter::BUILD_TUPLES, build as u64);
+    stats.trace.set("join", counter::PROBE_TUPLES, probe as u64);
 
     stats.simulated_cycles = device.total_cycles();
     let timeline = device.render_timeline();
     aggregate_sinks(&mut stats, &sinks);
+    stats
+        .trace
+        .set("join", counter::RESULTS, stats.result_count);
     Ok(GpuJoinOutcome {
         stats,
         sinks,

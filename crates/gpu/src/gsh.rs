@@ -21,6 +21,7 @@
 //! GSH degenerates to a Gbase-like partitioned join — exactly the paper's
 //! observation that the two are comparable at low skew.
 
+use skewjoin_common::trace::counter;
 use skewjoin_common::{JoinError, JoinStats, OutputSink, Relation};
 use skewjoin_gpu_sim::Device;
 
@@ -29,7 +30,7 @@ use crate::nmjoin::{NmJoinKernel, NmTask};
 use crate::pack::upload_relation;
 use crate::partition::{gpu_partition, PartitionStyle};
 use crate::skew::{detect_skew, split_large_partition, SkewJoinKernel, SkewOutputTask};
-use crate::{aggregate_sinks, GpuJoinOutcome};
+use crate::{aggregate_sinks, record_launches, GpuJoinOutcome};
 
 /// Runs the GSH join on a fresh simulated device. `make_sink(slot)` builds
 /// the per-SM-slot output sinks.
@@ -80,6 +81,7 @@ where
 
     // ---- Phase 1: count-then-scatter partitioning. ----
     let c0 = device.total_cycles();
+    let l0 = device.launch_log().len();
     let parted_r = gpu_partition(
         &mut device,
         r_buf,
@@ -99,9 +101,25 @@ where
         device.spec().cycles_to_duration(device.total_cycles() - c0),
     );
     stats.partitions = parted_r.partitions();
+    record_launches(&mut stats.trace, "partition", &device.launch_log()[l0..]);
+    stats
+        .trace
+        .set("partition", counter::TUPLES_IN, (r.len() + s.len()) as u64);
+    let parted_out: usize = (0..parted_r.partitions())
+        .map(|p| parted_r.size(p) + parted_s.size(p))
+        .sum();
+    stats
+        .trace
+        .set("partition", counter::TUPLES_OUT, parted_out as u64);
+    stats.trace.set(
+        "partition",
+        counter::PARTITIONS,
+        parted_r.partitions() as u64,
+    );
 
     // ---- Phase 2: detect skewed keys in large partitions. ----
     let c1 = device.total_cycles();
+    let l1 = device.launch_log().len();
     let large_pids: Vec<usize> = (0..parted_r.partitions())
         .filter(|&p| parted_r.size(p) > capacity)
         .collect();
@@ -117,9 +135,21 @@ where
         device.spec().cycles_to_duration(device.total_cycles() - c1),
     );
     stats.skewed_keys_detected = detected.iter().map(|d| d.keys.len()).sum();
+    record_launches(&mut stats.trace, "detect", &device.launch_log()[l1..]);
+    stats.trace.set(
+        "detect",
+        counter::SKEWED_KEYS,
+        stats.skewed_keys_detected as u64,
+    );
+    for d in &detected {
+        for (&key, &freq) in d.keys.iter().zip(&d.freqs) {
+            stats.trace.record_skewed_key(key, freq);
+        }
+    }
 
     // ---- Phase 3: split large partitions (both sides, same key lists). ----
     let c2 = device.total_cycles();
+    let l2 = device.launch_log().len();
     let mut splits = Vec::new();
     for d in &detected {
         if d.keys.is_empty() {
@@ -147,9 +177,28 @@ where
         "split",
         device.spec().cycles_to_duration(device.total_cycles() - c2),
     );
+    record_launches(&mut stats.trace, "split", &device.launch_log()[l2..]);
+    let split_in: usize = splits.iter().map(|(rs, _)| parted_r.size(rs.pid)).sum();
+    let split_s_in: usize = splits.iter().map(|(_, ss)| parted_s.size(ss.pid)).sum();
+    stats
+        .trace
+        .set("split", counter::TUPLES_IN, (split_in + split_s_in) as u64);
+    let split_out: usize = splits
+        .iter()
+        .map(|(rs, ss)| {
+            rs.norm_len
+                + rs.skew_starts.last().copied().unwrap_or(0)
+                + ss.norm_len
+                + ss.skew_starts.last().copied().unwrap_or(0)
+        })
+        .sum();
+    stats
+        .trace
+        .set("split", counter::TUPLES_OUT, split_out as u64);
 
     // ---- Phase 4: NM-join over normal partitions and residues. ----
     let c3 = device.total_cycles();
+    let l3 = device.launch_log().len();
     let split_pids: std::collections::HashSet<usize> =
         splits.iter().map(|(rs, _)| rs.pid).collect();
     let mut tasks: Vec<NmTask> = Vec::new();
@@ -187,9 +236,23 @@ where
         device.spec().cycles_to_duration(device.total_cycles() - c3),
     );
     let nm_results: u64 = sinks.iter().map(|s| s.count()).sum();
+    record_launches(&mut stats.trace, "nm_join", &device.launch_log()[l3..]);
+    stats
+        .trace
+        .set("nm_join", counter::TASKS_RUN, tasks.len() as u64);
+    let build: usize = tasks.iter().map(|t| t.r_range.len()).sum();
+    let probe: usize = tasks.iter().map(|t| t.s_range.len()).sum();
+    stats
+        .trace
+        .set("nm_join", counter::BUILD_TUPLES, build as u64);
+    stats
+        .trace
+        .set("nm_join", counter::PROBE_TUPLES, probe as u64);
+    stats.trace.set("nm_join", counter::RESULTS, nm_results);
 
     // ---- Phase 5: dedicated skew output (one block per skewed R tuple). ----
     let c4 = device.total_cycles();
+    let l4 = device.launch_log().len();
     let mut skew_tasks: Vec<SkewOutputTask> = Vec::new();
     for (r_split, s_split) in &splits {
         for (ki, &key) in r_split.keys.iter().enumerate() {
@@ -226,11 +289,18 @@ where
         "skew_join",
         device.spec().cycles_to_duration(device.total_cycles() - c4),
     );
+    record_launches(&mut stats.trace, "skew_join", &device.launch_log()[l4..]);
+    stats
+        .trace
+        .set("skew_join", counter::TASKS_RUN, skew_tasks.len() as u64);
 
     stats.simulated_cycles = device.total_cycles();
     let timeline = device.render_timeline();
     aggregate_sinks(&mut stats, &sinks);
     stats.skew_path_results = stats.result_count - nm_results;
+    stats
+        .trace
+        .set("skew_join", counter::RESULTS, stats.skew_path_results);
     Ok(GpuJoinOutcome {
         stats,
         sinks,

@@ -47,7 +47,9 @@ pub use config::GpuJoinConfig;
 pub use gbase::gbase_join;
 pub use gsh::gsh_join;
 
+use skewjoin_common::trace::{counter, Trace};
 use skewjoin_common::{JoinStats, OutputSink};
+use skewjoin_gpu_sim::LaunchStats;
 
 /// Result of a simulated GPU join: aggregate statistics plus the per-SM-slot
 /// output sinks.
@@ -61,6 +63,29 @@ pub struct GpuJoinOutcome<S> {
     /// Human-readable launch timeline (kernel, blocks, simulated time,
     /// dominant cost component) from the simulator.
     pub timeline: String,
+}
+
+/// Folds a window of the device launch log into one trace phase: launch
+/// count, device/max-block cycles, and the simulator's divergence,
+/// bank-conflict (shared-memory), atomic, and memory-transaction counters.
+pub(crate) fn record_launches(trace: &mut Trace, phase: &str, launches: &[LaunchStats]) {
+    for l in launches {
+        trace.add(phase, counter::KERNEL_LAUNCHES, 1);
+        trace.add(phase, counter::DEVICE_CYCLES, l.device_cycles);
+        trace.max(phase, counter::MAX_BLOCK_CYCLES, l.max_block_cycles);
+        trace.add(
+            phase,
+            counter::DIVERGENCE_CYCLES,
+            l.metrics.divergence_waste_cycles,
+        );
+        trace.add(
+            phase,
+            counter::BANK_CONFLICT_CYCLES,
+            l.metrics.shared_cycles,
+        );
+        trace.add(phase, counter::ATOMIC_CYCLES, l.metrics.atomic_cycles);
+        trace.add(phase, counter::MEM_TRANSACTIONS, l.metrics.transactions);
+    }
 }
 
 pub(crate) fn aggregate_sinks<S: OutputSink>(stats: &mut JoinStats, sinks: &[S]) {

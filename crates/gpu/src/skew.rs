@@ -18,6 +18,9 @@ pub struct DetectedSkew {
     pub pid: usize,
     /// Up to `top_k` keys, most frequent in the sample first.
     pub keys: Vec<Key>,
+    /// Observed frequency of each key (sample counts for `Sampled`
+    /// detection, true counts for `Exact`); parallel to `keys`.
+    pub freqs: Vec<u64>,
 }
 
 /// Samples each large partition (~1 %), counts key frequencies in a
@@ -60,7 +63,10 @@ pub fn detect_skew(
     large_pids
         .iter()
         .zip(results)
-        .map(|(&pid, keys)| DetectedSkew { pid, keys })
+        .map(|(&pid, entries)| {
+            let (keys, freqs) = entries.into_iter().unzip();
+            DetectedSkew { pid, keys, freqs }
+        })
         .collect()
 }
 
@@ -71,7 +77,7 @@ struct ExactCountKernel<'a> {
     parted: &'a DevicePartitioned,
     pids: &'a [usize],
     top_k: usize,
-    results: Vec<Vec<Key>>,
+    results: Vec<Vec<(Key, u64)>>,
 }
 
 impl Kernel for ExactCountKernel<'_> {
@@ -104,7 +110,7 @@ impl Kernel for ExactCountKernel<'_> {
             .into_iter()
             .filter(|&(c, _)| c >= 2)
             .take(self.top_k)
-            .map(|(_, k)| k)
+            .map(|(c, k)| (k, c))
             .collect();
         ctx.account_stream_bytes((self.top_k * 8) as u64);
     }
@@ -114,7 +120,7 @@ struct SampleKernel<'a> {
     parted: &'a DevicePartitioned,
     pids: &'a [usize],
     cfg: &'a GpuSkewConfig,
-    results: Vec<Vec<Key>>,
+    results: Vec<Vec<(Key, u64)>>,
     scratch_idx: Vec<usize>,
     scratch_vals: Vec<u64>,
 }
@@ -194,11 +200,11 @@ impl Kernel for SampleKernel<'_> {
         entries.sort_unstable_by(|a, b| b.cmp(a));
         // Only keys sampled more than once qualify — a singleton sample
         // carries no evidence of skew.
-        let top: Vec<Key> = entries
+        let top: Vec<(Key, u64)> = entries
             .into_iter()
             .filter(|&(c, _)| c >= 2)
             .take(self.cfg.top_k)
-            .map(|(_, k)| k)
+            .map(|(c, k)| (k, u64::from(c)))
             .collect();
         // Write the result row to global memory for the host.
         ctx.account_stream_bytes((self.cfg.top_k * 8) as u64);

@@ -1,14 +1,41 @@
-//! Property tests on the GPU partitioning kernels: both cost styles must
-//! produce exact partitionings for arbitrary inputs, and the directory must
-//! agree with `final_pid`.
-
-use proptest::prelude::*;
+//! Property-style tests on the GPU partitioning kernels, run over
+//! deterministic seeded case batteries: both cost styles must produce exact
+//! partitionings for arbitrary inputs, and the directory must agree with
+//! `final_pid`.
 
 use skewjoin_common::hash::RadixConfig;
 use skewjoin_common::{Relation, Tuple};
 use skewjoin_gpu::pack::{unpack, upload_relation};
 use skewjoin_gpu::partition::{final_pid, gpu_partition, PartitionStyle};
 use skewjoin_gpu_sim::{Device, DeviceSpec};
+
+/// Minimal deterministic generator (splitmix64) for the case batteries.
+struct TestRng(u64);
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    fn keys(&mut self, max_len: usize, key_bound: u64) -> Vec<u32> {
+        let len = self.below(max_len + 1);
+        (0..len)
+            .map(|_| (self.next_u64() % key_bound) as u32)
+            .collect()
+    }
+}
 
 fn check(keys: &[u32], bits: u32, style: PartitionStyle, block_dim: usize) -> Result<(), String> {
     let rel = Relation::from_keys(keys);
@@ -45,38 +72,43 @@ fn check(keys: &[u32], bits: u32, style: PartitionStyle, block_dim: usize) -> Re
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    #[test]
-    fn count_scatter_partitions_exactly(
-        keys in prop::collection::vec(any::<u32>(), 0..600),
-        bits in 2u32..8,
-    ) {
+#[test]
+fn count_scatter_partitions_exactly() {
+    let mut rng = TestRng::new(0x6B_0001);
+    for case in 0..32 {
+        let keys = rng.keys(600, u64::from(u32::MAX) + 1);
+        let bits = 2 + rng.below(6) as u32;
         check(&keys, bits, PartitionStyle::CountScatter, 64)
-            .map_err(TestCaseError::fail)?;
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
+}
 
-    #[test]
-    fn linked_buckets_partitions_exactly(
-        keys in prop::collection::vec(0u32..64, 0..600), // collision-heavy
-        bits in 2u32..8,
-        bucket_capacity in 1usize..100,
-    ) {
+#[test]
+fn linked_buckets_partitions_exactly() {
+    let mut rng = TestRng::new(0x6B_0002);
+    for case in 0..32 {
+        let keys = rng.keys(600, 64); // collision-heavy
+        let bits = 2 + rng.below(6) as u32;
+        let bucket_capacity = 1 + rng.below(99);
         check(
             &keys,
             bits,
             PartitionStyle::LinkedBuckets { bucket_capacity },
             32,
         )
-        .map_err(TestCaseError::fail)?;
+        .unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
+}
 
-    #[test]
-    fn styles_produce_identical_directories(
-        keys in prop::collection::vec(any::<u32>(), 1..400),
-        bits in 2u32..6,
-    ) {
+#[test]
+fn styles_produce_identical_directories() {
+    let mut rng = TestRng::new(0x6B_0003);
+    for case in 0..32 {
+        let mut keys = rng.keys(400, u64::from(u32::MAX) + 1);
+        if keys.is_empty() {
+            keys.push(rng.next_u64() as u32);
+        }
+        let bits = 2 + rng.below(4) as u32;
         let rel = Relation::from_keys(&keys);
         let cfg = RadixConfig::two_pass(bits);
 
@@ -90,9 +122,11 @@ proptest! {
             &mut dev_b,
             buf_b,
             &cfg,
-            PartitionStyle::LinkedBuckets { bucket_capacity: 32 },
+            PartitionStyle::LinkedBuckets {
+                bucket_capacity: 32,
+            },
             64,
         );
-        prop_assert_eq!(&a.starts, &b.starts);
+        assert_eq!(&a.starts, &b.starts, "case {case}");
     }
 }

@@ -1,0 +1,126 @@
+//! Differential join oracle CLI.
+//!
+//! Runs every algorithm (Cbase, cbase-npj, CSH, Gbase, GSH) against the
+//! per-key-count reference over a seed × size × zipf matrix and reports the
+//! first divergence per failing cell: the smallest diverging key, the radix
+//! partition it lands in, the suspected phase, and both traces side by side.
+//!
+//! ```text
+//! diffcheck [--quick] [--seeds a,b,..] [--sizes n,..] [--zipfs z,..] [--threads t]
+//! ```
+//!
+//! Exits non-zero iff any cell diverged, so CI can run it as a smoke job.
+
+use skewjoin_integration::run_matrix;
+
+struct Options {
+    seeds: Vec<u64>,
+    sizes: Vec<usize>,
+    zipfs: Vec<f64>,
+    threads: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            seeds: vec![1, 42, 20240611],
+            sizes: vec![512, 4096, 20000],
+            zipfs: vec![0.0, 0.5, 1.0, 1.25],
+            threads: 4,
+        }
+    }
+}
+
+fn parse_list<T: std::str::FromStr>(arg: &str, what: &str) -> Vec<T> {
+    arg.split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .unwrap_or_else(|_| die(&format!("bad {what} value: {v:?}")))
+        })
+        .collect()
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("diffcheck: {msg}");
+    eprintln!(
+        "usage: diffcheck [--quick] [--seeds a,b,..] [--sizes n,..] [--zipfs z,..] [--threads t]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--quick" => {
+                opts.seeds = vec![42];
+                opts.sizes = vec![512, 4096];
+                opts.zipfs = vec![0.0, 1.0];
+            }
+            "--seeds" => opts.seeds = parse_list(&value("--seeds"), "seed"),
+            "--sizes" => opts.sizes = parse_list(&value("--sizes"), "size"),
+            "--zipfs" => opts.zipfs = parse_list(&value("--zipfs"), "zipf"),
+            "--threads" => {
+                opts.threads = value("--threads")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --threads value"))
+            }
+            "--help" | "-h" => die("differential join oracle"),
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.seeds.is_empty() || opts.sizes.is_empty() || opts.zipfs.is_empty() {
+        die("matrix must be non-empty");
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let cells = opts.seeds.len() * opts.sizes.len() * opts.zipfs.len() * 5;
+    println!(
+        "diffcheck: {} cells ({} seeds x {} sizes x {} zipfs x 5 algorithms, {} threads)",
+        cells,
+        opts.seeds.len(),
+        opts.sizes.len(),
+        opts.zipfs.len(),
+        opts.threads
+    );
+
+    let mut run = 0usize;
+    let divergences = run_matrix(
+        &opts.seeds,
+        &opts.sizes,
+        &opts.zipfs,
+        opts.threads,
+        |name, spec, ok| {
+            run += 1;
+            let verdict = if ok { "ok" } else { "DIVERGED" };
+            println!(
+                "  [{run:>4}/{cells}] {name:<10} seed={:<10} size={:<7} zipf={:<5} {verdict}",
+                spec.seed, spec.size, spec.zipf
+            );
+        },
+    );
+
+    if divergences.is_empty() {
+        println!("diffcheck: all {cells} cells agree with the reference");
+        return;
+    }
+    println!();
+    for d in &divergences {
+        println!("{d}");
+        println!();
+    }
+    eprintln!(
+        "diffcheck: {} of {cells} cells diverged from the reference",
+        divergences.len()
+    );
+    std::process::exit(1);
+}

@@ -84,9 +84,13 @@ fn stats_serialize_to_json() {
     let cfg = CpuJoinConfig::with_threads(2);
     let stats =
         skewjoin::run_cpu_join(CpuAlgorithm::Csh, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
-    let json = serde_json::to_string(&stats).expect("serialize");
-    assert!(json.contains("\"algorithm\":\"CSH\""));
-    let back: JoinStats = serde_json::from_str(&json).expect("deserialize");
+    let json = stats.to_json().to_string();
+    assert!(json.contains("\"algorithm\""));
+    assert!(json.contains("CSH"));
+    let parsed = skewjoin::common::Json::parse(&json).expect("parse");
+    let back = JoinStats::from_json(&parsed).expect("deserialize");
     assert_eq!(back.result_count, stats.result_count);
     assert_eq!(back.phases.total(), stats.phases.total());
+    // The embedded per-phase trace survives the round trip too.
+    assert_eq!(back.trace, stats.trace);
 }

@@ -1,24 +1,30 @@
-//! Property-based end-to-end tests: for *arbitrary* small tables, every
-//! algorithm on both devices must agree with the nested-loop reference on
-//! count and checksum, and structural invariants must hold.
-
-use proptest::prelude::*;
+//! Property-style end-to-end tests over deterministic pseudo-random inputs:
+//! for arbitrary small tables, every algorithm on both devices must agree
+//! with the nested-loop reference on count and checksum, and structural
+//! invariants must hold. Each property runs over a fixed battery of seeded
+//! cases (collision-heavy key domains mixed with wide-range keys), so
+//! failures reproduce exactly.
 
 use skewjoin::common::CountingSink;
 use skewjoin::cpu::reference_join;
+use skewjoin::datagen::Rng;
 use skewjoin::prelude::*;
 
-/// Arbitrary relation: up to 400 tuples over a small key domain (forcing
-/// collisions and skew) mixed with a few wide-range keys.
-fn arb_relation(max_len: usize) -> impl Strategy<Value = Relation> {
-    prop::collection::vec(
-        prop_oneof![
-            3 => 0u32..16,          // hot, collision-heavy domain
-            1 => 0u32..u32::MAX,    // arbitrary keys
-        ],
-        0..max_len,
-    )
-    .prop_map(|keys| Relation::from_keys(&keys))
+/// Deterministic "arbitrary" relation: up to `max_len` tuples over a small
+/// hot key domain (forcing collisions and skew) mixed with a few wide-range
+/// keys — the same shape the earlier property-based suite generated.
+fn arb_relation(rng: &mut Rng, max_len: usize) -> Relation {
+    let len = rng.below(max_len + 1);
+    let keys: Vec<Key> = (0..len)
+        .map(|_| {
+            if rng.below(4) < 3 {
+                rng.next_u32() % 16 // hot, collision-heavy domain
+            } else {
+                rng.next_u32() // arbitrary keys
+            }
+        })
+        .collect();
+    Relation::from_keys(&keys)
 }
 
 fn reference(r: &Relation, s: &Relation) -> (u64, u64) {
@@ -27,32 +33,31 @@ fn reference(r: &Relation, s: &Relation) -> (u64, u64) {
     (stats.result_count, stats.checksum)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        ..ProptestConfig::default()
-    })]
+const CASES: u64 = 24;
 
-    #[test]
-    fn cpu_algorithms_agree_with_reference(
-        r in arb_relation(400),
-        s in arb_relation(400),
-        threads in 1usize..5,
-    ) {
-        let (count, checksum) = reference(&r, &s);
+#[test]
+fn cpu_algorithms_agree_with_reference() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xE2E_0001 + case);
+        let r = arb_relation(&mut rng, 400);
+        let s = arb_relation(&mut rng, 400);
+        let threads = 1 + rng.below(4);
         let cfg = CpuJoinConfig::with_threads(threads);
+        let (count, checksum) = reference(&r, &s);
         for algo in CpuAlgorithm::ALL {
             let stats = skewjoin::run_cpu_join(algo, &r, &s, &cfg, SinkSpec::Count).unwrap();
-            prop_assert_eq!(stats.result_count, count, "{} count", algo);
-            prop_assert_eq!(stats.checksum, checksum, "{} checksum", algo);
+            assert_eq!(stats.result_count, count, "case {case}: {algo:?} count");
+            assert_eq!(stats.checksum, checksum, "case {case}: {algo:?} checksum");
         }
     }
+}
 
-    #[test]
-    fn gpu_algorithms_agree_with_reference(
-        r in arb_relation(250),
-        s in arb_relation(250),
-    ) {
+#[test]
+fn gpu_algorithms_agree_with_reference() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xE2E_0002 + case);
+        let r = arb_relation(&mut rng, 250);
+        let s = arb_relation(&mut rng, 250);
         let (count, checksum) = reference(&r, &s);
         let cfg = GpuJoinConfig {
             spec: DeviceSpec::tiny(1 << 24),
@@ -62,48 +67,70 @@ proptest! {
         };
         for algo in GpuAlgorithm::ALL {
             let stats = skewjoin::run_gpu_join(algo, &r, &s, &cfg, SinkSpec::Count).unwrap();
-            prop_assert_eq!(stats.result_count, count, "{} count", algo);
-            prop_assert_eq!(stats.checksum, checksum, "{} checksum", algo);
+            assert_eq!(stats.result_count, count, "case {case}: {algo:?} count");
+            assert_eq!(stats.checksum, checksum, "case {case}: {algo:?} checksum");
         }
     }
+}
 
-    #[test]
-    fn join_count_formula_holds(r in arb_relation(300), s in arb_relation(300)) {
-        // |R ⋈ S| = Σ_k f_R(k) · f_S(k)
-        use std::collections::HashMap;
+#[test]
+fn join_count_formula_holds() {
+    // |R ⋈ S| = Σ_k f_R(k) · f_S(k)
+    use std::collections::HashMap;
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xE2E_0003 + case);
+        let r = arb_relation(&mut rng, 300);
+        let s = arb_relation(&mut rng, 300);
         let mut fr: HashMap<u32, u64> = HashMap::new();
-        for t in r.iter() { *fr.entry(t.key).or_default() += 1; }
+        for t in r.tuples() {
+            *fr.entry(t.key).or_default() += 1;
+        }
         let mut fs: HashMap<u32, u64> = HashMap::new();
-        for t in s.iter() { *fs.entry(t.key).or_default() += 1; }
-        let expected: u64 = fr.iter()
+        for t in s.tuples() {
+            *fs.entry(t.key).or_default() += 1;
+        }
+        let expected: u64 = fr
+            .iter()
             .map(|(k, &c)| c * fs.get(k).copied().unwrap_or(0))
             .sum();
         let (count, _) = reference(&r, &s);
-        prop_assert_eq!(count, expected);
+        assert_eq!(count, expected, "case {case}");
     }
+}
 
-    #[test]
-    fn csh_skew_split_is_exact(r in arb_relation(300), s in arb_relation(300)) {
-        // skew_path_results + NM results == total; never double-counted.
+#[test]
+fn csh_skew_split_is_exact() {
+    // skew_path_results + NM results == total; never double-counted.
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xE2E_0004 + case);
+        let r = arb_relation(&mut rng, 300);
+        let s = arb_relation(&mut rng, 300);
         let cfg = CpuJoinConfig::with_threads(2);
-        let stats = skewjoin::run_cpu_join(CpuAlgorithm::Csh, &r, &s, &cfg, SinkSpec::Count)
-            .unwrap();
+        let stats =
+            skewjoin::run_cpu_join(CpuAlgorithm::Csh, &r, &s, &cfg, SinkSpec::Count).unwrap();
         let (count, _) = reference(&r, &s);
-        prop_assert_eq!(stats.result_count, count);
-        prop_assert!(stats.skew_path_results <= stats.result_count);
+        assert_eq!(stats.result_count, count, "case {case}");
+        assert!(stats.skew_path_results <= stats.result_count, "case {case}");
     }
+}
 
-    #[test]
-    fn volcano_capacity_never_changes_results(
-        r in arb_relation(200),
-        s in arb_relation(200),
-        capacity in 1usize..512,
-    ) {
+#[test]
+fn volcano_capacity_never_changes_results() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xE2E_0005 + case);
+        let r = arb_relation(&mut rng, 200);
+        let s = arb_relation(&mut rng, 200);
+        let capacity = 1 + rng.below(511);
         let cfg = CpuJoinConfig::with_threads(2);
         let a = skewjoin::run_cpu_join(CpuAlgorithm::Csh, &r, &s, &cfg, SinkSpec::Count).unwrap();
         let b = skewjoin::run_cpu_join(
-            CpuAlgorithm::Csh, &r, &s, &cfg, SinkSpec::Volcano { capacity },
-        ).unwrap();
-        prop_assert_eq!(a.result_count, b.result_count);
+            CpuAlgorithm::Csh,
+            &r,
+            &s,
+            &cfg,
+            SinkSpec::Volcano { capacity },
+        )
+        .unwrap();
+        assert_eq!(a.result_count, b.result_count, "case {case}");
     }
 }
