@@ -78,10 +78,10 @@ fn bench_full_joins() {
     group("cpu_join");
     for &zipf in &[0.25f64, 0.9] {
         let w = PaperWorkload::generate(WorkloadSpec::paper(1 << 16, zipf, 4));
-        let cfg = CpuJoinConfig::sized_for(1 << 16, 2048);
+        let cfg = JoinConfig::from(CpuJoinConfig::sized_for(1 << 16, 2048));
         for algo in [CpuAlgorithm::Cbase, CpuAlgorithm::Csh] {
             bench(&format!("{}/{zipf}", algo.name()), 3, || {
-                skewjoin::run_cpu_join(algo, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap()
+                skewjoin::run_join(algo.into(), &w.r, &w.s, &cfg, SinkSpec::Count).unwrap()
             });
         }
     }

@@ -40,10 +40,10 @@ fn bench_gpu_joins() {
     group("gpu_join_sim");
     for &zipf in &[0.25f64, 0.9] {
         let w = PaperWorkload::generate(WorkloadSpec::paper(1 << 13, zipf, 2));
-        let cfg = GpuJoinConfig::default();
+        let cfg = JoinConfig::from(GpuJoinConfig::default());
         for algo in GpuAlgorithm::ALL {
             bench(&format!("{}/{zipf}", algo.name()), 3, || {
-                skewjoin::run_gpu_join(algo, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap()
+                skewjoin::run_join(algo.into(), &w.r, &w.s, &cfg, SinkSpec::Count).unwrap()
             });
         }
     }

@@ -1,3 +1,8 @@
+// TODO: migrate to the unified `run_join` API; these reproduction bins still
+// exercise the deprecated per-device entry points on purpose, as regression
+// coverage that the wrappers keep producing paper-accurate numbers.
+#![allow(deprecated)]
+
 //! Ablations over the design choices DESIGN.md calls out:
 //!
 //! 1. **CSH sample rate** (paper: 1 %) — detection cost vs. coverage.

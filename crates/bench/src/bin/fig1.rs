@@ -21,29 +21,31 @@ fn main() {
         "zipf", "Cbase part", "Cbase join", "Gbase part", "Gbase join"
     );
 
-    let cpu_cfg = CpuJoinConfig {
-        threads: args.threads,
-        ..CpuJoinConfig::sized_for(args.tuples, 2048)
+    let cfg = JoinConfig {
+        cpu: CpuJoinConfig {
+            threads: args.threads,
+            ..CpuJoinConfig::sized_for(args.tuples, 2048)
+        },
+        gpu: GpuJoinConfig::default(),
     };
-    let gpu_cfg = GpuJoinConfig::default();
 
     for zipf in figure_zipfs() {
         let cw = PaperWorkload::generate(WorkloadSpec::paper(args.tuples, zipf, args.seed));
-        let cpu = skewjoin::run_cpu_join(
-            CpuAlgorithm::Cbase,
+        let cpu = skewjoin::run_join(
+            Algorithm::Cpu(CpuAlgorithm::Cbase),
             &cw.r,
             &cw.s,
-            &cpu_cfg,
+            &cfg,
             SinkSpec::default(),
         )
         .expect("Cbase failed");
 
         let gw = PaperWorkload::generate(WorkloadSpec::paper(args.gpu_tuples, zipf, args.seed));
-        let gpu = skewjoin::run_gpu_join(
-            GpuAlgorithm::Gbase,
+        let gpu = skewjoin::run_join(
+            Algorithm::Gpu(GpuAlgorithm::Gbase),
             &gw.r,
             &gw.s,
-            &gpu_cfg,
+            &cfg,
             SinkSpec::default(),
         )
         .expect("Gbase failed");

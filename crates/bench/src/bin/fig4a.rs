@@ -20,16 +20,16 @@ fn main() {
         "zipf", "Cbase", "cbase-npj", "CSH", "CSH speedup"
     );
 
-    let cfg = CpuJoinConfig {
+    let cfg = JoinConfig::from(CpuJoinConfig {
         threads: args.threads,
         ..CpuJoinConfig::sized_for(args.tuples, 2048)
-    };
+    });
 
     for zipf in figure_zipfs() {
         let w = PaperWorkload::generate(WorkloadSpec::paper(args.tuples, zipf, args.seed));
         let mut totals = Vec::new();
         for algo in CpuAlgorithm::ALL {
-            let stats = skewjoin::run_cpu_join(algo, &w.r, &w.s, &cfg, SinkSpec::default())
+            let stats = skewjoin::run_join(algo.into(), &w.r, &w.s, &cfg, SinkSpec::default())
                 .unwrap_or_else(|e| panic!("{algo}: {e}"));
             record.push(algo.name(), zipf, stats.total_time());
             record.attach_trace(algo.name(), zipf, &stats);

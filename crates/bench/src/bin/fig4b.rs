@@ -21,12 +21,12 @@ fn main() {
         "zipf", "Gbase", "GSH", "GSH speedup"
     );
 
-    let cfg = GpuJoinConfig::default();
+    let cfg = JoinConfig::from(GpuJoinConfig::default());
     for zipf in figure_zipfs() {
         let w = PaperWorkload::generate(WorkloadSpec::paper(args.gpu_tuples, zipf, args.seed));
         let mut totals = Vec::new();
         for algo in GpuAlgorithm::ALL {
-            let stats = skewjoin::run_gpu_join(algo, &w.r, &w.s, &cfg, SinkSpec::default())
+            let stats = skewjoin::run_join(algo.into(), &w.r, &w.s, &cfg, SinkSpec::default())
                 .unwrap_or_else(|e| panic!("{algo}: {e}"));
             record.push(algo.name(), zipf, stats.total_time());
             record.attach_trace(algo.name(), zipf, &stats);

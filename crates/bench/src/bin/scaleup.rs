@@ -1,3 +1,8 @@
+// TODO: migrate to the unified `run_join` API; these reproduction bins still
+// exercise the deprecated per-device entry points on purpose, as regression
+// coverage that the wrappers keep producing paper-accurate numbers.
+#![allow(deprecated)]
+
 //! Reproduces the **larger-input experiment** (§V-B, last paragraph): scale
 //! the tables up at zipf 0.7 and report the CSH-over-Cbase and
 //! GSH-over-Gbase speedups (paper, at 560 M tuples: 3.5× and 10.4×).

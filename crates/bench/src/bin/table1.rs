@@ -1,3 +1,8 @@
+// TODO: migrate to the unified `run_join` API; these reproduction bins still
+// exercise the deprecated per-device entry points on purpose, as regression
+// coverage that the wrappers keep producing paper-accurate numbers.
+#![allow(deprecated)]
+
 //! Reproduces **Table I**: per-phase execution time breakdown of all four
 //! partitioned joins for zipf factors 0.5–1.0.
 //!

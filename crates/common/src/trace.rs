@@ -39,6 +39,12 @@ pub mod counter {
     pub const TASKS_RUN: &str = "tasks_run";
     /// Skewed keys the detector reported.
     pub const SKEWED_KEYS: &str = "skewed_keys";
+    /// Tasks a worker took from another worker's deque.
+    pub const TASKS_STOLEN: &str = "tasks_stolen";
+    /// Full steal rounds (every victim tried) that found nothing.
+    pub const STEAL_FAILURES: &str = "steal_failures";
+    /// Software write-combining lines flushed during a scatter.
+    pub const BUFFER_FLUSHES: &str = "buffer_flushes";
     /// Kernel launches in a simulated-GPU phase.
     pub const KERNEL_LAUNCHES: &str = "kernel_launches";
     /// Total simulated device cycles for the phase.

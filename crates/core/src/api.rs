@@ -1,6 +1,14 @@
 //! Unified entry points over the five join algorithms.
+//!
+//! [`run_join`] is the single front door: it takes an [`Algorithm`] (CPU or
+//! GPU), a combined [`JoinConfig`], and a [`SinkSpec`]. Callers that need
+//! custom per-worker output sinks use [`run_join_with`] and a
+//! [`SinkFactory`]. The old per-device `run_cpu_join`/`run_gpu_join` remain
+//! as thin deprecated wrappers.
 
-use skewjoin_common::{CountingSink, JoinError, JoinStats, Relation, SinkSpec, VolcanoSink};
+use skewjoin_common::{
+    CountingSink, JoinError, JoinStats, OutputSink, Relation, SinkSpec, VolcanoSink,
+};
 use skewjoin_cpu::{cbase_join, csh_join, npj_join, CpuJoinConfig};
 use skewjoin_gpu::{gbase_join, gsh_join, GpuJoinConfig};
 
@@ -67,8 +75,173 @@ impl std::fmt::Display for GpuAlgorithm {
     }
 }
 
-/// Runs a CPU join with per-thread sinks built from `sink`, returning the
-/// aggregate statistics (wall-clock phase times).
+/// Any of the five join algorithms, on either device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// A multi-threaded CPU join.
+    Cpu(CpuAlgorithm),
+    /// A (simulated) GPU join.
+    Gpu(GpuAlgorithm),
+}
+
+impl Algorithm {
+    /// All five algorithms, in the paper's presentation order.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Cpu(CpuAlgorithm::Cbase),
+        Algorithm::Cpu(CpuAlgorithm::CbaseNpj),
+        Algorithm::Cpu(CpuAlgorithm::Csh),
+        Algorithm::Gpu(GpuAlgorithm::Gbase),
+        Algorithm::Gpu(GpuAlgorithm::Gsh),
+    ];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Cpu(a) => a.name(),
+            Algorithm::Gpu(a) => a.name(),
+        }
+    }
+
+    /// `true` for the CPU variants.
+    pub fn is_cpu(self) -> bool {
+        matches!(self, Algorithm::Cpu(_))
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl From<CpuAlgorithm> for Algorithm {
+    fn from(a: CpuAlgorithm) -> Self {
+        Algorithm::Cpu(a)
+    }
+}
+
+impl From<GpuAlgorithm> for Algorithm {
+    fn from(a: GpuAlgorithm) -> Self {
+        Algorithm::Gpu(a)
+    }
+}
+
+/// Combined configuration for [`run_join`]: the CPU or GPU half is read
+/// depending on the chosen [`Algorithm`]; the other half is ignored.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JoinConfig {
+    /// Configuration used by the CPU algorithms.
+    pub cpu: CpuJoinConfig,
+    /// Configuration used by the GPU algorithms.
+    pub gpu: GpuJoinConfig,
+}
+
+impl From<CpuJoinConfig> for JoinConfig {
+    fn from(cpu: CpuJoinConfig) -> Self {
+        Self {
+            cpu,
+            ..Self::default()
+        }
+    }
+}
+
+impl From<GpuJoinConfig> for JoinConfig {
+    fn from(gpu: GpuJoinConfig) -> Self {
+        Self {
+            gpu,
+            ..Self::default()
+        }
+    }
+}
+
+/// Builds one output sink per worker (CPU thread or GPU SM slot).
+///
+/// Implemented for any `Fn(usize) -> S + Sync` closure, so
+/// `run_join_with(algo, r, s, &cfg, |_w| CountingSink::new())` works
+/// directly; named factories ([`CountSinkFactory`], [`VolcanoSinkFactory`])
+/// cover the [`SinkSpec`] cases.
+pub trait SinkFactory: Sync {
+    /// The sink type each worker receives.
+    type Sink: OutputSink;
+
+    /// Constructs worker `worker`'s sink.
+    fn make_sink(&self, worker: usize) -> Self::Sink;
+}
+
+impl<S: OutputSink, F: Fn(usize) -> S + Sync> SinkFactory for F {
+    type Sink = S;
+
+    fn make_sink(&self, worker: usize) -> S {
+        self(worker)
+    }
+}
+
+/// [`SinkFactory`] for [`SinkSpec::Count`]: counting sinks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountSinkFactory;
+
+impl SinkFactory for CountSinkFactory {
+    type Sink = CountingSink;
+
+    fn make_sink(&self, _worker: usize) -> CountingSink {
+        CountingSink::new()
+    }
+}
+
+/// [`SinkFactory`] for [`SinkSpec::Volcano`]: fixed-capacity volcano sinks.
+#[derive(Debug, Clone, Copy)]
+pub struct VolcanoSinkFactory {
+    /// Tuple capacity of each worker's output buffer.
+    pub capacity: usize,
+}
+
+impl SinkFactory for VolcanoSinkFactory {
+    type Sink = VolcanoSink;
+
+    fn make_sink(&self, _worker: usize) -> VolcanoSink {
+        VolcanoSink::new(self.capacity)
+    }
+}
+
+/// Runs any join algorithm with per-worker sinks described by `sink`,
+/// returning the aggregate statistics (wall-clock phase times for CPU
+/// algorithms, simulated times for GPU ones).
+pub fn run_join(
+    algorithm: Algorithm,
+    r: &Relation,
+    s: &Relation,
+    cfg: &JoinConfig,
+    sink: SinkSpec,
+) -> Result<JoinStats, JoinError> {
+    validate_sink(sink)?;
+    match sink {
+        SinkSpec::Count => run_join_with(algorithm, r, s, cfg, CountSinkFactory),
+        SinkSpec::Volcano { capacity } => {
+            run_join_with(algorithm, r, s, cfg, VolcanoSinkFactory { capacity })
+        }
+    }
+}
+
+/// Like [`run_join`], but with caller-supplied per-worker sinks.
+pub fn run_join_with<F: SinkFactory>(
+    algorithm: Algorithm,
+    r: &Relation,
+    s: &Relation,
+    cfg: &JoinConfig,
+    factory: F,
+) -> Result<JoinStats, JoinError> {
+    let make = |worker: usize| factory.make_sink(worker);
+    Ok(match algorithm {
+        Algorithm::Cpu(CpuAlgorithm::Cbase) => cbase_join(r, s, &cfg.cpu, make)?.stats,
+        Algorithm::Cpu(CpuAlgorithm::CbaseNpj) => npj_join(r, s, &cfg.cpu, make)?.stats,
+        Algorithm::Cpu(CpuAlgorithm::Csh) => csh_join(r, s, &cfg.cpu, make)?.stats,
+        Algorithm::Gpu(GpuAlgorithm::Gbase) => gbase_join(r, s, &cfg.gpu, make)?.stats,
+        Algorithm::Gpu(GpuAlgorithm::Gsh) => gsh_join(r, s, &cfg.gpu, make)?.stats,
+    })
+}
+
+/// Runs a CPU join with per-thread sinks built from `sink`.
+#[deprecated(note = "use run_join with Algorithm::Cpu(..) and a JoinConfig")]
 pub fn run_cpu_join(
     algorithm: CpuAlgorithm,
     r: &Relation,
@@ -76,29 +249,17 @@ pub fn run_cpu_join(
     cfg: &CpuJoinConfig,
     sink: SinkSpec,
 ) -> Result<JoinStats, JoinError> {
-    validate_sink(sink)?;
-    match sink {
-        SinkSpec::Count => {
-            let make = |_tid: usize| CountingSink::new();
-            Ok(match algorithm {
-                CpuAlgorithm::Cbase => cbase_join(r, s, cfg, make)?.stats,
-                CpuAlgorithm::CbaseNpj => npj_join(r, s, cfg, make)?.stats,
-                CpuAlgorithm::Csh => csh_join(r, s, cfg, make)?.stats,
-            })
-        }
-        SinkSpec::Volcano { capacity } => {
-            let make = |_tid: usize| VolcanoSink::new(capacity);
-            Ok(match algorithm {
-                CpuAlgorithm::Cbase => cbase_join(r, s, cfg, make)?.stats,
-                CpuAlgorithm::CbaseNpj => npj_join(r, s, cfg, make)?.stats,
-                CpuAlgorithm::Csh => csh_join(r, s, cfg, make)?.stats,
-            })
-        }
-    }
+    run_join(
+        Algorithm::Cpu(algorithm),
+        r,
+        s,
+        &JoinConfig::from(cfg.clone()),
+        sink,
+    )
 }
 
-/// Runs a GPU join with per-SM-slot sinks built from `sink`, returning the
-/// aggregate statistics (simulated phase times).
+/// Runs a GPU join with per-SM-slot sinks built from `sink`.
+#[deprecated(note = "use run_join with Algorithm::Gpu(..) and a JoinConfig")]
 pub fn run_gpu_join(
     algorithm: GpuAlgorithm,
     r: &Relation,
@@ -106,23 +267,13 @@ pub fn run_gpu_join(
     cfg: &GpuJoinConfig,
     sink: SinkSpec,
 ) -> Result<JoinStats, JoinError> {
-    validate_sink(sink)?;
-    match sink {
-        SinkSpec::Count => {
-            let make = |_slot: usize| CountingSink::new();
-            Ok(match algorithm {
-                GpuAlgorithm::Gbase => gbase_join(r, s, cfg, make)?.stats,
-                GpuAlgorithm::Gsh => gsh_join(r, s, cfg, make)?.stats,
-            })
-        }
-        SinkSpec::Volcano { capacity } => {
-            let make = |_slot: usize| VolcanoSink::new(capacity);
-            Ok(match algorithm {
-                GpuAlgorithm::Gbase => gbase_join(r, s, cfg, make)?.stats,
-                GpuAlgorithm::Gsh => gsh_join(r, s, cfg, make)?.stats,
-            })
-        }
-    }
+    run_join(
+        Algorithm::Gpu(algorithm),
+        r,
+        s,
+        &JoinConfig::from(cfg.clone()),
+        sink,
+    )
 }
 
 /// Rejects sink specifications that would panic at worker construction.
@@ -144,10 +295,10 @@ mod tests {
     #[test]
     fn all_cpu_algorithms_agree() {
         let w = PaperWorkload::generate(WorkloadSpec::paper(2048, 0.8, 3));
-        let cfg = CpuJoinConfig::with_threads(4);
+        let cfg = JoinConfig::from(CpuJoinConfig::with_threads(4));
         let results: Vec<JoinStats> = CpuAlgorithm::ALL
             .iter()
-            .map(|&a| run_cpu_join(a, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap())
+            .map(|&a| run_join(a.into(), &w.r, &w.s, &cfg, SinkSpec::Count).unwrap())
             .collect();
         for r in &results[1..] {
             assert_eq!(r.result_count, results[0].result_count, "{}", r.algorithm);
@@ -158,21 +309,24 @@ mod tests {
     #[test]
     fn gpu_matches_cpu() {
         let w = PaperWorkload::generate(WorkloadSpec::paper(2048, 0.9, 5));
-        let cpu = run_cpu_join(
-            CpuAlgorithm::Cbase,
+        let cfg = JoinConfig {
+            cpu: CpuJoinConfig::with_threads(2),
+            gpu: GpuJoinConfig {
+                spec: DeviceSpec::tiny(1 << 26),
+                block_dim: 64,
+                ..GpuJoinConfig::default()
+            },
+        };
+        let cpu = run_join(
+            Algorithm::Cpu(CpuAlgorithm::Cbase),
             &w.r,
             &w.s,
-            &CpuJoinConfig::with_threads(2),
+            &cfg,
             SinkSpec::Count,
         )
         .unwrap();
-        let gcfg = GpuJoinConfig {
-            spec: DeviceSpec::tiny(1 << 26),
-            block_dim: 64,
-            ..GpuJoinConfig::default()
-        };
         for algo in GpuAlgorithm::ALL {
-            let gpu = run_gpu_join(algo, &w.r, &w.s, &gcfg, SinkSpec::Count).unwrap();
+            let gpu = run_join(algo.into(), &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
             assert_eq!(gpu.result_count, cpu.result_count, "{algo}");
             assert_eq!(gpu.checksum, cpu.checksum, "{algo}");
         }
@@ -181,42 +335,64 @@ mod tests {
     #[test]
     fn volcano_sink_counts_match_counting_sink() {
         let w = PaperWorkload::generate(WorkloadSpec::paper(1024, 0.5, 7));
-        let cfg = CpuJoinConfig::with_threads(2);
-        let a = run_cpu_join(CpuAlgorithm::Csh, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
-        let b = run_cpu_join(
-            CpuAlgorithm::Csh,
-            &w.r,
-            &w.s,
-            &cfg,
-            SinkSpec::Volcano { capacity: 64 },
-        )
-        .unwrap();
+        let cfg = JoinConfig::from(CpuJoinConfig::with_threads(2));
+        let algo = Algorithm::Cpu(CpuAlgorithm::Csh);
+        let a = run_join(algo, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
+        let b = run_join(algo, &w.r, &w.s, &cfg, SinkSpec::Volcano { capacity: 64 }).unwrap();
         assert_eq!(a.result_count, b.result_count);
         // Volcano sinks skip checksumming by design.
         assert_eq!(b.checksum, 0);
     }
 
     #[test]
+    fn custom_sink_factory_works() {
+        // A factory with per-worker state beyond what a SinkSpec can say.
+        struct Tagged;
+        impl SinkFactory for Tagged {
+            type Sink = CountingSink;
+            fn make_sink(&self, _worker: usize) -> CountingSink {
+                CountingSink::new()
+            }
+        }
+        let w = PaperWorkload::generate(WorkloadSpec::paper(512, 0.5, 11));
+        let cfg = JoinConfig::from(CpuJoinConfig::with_threads(2));
+        let algo = Algorithm::Cpu(CpuAlgorithm::Cbase);
+        let a = run_join_with(algo, &w.r, &w.s, &cfg, Tagged).unwrap();
+        // Closures work through the blanket impl, too.
+        let b = run_join_with(algo, &w.r, &w.s, &cfg, |_w: usize| CountingSink::new()).unwrap();
+        assert_eq!(a.result_count, b.result_count);
+        assert_eq!(a.checksum, b.checksum);
+    }
+
+    #[test]
     fn zero_capacity_volcano_is_an_error_not_a_panic() {
         let r = Relation::from_keys(&[1, 2]);
-        let err = run_cpu_join(
-            CpuAlgorithm::Csh,
-            &r,
-            &r,
-            &CpuJoinConfig::with_threads(1),
-            SinkSpec::Volcano { capacity: 0 },
+        let cfg = JoinConfig::default();
+        for algo in [
+            Algorithm::Cpu(CpuAlgorithm::Csh),
+            Algorithm::Gpu(GpuAlgorithm::Gsh),
+        ] {
+            let err = run_join(algo, &r, &r, &cfg, SinkSpec::Volcano { capacity: 0 }).unwrap_err();
+            assert!(matches!(err, JoinError::InvalidConfig(_)), "{algo}");
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(1024, 0.7, 13));
+        let cpu_cfg = CpuJoinConfig::with_threads(2);
+        let old = run_cpu_join(CpuAlgorithm::Cbase, &w.r, &w.s, &cpu_cfg, SinkSpec::Count).unwrap();
+        let new = run_join(
+            Algorithm::Cpu(CpuAlgorithm::Cbase),
+            &w.r,
+            &w.s,
+            &JoinConfig::from(cpu_cfg),
+            SinkSpec::Count,
         )
-        .unwrap_err();
-        assert!(matches!(err, JoinError::InvalidConfig(_)));
-        let err = run_gpu_join(
-            GpuAlgorithm::Gsh,
-            &r,
-            &r,
-            &GpuJoinConfig::default(),
-            SinkSpec::Volcano { capacity: 0 },
-        )
-        .unwrap_err();
-        assert!(matches!(err, JoinError::InvalidConfig(_)));
+        .unwrap();
+        assert_eq!(old.result_count, new.result_count);
+        assert_eq!(old.checksum, new.checksum);
     }
 
     #[test]
@@ -226,5 +402,9 @@ mod tests {
         assert_eq!(CpuAlgorithm::Csh.to_string(), "CSH");
         assert_eq!(GpuAlgorithm::Gbase.to_string(), "Gbase");
         assert_eq!(GpuAlgorithm::Gsh.to_string(), "GSH");
+        let names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names, ["Cbase", "cbase-npj", "CSH", "Gbase", "GSH"]);
+        assert!(Algorithm::from(CpuAlgorithm::Csh).is_cpu());
+        assert!(!Algorithm::from(GpuAlgorithm::Gsh).is_cpu());
     }
 }

@@ -20,11 +20,11 @@
 //! // Two 4k-tuple tables over the same zipf(0.9) key distribution.
 //! let workload = PaperWorkload::generate(WorkloadSpec::paper(1 << 12, 0.9, 42));
 //!
-//! let stats = skewjoin::run_cpu_join(
-//!     CpuAlgorithm::Csh,
+//! let stats = skewjoin::run_join(
+//!     Algorithm::Cpu(CpuAlgorithm::Csh),
 //!     &workload.r,
 //!     &workload.s,
-//!     &CpuJoinConfig::default(),
+//!     &JoinConfig::default(),
 //!     SinkSpec::Count,
 //! )
 //! .unwrap();
@@ -42,7 +42,12 @@
 pub mod api;
 pub mod planner;
 
-pub use api::{run_cpu_join, run_gpu_join, CpuAlgorithm, GpuAlgorithm};
+#[allow(deprecated)]
+pub use api::{run_cpu_join, run_gpu_join};
+pub use api::{
+    run_join, run_join_with, Algorithm, CountSinkFactory, CpuAlgorithm, GpuAlgorithm, JoinConfig,
+    SinkFactory, VolcanoSinkFactory,
+};
 pub use planner::{JoinPlan, PlannerOptions, TargetDevice};
 
 // Re-export the component crates under stable names.
@@ -54,7 +59,9 @@ pub use skewjoin_gpu_sim as gpu_sim;
 
 /// The usual imports for applications.
 pub mod prelude {
-    pub use crate::api::{run_cpu_join, run_gpu_join, CpuAlgorithm, GpuAlgorithm};
+    pub use crate::api::{
+        run_join, run_join_with, Algorithm, CpuAlgorithm, GpuAlgorithm, JoinConfig, SinkFactory,
+    };
     pub use crate::planner::{JoinPlan, PlannerOptions, TargetDevice};
     pub use skewjoin_common::{
         JoinError, JoinStats, Key, OutputSink, Payload, Relation, SinkSpec, Tuple,

@@ -14,7 +14,7 @@ use skewjoin_cpu::skew::detect_skewed_keys;
 use skewjoin_cpu::CpuJoinConfig;
 use skewjoin_gpu::GpuJoinConfig;
 
-use crate::api::{run_cpu_join, run_gpu_join, CpuAlgorithm, GpuAlgorithm};
+use crate::api::{run_join, Algorithm, CpuAlgorithm, GpuAlgorithm, JoinConfig};
 
 /// Which device the plan should target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,13 +46,21 @@ impl Default for PlannerOptions {
     }
 }
 
+impl PlannerOptions {
+    /// The combined execution configuration these options describe.
+    pub fn join_config(&self) -> JoinConfig {
+        JoinConfig {
+            cpu: self.cpu.clone(),
+            gpu: self.gpu.clone(),
+        }
+    }
+}
+
 /// The planner's decision.
 #[derive(Debug, Clone)]
 pub struct JoinPlan {
-    /// Chosen CPU algorithm (set when the device is CPU).
-    pub cpu_algorithm: Option<CpuAlgorithm>,
-    /// Chosen GPU algorithm (set when the device is GPU).
-    pub gpu_algorithm: Option<GpuAlgorithm>,
+    /// Chosen algorithm (CPU or GPU per the options' target device).
+    pub algorithm: Algorithm,
     /// Number of skewed keys the sample found.
     pub skewed_keys_estimated: usize,
     /// Human-readable rationale.
@@ -81,30 +89,25 @@ impl JoinPlan {
         } else {
             "sample found no skewed keys: baseline radix join has less overhead".to_string()
         };
-        match opts.device {
-            TargetDevice::Cpu => Self {
-                cpu_algorithm: Some(if has_skew {
-                    CpuAlgorithm::Csh
-                } else {
-                    CpuAlgorithm::Cbase
-                }),
-                gpu_algorithm: None,
-                skewed_keys_estimated: skewed.len(),
-                reason,
-            },
-            TargetDevice::Gpu => Self {
-                cpu_algorithm: None,
-                // GSH degenerates to Gbase when no partition is large, so it
-                // is always a safe GPU default; still prefer Gbase when the
-                // sample shows no skew, mirroring the paper's framing.
-                gpu_algorithm: Some(if has_skew {
-                    GpuAlgorithm::Gsh
-                } else {
-                    GpuAlgorithm::Gbase
-                }),
-                skewed_keys_estimated: skewed.len(),
-                reason,
-            },
+        let algorithm = match opts.device {
+            TargetDevice::Cpu => Algorithm::Cpu(if has_skew {
+                CpuAlgorithm::Csh
+            } else {
+                CpuAlgorithm::Cbase
+            }),
+            // GSH degenerates to Gbase when no partition is large, so it is
+            // always a safe GPU default; still prefer Gbase when the sample
+            // shows no skew, mirroring the paper's framing.
+            TargetDevice::Gpu => Algorithm::Gpu(if has_skew {
+                GpuAlgorithm::Gsh
+            } else {
+                GpuAlgorithm::Gbase
+            }),
+        };
+        Self {
+            algorithm,
+            skewed_keys_estimated: skewed.len(),
+            reason,
         }
     }
 
@@ -116,13 +119,7 @@ impl JoinPlan {
         opts: &PlannerOptions,
         sink: SinkSpec,
     ) -> Result<JoinStats, JoinError> {
-        match (self.cpu_algorithm, self.gpu_algorithm) {
-            (Some(algo), _) => run_cpu_join(algo, r, s, &opts.cpu, sink),
-            (None, Some(algo)) => run_gpu_join(algo, r, s, &opts.gpu, sink),
-            (None, None) => Err(JoinError::InvalidConfig(
-                "plan selected no algorithm".into(),
-            )),
-        }
+        run_join(self.algorithm, r, s, &opts.join_config(), sink)
     }
 }
 
@@ -137,7 +134,7 @@ mod tests {
         let w = PaperWorkload::generate(WorkloadSpec::paper(1 << 14, 1.0, 11));
         let opts = PlannerOptions::default();
         let plan = JoinPlan::plan(&w.r, &w.s, &opts);
-        assert_eq!(plan.cpu_algorithm, Some(CpuAlgorithm::Csh));
+        assert_eq!(plan.algorithm, Algorithm::Cpu(CpuAlgorithm::Csh));
         assert!(plan.skewed_keys_estimated > 0);
         assert!(plan.reason.contains("skew-conscious"));
     }
@@ -147,7 +144,7 @@ mod tests {
         let w = PaperWorkload::generate(WorkloadSpec::paper(1 << 14, 0.0, 13));
         let opts = PlannerOptions::default();
         let plan = JoinPlan::plan(&w.r, &w.s, &opts);
-        assert_eq!(plan.cpu_algorithm, Some(CpuAlgorithm::Cbase));
+        assert_eq!(plan.algorithm, Algorithm::Cpu(CpuAlgorithm::Cbase));
     }
 
     #[test]
@@ -156,8 +153,8 @@ mod tests {
         let mut opts = PlannerOptions::default();
         opts.device = TargetDevice::Gpu;
         let plan = JoinPlan::plan(&w.r, &w.s, &opts);
-        assert_eq!(plan.gpu_algorithm, Some(GpuAlgorithm::Gsh));
-        assert!(plan.cpu_algorithm.is_none());
+        assert_eq!(plan.algorithm, Algorithm::Gpu(GpuAlgorithm::Gsh));
+        assert!(!plan.algorithm.is_cpu());
     }
 
     #[test]
@@ -166,12 +163,13 @@ mod tests {
         let mut opts = PlannerOptions::default();
         opts.cpu = CpuJoinConfig::with_threads(2);
         let plan = JoinPlan::plan(&w.r, &w.s, &opts);
+        assert!(plan.algorithm.is_cpu());
         let planned = plan.execute(&w.r, &w.s, &opts, SinkSpec::Count).unwrap();
-        let direct = run_cpu_join(
-            plan.cpu_algorithm.unwrap(),
+        let direct = run_join(
+            plan.algorithm,
             &w.r,
             &w.s,
-            &opts.cpu,
+            &opts.join_config(),
             SinkSpec::Count,
         )
         .unwrap();

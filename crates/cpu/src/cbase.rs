@@ -24,8 +24,8 @@ use skewjoin_common::{JoinError, JoinStats, OutputSink, Relation, Trace, Tuple};
 
 use crate::config::CpuJoinConfig;
 use crate::hashtable::ChainedTable;
-use crate::partition::{parallel_radix_partition_with, partition_slice_by, PartitionedRelation};
-use crate::task::TaskQueue;
+use crate::partition::{parallel_radix_partition_opts, partition_slice_by, PartitionedRelation};
+use crate::task::{run_to_completion, SchedStats, TaskQueue, Worker};
 use crate::{aggregate_sinks, JoinOutcome};
 
 /// A tuple buffer a join task can reference: either a slice of the global
@@ -88,6 +88,7 @@ pub(crate) struct JoinPhaseReport {
     pub build_tuples: u64,
     pub probe_tuples: u64,
     pub max_chain_len: u64,
+    pub sched: SchedStats,
 }
 
 impl JoinPhaseReport {
@@ -99,13 +100,21 @@ impl JoinPhaseReport {
         p.add(counter::BUILD_TUPLES, self.build_tuples);
         p.add(counter::PROBE_TUPLES, self.probe_tuples);
         p.max(counter::MAX_CHAIN_LEN, self.max_chain_len);
+        p.add(counter::TASKS_STOLEN, self.sched.tasks_stolen);
+        p.add(counter::STEAL_FAILURES, self.sched.steal_failures);
     }
 }
 
 impl<'a> JoinPhase<'a> {
     /// Executes one task: split if oversized and splittable, else build and
-    /// probe.
-    fn run_task<S: OutputSink>(&self, task: JoinTask<'a>, sink: &mut S) {
+    /// probe. Splits are spawned through `worker`, so the sub-pairs land on
+    /// the splitting worker's own deque and stay cache-hot unless stolen.
+    fn run_task<S: OutputSink>(
+        &self,
+        task: JoinTask<'a>,
+        worker: &Worker<'_, JoinTask<'a>>,
+        sink: &mut S,
+    ) {
         let r = task.r_buf.get(&task.r_range);
         let s = task.s_buf.get(&task.s_range);
         if r.is_empty() || s.is_empty() {
@@ -116,7 +125,7 @@ impl<'a> JoinPhase<'a> {
         let oversized = r.len() > self.r_split_threshold || s.len() > self.s_split_threshold;
         let can_split = task.depth < self.max_depth && task.shift + self.extra_bits <= 32;
         if oversized && can_split {
-            if let Some(()) = self.try_split(&task, r, s) {
+            if let Some(()) = self.try_split(&task, worker, r, s) {
                 self.counters.task_splits.fetch_add(1, Ordering::Relaxed);
                 return;
             }
@@ -140,7 +149,13 @@ impl<'a> JoinPhase<'a> {
     /// no progress (all tuples of both sides land in one sub-partition —
     /// i.e. the task is dominated by a single join key), in which case the
     /// caller joins the task directly.
-    fn try_split(&self, task: &JoinTask<'a>, r: &[Tuple], s: &[Tuple]) -> Option<()> {
+    fn try_split(
+        &self,
+        task: &JoinTask<'a>,
+        worker: &Worker<'_, JoinTask<'a>>,
+        r: &[Tuple],
+        s: &[Tuple],
+    ) -> Option<()> {
         let fanout = 1usize << self.extra_bits;
         let shift = task.shift;
         let part_of = |key: u32| ((mix32(key) >> shift) as usize) & (fanout - 1);
@@ -168,7 +183,7 @@ impl<'a> JoinPhase<'a> {
             if r_range.is_empty() || s_range.is_empty() {
                 continue;
             }
-            self.queue.push(JoinTask {
+            worker.spawn(JoinTask {
                 r_buf: TupleBuf::Shared(Arc::clone(&r_shared)),
                 r_range,
                 s_buf: TupleBuf::Shared(Arc::clone(&s_shared)),
@@ -198,10 +213,13 @@ where
 
     // ---- Partition phase. ----
     let t0 = Instant::now();
-    let parted_r = parallel_radix_partition_with(r, &cfg.radix, cfg.threads, cfg.scatter);
-    let parted_s = parallel_radix_partition_with(s, &cfg.radix, cfg.threads, cfg.scatter);
+    let opts = cfg.partition_options();
+    let (parted_r, pstats_r) = parallel_radix_partition_opts(r, &cfg.radix, &opts);
+    let (parted_s, pstats_s) = parallel_radix_partition_opts(s, &cfg.radix, &opts);
     stats.phases.record("partition", t0.elapsed());
     stats.partitions = parted_r.partitions();
+    let mut pstats = pstats_r;
+    pstats.merge(pstats_s);
     {
         let p = stats.trace.phase("partition");
         p.add(counter::TUPLES_IN, (r.len() + s.len()) as u64);
@@ -210,6 +228,9 @@ where
             (parted_r.data.len() + parted_s.data.len()) as u64,
         );
         p.set(counter::PARTITIONS, parted_r.partitions() as u64);
+        p.add(counter::BUFFER_FLUSHES, pstats.buffer_flushes);
+        p.add(counter::TASKS_STOLEN, pstats.sched.tasks_stolen);
+        p.add(counter::STEAL_FAILURES, pstats.sched.steal_failures);
     }
 
     // ---- Join phase. ----
@@ -247,7 +268,7 @@ where
     let avg_r = (parted_r.data.len() / parts.max(1)).max(1);
     let avg_s = (parted_s.data.len() / parts.max(1)).max(1);
     let phase = JoinPhase {
-        queue: TaskQueue::new(),
+        queue: TaskQueue::new(cfg.scheduler),
         r_split_threshold: if allow_split {
             ((avg_r as f64 * cfg.split_factor) as usize).max(64)
         } else {
@@ -283,18 +304,11 @@ where
     }
 
     let slots: Vec<Mutex<S>> = sinks.into_iter().map(Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for slot in &slots {
-            let phase = &phase;
-            scope.spawn(move || {
-                // Each worker owns its slot for the whole run — the lock is
-                // taken exactly once per thread, so there is no contention.
-                let mut sink = slot.lock().unwrap();
-                phase
-                    .queue
-                    .run_worker(|task| phase.run_task(task, &mut *sink));
-            });
-        }
+    let sched = run_to_completion(&phase.queue, slots.len(), |worker| {
+        // Each worker owns its slot for the whole run — the lock is taken
+        // exactly once per thread, so there is no contention.
+        let mut sink = slots[worker.index()].lock().unwrap();
+        worker.run(|task, w| phase.run_task(task, w, &mut *sink));
     });
     let report = JoinPhaseReport {
         tasks_run: phase.counters.tasks_run.load(Ordering::Relaxed),
@@ -302,6 +316,7 @@ where
         build_tuples: phase.counters.build_tuples.load(Ordering::Relaxed),
         probe_tuples: phase.counters.probe_tuples.load(Ordering::Relaxed),
         max_chain_len: phase.counters.max_chain_len.load(Ordering::Relaxed),
+        sched,
     };
     let sinks = slots.into_iter().map(|m| m.into_inner().unwrap()).collect();
     (sinks, report)

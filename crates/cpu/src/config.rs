@@ -3,7 +3,8 @@
 use skewjoin_common::hash::RadixConfig;
 use skewjoin_common::JoinError;
 
-use crate::partition::ScatterMode;
+use crate::partition::{PartitionOptions, ScatterMode, SWWC_TUPLES};
+use crate::task::SchedulerKind;
 
 /// Which mechanism CSH uses to find skewed keys before partitioning.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,6 +88,13 @@ pub struct CpuJoinConfig {
     /// How the first partitioning pass scatters tuples (direct stores or
     /// software write-combining buffers).
     pub scatter: ScatterMode,
+    /// Tuples per software write-combining buffer when `scatter` is
+    /// [`ScatterMode::Buffered`]. Default [`SWWC_TUPLES`] (8 × 8-byte
+    /// tuples = one 64-byte cache line); must be a power of two in
+    /// `1..=64`.
+    pub wc_tuples: usize,
+    /// Scheduler driving the partition-refinement and join task pools.
+    pub scheduler: SchedulerKind,
     /// Bucket bits per partition hash table are sized to the build side; this
     /// caps them to bound memory on pathological partitions.
     pub max_bucket_bits: u32,
@@ -104,6 +112,8 @@ impl Default for CpuJoinConfig {
             skew: SkewDetectConfig::default(),
             detector: SkewDetectorKind::Sampling,
             scatter: ScatterMode::Direct,
+            wc_tuples: SWWC_TUPLES,
+            scheduler: SchedulerKind::default(),
             max_bucket_bits: 22,
         }
     }
@@ -129,10 +139,26 @@ impl CpuJoinConfig {
         }
     }
 
+    /// The partitioning knobs this configuration implies.
+    pub fn partition_options(&self) -> PartitionOptions {
+        PartitionOptions {
+            threads: self.threads,
+            mode: self.scatter,
+            wc_tuples: self.wc_tuples,
+            scheduler: self.scheduler,
+        }
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), JoinError> {
         if self.threads == 0 {
             return Err(JoinError::InvalidConfig("threads must be > 0".into()));
+        }
+        if !self.wc_tuples.is_power_of_two() || !(1..=64).contains(&self.wc_tuples) {
+            return Err(JoinError::InvalidConfig(format!(
+                "wc_tuples must be a power of two in 1..=64, got {}",
+                self.wc_tuples
+            )));
         }
         if self.radix.bits_per_pass.is_empty() || self.radix.total_bits() == 0 {
             return Err(JoinError::InvalidConfig(
@@ -217,6 +243,29 @@ mod tests {
         let mut cfg = CpuJoinConfig::default();
         cfg.skew.min_sample_freq = 1;
         assert!(cfg.validate().is_err());
+
+        let mut cfg = CpuJoinConfig::default();
+        cfg.wc_tuples = 0;
+        assert!(cfg.validate().is_err());
+        cfg.wc_tuples = 7; // not a power of two
+        assert!(cfg.validate().is_err());
+        cfg.wc_tuples = 128; // larger than 64
+        assert!(cfg.validate().is_err());
+        cfg.wc_tuples = 16;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn partition_options_mirror_config() {
+        let mut cfg = CpuJoinConfig::with_threads(3);
+        cfg.scatter = ScatterMode::Buffered;
+        cfg.wc_tuples = 16;
+        cfg.scheduler = SchedulerKind::Mutex;
+        let opts = cfg.partition_options();
+        assert_eq!(opts.threads, 3);
+        assert_eq!(opts.mode, ScatterMode::Buffered);
+        assert_eq!(opts.wc_tuples, 16);
+        assert_eq!(opts.scheduler, SchedulerKind::Mutex);
     }
 
     #[test]

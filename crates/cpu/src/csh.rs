@@ -20,6 +20,7 @@
 //! `partition_s`, and `nm_join`; Table I's "CSH sample+part" row is the sum
 //! of the first three.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use skewjoin_common::histogram::{per_worker_offsets, PartitionDirectory};
@@ -28,7 +29,9 @@ use skewjoin_common::{JoinError, JoinStats, OutputSink, Relation, Tuple};
 
 use crate::cbase::join_partitions;
 use crate::config::CpuJoinConfig;
-use crate::partition::{refine_passes, PartitionedRelation};
+use crate::partition::{
+    refine_passes, PartitionStats, PartitionedRelation, ScatterMode, WriteCombiner,
+};
 use crate::skew::{detect_skewed_keys, SkewCheckupTable};
 use crate::util::{segment, SharedTupleSlice};
 use crate::{aggregate_sinks, JoinOutcome};
@@ -91,7 +94,7 @@ where
 
     // ---- Phase 2: partition R, splitting skewed tuples out. ----
     let t1 = Instant::now();
-    let (norm_r, skew_data, skew_dir) = partition_r_with_skew(r, cfg, &checkup);
+    let (norm_r, skew_data, skew_dir, pstats_r) = partition_r_with_skew(r, cfg, &checkup);
     stats.phases.record("partition_r", t1.elapsed());
     stats.partitions = norm_r.partitions();
     {
@@ -102,12 +105,16 @@ where
             (norm_r.data.len() + skew_data.len()) as u64,
         );
         p.set(counter::PARTITIONS, norm_r.partitions() as u64);
+        p.add(counter::BUFFER_FLUSHES, pstats_r.buffer_flushes);
+        p.add(counter::TASKS_STOLEN, pstats_r.sched.tasks_stolen);
+        p.add(counter::STEAL_FAILURES, pstats_r.sched.steal_failures);
     }
 
     // ---- Phase 3: partition S; skewed S tuples emit results on the fly. ----
     let t2 = Instant::now();
     let mut sinks: Vec<S> = (0..threads).map(&make_sink).collect();
-    let norm_s = partition_s_with_skew(s, cfg, &checkup, &skew_data, &skew_dir, &mut sinks);
+    let (norm_s, pstats_s) =
+        partition_s_with_skew(s, cfg, &checkup, &skew_data, &skew_dir, &mut sinks);
     stats.phases.record("partition_s", t2.elapsed());
     stats.skew_path_results = sinks.iter().map(|s| s.count()).sum();
     {
@@ -120,6 +127,9 @@ where
         );
         p.set("skew_probe_tuples", skew_s_tuples);
         p.set("skew_results", stats.skew_path_results);
+        p.add(counter::BUFFER_FLUSHES, pstats_s.buffer_flushes);
+        p.add(counter::TASKS_STOLEN, pstats_s.sched.tasks_stolen);
+        p.add(counter::STEAL_FAILURES, pstats_s.sched.steal_failures);
     }
 
     // ---- Phase 4: NM-join over normal partitions. ----
@@ -147,7 +157,12 @@ fn partition_r_with_skew(
     r: &Relation,
     cfg: &CpuJoinConfig,
     checkup: &SkewCheckupTable,
-) -> (PartitionedRelation, Vec<Tuple>, PartitionDirectory) {
+) -> (
+    PartitionedRelation,
+    Vec<Tuple>,
+    PartitionDirectory,
+    PartitionStats,
+) {
     let threads = cfg.threads;
     let radix = &cfg.radix;
     let n_skew = checkup.len();
@@ -183,17 +198,28 @@ fn partition_r_with_skew(
     let total_skew = *skew_starts.last().expect("non-empty");
     debug_assert_eq!(total_norm + total_skew, r.len());
 
-    // Scan 2: contention-free scatter into both buffers.
+    // Scan 2: contention-free scatter into both buffers. Skewed tuples are
+    // always written directly — each skewed key's array is a hot sequential
+    // range, so write-combining buys nothing there. Normal tuples go
+    // through the write combiner when configured.
+    let flushes = AtomicU64::new(0);
     let mut norm_data = vec![Tuple::default(); total_norm];
     let mut skew_data = vec![Tuple::default(); total_skew];
     {
         let norm_shared = SharedTupleSlice::new(&mut norm_data);
         let skew_shared = SharedTupleSlice::new(&mut skew_data);
+        let flushes = &flushes;
         std::thread::scope(|scope| {
             for (w, (mut ncur, mut scur)) in norm_offsets.into_iter().zip(skew_offsets).enumerate()
             {
                 let chunk = &r[segment(r.len(), threads, w)];
                 scope.spawn(move || {
+                    let mut wc = match cfg.scatter {
+                        ScatterMode::Buffered => {
+                            Some(WriteCombiner::new(radix.fanout(0), cfg.wc_tuples))
+                        }
+                        ScatterMode::Direct => None,
+                    };
                     for t in chunk {
                         match checkup.lookup(t.key) {
                             Some(pid) => {
@@ -205,12 +231,27 @@ fn partition_r_with_skew(
                             }
                             None => {
                                 let p = radix.partition_of(t.key, 0);
-                                let c = &mut ncur[p];
-                                // SAFETY: as above for normal partitions.
-                                unsafe { norm_shared.write(*c, *t) };
-                                *c += 1;
+                                match &mut wc {
+                                    // SAFETY: staged writes land in the same
+                                    // disjoint per-(partition, thread) cursor
+                                    // ranges as the direct path.
+                                    Some(wc) => unsafe { wc.stage(p, *t, &mut ncur, norm_shared) },
+                                    None => {
+                                        let c = &mut ncur[p];
+                                        // SAFETY: as above.
+                                        unsafe { norm_shared.write(*c, *t) };
+                                        *c += 1;
+                                    }
+                                }
                             }
                         }
+                    }
+                    if let Some(mut wc) = wc {
+                        // Partial lines must land before the scope joins:
+                        // the refinement pass reads these ranges next.
+                        // SAFETY: as above.
+                        unsafe { wc.flush_all(&mut ncur, norm_shared) };
+                        flushes.fetch_add(wc.flushes(), Ordering::Relaxed);
                     }
                 });
             }
@@ -218,7 +259,8 @@ fn partition_r_with_skew(
     }
 
     // Remaining radix passes over the normal buffer only.
-    let (norm_data, norm_dir_starts) = refine_passes(norm_data, norm_starts, radix, threads, 1);
+    let (norm_data, norm_dir_starts, sched) =
+        refine_passes(norm_data, norm_starts, radix, threads, 1, cfg.scheduler);
 
     (
         PartitionedRelation {
@@ -227,6 +269,10 @@ fn partition_r_with_skew(
         },
         skew_data,
         PartitionDirectory::new(skew_starts),
+        PartitionStats {
+            buffer_flushes: flushes.into_inner(),
+            sched,
+        },
     )
 }
 
@@ -239,7 +285,7 @@ fn partition_s_with_skew<S: OutputSink>(
     skew_data: &[Tuple],
     skew_dir: &PartitionDirectory,
     sinks: &mut [S],
-) -> PartitionedRelation {
+) -> (PartitionedRelation, PartitionStats) {
     let threads = cfg.threads;
     let radix = &cfg.radix;
 
@@ -265,14 +311,27 @@ fn partition_s_with_skew<S: OutputSink>(
 
     // Scan 2: scatter normals; skewed tuples join on the fly — a sequential
     // read of the skewed R array, no key verification per result (§IV-A).
+    // The inline skew probe only reads `skew_data` and writes to the sink,
+    // never the normal buffer, so staged normal tuples may legally sit in
+    // the write combiner across a probe; what *must* happen is the
+    // remainder flush before this scope joins, because the refinement pass
+    // below reads the normal buffer immediately after.
+    let flushes = AtomicU64::new(0);
     let mut norm_data = vec![Tuple::default(); total_norm];
     {
         let norm_shared = SharedTupleSlice::new(&mut norm_data);
+        let flushes = &flushes;
         std::thread::scope(|scope| {
             for (w, (mut ncur, sink)) in norm_offsets.into_iter().zip(sinks.iter_mut()).enumerate()
             {
                 let chunk = &s[segment(s.len(), threads, w)];
                 scope.spawn(move || {
+                    let mut wc = match cfg.scatter {
+                        ScatterMode::Buffered => {
+                            Some(WriteCombiner::new(radix.fanout(0), cfg.wc_tuples))
+                        }
+                        ScatterMode::Direct => None,
+                    };
                     for t in chunk {
                         match checkup.lookup(t.key) {
                             Some(pid) => {
@@ -281,23 +340,42 @@ fn partition_s_with_skew<S: OutputSink>(
                             }
                             None => {
                                 let p = radix.partition_of(t.key, 0);
-                                let c = &mut ncur[p];
-                                // SAFETY: disjoint cursor ranges, as in R.
-                                unsafe { norm_shared.write(*c, *t) };
-                                *c += 1;
+                                match &mut wc {
+                                    // SAFETY: staged writes land in the same
+                                    // disjoint cursor ranges as in R.
+                                    Some(wc) => unsafe { wc.stage(p, *t, &mut ncur, norm_shared) },
+                                    None => {
+                                        let c = &mut ncur[p];
+                                        // SAFETY: disjoint cursor ranges, as in R.
+                                        unsafe { norm_shared.write(*c, *t) };
+                                        *c += 1;
+                                    }
+                                }
                             }
                         }
+                    }
+                    if let Some(mut wc) = wc {
+                        // SAFETY: as above.
+                        unsafe { wc.flush_all(&mut ncur, norm_shared) };
+                        flushes.fetch_add(wc.flushes(), Ordering::Relaxed);
                     }
                 });
             }
         });
     }
 
-    let (norm_data, norm_dir_starts) = refine_passes(norm_data, norm_starts, radix, threads, 1);
-    PartitionedRelation {
-        data: norm_data,
-        directory: PartitionDirectory::new(norm_dir_starts),
-    }
+    let (norm_data, norm_dir_starts, sched) =
+        refine_passes(norm_data, norm_starts, radix, threads, 1, cfg.scheduler);
+    (
+        PartitionedRelation {
+            data: norm_data,
+            directory: PartitionDirectory::new(norm_dir_starts),
+        },
+        PartitionStats {
+            buffer_flushes: flushes.into_inner(),
+            sched,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -407,6 +485,21 @@ mod tests {
         let stats = assert_matches_reference(&w.r, &w.s, &cfg);
         assert!(stats.skewed_keys_detected > 0);
         assert!(stats.skew_output_fraction() > 0.5);
+    }
+
+    #[test]
+    fn buffered_scatter_matches_reference_with_skew_probe() {
+        // Skewed keys flow through the inline probe while normal tuples sit
+        // in write-combining buffers; remainders must flush before the
+        // refinement pass reads them.
+        let w = PaperWorkload::generate(WorkloadSpec::paper(8192, 1.0, 41));
+        for wc_tuples in [4usize, 8, 32] {
+            let mut cfg = CpuJoinConfig::with_threads(4);
+            cfg.scatter = ScatterMode::Buffered;
+            cfg.wc_tuples = wc_tuples;
+            let stats = assert_matches_reference(&w.r, &w.s, &cfg);
+            assert!(stats.skewed_keys_detected >= 1);
+        }
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub use cbase::cbase_join;
 pub use config::{CpuJoinConfig, SkewDetectConfig, SkewDetectorKind};
 pub use csh::csh_join;
 pub use npj::npj_join;
+pub use partition::{PartitionOptions, PartitionStats, ScatterMode};
 pub use reference::reference_join;
+pub use task::{SchedStats, SchedulerKind};
 
 use skewjoin_common::{JoinStats, OutputSink};
 

@@ -7,6 +7,7 @@
 //! paper's Figure 4a shows it as the worst CPU performer — and it inherits
 //! the same long-chain pathology under skew.
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 use skewjoin_common::trace::counter;
@@ -14,6 +15,7 @@ use skewjoin_common::{JoinError, JoinStats, OutputSink, Relation};
 
 use crate::config::CpuJoinConfig;
 use crate::hashtable::ConcurrentChainedTable;
+use crate::task::{run_to_completion, TaskQueue};
 use crate::util::segment;
 use crate::{aggregate_sinks, JoinOutcome};
 
@@ -50,20 +52,26 @@ where
         p.max(counter::MAX_CHAIN_LEN, table.max_chain_len() as u64);
     }
 
-    // ---- Probe phase: segment-parallel scan of S. ----
+    // ---- Probe phase: S scanned as scheduler tasks. ----
+    // Oversplitting S into more chunks than threads lets the scheduler
+    // rebalance when one chunk hits a hot key's long chain — a static
+    // per-thread segmentation would leave that thread the straggler.
     let t1 = Instant::now();
-    let mut sinks: Vec<S> = (0..threads).map(&make_sink).collect();
-    std::thread::scope(|scope| {
-        for (w, sink) in sinks.iter_mut().enumerate() {
-            let table = &table;
-            let chunk = &s[segment(s.len(), threads, w)];
-            scope.spawn(move || {
-                for t in chunk {
-                    table.probe(t.key, |r_t| sink.emit(t.key, r_t.payload, t.payload));
-                }
-            });
-        }
+    let chunks = (threads * 4).max(1);
+    let queue = TaskQueue::seeded(
+        cfg.scheduler,
+        (0..chunks).map(|c| segment(s.len(), chunks, c)),
+    );
+    let slots: Vec<Mutex<S>> = (0..threads).map(&make_sink).map(Mutex::new).collect();
+    let sched = run_to_completion(&queue, threads, |worker| {
+        let mut sink = slots[worker.index()].lock().unwrap();
+        worker.run(|range: std::ops::Range<usize>, _w| {
+            for t in &s[range] {
+                table.probe(t.key, |r_t| sink.emit(t.key, r_t.payload, t.payload));
+            }
+        });
     });
+    let sinks: Vec<S> = slots.into_iter().map(|m| m.into_inner().unwrap()).collect();
     stats.phases.record("probe", t1.elapsed());
 
     aggregate_sinks(&mut stats, &sinks);
@@ -71,6 +79,8 @@ where
         let p = stats.trace.phase("probe");
         p.add(counter::PROBE_TUPLES, s.len() as u64);
         p.set(counter::RESULTS, stats.result_count);
+        p.add(counter::TASKS_STOLEN, sched.tasks_stolen);
+        p.add(counter::STEAL_FAILURES, sched.steal_failures);
     }
     Ok(JoinOutcome { stats, sinks })
 }

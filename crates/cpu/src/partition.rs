@@ -12,13 +12,15 @@
 //! second pass: a thread claims a partition, sub-partitions it by the next
 //! run of radix bits into a disjoint output range, and moves on.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use skewjoin_common::hash::RadixConfig;
 use skewjoin_common::histogram::{
     exclusive_prefix_sum, histogram, per_worker_offsets, PartitionDirectory,
 };
 use skewjoin_common::Tuple;
 
-use crate::task::{run_to_completion, TaskQueue};
+use crate::task::{run_to_completion, SchedStats, SchedulerKind, TaskQueue};
 use crate::util::{segment, SharedTupleSlice};
 
 /// A relation laid out in final-partition order plus its directory.
@@ -69,8 +71,68 @@ pub enum ScatterMode {
     Buffered,
 }
 
-/// Tuples per software write-combining buffer: one 64-byte cache line.
-pub const SWWC_TUPLES: usize = 8;
+/// Default tuples per software write-combining buffer: four 64-byte cache
+/// lines. The flush is a bulk `memcpy`, so longer staged runs amortize its
+/// call overhead and give the copy loop whole-line bursts; 256 bytes per
+/// partition measured best on the zipf sweep (8-tuple lines consistently
+/// lost to direct stores, 32-tuple lines win from zipf 1.0 up).
+/// Configurable via [`PartitionOptions::wc_tuples`] /
+/// `CpuJoinConfig::wc_tuples`.
+pub const SWWC_TUPLES: usize = 32;
+
+/// Knobs for one partitioning run, usually derived from `CpuJoinConfig` via
+/// `CpuJoinConfig::partition_options`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionOptions {
+    /// Worker threads.
+    pub threads: usize,
+    /// First-pass scatter strategy.
+    pub mode: ScatterMode,
+    /// Tuples per write-combining buffer when `mode` is
+    /// [`ScatterMode::Buffered`] (power of two in `1..=64`).
+    pub wc_tuples: usize,
+    /// Scheduler driving the refinement passes.
+    pub scheduler: SchedulerKind,
+}
+
+impl Default for PartitionOptions {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            mode: ScatterMode::default(),
+            wc_tuples: SWWC_TUPLES,
+            scheduler: SchedulerKind::default(),
+        }
+    }
+}
+
+impl PartitionOptions {
+    /// Options with the given thread count and everything else default.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+}
+
+/// What one partitioning run did beyond its output — scatter-buffer and
+/// scheduler activity, for the trace layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Write-combining lines flushed (0 under [`ScatterMode::Direct`]).
+    pub buffer_flushes: u64,
+    /// Refinement-pass scheduler activity.
+    pub sched: SchedStats,
+}
+
+impl PartitionStats {
+    /// Folds another run's stats into this one.
+    pub fn merge(&mut self, other: PartitionStats) {
+        self.buffer_flushes += other.buffer_flushes;
+        self.sched.merge(other.sched);
+    }
+}
 
 /// Partitions `tuples` with all passes of `cfg` using `threads` workers and
 /// direct stores.
@@ -83,15 +145,33 @@ pub fn parallel_radix_partition(
 }
 
 /// Partitions `tuples` with all passes of `cfg` using `threads` workers and
-/// the chosen [`ScatterMode`] for the first pass. (Later passes always use
-/// direct stores: their working set is one parent partition, already
-/// cache-resident.)
+/// the chosen [`ScatterMode`] for the first pass.
 pub fn parallel_radix_partition_with(
     tuples: &[Tuple],
     cfg: &RadixConfig,
     threads: usize,
     mode: ScatterMode,
 ) -> PartitionedRelation {
+    let opts = PartitionOptions {
+        threads,
+        mode,
+        ..PartitionOptions::default()
+    };
+    parallel_radix_partition_opts(tuples, cfg, &opts).0
+}
+
+/// Partitions `tuples` with all passes of `cfg` under the given
+/// [`PartitionOptions`], additionally reporting [`PartitionStats`].
+///
+/// The first pass uses the configured [`ScatterMode`]; later passes always
+/// use direct stores — their working set is one parent partition, already
+/// cache-resident.
+pub fn parallel_radix_partition_opts(
+    tuples: &[Tuple],
+    cfg: &RadixConfig,
+    opts: &PartitionOptions,
+) -> (PartitionedRelation, PartitionStats) {
+    let threads = opts.threads;
     assert!(threads > 0, "need at least one thread");
     assert!(
         !cfg.bits_per_pass.is_empty(),
@@ -111,27 +191,56 @@ pub fn parallel_radix_partition_with(
     });
     let (offsets, starts) = per_worker_offsets(&hists);
 
-    let mut out = vec![Tuple::default(); tuples.len()];
+    let flushes = AtomicU64::new(0);
+    // The per-worker cursor ranges from `per_worker_offsets` tile `0..n`
+    // exactly, and each worker writes its ranges in full — every output
+    // slot is written exactly once before anything reads it. The buffered
+    // scatter's bulk flushes already stake correctness on that invariant,
+    // so its path also skips zero-initialising the output it is about to
+    // overwrite (the direct path keeps the plain zeroed allocation).
+    let mut out: Vec<Tuple> = match opts.mode {
+        ScatterMode::Direct => vec![Tuple::default(); tuples.len()],
+        ScatterMode::Buffered => Vec::with_capacity(tuples.len()),
+    };
     {
-        let shared = SharedTupleSlice::new(&mut out);
+        let shared = match opts.mode {
+            ScatterMode::Direct => SharedTupleSlice::new(&mut out),
+            ScatterMode::Buffered => SharedTupleSlice::from_uninit(out.spare_capacity_mut()),
+        };
+        let flushes = &flushes;
         std::thread::scope(|scope| {
             for (w, cursors) in offsets.into_iter().enumerate() {
                 let seg = segment(tuples.len(), threads, w);
                 let chunk = &tuples[seg];
-                scope.spawn(move || match mode {
+                scope.spawn(move || match opts.mode {
                     ScatterMode::Direct => scatter_direct(chunk, cfg, cursors, shared),
-                    ScatterMode::Buffered => scatter_buffered(chunk, cfg, cursors, shared),
+                    ScatterMode::Buffered => {
+                        let n = scatter_buffered(chunk, cfg, cursors, shared, opts.wc_tuples);
+                        flushes.fetch_add(n, Ordering::Relaxed);
+                    }
                 });
             }
         });
     }
-
-    let (data, dir_starts) = refine_passes(out, starts, cfg, threads, 1);
-
-    PartitionedRelation {
-        data,
-        directory: PartitionDirectory::new(dir_starts),
+    if opts.mode == ScatterMode::Buffered {
+        // SAFETY: the scatter scope above wrote all `tuples.len()` slots
+        // (cursor ranges tile the output; the scope join synchronises the
+        // writes).
+        unsafe { out.set_len(tuples.len()) };
     }
+
+    let (data, dir_starts, sched) = refine_passes(out, starts, cfg, threads, 1, opts.scheduler);
+
+    (
+        PartitionedRelation {
+            data,
+            directory: PartitionDirectory::new(dir_starts),
+        },
+        PartitionStats {
+            buffer_flushes: flushes.into_inner(),
+            sched,
+        },
+    )
 }
 
 /// Direct per-tuple scatter for one worker's segment.
@@ -150,56 +259,137 @@ fn scatter_direct(
     }
 }
 
-/// Software write-combining scatter: stage up to [`SWWC_TUPLES`] tuples per
-/// partition in a thread-local buffer; flush a full line at once.
+/// Software write-combining scatter: stage up to `wc_tuples` tuples per
+/// partition in a thread-local buffer; flush a full line at once. Returns
+/// the number of full-line flushes.
 fn scatter_buffered(
     chunk: &[Tuple],
     cfg: &RadixConfig,
     mut cursors: Vec<usize>,
     shared: SharedTupleSlice,
-) {
-    let fanout = cursors.len();
-    let mut buffers = vec![[Tuple::default(); SWWC_TUPLES]; fanout];
-    let mut fill = vec![0u8; fanout];
-
+    wc_tuples: usize,
+) -> u64 {
+    let mut wc = WriteCombiner::new(cursors.len(), wc_tuples);
     for t in chunk {
         let p = cfg.partition_of(t.key, 0);
-        let f = fill[p] as usize;
-        buffers[p][f] = *t;
-        if f + 1 == SWWC_TUPLES {
-            // Flush the full line contiguously (maps to streaming stores).
-            for (k, buffered) in buffers[p].iter().enumerate() {
-                // SAFETY: same disjointness argument as the direct path —
-                // the buffered writes land in this worker's private range.
-                unsafe { shared.write(cursors[p] + k, *buffered) };
-            }
-            cursors[p] += SWWC_TUPLES;
-            fill[p] = 0;
-        } else {
-            fill[p] = (f + 1) as u8;
+        // SAFETY: the staged writes land in this worker's private cursor
+        // ranges — same disjointness argument as the direct path.
+        unsafe { wc.stage(p, *t, &mut cursors, shared) };
+    }
+    // SAFETY: as above.
+    unsafe { wc.flush_all(&mut cursors, shared) };
+    wc.flushes()
+}
+
+/// One thread's software write-combining buffers: a cache-line-sized
+/// staging area per partition. Shared between the pass-0 scatter here and
+/// CSH's skew-aware partitioning, which interleaves staged normal tuples
+/// with inline skew handling and must flush remainders before its scope
+/// joins.
+pub(crate) struct WriteCombiner {
+    line: usize,
+    /// `fanout × line` staging slots, flat.
+    buffers: Vec<Tuple>,
+    fill: Vec<u16>,
+    flushes: u64,
+}
+
+impl WriteCombiner {
+    /// Staging buffers for `fanout` partitions, `line` tuples each.
+    pub(crate) fn new(fanout: usize, line: usize) -> Self {
+        assert!(
+            line.is_power_of_two() && (1..=64).contains(&line),
+            "write-combining line must be a power of two in 1..=64, got {line}"
+        );
+        Self {
+            line,
+            buffers: vec![Tuple::default(); fanout * line],
+            fill: vec![0u16; fanout],
+            flushes: 0,
         }
     }
-    // Flush remainders.
-    for p in 0..fanout {
-        for (k, buffered) in buffers[p][..fill[p] as usize].iter().enumerate() {
-            // SAFETY: as above.
-            unsafe { shared.write(cursors[p] + k, *buffered) };
+
+    /// Stages `t` for partition `p`, flushing the full line through
+    /// `cursors[p]` when it fills (maps to streaming stores). The body is
+    /// branch-lean and bounds-check-free: this runs once per input tuple,
+    /// and any checked indexing here costs more than the cache misses the
+    /// buffering saves.
+    ///
+    /// # Safety
+    /// `p` must be below the `fanout` this combiner was built with (and
+    /// `cursors`/`fill` must have that same length), and the caller must
+    /// guarantee `cursors[p] .. cursors[p] + pending` stays a range written
+    /// by this thread only (see [`SharedTupleSlice::write`]).
+    #[inline]
+    pub(crate) unsafe fn stage(
+        &mut self,
+        p: usize,
+        t: Tuple,
+        cursors: &mut [usize],
+        shared: SharedTupleSlice,
+    ) {
+        debug_assert!(p < self.fill.len() && cursors.len() == self.fill.len());
+        let base = p * self.line;
+        // SAFETY: `p < fanout` per the caller's contract, so every index
+        // below is in bounds; the bulk copy targets this worker's private
+        // cursor range (forwarded contract) and cannot overlap the staging
+        // buffer (`shared` aliases the partition output, not `self`).
+        unsafe {
+            let f = *self.fill.get_unchecked(p) as usize;
+            *self.buffers.get_unchecked_mut(base + f) = t;
+            if f + 1 == self.line {
+                let cur = cursors.get_unchecked_mut(p);
+                shared.copy_from(*cur, self.buffers.as_ptr().add(base), self.line);
+                *cur += self.line;
+                *self.fill.get_unchecked_mut(p) = 0;
+                self.flushes += 1;
+            } else {
+                *self.fill.get_unchecked_mut(p) = (f + 1) as u16;
+            }
         }
+    }
+
+    /// Flushes every partial line. Must run before the cursors' target
+    /// ranges are read (e.g. before the partitioning scope joins).
+    ///
+    /// # Safety
+    /// Same contract as [`WriteCombiner::stage`].
+    pub(crate) unsafe fn flush_all(&mut self, cursors: &mut [usize], shared: SharedTupleSlice) {
+        for (p, fill) in self.fill.iter_mut().enumerate() {
+            let n = *fill as usize;
+            if n == 0 {
+                continue;
+            }
+            let base = p * self.line;
+            // SAFETY: forwarded from the caller's contract; staging buffer
+            // and partition output never alias.
+            unsafe { shared.copy_from(cursors[p], self.buffers.as_ptr().add(base), n) };
+            cursors[p] += n;
+            *fill = 0;
+        }
+    }
+
+    /// Full-line flushes so far (partial `flush_all` lines not counted:
+    /// they are forced, not combining wins).
+    pub(crate) fn flushes(&self) -> u64 {
+        self.flushes
     }
 }
 
 /// Applies radix passes `from_pass..` to an already partially partitioned
 /// buffer: each existing partition (delimited by `dir_starts`) is
 /// independently sub-partitioned, task-queue parallel. Returns the new
-/// buffer and directory starts. Used by both `Cbase`'s pass 2 and `CSH`'s
-/// refinement of normal partitions.
+/// buffer, directory starts, and scheduler activity. Used by both `Cbase`'s
+/// pass 2 and `CSH`'s refinement of normal partitions.
 pub(crate) fn refine_passes(
     mut data: Vec<Tuple>,
     mut dir_starts: Vec<usize>,
     cfg: &RadixConfig,
     threads: usize,
     from_pass: usize,
-) -> (Vec<Tuple>, Vec<usize>) {
+    scheduler: SchedulerKind,
+) -> (Vec<Tuple>, Vec<usize>, SchedStats) {
+    let mut sched = SchedStats::default();
     for pass in from_pass..cfg.bits_per_pass.len() {
         let fanout = cfg.fanout(pass);
         let parents = dir_starts.len() - 1;
@@ -212,33 +402,37 @@ pub(crate) fn refine_passes(
             let child_ptr = SharedUsizeSlice::new(&mut child_starts);
             let data_ref = &data;
             let dir_ref = &dir_starts;
-            let queue = TaskQueue::seeded(0..parents);
-            run_to_completion(&queue, threads.min(parents.max(1)), |_tid| {
-                move |parent: usize| {
-                    let base = dir_ref[parent];
-                    let slice = &data_ref[base..dir_ref[parent + 1]];
-                    let mut hist = histogram(slice, cfg, pass);
-                    exclusive_prefix_sum(&mut hist);
-                    for (j, h) in hist.iter().enumerate() {
-                        // SAFETY: each (parent, j) slot written once.
-                        unsafe { child_ptr.write(parent * fanout + j, base + h) };
-                    }
-                    let mut cursors = hist;
-                    for t in slice {
-                        let p = cfg.partition_of(t.key, pass);
-                        // SAFETY: parents own disjoint [base, end) ranges.
-                        unsafe { shared.write(base + cursors[p], *t) };
-                        cursors[p] += 1;
-                    }
-                }
-            });
+            let queue = TaskQueue::seeded(scheduler, 0..parents);
+            sched.merge(run_to_completion(
+                &queue,
+                threads.min(parents.max(1)),
+                |worker| {
+                    worker.run(|parent: usize, _w| {
+                        let base = dir_ref[parent];
+                        let slice = &data_ref[base..dir_ref[parent + 1]];
+                        let mut hist = histogram(slice, cfg, pass);
+                        exclusive_prefix_sum(&mut hist);
+                        for (j, h) in hist.iter().enumerate() {
+                            // SAFETY: each (parent, j) slot written once.
+                            unsafe { child_ptr.write(parent * fanout + j, base + h) };
+                        }
+                        let mut cursors = hist;
+                        for t in slice {
+                            let p = cfg.partition_of(t.key, pass);
+                            // SAFETY: parents own disjoint [base, end) ranges.
+                            unsafe { shared.write(base + cursors[p], *t) };
+                            cursors[p] += 1;
+                        }
+                    });
+                },
+            ));
         }
 
         *child_starts.last_mut().expect("non-empty") = data.len();
         data = next;
         dir_starts = child_starts;
     }
-    (data, dir_starts)
+    (data, dir_starts, sched)
 }
 
 /// Sequentially partitions a slice by an arbitrary key→partition function —
@@ -412,6 +606,73 @@ mod tests {
             orig.sort_unstable_by_key(|t| (t.key, t.payload));
             assert_eq!(got, orig, "n={n}");
         }
+    }
+
+    #[test]
+    fn wc_line_sizes_all_agree() {
+        let r = test_relation(4321);
+        let cfg = RadixConfig::two_pass(6);
+        let direct = parallel_radix_partition(&r, &cfg, 2);
+        for line in [1usize, 2, 16, 64] {
+            let opts = PartitionOptions {
+                threads: 2,
+                mode: ScatterMode::Buffered,
+                wc_tuples: line,
+                ..PartitionOptions::default()
+            };
+            let (parted, stats) = parallel_radix_partition_opts(&r, &cfg, &opts);
+            assert_eq!(direct.directory.starts(), parted.directory.starts());
+            for pid in 0..direct.partitions() {
+                let mut a = direct.partition(pid).to_vec();
+                let mut b = parted.partition(pid).to_vec();
+                a.sort_unstable_by_key(|t| (t.key, t.payload));
+                b.sort_unstable_by_key(|t| (t.key, t.payload));
+                assert_eq!(a, b, "partition {pid} line {line}");
+            }
+            if line == 1 {
+                // Every tuple is its own full line.
+                assert_eq!(stats.buffer_flushes, r.tuples().len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_stats_report_flushes_and_scheduler() {
+        let r = test_relation(4096);
+        let cfg = RadixConfig::two_pass(8);
+        let opts = PartitionOptions {
+            threads: 3,
+            mode: ScatterMode::Buffered,
+            ..PartitionOptions::default()
+        };
+        let (_, stats) = parallel_radix_partition_opts(&r, &cfg, &opts);
+        assert!(stats.buffer_flushes > 0);
+        // Direct mode never flushes.
+        let direct = PartitionOptions {
+            mode: ScatterMode::Direct,
+            ..opts
+        };
+        let (_, stats) = parallel_radix_partition_opts(&r, &cfg, &direct);
+        assert_eq!(stats.buffer_flushes, 0);
+    }
+
+    #[test]
+    fn mutex_scheduler_matches_work_stealing() {
+        let r = test_relation(3000);
+        let cfg = RadixConfig::two_pass(8);
+        let ws = PartitionOptions {
+            threads: 4,
+            scheduler: SchedulerKind::WorkStealing,
+            ..PartitionOptions::default()
+        };
+        let mx = PartitionOptions {
+            scheduler: SchedulerKind::Mutex,
+            ..ws
+        };
+        let (a, _) = parallel_radix_partition_opts(&r, &cfg, &ws);
+        let (b, _) = parallel_radix_partition_opts(&r, &cfg, &mx);
+        assert_eq!(a.directory.starts(), b.directory.starts());
+        assert_eq!(a.data, b.data); // refinement writes are deterministic
     }
 
     #[test]

@@ -1,78 +1,196 @@
-//! Dynamic task queue for the partition and join phases.
+//! Dynamic task scheduling for the partition and join phases.
 //!
 //! Cbase's join phase pulls `(R partition, S partition)` tasks from a shared
-//! queue so threads that finish small tasks keep working — the paper calls
-//! this out as one of the two skew-handling techniques. Our queue also
+//! pool so threads that finish small tasks keep working — the paper calls
+//! this out as one of the two skew-handling techniques. The pool also
 //! supports *task spawning*: a worker that decides a task is too large can
 //! push the split pieces back, which implements the other technique
 //! (breaking up large partitions).
+//!
+//! Two schedulers implement the pool, selected by [`SchedulerKind`]:
+//!
+//! * [`SchedulerKind::Mutex`] — the original single mutex-guarded deque.
+//!   Every pop takes the global lock; simple, but at high fan-outs the hot
+//!   path is the lock, not the task.
+//! * [`SchedulerKind::WorkStealing`] — the default: per-worker Chase–Lev
+//!   deques (local LIFO push/pop, lock-free FIFO steal from random victims,
+//!   following Chase & Lev, SPAA 2005 and the C11 formulation of Lê et al.,
+//!   PPoPP 2013). Seed tasks live in a shared injector that workers drain in
+//!   batches, so the only lock left is taken O(batches) times instead of
+//!   O(tasks). Spawned tasks go to the spawning worker's own deque — the
+//!   split pieces of a skewed partition stay cache-hot on the splitting
+//!   thread until another worker runs dry and steals them.
+//!
+//! Both schedulers share the same termination detection: workers exit when
+//! every queue is empty *and* no task is in flight (an in-flight task may
+//! spawn more).
 
+use std::cell::{Cell, UnsafeCell};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// A multi-producer multi-consumer task queue with termination detection:
-/// workers exit when the queue is empty *and* no task is still in flight
-/// (an in-flight task may spawn more). Tasks are coarse (whole partitions),
-/// so a mutex-guarded deque is plenty — pop cost is dwarfed by task cost.
+/// Which scheduler drives a [`TaskQueue`]'s workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulerKind {
+    /// One mutex-guarded deque shared by all workers (the pre-work-stealing
+    /// baseline, kept measurable — see `sched_micro`).
+    Mutex,
+    /// Per-worker Chase–Lev deques with batch-drained injector and
+    /// random-victim stealing.
+    #[default]
+    WorkStealing,
+}
+
+/// Scheduler activity of one completed run, for the trace layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Tasks a worker took from another worker's deque.
+    pub tasks_stolen: u64,
+    /// Full steal rounds (every victim tried) that found nothing.
+    pub steal_failures: u64,
+}
+
+impl SchedStats {
+    /// Folds another run's stats into this one (phases accumulate).
+    pub fn merge(&mut self, other: SchedStats) {
+        self.tasks_stolen += other.tasks_stolen;
+        self.steal_failures += other.steal_failures;
+    }
+}
+
+#[derive(Default)]
+struct SchedCounters {
+    tasks_stolen: AtomicU64,
+    steal_failures: AtomicU64,
+}
+
+/// A multi-producer multi-consumer task pool with termination detection.
+///
+/// External producers (seeding, or spawning from outside a worker) push into
+/// the shared injector via [`TaskQueue::push`]; workers created by
+/// [`run_to_completion`] drain the injector and, in work-stealing mode,
+/// their own deques, spawning successors via [`Worker::spawn`].
 pub struct TaskQueue<T> {
-    queue: Mutex<VecDeque<T>>,
+    kind: SchedulerKind,
+    injector: Mutex<VecDeque<T>>,
     /// Tasks queued or currently being executed.
+    ///
+    /// Ordering invariant: `pending` is incremented (`Release`) *before* a
+    /// task becomes visible in any queue, and decremented (`Release`) only
+    /// *after* the task's handler returned — so an `Acquire` load observing
+    /// 0 proves no task is queued anywhere and none is in flight that could
+    /// still spawn one. Increment/decrement don't order anything against
+    /// each other beyond that publication edge, so `SeqCst` (the original
+    /// mutex queue used it throughout) is unnecessary.
     pending: AtomicUsize,
+    counters: SchedCounters,
 }
 
 impl<T> Default for TaskQueue<T> {
     fn default() -> Self {
-        Self::new()
+        Self::new(SchedulerKind::default())
     }
 }
 
 impl<T> TaskQueue<T> {
-    /// Creates an empty queue.
-    pub fn new() -> Self {
+    /// Creates an empty queue driven by the given scheduler.
+    pub fn new(kind: SchedulerKind) -> Self {
         Self {
-            queue: Mutex::new(VecDeque::new()),
+            kind,
+            injector: Mutex::new(VecDeque::new()),
             pending: AtomicUsize::new(0),
+            counters: SchedCounters::default(),
         }
     }
 
     /// Creates a queue seeded with `tasks`.
-    pub fn seeded(tasks: impl IntoIterator<Item = T>) -> Self {
-        let q = Self::new();
-        for t in tasks {
-            q.push(t);
+    pub fn seeded(kind: SchedulerKind, tasks: impl IntoIterator<Item = T>) -> Self {
+        let q = Self::new(kind);
+        {
+            let mut inj = q.injector.lock().unwrap();
+            for t in tasks {
+                // Publication order as in `push`: count first, then enqueue.
+                q.pending.fetch_add(1, Ordering::Release);
+                inj.push_back(t);
+            }
         }
         q
     }
 
-    /// Adds a task (callable from inside a running task).
+    /// The scheduler driving this queue.
+    pub fn kind(&self) -> SchedulerKind {
+        self.kind
+    }
+
+    /// Adds a task to the shared injector (callable from any thread; inside
+    /// a running task prefer [`Worker::spawn`], which keeps the task local).
     pub fn push(&self, task: T) {
-        self.pending.fetch_add(1, Ordering::SeqCst);
-        self.queue.lock().unwrap().push_back(task);
+        // Increment *before* the task is visible (see `pending` invariant).
+        self.pending.fetch_add(1, Ordering::Release);
+        self.injector.lock().unwrap().push_back(task);
     }
 
     /// Number of tasks queued or in flight.
     pub fn pending(&self) -> usize {
-        self.pending.load(Ordering::SeqCst)
+        self.pending.load(Ordering::Acquire)
     }
 
-    /// Worker loop: repeatedly pops tasks and runs `f` on them until the
-    /// queue drains and all in-flight tasks (which may spawn new ones via
-    /// [`TaskQueue::push`]) have completed.
-    pub fn run_worker<F: FnMut(T)>(&self, mut f: F) {
+    /// Scheduler activity recorded so far (stable once all workers joined).
+    pub fn stats(&self) -> SchedStats {
+        SchedStats {
+            tasks_stolen: self.counters.tasks_stolen.load(Ordering::Relaxed),
+            steal_failures: self.counters.steal_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A worker's handle onto the scheduler: runs tasks and spawns successors.
+///
+/// In work-stealing mode [`Worker::spawn`] pushes onto this worker's own
+/// deque (LIFO, cache-hot); in mutex mode it falls back to the shared queue.
+pub struct Worker<'a, T> {
+    queue: &'a TaskQueue<T>,
+    deques: &'a [StealDeque<T>],
+    index: usize,
+    rng: Cell<u64>,
+}
+
+impl<'a, T: Send> Worker<'a, T> {
+    /// This worker's index in `0..threads`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Spawns a successor task from inside a running task.
+    pub fn spawn(&self, task: T) {
+        match self.deques.get(self.index) {
+            Some(d) => {
+                self.queue.pending.fetch_add(1, Ordering::Release);
+                // SAFETY: only this worker (the deque's owner) calls
+                // push/pop on `deques[self.index]`.
+                unsafe { d.push(task) };
+            }
+            None => self.queue.push(task),
+        }
+    }
+
+    /// Runs `handler` on tasks until the scheduler drains: every queue
+    /// empty and all in-flight tasks (which may spawn successors) complete.
+    pub fn run<F: FnMut(T, &Self)>(&self, mut handler: F) {
         let mut idle_spins: u32 = 0;
         loop {
-            let task = self.queue.lock().unwrap().pop_front();
-            match task {
+            match self.next_task() {
                 Some(task) => {
                     idle_spins = 0;
-                    f(task);
+                    handler(task, self);
                     // Decrement *after* running: an in-flight task keeps
                     // other workers alive because it may spawn successors.
-                    self.pending.fetch_sub(1, Ordering::SeqCst);
+                    self.queue.pending.fetch_sub(1, Ordering::Release);
                 }
                 None => {
-                    if self.pending.load(Ordering::SeqCst) == 0 {
+                    if self.queue.pending.load(Ordering::Acquire) == 0 {
                         return;
                     }
                     // Another worker's in-flight task may spawn successors;
@@ -87,29 +205,312 @@ impl<T> TaskQueue<T> {
             }
         }
     }
+
+    fn next_task(&self) -> Option<T> {
+        if let Some(d) = self.deques.get(self.index) {
+            // SAFETY: owner-only pop, as in `spawn`.
+            if let Some(t) = unsafe { d.pop() } {
+                return Some(t);
+            }
+        }
+        if let Some(t) = self.pop_injector() {
+            return Some(t);
+        }
+        self.try_steal()
+    }
+
+    /// Pops one task from the injector; in work-stealing mode also moves a
+    /// fair share of what remains onto this worker's deque, so the injector
+    /// lock is taken O(batches) rather than O(tasks) times.
+    fn pop_injector(&self) -> Option<T> {
+        let mut inj = self.queue.injector.lock().unwrap();
+        let first = inj.pop_front()?;
+        if let Some(d) = self.deques.get(self.index) {
+            let batch = (inj.len() / self.deques.len()).min(64);
+            for _ in 0..batch {
+                match inj.pop_front() {
+                    // SAFETY: owner-only push.
+                    Some(t) => unsafe { d.push(t) },
+                    None => break,
+                }
+            }
+        }
+        Some(first)
+    }
+
+    /// One steal round over all other deques in random victim order.
+    fn try_steal(&self) -> Option<T> {
+        let n = self.deques.len();
+        if n <= 1 {
+            return None;
+        }
+        let start = (self.next_rand() as usize) % n;
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if victim == self.index {
+                continue;
+            }
+            // Retry a contended victim a few times before moving on: a
+            // `Retry` means there *is* work, another thief just raced us.
+            for _ in 0..4 {
+                match self.deques[victim].steal() {
+                    Steal::Success(t) => {
+                        self.queue
+                            .counters
+                            .tasks_stolen
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Some(t);
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => std::hint::spin_loop(),
+                }
+            }
+        }
+        self.queue
+            .counters
+            .steal_failures
+            .fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// xorshift64* — cheap thread-local victim randomization.
+    fn next_rand(&self) -> u64 {
+        let mut x = self.rng.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.set(x);
+        x
+    }
 }
 
-/// Runs `queue` to completion on `threads` scoped worker threads; `make_fn`
-/// builds each worker's task handler (so handlers can own per-thread state
-/// such as an output sink).
-pub fn run_to_completion<T, F>(
-    queue: &TaskQueue<T>,
-    threads: usize,
-    make_fn: impl Fn(usize) -> F + Sync,
-) where
+/// Runs `queue` to completion on `threads` scoped worker threads.
+///
+/// `worker_main` is called once per thread *on that thread* with its
+/// [`Worker`] handle; it sets up per-thread state (e.g. locks its output
+/// sink) and calls [`Worker::run`]. Returns the run's scheduler activity.
+pub fn run_to_completion<T, F>(queue: &TaskQueue<T>, threads: usize, worker_main: F) -> SchedStats
+where
     T: Send,
-    F: FnMut(T) + Send,
+    F: Fn(Worker<'_, T>) + Sync,
 {
     assert!(threads > 0);
+    let deques: Vec<StealDeque<T>> = match queue.kind {
+        SchedulerKind::Mutex => Vec::new(),
+        SchedulerKind::WorkStealing => (0..threads).map(|_| StealDeque::new()).collect(),
+    };
     std::thread::scope(|scope| {
         for tid in 0..threads {
-            let handler = make_fn(tid);
+            let deques = &deques;
+            let worker_main = &worker_main;
             scope.spawn(move || {
-                let handler = handler;
-                queue.run_worker(handler);
+                worker_main(Worker {
+                    queue,
+                    deques,
+                    index: tid,
+                    rng: Cell::new(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(tid as u64 + 1) | 1),
+                });
             });
         }
     });
+    queue.stats()
+}
+
+/// A thief's view of one steal attempt.
+enum Steal<T> {
+    /// Took the victim's oldest task.
+    Success(T),
+    /// The victim's deque was empty.
+    Empty,
+    /// Lost a race with the owner or another thief; work may remain.
+    Retry,
+}
+
+/// Growable ring buffer of one Chase–Lev deque. Slots are `MaybeUninit`:
+/// liveness is tracked solely by the `top`/`bottom` indices of the owning
+/// deque, and a slot is moved out by exactly one consumer (the owner, or
+/// the thief whose CAS on `top` succeeded).
+struct Buffer<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+impl<T> Buffer<T> {
+    fn alloc(cap: usize) -> Box<Self> {
+        debug_assert!(cap.is_power_of_two());
+        Box::new(Self {
+            slots: (0..cap)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+        })
+    }
+
+    fn cap(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// # Safety
+    /// Caller must hold the deque's ownership protocol for index `i`.
+    unsafe fn write(&self, i: isize, task: T) {
+        let slot = self.slots[(i as usize) & (self.cap() - 1)].get();
+        unsafe { (*slot).write(task) };
+    }
+
+    /// # Safety
+    /// The slot at `i` must hold a live value; the read *moves* it — the
+    /// caller becomes responsible for it (a thief that loses its CAS must
+    /// `forget` the duplicate).
+    unsafe fn read(&self, i: isize) -> T {
+        let slot = self.slots[(i as usize) & (self.cap() - 1)].get();
+        unsafe { (*slot).assume_init_read() }
+    }
+}
+
+/// One worker's Chase–Lev deque: the owner pushes and pops at `bottom`
+/// (LIFO), thieves CAS `top` forward (FIFO). Memory orderings follow Lê,
+/// Pop, Cohen & Zappa Nardelli, "Correct and Efficient Work-Stealing for
+/// Weak Memory Models" (PPoPP 2013); the `SeqCst` fences in `pop`/`steal`
+/// are required for the owner/thief race on the last element and are *not*
+/// downgradeable.
+struct StealDeque<T> {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    buf: AtomicPtr<Buffer<T>>,
+    /// Every buffer ever allocated, including the current one. Grown-past
+    /// buffers are retired here instead of freed: a concurrent thief may
+    /// still read a stale buffer pointer, so buffers must outlive the run
+    /// (they are freed when the deque drops, after all workers joined).
+    /// The boxing is load-bearing despite `Vec` being heap-allocated
+    /// itself: `buf` points *into* these allocations, and a `Vec<Buffer>`
+    /// would move them when the vector grows.
+    #[allow(clippy::vec_box)]
+    buffers: Mutex<Vec<Box<Buffer<T>>>>,
+}
+
+// SAFETY: slots are accessed under the Chase–Lev ownership protocol (each
+// live slot moved out by exactly one consumer); T: Send suffices because
+// tasks only ever move between threads, never get shared by reference.
+unsafe impl<T: Send> Send for StealDeque<T> {}
+unsafe impl<T: Send> Sync for StealDeque<T> {}
+
+impl<T> StealDeque<T> {
+    const INITIAL_CAP: usize = 64;
+
+    fn new() -> Self {
+        let first = Buffer::alloc(Self::INITIAL_CAP);
+        let ptr = &*first as *const Buffer<T> as *mut Buffer<T>;
+        Self {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buf: AtomicPtr::new(ptr),
+            buffers: Mutex::new(vec![first]),
+        }
+    }
+
+    /// Owner-only: push at the bottom, growing if full.
+    ///
+    /// # Safety
+    /// Must only be called by the deque's owning worker.
+    unsafe fn push(&self, task: T) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut buf = self.buf.load(Ordering::Relaxed);
+        if b - t >= unsafe { (*buf).cap() } as isize {
+            buf = self.grow(t, b);
+        }
+        unsafe { (*buf).write(b, task) };
+        // Publish the slot before the new bottom becomes visible to thieves.
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner-only: pop at the bottom (LIFO).
+    ///
+    /// # Safety
+    /// Must only be called by the deque's owning worker.
+    unsafe fn pop(&self) -> Option<T> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buf = self.buf.load(Ordering::Relaxed);
+        self.bottom.store(b, Ordering::Relaxed);
+        // Order the bottom decrement against thieves' top reads.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            if t == b {
+                // Single element left: race thieves for it via top.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                if won {
+                    Some(unsafe { (*buf).read(b) })
+                } else {
+                    None
+                }
+            } else {
+                Some(unsafe { (*buf).read(b) })
+            }
+        } else {
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Any thread: steal the oldest task (FIFO).
+    fn steal(&self) -> Steal<T> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let buf = self.buf.load(Ordering::Acquire);
+        // SAFETY: t < b so the slot is live; if our CAS below fails the
+        // value was not ours to take and is forgotten, not dropped.
+        let task = unsafe { (*buf).read(t) };
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Steal::Success(task)
+        } else {
+            std::mem::forget(task);
+            Steal::Retry
+        }
+    }
+
+    /// Owner-only (called from `push`): double the buffer, copying the live
+    /// range `t..b`, and retire the old buffer until drop.
+    fn grow(&self, t: isize, b: isize) -> *mut Buffer<T> {
+        let old = self.buf.load(Ordering::Relaxed);
+        let new = Buffer::alloc(unsafe { (*old).cap() } * 2);
+        for i in t..b {
+            // SAFETY: bit-copies the live range; old slots stay allocated
+            // (retired below) so racing thieves read valid memory, and any
+            // stale value they take loses its CAS and is forgotten.
+            unsafe { new.write(i, (*old).read(i)) };
+        }
+        let ptr = &*new as *const Buffer<T> as *mut Buffer<T>;
+        self.buffers.lock().unwrap().push(new);
+        self.buf.store(ptr, Ordering::Release);
+        ptr
+    }
+}
+
+impl<T> Drop for StealDeque<T> {
+    fn drop(&mut self) {
+        // Single-threaded by now (all workers joined): drop any tasks left
+        // between top and bottom. Normally none — workers drain the deques.
+        let t = *self.top.get_mut();
+        let b = *self.bottom.get_mut();
+        let buf = *self.buf.get_mut();
+        for i in t..b {
+            // SAFETY: exclusive access; slots in t..b are live.
+            unsafe { drop((*buf).read(i)) };
+        }
+        // The retired buffers (including the current one) free their slot
+        // arrays as `MaybeUninit`, i.e. without double-dropping tasks.
+    }
 }
 
 #[cfg(test)]
@@ -117,50 +518,175 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
 
+    const BOTH: [SchedulerKind; 2] = [SchedulerKind::Mutex, SchedulerKind::WorkStealing];
+
     #[test]
     fn drains_all_seeded_tasks() {
-        let q = TaskQueue::seeded(0..1000u64);
-        let sum = AtomicU64::new(0);
-        run_to_completion(&q, 4, |_tid| {
-            |t: u64| {
-                sum.fetch_add(t, Ordering::Relaxed);
-            }
-        });
-        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
-        assert_eq!(q.pending(), 0);
+        for kind in BOTH {
+            let q = TaskQueue::seeded(kind, 0..1000u64);
+            let sum = AtomicU64::new(0);
+            run_to_completion(&q, 4, |worker| {
+                worker.run(|t: u64, _w| {
+                    sum.fetch_add(t, Ordering::Relaxed);
+                });
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2, "{kind:?}");
+            assert_eq!(q.pending(), 0);
+        }
     }
 
     #[test]
     fn spawned_tasks_are_executed() {
         // Each task n > 0 spawns n-1; seeding with 10 should run 10, 9, …, 0.
-        let q = TaskQueue::new();
-        q.push(10u32);
-        let count = AtomicUsize::new(0);
-        let qref = &q;
-        let count_ref = &count;
-        run_to_completion(qref, 3, |_tid| {
-            move |t: u32| {
-                count_ref.fetch_add(1, Ordering::Relaxed);
-                if t > 0 {
-                    qref.push(t - 1);
-                }
-            }
-        });
-        assert_eq!(count.load(Ordering::Relaxed), 11);
+        for kind in BOTH {
+            let q = TaskQueue::new(kind);
+            q.push(10u32);
+            let count = AtomicUsize::new(0);
+            run_to_completion(&q, 3, |worker| {
+                worker.run(|t: u32, w| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    if t > 0 {
+                        w.spawn(t - 1);
+                    }
+                });
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 11, "{kind:?}");
+        }
     }
 
     #[test]
     fn single_thread_works() {
-        let q = TaskQueue::seeded([1, 2, 3]);
-        let mut seen = Vec::new();
-        q.run_worker(|t| seen.push(t));
-        seen.sort_unstable();
-        assert_eq!(seen, vec![1, 2, 3]);
+        for kind in BOTH {
+            let q = TaskQueue::seeded(kind, [1, 2, 3]);
+            let seen = Mutex::new(Vec::new());
+            run_to_completion(&q, 1, |worker| {
+                worker.run(|t: i32, _w| seen.lock().unwrap().push(t));
+            });
+            let mut seen = seen.into_inner().unwrap();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![1, 2, 3], "{kind:?}");
+        }
     }
 
     #[test]
     fn empty_queue_returns_immediately() {
-        let q: TaskQueue<u32> = TaskQueue::new();
-        run_to_completion(&q, 2, |_tid| |_t: u32| unreachable!());
+        for kind in BOTH {
+            let q: TaskQueue<u32> = TaskQueue::new(kind);
+            run_to_completion(&q, 2, |worker| worker.run(|_t: u32, _w| unreachable!()));
+        }
+    }
+
+    #[test]
+    fn deep_spawn_tree_terminates_and_steals() {
+        // A binary spawn tree from a single seed: with several workers and
+        // one seed task, every worker other than the spawner can only get
+        // work by stealing.
+        let q = TaskQueue::new(SchedulerKind::WorkStealing);
+        q.push(0u32);
+        let count = AtomicUsize::new(0);
+        let depth = 12u32;
+        let stats = run_to_completion(&q, 4, |worker| {
+            worker.run(|d: u32, w| {
+                count.fetch_add(1, Ordering::Relaxed);
+                if d < depth {
+                    w.spawn(d + 1);
+                    w.spawn(d + 1);
+                }
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), (1 << (depth + 1)) - 1);
+        assert_eq!(q.pending(), 0);
+        // Steal accounting is returned (value is scheduling-dependent).
+        assert_eq!(stats.tasks_stolen, q.stats().tasks_stolen);
+    }
+
+    #[test]
+    fn worker_spawning_mid_steal_still_terminates() {
+        // Worker A's task spawns children into its *own* deque and then
+        // blocks until every child ran. The injector is empty, so the other
+        // workers can make progress only by stealing from A mid-task —
+        // termination proves spawn-during-steal works, and every child must
+        // have been stolen (the spawner never returns to its pop loop until
+        // they are done).
+        const CHILDREN: usize = 48;
+        let q = TaskQueue::new(SchedulerKind::WorkStealing);
+        q.push(usize::MAX); // the blocking parent; children are 0..CHILDREN
+        let done = AtomicUsize::new(0);
+        let stats = run_to_completion(&q, 4, |worker| {
+            worker.run(|t: usize, w| {
+                if t == usize::MAX {
+                    for c in 0..CHILDREN {
+                        w.spawn(c);
+                    }
+                    while done.load(Ordering::Acquire) < CHILDREN {
+                        std::thread::yield_now();
+                    }
+                } else {
+                    done.fetch_add(1, Ordering::Release);
+                }
+            });
+        });
+        assert_eq!(done.load(Ordering::Acquire), CHILDREN);
+        assert!(
+            stats.tasks_stolen >= CHILDREN as u64,
+            "children can only run via steals, got {stats:?}"
+        );
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn steal_deque_grows_past_initial_capacity() {
+        let q = TaskQueue::new(SchedulerKind::WorkStealing);
+        q.push(());
+        let spawned = AtomicUsize::new(0);
+        let ran = AtomicUsize::new(0);
+        let total = StealDeque::<()>::INITIAL_CAP * 4;
+        run_to_completion(&q, 2, |worker| {
+            worker.run(|_t: (), w| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                // The first task floods its local deque far past one buffer.
+                if spawned
+                    .compare_exchange(0, total, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    for _ in 0..total {
+                        w.spawn(());
+                    }
+                }
+            });
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), total + 1);
+    }
+
+    #[test]
+    fn drop_releases_undrained_tasks() {
+        // Leak check for the deque's Drop: spawn Arc-carrying tasks, run
+        // them all, then make sure the Arc count returns to 1.
+        use std::sync::Arc;
+        let marker = Arc::new(());
+        {
+            let q = TaskQueue::new(SchedulerKind::WorkStealing);
+            for _ in 0..100 {
+                q.push(Arc::clone(&marker));
+            }
+            run_to_completion(&q, 3, |worker| worker.run(|_t, _w| {}));
+        }
+        assert_eq!(Arc::strong_count(&marker), 1);
+    }
+
+    #[test]
+    fn stats_start_at_zero_and_merge() {
+        let q: TaskQueue<u32> = TaskQueue::new(SchedulerKind::WorkStealing);
+        assert_eq!(q.stats(), SchedStats::default());
+        let mut a = SchedStats {
+            tasks_stolen: 2,
+            steal_failures: 1,
+        };
+        a.merge(SchedStats {
+            tasks_stolen: 3,
+            steal_failures: 4,
+        });
+        assert_eq!(a.tasks_stolen, 5);
+        assert_eq!(a.steal_failures, 5);
     }
 }

@@ -32,6 +32,19 @@ impl SharedTupleSlice {
         }
     }
 
+    /// Wraps a spare-capacity slice for disjoint parallel writes, letting
+    /// the caller skip zero-initialising an output it will fully overwrite.
+    /// Writes go through raw pointers, so no reference to uninitialised
+    /// `Tuple`s is ever materialised; the caller `set_len`s the vector only
+    /// after every slot has been written (same exactly-once contract as
+    /// [`SharedTupleSlice::new`]).
+    pub fn from_uninit(slice: &mut [std::mem::MaybeUninit<Tuple>]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr().cast::<Tuple>(),
+            len: slice.len(),
+        }
+    }
+
     /// Length of the underlying slice.
     pub fn len(&self) -> usize {
         self.len
@@ -52,6 +65,29 @@ impl SharedTupleSlice {
         debug_assert!(idx < self.len, "index {idx} out of bounds ({})", self.len);
         // SAFETY: bounds guaranteed by caller; disjointness per contract.
         unsafe { self.ptr.add(idx).write(value) };
+    }
+
+    /// Copies `n` tuples from `src` into `idx..idx + n` in one bulk move —
+    /// the flush path of the software write-combining buffers, where a
+    /// per-element `write` loop would defeat the point of batching.
+    /// (Non-temporal streaming stores were measured here and lost to plain
+    /// `memcpy` on virtualized hosts, so the flush stays cache-allocating.)
+    ///
+    /// # Safety
+    /// `idx + n` must be in bounds, `src..src + n` must be valid for reads
+    /// and not overlap the destination, and the destination range must be
+    /// written by exactly one thread while the view is shared.
+    #[inline(always)]
+    pub unsafe fn copy_from(&self, idx: usize, src: *const Tuple, n: usize) {
+        debug_assert!(
+            idx + n <= self.len,
+            "range {idx}..{} out of bounds ({})",
+            idx + n,
+            self.len
+        );
+        // SAFETY: bounds and non-overlap guaranteed by caller; disjointness
+        // per contract.
+        unsafe { std::ptr::copy_nonoverlapping(src, self.ptr.add(idx), n) };
     }
 }
 

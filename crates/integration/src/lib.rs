@@ -24,6 +24,7 @@ use skewjoin::common::{Key, OutputSink, Payload, Relation, Trace};
 use skewjoin::cpu::{cbase_join, csh_join, npj_join, CpuJoinConfig};
 use skewjoin::datagen::{PaperWorkload, WorkloadSpec};
 use skewjoin::gpu::{gbase_join, gsh_join, GpuJoinConfig};
+pub use skewjoin::Algorithm;
 use skewjoin::{CpuAlgorithm, GpuAlgorithm};
 
 /// A sink that counts results *per key* (plus the usual total/checksum), so
@@ -188,34 +189,6 @@ pub struct CaseSpec {
     pub zipf: f64,
     /// Worker threads for the CPU joins.
     pub threads: usize,
-}
-
-/// Every algorithm the oracle can drive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Algorithm {
-    /// One of the CPU joins.
-    Cpu(CpuAlgorithm),
-    /// One of the simulated GPU joins.
-    Gpu(GpuAlgorithm),
-}
-
-impl Algorithm {
-    /// All five algorithms, CPU first.
-    pub const ALL: [Algorithm; 5] = [
-        Algorithm::Cpu(CpuAlgorithm::Cbase),
-        Algorithm::Cpu(CpuAlgorithm::CbaseNpj),
-        Algorithm::Cpu(CpuAlgorithm::Csh),
-        Algorithm::Gpu(GpuAlgorithm::Gbase),
-        Algorithm::Gpu(GpuAlgorithm::Gsh),
-    ];
-
-    /// The paper's display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Algorithm::Cpu(a) => a.name(),
-            Algorithm::Gpu(a) => a.name(),
-        }
-    }
 }
 
 /// A localized divergence found by the oracle.

@@ -39,22 +39,18 @@ fn main() {
 
     let opts = PlannerOptions::default();
     let plan = JoinPlan::plan(&by_dst, &by_src, &opts);
-    println!(
-        "\nPlanner: {} — {}",
-        plan.cpu_algorithm.expect("CPU plan").name(),
-        plan.reason
-    );
+    println!("\nPlanner: {} — {}", plan.algorithm.name(), plan.reason);
 
     let planned = plan
         .execute(&by_dst, &by_src, &opts, SinkSpec::default())
         .expect("planned join failed");
     println!("planned  → {planned}");
 
-    let baseline = skewjoin::run_cpu_join(
-        CpuAlgorithm::Cbase,
+    let baseline = skewjoin::run_join(
+        Algorithm::Cpu(CpuAlgorithm::Cbase),
         &by_dst,
         &by_src,
-        &opts.cpu,
+        &opts.join_config(),
         SinkSpec::default(),
     )
     .expect("baseline join failed");

@@ -131,22 +131,15 @@ fn main() {
         opts.cpu.threads = t;
     }
 
+    let run = |algo: Algorithm| {
+        skewjoin::run_join(algo, &r, &s, &opts.join_config(), SinkSpec::default())
+    };
     let stats = match args.algo.as_str() {
-        "cbase" => {
-            skewjoin::run_cpu_join(CpuAlgorithm::Cbase, &r, &s, &opts.cpu, SinkSpec::default())
-        }
-        "npj" => skewjoin::run_cpu_join(
-            CpuAlgorithm::CbaseNpj,
-            &r,
-            &s,
-            &opts.cpu,
-            SinkSpec::default(),
-        ),
-        "csh" => skewjoin::run_cpu_join(CpuAlgorithm::Csh, &r, &s, &opts.cpu, SinkSpec::default()),
-        "gbase" => {
-            skewjoin::run_gpu_join(GpuAlgorithm::Gbase, &r, &s, &opts.gpu, SinkSpec::default())
-        }
-        "gsh" => skewjoin::run_gpu_join(GpuAlgorithm::Gsh, &r, &s, &opts.gpu, SinkSpec::default()),
+        "cbase" => run(Algorithm::Cpu(CpuAlgorithm::Cbase)),
+        "npj" => run(Algorithm::Cpu(CpuAlgorithm::CbaseNpj)),
+        "csh" => run(Algorithm::Cpu(CpuAlgorithm::Csh)),
+        "gbase" => run(Algorithm::Gpu(GpuAlgorithm::Gbase)),
+        "gsh" => run(Algorithm::Gpu(GpuAlgorithm::Gsh)),
         "plan" => {
             let plan = JoinPlan::plan(&r, &s, &opts);
             println!("planner chose: {}", plan.reason);

@@ -26,11 +26,11 @@ fn main() {
         workload.expected_join_output()
     );
 
-    let cfg = CpuJoinConfig::sized_for(tuples, 2048);
+    let cfg = JoinConfig::from(CpuJoinConfig::sized_for(tuples, 2048));
     let mut table = ComparisonTable::new();
     for algo in [CpuAlgorithm::Cbase, CpuAlgorithm::Csh] {
-        let stats = skewjoin::run_cpu_join(
-            algo,
+        let stats = skewjoin::run_join(
+            Algorithm::Cpu(algo),
             &workload.r,
             &workload.s,
             &cfg,

@@ -18,8 +18,10 @@ fn main() {
         .map(|a| a.parse().expect("gpu tuples must be an integer"))
         .unwrap_or(1 << 15);
 
-    let cpu_cfg = CpuJoinConfig::sized_for(cpu_tuples, 2048);
-    let gpu_cfg = GpuJoinConfig::default();
+    let cfg = JoinConfig {
+        cpu: CpuJoinConfig::sized_for(cpu_tuples, 2048),
+        gpu: GpuJoinConfig::default(),
+    };
 
     println!("CPU joins: {cpu_tuples} tuples/table (wall-clock time)");
     println!(
@@ -31,7 +33,7 @@ fn main() {
         let w = PaperWorkload::generate(WorkloadSpec::paper(cpu_tuples, zipf, 42));
         let mut times = Vec::new();
         for algo in CpuAlgorithm::ALL {
-            let stats = skewjoin::run_cpu_join(algo, &w.r, &w.s, &cpu_cfg, SinkSpec::default())
+            let stats = skewjoin::run_join(algo.into(), &w.r, &w.s, &cfg, SinkSpec::default())
                 .expect("join failed");
             times.push(stats.total_time());
         }
@@ -55,7 +57,7 @@ fn main() {
         let w = PaperWorkload::generate(WorkloadSpec::paper(gpu_tuples, zipf, 42));
         let mut times = Vec::new();
         for algo in GpuAlgorithm::ALL {
-            let stats = skewjoin::run_gpu_join(algo, &w.r, &w.s, &gpu_cfg, SinkSpec::default())
+            let stats = skewjoin::run_join(algo.into(), &w.r, &w.s, &cfg, SinkSpec::default())
                 .expect("join failed");
             times.push(stats.total_time());
         }

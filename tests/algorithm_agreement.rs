@@ -23,15 +23,12 @@ fn gpu_cfg() -> GpuJoinConfig {
 
 fn check_all(r: &Relation, s: &Relation, cpu_cfg: &CpuJoinConfig, label: &str) {
     let (count, checksum) = reference(r, s);
-    for algo in CpuAlgorithm::ALL {
-        let stats = skewjoin::run_cpu_join(algo, r, s, cpu_cfg, SinkSpec::Count)
-            .unwrap_or_else(|e| panic!("{label}/{algo}: {e}"));
-        assert_eq!(stats.result_count, count, "{label}/{algo} count");
-        assert_eq!(stats.checksum, checksum, "{label}/{algo} checksum");
-    }
-    let gcfg = gpu_cfg();
-    for algo in GpuAlgorithm::ALL {
-        let stats = skewjoin::run_gpu_join(algo, r, s, &gcfg, SinkSpec::Count)
+    let cfg = JoinConfig {
+        cpu: cpu_cfg.clone(),
+        gpu: gpu_cfg(),
+    };
+    for algo in Algorithm::ALL {
+        let stats = skewjoin::run_join(algo, r, s, &cfg, SinkSpec::Count)
             .unwrap_or_else(|e| panic!("{label}/{algo}: {e}"));
         assert_eq!(stats.result_count, count, "{label}/{algo} count");
         assert_eq!(stats.checksum, checksum, "{label}/{algo} checksum");

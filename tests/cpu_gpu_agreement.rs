@@ -6,21 +6,23 @@ use skewjoin::common::hash::RadixConfig;
 use skewjoin::prelude::*;
 
 fn cpu_truth(r: &Relation, s: &Relation) -> (u64, u64) {
-    let stats = skewjoin::run_cpu_join(
-        CpuAlgorithm::Csh,
+    let cfg = JoinConfig::from(CpuJoinConfig::with_threads(4));
+    let stats = skewjoin::run_join(
+        Algorithm::Cpu(CpuAlgorithm::Csh),
         r,
         s,
-        &CpuJoinConfig::with_threads(4),
+        &cfg,
         SinkSpec::Count,
     )
     .unwrap();
     (stats.result_count, stats.checksum)
 }
 
-fn check_gpu(r: &Relation, s: &Relation, cfg: &GpuJoinConfig, label: &str) {
+fn check_gpu(r: &Relation, s: &Relation, gpu: &GpuJoinConfig, label: &str) {
     let (count, checksum) = cpu_truth(r, s);
+    let cfg = JoinConfig::from(gpu.clone());
     for algo in GpuAlgorithm::ALL {
-        let stats = skewjoin::run_gpu_join(algo, r, s, cfg, SinkSpec::Count)
+        let stats = skewjoin::run_join(algo.into(), r, s, &cfg, SinkSpec::Count)
             .unwrap_or_else(|e| panic!("{label}/{algo}: {e}"));
         assert_eq!(stats.result_count, count, "{label}/{algo} count");
         assert_eq!(stats.checksum, checksum, "{label}/{algo} checksum");
@@ -100,36 +102,48 @@ fn gpu_memory_high_water_reported() {
         ..GpuJoinConfig::default()
     };
     // Runs without GpuResourceExhausted.
+    let jc = JoinConfig::from(cfg);
     for algo in GpuAlgorithm::ALL {
-        skewjoin::run_gpu_join(algo, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
+        skewjoin::run_join(algo.into(), &w.r, &w.s, &jc, SinkSpec::Count).unwrap();
     }
     // And genuinely fails when memory cannot hold the tables.
-    let small = GpuJoinConfig {
+    let small = JoinConfig::from(GpuJoinConfig {
         spec: DeviceSpec::tiny(1 << 10),
         block_dim: 64,
         ..GpuJoinConfig::default()
-    };
-    let err =
-        skewjoin::run_gpu_join(GpuAlgorithm::Gsh, &w.r, &w.s, &small, SinkSpec::Count).unwrap_err();
+    });
+    let err = skewjoin::run_join(
+        Algorithm::Gpu(GpuAlgorithm::Gsh),
+        &w.r,
+        &w.s,
+        &small,
+        SinkSpec::Count,
+    )
+    .unwrap_err();
     assert!(matches!(err, JoinError::GpuResourceExhausted(_)));
 }
 
 #[test]
 fn gpu_volcano_sink_counts_match() {
     let w = PaperWorkload::generate(WorkloadSpec::paper(2048, 0.9, 19));
-    let cfg = GpuJoinConfig {
+    let cfg = JoinConfig::from(GpuJoinConfig {
         spec: DeviceSpec::tiny(1 << 26),
         block_dim: 64,
         ..GpuJoinConfig::default()
-    };
+    });
     for algo in GpuAlgorithm::ALL {
-        let count = skewjoin::run_gpu_join(algo, &w.r, &w.s, &cfg, SinkSpec::Count)
+        let count = skewjoin::run_join(algo.into(), &w.r, &w.s, &cfg, SinkSpec::Count)
             .unwrap()
             .result_count;
-        let volcano =
-            skewjoin::run_gpu_join(algo, &w.r, &w.s, &cfg, SinkSpec::Volcano { capacity: 32 })
-                .unwrap()
-                .result_count;
+        let volcano = skewjoin::run_join(
+            algo.into(),
+            &w.r,
+            &w.s,
+            &cfg,
+            SinkSpec::Volcano { capacity: 32 },
+        )
+        .unwrap()
+        .result_count;
         assert_eq!(count, volcano, "{algo}");
     }
 }
@@ -147,10 +161,23 @@ fn exact_gpu_detection_matches_sampled() {
     let mut exact_cfg = sampled_cfg.clone();
     sampled_cfg.skew.detection = GpuDetectionMode::Sampled;
     exact_cfg.skew.detection = GpuDetectionMode::Exact;
-    let a = skewjoin::run_gpu_join(GpuAlgorithm::Gsh, &w.r, &w.s, &sampled_cfg, SinkSpec::Count)
-        .unwrap();
-    let b =
-        skewjoin::run_gpu_join(GpuAlgorithm::Gsh, &w.r, &w.s, &exact_cfg, SinkSpec::Count).unwrap();
+    let gsh = Algorithm::Gpu(GpuAlgorithm::Gsh);
+    let a = skewjoin::run_join(
+        gsh,
+        &w.r,
+        &w.s,
+        &JoinConfig::from(sampled_cfg),
+        SinkSpec::Count,
+    )
+    .unwrap();
+    let b = skewjoin::run_join(
+        gsh,
+        &w.r,
+        &w.s,
+        &JoinConfig::from(exact_cfg),
+        SinkSpec::Count,
+    )
+    .unwrap();
     assert_eq!(a.result_count, b.result_count);
     assert_eq!(a.checksum, b.checksum);
     // Exact detection can only find at least as many true heavy keys.

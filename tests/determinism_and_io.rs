@@ -18,11 +18,11 @@ fn join_results_are_deterministic_across_runs_and_threads() {
     let w = PaperWorkload::generate(WorkloadSpec::paper(4096, 1.0, 9));
     let mut counts = std::collections::HashSet::new();
     let mut checksums = std::collections::HashSet::new();
+    let csh = Algorithm::Cpu(CpuAlgorithm::Csh);
     for threads in [1, 3, 8] {
         for _ in 0..2 {
-            let cfg = CpuJoinConfig::with_threads(threads);
-            let s = skewjoin::run_cpu_join(CpuAlgorithm::Csh, &w.r, &w.s, &cfg, SinkSpec::Count)
-                .unwrap();
+            let cfg = JoinConfig::from(CpuJoinConfig::with_threads(threads));
+            let s = skewjoin::run_join(csh, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
             counts.insert(s.result_count);
             checksums.insert(s.checksum);
         }
@@ -34,13 +34,14 @@ fn join_results_are_deterministic_across_runs_and_threads() {
 #[test]
 fn gpu_simulated_cycles_are_deterministic() {
     let w = PaperWorkload::generate(WorkloadSpec::paper(2048, 0.9, 11));
-    let cfg = GpuJoinConfig {
+    let cfg = JoinConfig::from(GpuJoinConfig {
         spec: DeviceSpec::tiny(1 << 26),
         block_dim: 64,
         ..GpuJoinConfig::default()
-    };
-    let a = skewjoin::run_gpu_join(GpuAlgorithm::Gsh, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
-    let b = skewjoin::run_gpu_join(GpuAlgorithm::Gsh, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
+    });
+    let gsh = Algorithm::Gpu(GpuAlgorithm::Gsh);
+    let a = skewjoin::run_join(gsh, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
+    let b = skewjoin::run_join(gsh, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
     assert_eq!(a.simulated_cycles, b.simulated_cycles);
     assert_eq!(a.checksum, b.checksum);
 }
@@ -58,11 +59,10 @@ fn binary_roundtrip_preserves_join_results() {
     std::fs::remove_file(&rp).ok();
     std::fs::remove_file(&sp).ok();
 
-    let cfg = CpuJoinConfig::with_threads(2);
-    let orig =
-        skewjoin::run_cpu_join(CpuAlgorithm::Csh, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
-    let reloaded =
-        skewjoin::run_cpu_join(CpuAlgorithm::Csh, &r2, &s2, &cfg, SinkSpec::Count).unwrap();
+    let cfg = JoinConfig::from(CpuJoinConfig::with_threads(2));
+    let csh = Algorithm::Cpu(CpuAlgorithm::Csh);
+    let orig = skewjoin::run_join(csh, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
+    let reloaded = skewjoin::run_join(csh, &r2, &s2, &cfg, SinkSpec::Count).unwrap();
     assert_eq!(orig.result_count, reloaded.result_count);
     assert_eq!(orig.checksum, reloaded.checksum);
 }
@@ -81,9 +81,15 @@ fn csv_roundtrip_preserves_join_results() {
 #[test]
 fn stats_serialize_to_json() {
     let w = PaperWorkload::generate(WorkloadSpec::paper(1024, 0.7, 19));
-    let cfg = CpuJoinConfig::with_threads(2);
-    let stats =
-        skewjoin::run_cpu_join(CpuAlgorithm::Csh, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
+    let cfg = JoinConfig::from(CpuJoinConfig::with_threads(2));
+    let stats = skewjoin::run_join(
+        Algorithm::Cpu(CpuAlgorithm::Csh),
+        &w.r,
+        &w.s,
+        &cfg,
+        SinkSpec::Count,
+    )
+    .unwrap();
     let json = stats.to_json().to_string();
     assert!(json.contains("\"algorithm\""));
     assert!(json.contains("CSH"));

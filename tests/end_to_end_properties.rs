@@ -42,10 +42,10 @@ fn cpu_algorithms_agree_with_reference() {
         let r = arb_relation(&mut rng, 400);
         let s = arb_relation(&mut rng, 400);
         let threads = 1 + rng.below(4);
-        let cfg = CpuJoinConfig::with_threads(threads);
+        let cfg = JoinConfig::from(CpuJoinConfig::with_threads(threads));
         let (count, checksum) = reference(&r, &s);
         for algo in CpuAlgorithm::ALL {
-            let stats = skewjoin::run_cpu_join(algo, &r, &s, &cfg, SinkSpec::Count).unwrap();
+            let stats = skewjoin::run_join(algo.into(), &r, &s, &cfg, SinkSpec::Count).unwrap();
             assert_eq!(stats.result_count, count, "case {case}: {algo:?} count");
             assert_eq!(stats.checksum, checksum, "case {case}: {algo:?} checksum");
         }
@@ -59,14 +59,14 @@ fn gpu_algorithms_agree_with_reference() {
         let r = arb_relation(&mut rng, 250);
         let s = arb_relation(&mut rng, 250);
         let (count, checksum) = reference(&r, &s);
-        let cfg = GpuJoinConfig {
+        let cfg = JoinConfig::from(GpuJoinConfig {
             spec: DeviceSpec::tiny(1 << 24),
             block_dim: 64,
             table_capacity: Some(64), // exercise sub-lists & splits often
             ..GpuJoinConfig::default()
-        };
+        });
         for algo in GpuAlgorithm::ALL {
-            let stats = skewjoin::run_gpu_join(algo, &r, &s, &cfg, SinkSpec::Count).unwrap();
+            let stats = skewjoin::run_join(algo.into(), &r, &s, &cfg, SinkSpec::Count).unwrap();
             assert_eq!(stats.result_count, count, "case {case}: {algo:?} count");
             assert_eq!(stats.checksum, checksum, "case {case}: {algo:?} checksum");
         }
@@ -105,9 +105,15 @@ fn csh_skew_split_is_exact() {
         let mut rng = Rng::seed_from_u64(0xE2E_0004 + case);
         let r = arb_relation(&mut rng, 300);
         let s = arb_relation(&mut rng, 300);
-        let cfg = CpuJoinConfig::with_threads(2);
-        let stats =
-            skewjoin::run_cpu_join(CpuAlgorithm::Csh, &r, &s, &cfg, SinkSpec::Count).unwrap();
+        let cfg = JoinConfig::from(CpuJoinConfig::with_threads(2));
+        let stats = skewjoin::run_join(
+            Algorithm::Cpu(CpuAlgorithm::Csh),
+            &r,
+            &s,
+            &cfg,
+            SinkSpec::Count,
+        )
+        .unwrap();
         let (count, _) = reference(&r, &s);
         assert_eq!(stats.result_count, count, "case {case}");
         assert!(stats.skew_path_results <= stats.result_count, "case {case}");
@@ -121,16 +127,10 @@ fn volcano_capacity_never_changes_results() {
         let r = arb_relation(&mut rng, 200);
         let s = arb_relation(&mut rng, 200);
         let capacity = 1 + rng.below(511);
-        let cfg = CpuJoinConfig::with_threads(2);
-        let a = skewjoin::run_cpu_join(CpuAlgorithm::Csh, &r, &s, &cfg, SinkSpec::Count).unwrap();
-        let b = skewjoin::run_cpu_join(
-            CpuAlgorithm::Csh,
-            &r,
-            &s,
-            &cfg,
-            SinkSpec::Volcano { capacity },
-        )
-        .unwrap();
+        let cfg = JoinConfig::from(CpuJoinConfig::with_threads(2));
+        let csh = Algorithm::Cpu(CpuAlgorithm::Csh);
+        let a = skewjoin::run_join(csh, &r, &s, &cfg, SinkSpec::Count).unwrap();
+        let b = skewjoin::run_join(csh, &r, &s, &cfg, SinkSpec::Volcano { capacity }).unwrap();
         assert_eq!(a.result_count, b.result_count, "case {case}");
     }
 }

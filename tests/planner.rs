@@ -12,11 +12,11 @@ fn planner_tracks_skew_level() {
     let uniform = PaperWorkload::generate(WorkloadSpec::paper(1 << 14, 0.0, 2));
 
     let p_skew = JoinPlan::plan(&skewed.r, &skewed.s, &opts);
-    assert_eq!(p_skew.cpu_algorithm, Some(CpuAlgorithm::Csh));
+    assert_eq!(p_skew.algorithm, Algorithm::Cpu(CpuAlgorithm::Csh));
     assert!(p_skew.skewed_keys_estimated > 0);
 
     let p_flat = JoinPlan::plan(&uniform.r, &uniform.s, &opts);
-    assert_eq!(p_flat.cpu_algorithm, Some(CpuAlgorithm::Cbase));
+    assert_eq!(p_flat.algorithm, Algorithm::Cpu(CpuAlgorithm::Cbase));
 }
 
 #[test]
@@ -38,7 +38,7 @@ fn gpu_plan_executes_and_matches_cpu_plan() {
         ..GpuJoinConfig::default()
     };
     let gpu_plan = JoinPlan::plan(&w.r, &w.s, &gpu_opts);
-    assert_eq!(gpu_plan.gpu_algorithm, Some(GpuAlgorithm::Gsh));
+    assert_eq!(gpu_plan.algorithm, Algorithm::Gpu(GpuAlgorithm::Gsh));
     let gpu_stats = gpu_plan
         .execute(&w.r, &w.s, &gpu_opts, SinkSpec::Count)
         .unwrap();
@@ -63,10 +63,23 @@ fn planned_csh_beats_planned_cbase_on_heavy_skew() {
     // Not a micro-benchmark — just a sanity check that the planner's choice
     // is directionally right at heavy skew and moderate size.
     let w = PaperWorkload::generate(WorkloadSpec::paper(1 << 16, 1.0, 7));
-    let cfg = CpuJoinConfig::with_threads(4);
-    let csh = skewjoin::run_cpu_join(CpuAlgorithm::Csh, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
-    let cbase =
-        skewjoin::run_cpu_join(CpuAlgorithm::Cbase, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
+    let cfg = JoinConfig::from(CpuJoinConfig::with_threads(4));
+    let csh = skewjoin::run_join(
+        Algorithm::Cpu(CpuAlgorithm::Csh),
+        &w.r,
+        &w.s,
+        &cfg,
+        SinkSpec::Count,
+    )
+    .unwrap();
+    let cbase = skewjoin::run_join(
+        Algorithm::Cpu(CpuAlgorithm::Cbase),
+        &w.r,
+        &w.s,
+        &cfg,
+        SinkSpec::Count,
+    )
+    .unwrap();
     assert_eq!(csh.result_count, cbase.result_count);
     assert!(
         csh.total_time() < cbase.total_time(),

@@ -8,11 +8,23 @@ use skewjoin::prelude::*;
 #[ignore = "minutes of runtime; run explicitly with --ignored"]
 fn cpu_agreement_at_2m_tuples() {
     let w = PaperWorkload::generate(WorkloadSpec::paper(1 << 21, 0.9, 42));
-    let cfg = CpuJoinConfig::sized_for(1 << 21, 2048);
-    let cbase =
-        skewjoin::run_cpu_join(CpuAlgorithm::Cbase, &w.r, &w.s, &cfg, SinkSpec::default()).unwrap();
-    let csh =
-        skewjoin::run_cpu_join(CpuAlgorithm::Csh, &w.r, &w.s, &cfg, SinkSpec::default()).unwrap();
+    let cfg = JoinConfig::from(CpuJoinConfig::sized_for(1 << 21, 2048));
+    let cbase = skewjoin::run_join(
+        Algorithm::Cpu(CpuAlgorithm::Cbase),
+        &w.r,
+        &w.s,
+        &cfg,
+        SinkSpec::default(),
+    )
+    .unwrap();
+    let csh = skewjoin::run_join(
+        Algorithm::Cpu(CpuAlgorithm::Csh),
+        &w.r,
+        &w.s,
+        &cfg,
+        SinkSpec::default(),
+    )
+    .unwrap();
     assert_eq!(cbase.result_count, csh.result_count);
     assert!(
         csh.total_time() < cbase.total_time(),
@@ -22,16 +34,55 @@ fn cpu_agreement_at_2m_tuples() {
     );
 }
 
+/// The work-stealing scheduler must not change results with the worker
+/// count: every CPU algorithm yields the same count and checksum with one
+/// thread (no steals possible) as with eight (steals near-certain on the
+/// skewed task tree). Small enough to run in the default test pass.
+#[test]
+fn scheduler_thread_count_invariance() {
+    for &zipf in &[1.0, 1.25] {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(1 << 14, zipf, 7));
+        for algo in CpuAlgorithm::ALL {
+            let run = |threads: usize| {
+                let cfg = JoinConfig::from(CpuJoinConfig::with_threads(threads));
+                skewjoin::run_join(algo.into(), &w.r, &w.s, &cfg, SinkSpec::Count).unwrap()
+            };
+            let solo = run(1);
+            let wide = run(8);
+            assert_eq!(
+                solo.result_count, wide.result_count,
+                "{algo} zipf={zipf}: count changed with thread count"
+            );
+            assert_eq!(
+                solo.checksum, wide.checksum,
+                "{algo} zipf={zipf}: checksum changed with thread count"
+            );
+        }
+    }
+}
+
 /// 512k-tuple tables on the simulated A100 at zipf 1.0: GSH ≥ 5× Gbase.
 #[test]
 #[ignore = "minutes of runtime; run explicitly with --ignored"]
 fn gpu_speedup_at_512k_tuples() {
     let w = PaperWorkload::generate(WorkloadSpec::paper(1 << 19, 1.0, 42));
-    let cfg = GpuJoinConfig::default();
-    let gbase =
-        skewjoin::run_gpu_join(GpuAlgorithm::Gbase, &w.r, &w.s, &cfg, SinkSpec::default()).unwrap();
-    let gsh =
-        skewjoin::run_gpu_join(GpuAlgorithm::Gsh, &w.r, &w.s, &cfg, SinkSpec::default()).unwrap();
+    let cfg = JoinConfig::from(GpuJoinConfig::default());
+    let gbase = skewjoin::run_join(
+        Algorithm::Gpu(GpuAlgorithm::Gbase),
+        &w.r,
+        &w.s,
+        &cfg,
+        SinkSpec::default(),
+    )
+    .unwrap();
+    let gsh = skewjoin::run_join(
+        Algorithm::Gpu(GpuAlgorithm::Gsh),
+        &w.r,
+        &w.s,
+        &cfg,
+        SinkSpec::default(),
+    )
+    .unwrap();
     assert_eq!(gbase.result_count, gsh.result_count);
     assert!(
         gbase.simulated_cycles > gsh.simulated_cycles * 5,

@@ -23,14 +23,13 @@ fn spec() -> CaseSpec {
 fn run_all() -> Vec<JoinStats> {
     let spec = spec();
     let w = PaperWorkload::generate(WorkloadSpec::paper(spec.size, spec.zipf, spec.seed));
-    let cpu_cfg = cpu_config(spec);
-    let gpu_cfg = gpu_config(spec);
+    let cfg = JoinConfig {
+        cpu: cpu_config(spec),
+        gpu: gpu_config(spec),
+    };
     let mut all = Vec::new();
-    for algo in CpuAlgorithm::ALL {
-        all.push(skewjoin::run_cpu_join(algo, &w.r, &w.s, &cpu_cfg, SinkSpec::Count).unwrap());
-    }
-    for algo in GpuAlgorithm::ALL {
-        all.push(skewjoin::run_gpu_join(algo, &w.r, &w.s, &gpu_cfg, SinkSpec::Count).unwrap());
+    for algo in Algorithm::ALL {
+        all.push(skewjoin::run_join(algo, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap());
     }
     all
 }
@@ -98,9 +97,9 @@ fn traced_results_match_reported_totals() {
 fn gpu_device_cycles_dominate_busiest_block() {
     let spec = spec();
     let w = PaperWorkload::generate(WorkloadSpec::paper(spec.size, spec.zipf, spec.seed));
-    let cfg = gpu_config(spec);
+    let cfg = JoinConfig::from(gpu_config(spec));
     for algo in GpuAlgorithm::ALL {
-        let stats = skewjoin::run_gpu_join(algo, &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
+        let stats = skewjoin::run_join(algo.into(), &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
         let mut gpu_phases = 0;
         for phase in &stats.trace.phases {
             let Some(device) = phase.get(counter::DEVICE_CYCLES) else {
@@ -171,6 +170,48 @@ fn skew_aware_algorithms_report_detected_keys() {
 }
 
 #[test]
+fn scheduler_counters_are_traced_on_cpu_joins() {
+    // Every CPU join runs its partition pass through the write-combining
+    // scatter and its task loop through the scheduler, so the partition (or
+    // probe, for NPJ) phase must carry the new counters. Steal counts are
+    // load-dependent and may legitimately be zero; presence is the contract.
+    for stats in run_all() {
+        let name = stats.algorithm.as_str();
+        let phase_with = |c: &str| {
+            stats
+                .trace
+                .phases
+                .iter()
+                .find(|p| p.get(c).is_some())
+                .map(|p| p.name.clone())
+        };
+        match name {
+            "Cbase" | "CSH" => {
+                assert!(
+                    phase_with(counter::BUFFER_FLUSHES).is_some(),
+                    "{name}: no phase recorded buffer_flushes"
+                );
+                assert!(
+                    phase_with(counter::TASKS_STOLEN).is_some(),
+                    "{name}: no phase recorded tasks_stolen"
+                );
+                assert!(
+                    phase_with(counter::STEAL_FAILURES).is_some(),
+                    "{name}: no phase recorded steal_failures"
+                );
+            }
+            "cbase-npj" => {
+                assert!(
+                    phase_with(counter::TASKS_STOLEN).is_some(),
+                    "{name}: no phase recorded tasks_stolen"
+                );
+            }
+            _ => {} // GPU algorithms do not use the CPU scheduler.
+        }
+    }
+}
+
+#[test]
 fn counters_scale_monotonically_with_input() {
     // Doubling the input must not shrink the partition-phase tuple counters:
     // a cheap monotonicity check that catches dropped windows in the
@@ -182,11 +223,11 @@ fn counters_scale_monotonically_with_input() {
     };
     for s in [small, big] {
         let w = PaperWorkload::generate(WorkloadSpec::paper(s.size, s.zipf, s.seed));
-        let stats = skewjoin::run_cpu_join(
-            CpuAlgorithm::Cbase,
+        let stats = skewjoin::run_join(
+            Algorithm::Cpu(CpuAlgorithm::Cbase),
             &w.r,
             &w.s,
-            &cpu_config(s),
+            &JoinConfig::from(cpu_config(s)),
             SinkSpec::Count,
         )
         .unwrap();
