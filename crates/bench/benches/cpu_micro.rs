@@ -20,7 +20,7 @@ fn bench_partitioning() {
     for bits in [8u32, 12] {
         let cfg = RadixConfig::two_pass(bits);
         bench(&format!("two_pass/{bits}"), 5, || {
-            parallel_radix_partition(black_box(&w.r), &cfg, 4)
+            parallel_radix_partition(black_box(&w.r), &cfg, 4).expect("partition failed")
         });
     }
 }
@@ -70,6 +70,7 @@ fn bench_scatter_modes() {
     ] {
         bench(name, 5, || {
             parallel_radix_partition_with(black_box(w.r.tuples()), &cfg, 4, mode)
+                .expect("partition failed")
         });
     }
 }

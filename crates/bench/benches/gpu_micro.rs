@@ -32,6 +32,7 @@ fn bench_gpu_partition() {
                 style,
                 256,
             )
+            .expect("partition failed")
         });
     }
 }

@@ -10,6 +10,13 @@ use skewjoin_bench::chart::{render_chart, ChartOptions};
 use skewjoin_bench::skewjoin::common::Json;
 use skewjoin_bench::BenchRecord;
 
+/// Prints a clean error and exits — a bad path or a stale record is a user
+/// error, not a bug worth a panic backtrace.
+fn fail(msg: &str) -> ! {
+    eprintln!("plot: {msg}");
+    std::process::exit(1);
+}
+
 fn main() {
     let paths: Vec<String> = std::env::args().skip(1).collect();
     let paths = if paths.is_empty() {
@@ -33,11 +40,12 @@ fn main() {
     };
 
     for path in paths {
-        let data =
-            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-        let json = Json::parse(&data).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
-        let record =
-            BenchRecord::from_json(&json).unwrap_or_else(|| panic!("{path} is not a bench record"));
+        let data = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let json =
+            Json::parse(&data).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+        let record = BenchRecord::from_json(&json)
+            .unwrap_or_else(|| fail(&format!("{path} is not a bench record")));
         println!(
             "== {} ({} tuples CPU / {} GPU) — {path}",
             record.experiment, record.tuples, record.gpu_tuples

@@ -105,7 +105,8 @@ fn bench_partition_only(args: &BenchArgs, record: &mut BenchRecord) {
                     scheduler: v.scheduler,
                 };
                 let start = Instant::now();
-                let (parted, _stats) = parallel_radix_partition_opts(w.r.tuples(), &radix, &opts);
+                let (parted, _stats) = parallel_radix_partition_opts(w.r.tuples(), &radix, &opts)
+                    .expect("partition failed");
                 let elapsed = start.elapsed();
                 assert_eq!(parted.data.len(), w.r.len());
                 best[vi] = best[vi].min(elapsed);

@@ -13,6 +13,20 @@ pub enum JoinError {
     GpuResourceExhausted(String),
     /// An input relation violated a precondition of the chosen algorithm.
     InvalidInput(String),
+    /// A worker thread (or a user-supplied sink it was driving) panicked.
+    /// The scheduler drained instead of deadlocking on its barrier; the
+    /// partial output was discarded.
+    WorkerPanicked {
+        /// Index of the first worker observed panicking.
+        worker: usize,
+        /// Pipeline phase the worker was executing.
+        phase: String,
+    },
+    /// A partition exceeded its modeled memory budget and recursive
+    /// re-partitioning could not shrink it further.
+    PartitionOverflow(String),
+    /// The requested backend failed and no fallback could complete the join.
+    BackendUnavailable(String),
 }
 
 impl fmt::Display for JoinError {
@@ -23,6 +37,11 @@ impl fmt::Display for JoinError {
                 write!(f, "GPU resource exhausted: {msg}")
             }
             JoinError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            JoinError::WorkerPanicked { worker, phase } => {
+                write!(f, "worker {worker} panicked during the {phase} phase")
+            }
+            JoinError::PartitionOverflow(msg) => write!(f, "partition overflow: {msg}"),
+            JoinError::BackendUnavailable(msg) => write!(f, "backend unavailable: {msg}"),
         }
     }
 }
@@ -39,6 +58,19 @@ mod tests {
         assert!(e.to_string().contains("radix bits"));
         let e = JoinError::GpuResourceExhausted("shared memory".into());
         assert!(e.to_string().contains("shared memory"));
+    }
+
+    #[test]
+    fn recovery_variants_display_context() {
+        let e = JoinError::WorkerPanicked {
+            worker: 3,
+            phase: "probe".into(),
+        };
+        assert_eq!(e.to_string(), "worker 3 panicked during the probe phase");
+        let e = JoinError::PartitionOverflow("partition 7: 4096 tuples".into());
+        assert!(e.to_string().contains("partition 7"));
+        let e = JoinError::BackendUnavailable("GPU failed, CPU fallback failed".into());
+        assert!(e.to_string().contains("fallback"));
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A *failpoint* is a named site in the pipeline (`"sched.task.run"`,
+//! `"gpu.memory.alloc"`, …) that normally does nothing. When the
+//! `fault-injection` cargo feature is enabled, a test can *arm* a site with
+//! a deterministic schedule — fire on the Nth hit, or fire with a seeded
+//! per-hit probability — and the site then reports "fire" at exactly the
+//! scheduled hits. Production builds compile every query to a constant
+//! `false`, so the hot paths carry no cost.
+//!
+//! Determinism: a [`Schedule::Probability`] draw uses a splitmix64 stream
+//! seeded from `(global seed, site name)` and the site's own hit counter, so
+//! the same `(seed, schedule, workload)` always fires the same hits — there
+//! is no global RNG shared across sites and no dependence on thread timing.
+//! (Which *thread* observes a firing can still vary with scheduling; the
+//! recovery paths under test must tolerate that, which is the point.)
+//!
+//! Sites either panic (`fire("…")` + an explicit `panic!`) or flip a
+//! fallible operation into its error arm (e.g. a modeled allocator returning
+//! `None`). Both land in the same recovery machinery as organic faults.
+
+/// `true` when the `fault-injection` feature is compiled in.
+pub const ENABLED: bool = cfg!(feature = "fault-injection");
+
+/// When an armed failpoint fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Schedule {
+    /// Fire on exactly the `n`th hit (1-based), once.
+    OnHit(u64),
+    /// Fire independently on every hit with this probability, drawn from a
+    /// stream seeded by `(seed, site, hit index)`.
+    Probability(f64),
+    /// Fire on every hit.
+    Always,
+}
+
+#[cfg(feature = "fault-injection")]
+mod imp {
+    use super::Schedule;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    struct Site {
+        schedule: Schedule,
+        hits: u64,
+    }
+
+    struct Registry {
+        seed: u64,
+        sites: HashMap<String, Site>,
+    }
+
+    fn registry() -> &'static Mutex<Registry> {
+        static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+        REGISTRY.get_or_init(|| {
+            Mutex::new(Registry {
+                seed: 0,
+                sites: HashMap::new(),
+            })
+        })
+    }
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    fn site_hash(name: &str) -> u64 {
+        // FNV-1a, stable across platforms and runs.
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Re-seeds the registry and disarms every site.
+    pub fn reset(seed: u64) {
+        let mut reg = registry().lock().unwrap();
+        reg.seed = seed;
+        reg.sites.clear();
+    }
+
+    /// Arms `site` with `schedule`, resetting its hit counter.
+    pub fn arm(site: &str, schedule: Schedule) {
+        let mut reg = registry().lock().unwrap();
+        reg.sites
+            .insert(site.to_string(), Site { schedule, hits: 0 });
+    }
+
+    /// Disarms `site`.
+    pub fn disarm(site: &str) {
+        registry().lock().unwrap().sites.remove(site);
+    }
+
+    /// Reports whether the armed schedule for `site` fires at this hit.
+    pub fn fire(site: &str) -> bool {
+        let mut reg = registry().lock().unwrap();
+        let seed = reg.seed;
+        let Some(s) = reg.sites.get_mut(site) else {
+            return false;
+        };
+        s.hits += 1;
+        match s.schedule {
+            Schedule::OnHit(n) => s.hits == n,
+            Schedule::Always => true,
+            Schedule::Probability(p) => {
+                let draw =
+                    splitmix64(seed ^ site_hash(site) ^ s.hits.wrapping_mul(0xA076_1D64_78BD_642F));
+                (draw as f64 / u64::MAX as f64) < p
+            }
+        }
+    }
+
+    /// Number of times `site` has been hit since it was armed.
+    pub fn hits(site: &str) -> u64 {
+        registry()
+            .lock()
+            .unwrap()
+            .sites
+            .get(site)
+            .map_or(0, |s| s.hits)
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use imp::{arm, disarm, fire, hits, reset};
+
+/// Re-seeds the registry and disarms every site. No-op without the feature.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn reset(_seed: u64) {}
+
+/// Arms `site` with `schedule`. No-op without the feature.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn arm(_site: &str, _schedule: Schedule) {}
+
+/// Disarms `site`. No-op without the feature.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn disarm(_site: &str) {}
+
+/// Reports whether the armed schedule for `site` fires at this hit.
+/// Always `false` (and free) without the feature.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn fire(_site: &str) -> bool {
+    false
+}
+
+/// Number of times `site` has been hit since it was armed. Always 0 without
+/// the feature.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn hits(_site: &str) -> u64 {
+    0
+}
+
+/// The panic-message prefix injected faults use, so tests can tell an
+/// injected panic from an organic one in captured output.
+pub const PANIC_PREFIX: &str = "fault injected";
+
+/// Panics with a recognizable message if `site` fires. The injected panic is
+/// expected to be absorbed by the nearest recovery boundary (`catch_unwind`
+/// in the scheduler or the kernel dispatch loop).
+#[inline(always)]
+pub fn maybe_panic(site: &str) {
+    if fire(site) {
+        panic!("{PANIC_PREFIX}: {site}");
+    }
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so the enabled-mode tests run in one
+    // test body to avoid cross-test interference.
+    #[test]
+    fn schedules_are_deterministic() {
+        reset(42);
+        arm("t.on_hit", Schedule::OnHit(3));
+        assert!(!fire("t.on_hit"));
+        assert!(!fire("t.on_hit"));
+        assert!(fire("t.on_hit"));
+        assert!(!fire("t.on_hit"), "OnHit fires exactly once");
+        assert_eq!(hits("t.on_hit"), 4);
+
+        assert!(!fire("t.unarmed"), "unarmed sites never fire");
+
+        arm("t.always", Schedule::Always);
+        assert!(fire("t.always") && fire("t.always"));
+
+        // The same seed reproduces the same probability draws.
+        reset(7);
+        arm("t.prob", Schedule::Probability(0.5));
+        let a: Vec<bool> = (0..64).map(|_| fire("t.prob")).collect();
+        reset(7);
+        arm("t.prob", Schedule::Probability(0.5));
+        let b: Vec<bool> = (0..64).map(|_| fire("t.prob")).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x));
+
+        // A different seed gives a different firing pattern.
+        reset(8);
+        arm("t.prob", Schedule::Probability(0.5));
+        let c: Vec<bool> = (0..64).map(|_| fire("t.prob")).collect();
+        assert_ne!(a, c);
+
+        disarm("t.always");
+        assert!(!fire("t.always"));
+        reset(0);
+    }
+}
+
+#[cfg(all(test, not(feature = "fault-injection")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn disabled_failpoints_never_fire() {
+        assert!(!ENABLED);
+        reset(1);
+        arm("x", Schedule::Always);
+        assert!(!fire("x"));
+        assert_eq!(hits("x"), 0);
+        maybe_panic("x");
+    }
+}

@@ -15,6 +15,7 @@
 #![warn(clippy::all)]
 
 pub mod error;
+pub mod faults;
 pub mod hash;
 pub mod histogram;
 pub mod json;

@@ -134,6 +134,10 @@ pub struct Trace {
     pub phases: Vec<PhaseTrace>,
     /// Skewed keys the detector reported, with sample frequencies.
     pub skewed_keys: Vec<SkewedKey>,
+    /// Graceful-degradation decisions taken during execution (GPU→CPU
+    /// fallbacks, re-plans with more radix bits, overflow re-partitions),
+    /// in the order they were made. Empty on a fault-free run.
+    pub degradations: Vec<String>,
 }
 
 impl Trace {
@@ -144,7 +148,14 @@ impl Trace {
 
     /// True when no phase recorded any counter and no key was detected.
     pub fn is_empty(&self) -> bool {
-        self.phases.iter().all(|p| p.counters.is_empty()) && self.skewed_keys.is_empty()
+        self.phases.iter().all(|p| p.counters.is_empty())
+            && self.skewed_keys.is_empty()
+            && self.degradations.is_empty()
+    }
+
+    /// Records a degradation decision (fallback, re-plan, re-partition).
+    pub fn record_degradation(&mut self, decision: impl Into<String>) {
+        self.degradations.push(decision.into());
     }
 
     /// The phase's counters, created on first touch and kept in
@@ -215,6 +226,7 @@ impl Trace {
                 self.skewed_keys.push(*sk);
             }
         }
+        self.degradations.extend(other.degradations.iter().cloned());
     }
 
     /// Serializes the trace to a JSON object.
@@ -256,6 +268,10 @@ impl Trace {
                         .collect(),
                 ),
             ),
+            (
+                "degradations",
+                Json::Arr(self.degradations.iter().map(Json::str).collect()),
+            ),
         ])
     }
 
@@ -275,6 +291,12 @@ impl Trace {
                 sk.get("frequency")?.as_u64()?,
             );
         }
+        // Absent in traces serialized before degradations existed.
+        if let Some(degradations) = json.get("degradations").and_then(Json::as_array) {
+            for d in degradations {
+                trace.record_degradation(d.as_str()?);
+            }
+        }
         Some(trace)
     }
 
@@ -293,6 +315,9 @@ impl Trace {
             for (counter, value) in &phase.counters {
                 out.push_str(&format!("  {counter} = {value}\n"));
             }
+        }
+        for d in &self.degradations {
+            out.push_str(&format!("degraded: {d}\n"));
         }
         if out.is_empty() {
             out.push_str("(empty trace)\n");
@@ -358,6 +383,26 @@ mod tests {
         let text = json.to_string();
         let back = Trace::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn degradations_roundtrip_merge_and_render() {
+        let mut t = Trace::new();
+        t.record_degradation("Gbase→Cbase fallback: shared memory exhausted");
+        assert!(!t.is_empty());
+        let back = Trace::from_json(&Json::parse(&t.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, t);
+        assert!(t.render().contains("degraded: Gbase→Cbase"));
+
+        let mut other = Trace::new();
+        other.record_degradation("retried with 14 radix bits");
+        t.merge(&other);
+        assert_eq!(t.degradations.len(), 2);
+
+        // Traces serialized before the field existed still parse.
+        let legacy = r#"{"phases": [], "skewed_keys": []}"#;
+        let parsed = Trace::from_json(&Json::parse(legacy).unwrap()).unwrap();
+        assert!(parsed.degradations.is_empty());
     }
 
     #[test]

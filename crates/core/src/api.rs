@@ -6,6 +6,7 @@
 //! [`SinkFactory`]. The old per-device `run_cpu_join`/`run_gpu_join` remain
 //! as thin deprecated wrappers.
 
+use skewjoin_common::hash::RadixConfig;
 use skewjoin_common::{
     CountingSink, JoinError, JoinStats, OutputSink, Relation, SinkSpec, VolcanoSink,
 };
@@ -213,6 +214,7 @@ pub fn run_join(
     cfg: &JoinConfig,
     sink: SinkSpec,
 ) -> Result<JoinStats, JoinError> {
+    crate::planner::validate_config(cfg)?;
     validate_sink(sink)?;
     match sink {
         SinkSpec::Count => run_join_with(algorithm, r, s, cfg, CountSinkFactory),
@@ -223,6 +225,13 @@ pub fn run_join(
 }
 
 /// Like [`run_join`], but with caller-supplied per-worker sinks.
+///
+/// GPU algorithms run behind a graceful-degradation ladder: a
+/// [`JoinError::GpuResourceExhausted`] failure first retries with a finer
+/// radix fan-out, then falls back to the matching CPU algorithm
+/// (Gbase→Cbase, GSH→CSH) using `cfg.cpu`. Every rung taken is recorded in
+/// the returned stats' `trace.degradations`; only when the CPU fallback
+/// fails too does the caller see [`JoinError::BackendUnavailable`].
 pub fn run_join_with<F: SinkFactory>(
     algorithm: Algorithm,
     r: &Relation,
@@ -235,9 +244,77 @@ pub fn run_join_with<F: SinkFactory>(
         Algorithm::Cpu(CpuAlgorithm::Cbase) => cbase_join(r, s, &cfg.cpu, make)?.stats,
         Algorithm::Cpu(CpuAlgorithm::CbaseNpj) => npj_join(r, s, &cfg.cpu, make)?.stats,
         Algorithm::Cpu(CpuAlgorithm::Csh) => csh_join(r, s, &cfg.cpu, make)?.stats,
-        Algorithm::Gpu(GpuAlgorithm::Gbase) => gbase_join(r, s, &cfg.gpu, make)?.stats,
-        Algorithm::Gpu(GpuAlgorithm::Gsh) => gsh_join(r, s, &cfg.gpu, make)?.stats,
+        Algorithm::Gpu(gpu_algo) => return run_gpu_degrading(gpu_algo, r, s, cfg, &factory),
     })
+}
+
+/// The GPU degradation ladder behind [`run_join_with`]'s GPU arms.
+fn run_gpu_degrading<F: SinkFactory>(
+    algorithm: GpuAlgorithm,
+    r: &Relation,
+    s: &Relation,
+    cfg: &JoinConfig,
+    factory: &F,
+) -> Result<JoinStats, JoinError> {
+    let run_gpu = |gpu_cfg: &GpuJoinConfig| -> Result<JoinStats, JoinError> {
+        let make = |worker: usize| factory.make_sink(worker);
+        Ok(match algorithm {
+            GpuAlgorithm::Gbase => gbase_join(r, s, gpu_cfg, make)?.stats,
+            GpuAlgorithm::Gsh => gsh_join(r, s, gpu_cfg, make)?.stats,
+        })
+    };
+
+    let mut degradations: Vec<String> = Vec::new();
+    let mut last_gpu_err = match run_gpu(&cfg.gpu) {
+        Ok(stats) => return Ok(stats),
+        Err(e @ JoinError::GpuResourceExhausted(_)) => e,
+        Err(e) => return Err(e),
+    };
+
+    // Rung 1: a finer radix fan-out. Smaller partitions shrink the
+    // per-partition skew/split arrays, which can fit a join that ran out of
+    // room mid-pipeline (it cannot help when the base tables themselves do
+    // not fit, so the rung is skipped once the fan-out is maxed out).
+    let n = r.len().max(s.len()).max(1);
+    let base_bits = cfg.gpu.derived_radix(n).total_bits();
+    let retry_bits = (base_bits + 2).min(16);
+    let mut retry_cfg = cfg.gpu.clone();
+    retry_cfg.radix = Some(RadixConfig::two_pass(retry_bits));
+    if retry_bits > base_bits && retry_cfg.validate().is_ok() {
+        degradations.push(format!(
+            "{algorithm}: retrying with {retry_bits} radix bits after: {last_gpu_err}"
+        ));
+        match run_gpu(&retry_cfg) {
+            Ok(mut stats) => {
+                for d in degradations {
+                    stats.trace.record_degradation(d);
+                }
+                return Ok(stats);
+            }
+            Err(e @ JoinError::GpuResourceExhausted(_)) => last_gpu_err = e,
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Rung 2: CPU fallback with the skew-awareness tier preserved.
+    let make = |worker: usize| factory.make_sink(worker);
+    let (cpu_name, cpu_result) = match algorithm {
+        GpuAlgorithm::Gbase => ("Cbase", cbase_join(r, s, &cfg.cpu, make).map(|o| o.stats)),
+        GpuAlgorithm::Gsh => ("CSH", csh_join(r, s, &cfg.cpu, make).map(|o| o.stats)),
+    };
+    degradations.push(format!("{algorithm}→{cpu_name}: {last_gpu_err}"));
+    match cpu_result {
+        Ok(mut stats) => {
+            for d in degradations {
+                stats.trace.record_degradation(d);
+            }
+            Ok(stats)
+        }
+        Err(cpu_err) => Err(JoinError::BackendUnavailable(format!(
+            "GPU {algorithm} failed ({last_gpu_err}) and the CPU fallback {cpu_name} failed \
+             ({cpu_err})"
+        ))),
+    }
 }
 
 /// Runs a CPU join with per-thread sinks built from `sink`.
@@ -393,6 +470,75 @@ mod tests {
         .unwrap();
         assert_eq!(old.result_count, new.result_count);
         assert_eq!(old.checksum, new.checksum);
+    }
+
+    #[test]
+    fn gpu_oom_degrades_to_cpu_with_recorded_ladder() {
+        // A device too small to even hold the tables: the radix retry cannot
+        // help, so the ladder lands on the CPU fallback — and the result
+        // must still be correct.
+        let w = PaperWorkload::generate(WorkloadSpec::paper(2048, 0.9, 23));
+        let cfg = JoinConfig {
+            cpu: CpuJoinConfig::with_threads(2),
+            gpu: GpuJoinConfig {
+                spec: DeviceSpec::tiny(1 << 10),
+                block_dim: 64,
+                ..GpuJoinConfig::default()
+            },
+        };
+        let reference = run_join(
+            Algorithm::Cpu(CpuAlgorithm::Cbase),
+            &w.r,
+            &w.s,
+            &cfg,
+            SinkSpec::Count,
+        )
+        .unwrap();
+        for (algo, fallback) in [(GpuAlgorithm::Gbase, "Cbase"), (GpuAlgorithm::Gsh, "CSH")] {
+            let stats = run_join(algo.into(), &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
+            assert_eq!(stats.result_count, reference.result_count, "{algo}");
+            assert_eq!(stats.checksum, reference.checksum, "{algo}");
+            let ladder = &stats.trace.degradations;
+            assert!(!ladder.is_empty(), "{algo}: no degradations recorded");
+            assert!(
+                ladder
+                    .last()
+                    .unwrap()
+                    .contains(&format!("{algo}→{fallback}")),
+                "{algo}: ladder {ladder:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_oom_with_broken_cpu_fallback_is_backend_unavailable() {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(512, 0.5, 29));
+        let mut cfg = JoinConfig {
+            cpu: CpuJoinConfig::with_threads(2),
+            gpu: GpuJoinConfig {
+                spec: DeviceSpec::tiny(1 << 10),
+                block_dim: 64,
+                ..GpuJoinConfig::default()
+            },
+        };
+        // Sabotage the CPU fallback so both rungs fail. run_join would
+        // reject this config up front; run_join_with exercises the ladder.
+        cfg.cpu.threads = 0;
+        let err = run_join_with(
+            Algorithm::Gpu(GpuAlgorithm::Gsh),
+            &w.r,
+            &w.s,
+            &cfg,
+            CountSinkFactory,
+        )
+        .unwrap_err();
+        match err {
+            JoinError::BackendUnavailable(msg) => {
+                assert!(msg.contains("GSH"), "{msg}");
+                assert!(msg.contains("CSH"), "{msg}");
+            }
+            other => panic!("expected BackendUnavailable, got {other:?}"),
+        }
     }
 
     #[test]

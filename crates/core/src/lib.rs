@@ -48,7 +48,7 @@ pub use api::{
     run_join, run_join_with, Algorithm, CountSinkFactory, CpuAlgorithm, GpuAlgorithm, JoinConfig,
     SinkFactory, VolcanoSinkFactory,
 };
-pub use planner::{JoinPlan, PlannerOptions, TargetDevice};
+pub use planner::{validate_config, JoinPlan, PlannerOptions, TargetDevice};
 
 // Re-export the component crates under stable names.
 pub use skewjoin_common as common;

@@ -16,6 +16,46 @@ use skewjoin_gpu::GpuJoinConfig;
 
 use crate::api::{run_join, Algorithm, CpuAlgorithm, GpuAlgorithm, JoinConfig};
 
+/// Validates a combined [`JoinConfig`] beyond the per-device checks: the
+/// per-device `validate()` calls plus cross-field consistency that only the
+/// combined view can see. Returns the first violation as a specific
+/// [`JoinError::InvalidConfig`].
+pub fn validate_config(cfg: &JoinConfig) -> Result<(), JoinError> {
+    cfg.cpu.validate()?;
+    cfg.gpu.validate()?;
+
+    // Recursive splitting appends `extra_pass_bits` to the radix shift each
+    // round; if even the *first* split round would shift past the 32-bit key
+    // width, Cbase's skew handling is configured away and every oversized
+    // partition becomes a hard overflow.
+    let total = cfg.cpu.radix.total_bits() + cfg.cpu.extra_pass_bits;
+    if total > 32 {
+        return Err(JoinError::InvalidConfig(format!(
+            "radix bits ({}) plus extra_pass_bits ({}) exceed the 32-bit key width — \
+             recursive splitting could never make progress",
+            cfg.cpu.radix.total_bits(),
+            cfg.cpu.extra_pass_bits
+        )));
+    }
+
+    // Buffered scatter keeps fanout × wc_tuples tuples of write-combining
+    // buffers per worker; past the L2 budget (~16 MB here) the buffers evict
+    // each other and the mode silently degrades below Direct scatter.
+    let fanout = 1usize << cfg.cpu.radix.bits_per_pass.first().copied().unwrap_or(0);
+    let wc_bytes = fanout
+        .saturating_mul(cfg.cpu.wc_tuples)
+        .saturating_mul(std::mem::size_of::<skewjoin_common::Tuple>());
+    if cfg.cpu.scatter == skewjoin_cpu::partition::ScatterMode::Buffered && wc_bytes > (1 << 24) {
+        return Err(JoinError::InvalidConfig(format!(
+            "write-combining buffers need fanout {} × wc_tuples {} × 8 B = {} bytes per \
+             worker, beyond any per-core cache budget (16 MB cap)",
+            fanout, cfg.cpu.wc_tuples, wc_bytes
+        )));
+    }
+
+    Ok(())
+}
+
 /// Which device the plan should target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TargetDevice {
@@ -155,6 +195,48 @@ mod tests {
         let plan = JoinPlan::plan(&w.r, &w.s, &opts);
         assert_eq!(plan.algorithm, Algorithm::Gpu(GpuAlgorithm::Gsh));
         assert!(!plan.algorithm.is_cpu());
+    }
+
+    #[test]
+    fn bad_configs_are_rejected_with_specific_messages() {
+        use skewjoin_common::hash::RadixConfig;
+        use skewjoin_cpu::partition::ScatterMode;
+
+        type Mutation = fn(&mut JoinConfig);
+        // (mutation, expected fragment of the InvalidConfig message)
+        let cases: Vec<(Mutation, &str)> = vec![
+            (|c| c.cpu.threads = 0, "threads must be > 0"),
+            (|c| c.cpu.wc_tuples = 7, "power of two"),
+            (
+                |c| {
+                    c.cpu.radix = RadixConfig::two_pass(24);
+                    c.cpu.extra_pass_bits = 12;
+                },
+                "32-bit key width",
+            ),
+            (
+                |c| {
+                    c.cpu.scatter = ScatterMode::Buffered;
+                    c.cpu.radix = RadixConfig::single_pass(18);
+                    c.cpu.wc_tuples = 64;
+                },
+                "write-combining buffers",
+            ),
+            (|c| c.gpu.block_dim = 33, "block_dim"),
+            (|c| c.gpu.skew.top_k = 0, "top_k"),
+        ];
+        for (i, (mutate, fragment)) in cases.into_iter().enumerate() {
+            let mut cfg = JoinConfig::default();
+            mutate(&mut cfg);
+            match validate_config(&cfg) {
+                Err(JoinError::InvalidConfig(msg)) => assert!(
+                    msg.contains(fragment),
+                    "case {i}: message {msg:?} lacks {fragment:?}"
+                ),
+                other => panic!("case {i}: expected InvalidConfig, got {other:?}"),
+            }
+        }
+        validate_config(&JoinConfig::default()).unwrap();
     }
 
     #[test]

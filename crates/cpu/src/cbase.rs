@@ -20,7 +20,7 @@ use std::time::Instant;
 
 use skewjoin_common::hash::mix32;
 use skewjoin_common::trace::counter;
-use skewjoin_common::{JoinError, JoinStats, OutputSink, Relation, Trace, Tuple};
+use skewjoin_common::{faults, JoinError, JoinStats, OutputSink, Relation, Trace, Tuple};
 
 use crate::config::CpuJoinConfig;
 use crate::hashtable::ChainedTable;
@@ -63,6 +63,14 @@ struct JoinPhase<'a> {
     queue: TaskQueue<JoinTask<'a>>,
     r_split_threshold: usize,
     s_split_threshold: usize,
+    /// Hard cap on a single task's build side. A task over this budget is
+    /// recursively re-partitioned even when heuristic splitting is off
+    /// (CSH's NM-join); if it *cannot* split (single dominant key) the run
+    /// reports [`JoinError::PartitionOverflow`]. The `cpu.partition.overflow`
+    /// failpoint marks a task over-budget to exercise both paths.
+    overflow_budget: usize,
+    /// First unrecoverable overflow, reported after the queue drains.
+    overflow: Mutex<Option<String>>,
     extra_bits: u32,
     max_depth: u32,
     max_bucket_bits: u32,
@@ -122,13 +130,32 @@ impl<'a> JoinPhase<'a> {
         }
         self.counters.tasks_run.fetch_add(1, Ordering::Relaxed);
 
-        let oversized = r.len() > self.r_split_threshold || s.len() > self.s_split_threshold;
+        let over_budget = r.len() > self.overflow_budget || faults::fire("cpu.partition.overflow");
+        let oversized =
+            over_budget || r.len() > self.r_split_threshold || s.len() > self.s_split_threshold;
         let can_split = task.depth < self.max_depth && task.shift + self.extra_bits <= 32;
         if oversized && can_split {
             if let Some(()) = self.try_split(&task, worker, r, s) {
                 self.counters.task_splits.fetch_add(1, Ordering::Relaxed);
                 return;
             }
+        }
+        if over_budget {
+            // Could not re-partition the task under budget (single dominant
+            // key, or depth/bit budget exhausted): record the overflow and
+            // skip the build. The queue keeps draining so the run shuts
+            // down cleanly, and the caller turns this into an error.
+            let mut slot = self.overflow.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(format!(
+                    "join task with {} build tuples exceeds the {}-tuple budget and cannot be split further (depth {}, shift {})",
+                    r.len(),
+                    self.overflow_budget,
+                    task.depth,
+                    task.shift,
+                ));
+            }
+            return;
         }
 
         let table = ChainedTable::build(r, self.max_bucket_bits);
@@ -214,8 +241,8 @@ where
     // ---- Partition phase. ----
     let t0 = Instant::now();
     let opts = cfg.partition_options();
-    let (parted_r, pstats_r) = parallel_radix_partition_opts(r, &cfg.radix, &opts);
-    let (parted_s, pstats_s) = parallel_radix_partition_opts(s, &cfg.radix, &opts);
+    let (parted_r, pstats_r) = parallel_radix_partition_opts(r, &cfg.radix, &opts)?;
+    let (parted_s, pstats_s) = parallel_radix_partition_opts(s, &cfg.radix, &opts)?;
     stats.phases.record("partition", t0.elapsed());
     stats.partitions = parted_r.partitions();
     let mut pstats = pstats_r;
@@ -236,7 +263,7 @@ where
     // ---- Join phase. ----
     let t1 = Instant::now();
     let sinks: Vec<S> = (0..cfg.threads).map(&make_sink).collect();
-    let (sinks, report) = join_partitions(&parted_r, &parted_s, cfg, sinks, true);
+    let (sinks, report) = join_partitions(&parted_r, &parted_s, cfg, sinks, true)?;
     stats.phases.record("join", t1.elapsed());
     report.record(&mut stats.trace, "join");
 
@@ -252,13 +279,18 @@ where
 /// completion on one worker per sink in `sinks` (which are handed back,
 /// updated, in the same order). `allow_split` enables Cbase's large-task
 /// splitting.
+///
+/// Fails with [`JoinError::WorkerPanicked`] if a join worker panics
+/// (organic or via the `sched.*` failpoints) and with
+/// [`JoinError::PartitionOverflow`] if a task exceeds the build budget and
+/// recursive re-partitioning cannot shrink it.
 pub(crate) fn join_partitions<S>(
     parted_r: &PartitionedRelation,
     parted_s: &PartitionedRelation,
     cfg: &CpuJoinConfig,
     sinks: Vec<S>,
     allow_split: bool,
-) -> (Vec<S>, JoinPhaseReport)
+) -> Result<(Vec<S>, JoinPhaseReport), JoinError>
 where
     S: OutputSink,
 {
@@ -279,6 +311,12 @@ where
         } else {
             usize::MAX
         },
+        // Average chain length 64 with every bucket in use — far beyond
+        // anything the paper's workloads build, but a real ceiling for a
+        // degenerate build side; fault injection shrinks it effectively to
+        // zero by marking tasks over-budget directly.
+        overflow_budget: (1usize << cfg.max_bucket_bits).saturating_mul(64),
+        overflow: Mutex::new(None),
         extra_bits: cfg.extra_pass_bits,
         max_depth: 6,
         max_bucket_bits: cfg.max_bucket_bits,
@@ -306,10 +344,21 @@ where
     let slots: Vec<Mutex<S>> = sinks.into_iter().map(Mutex::new).collect();
     let sched = run_to_completion(&phase.queue, slots.len(), |worker| {
         // Each worker owns its slot for the whole run — the lock is taken
-        // exactly once per thread, so there is no contention.
-        let mut sink = slots[worker.index()].lock().unwrap();
+        // exactly once per thread, so there is no contention. A panicking
+        // sink poisons its own slot's mutex, which the scheduler's outer
+        // recovery boundary absorbs along with the panic itself.
+        let mut sink = slots[worker.index()]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         worker.run(|task, w| phase.run_task(task, w, &mut *sink));
-    });
+    })
+    .map_err(|worker| JoinError::WorkerPanicked {
+        worker,
+        phase: if allow_split { "join" } else { "nm_join" }.into(),
+    })?;
+    if let Some(msg) = phase.overflow.lock().unwrap().take() {
+        return Err(JoinError::PartitionOverflow(msg));
+    }
     let report = JoinPhaseReport {
         tasks_run: phase.counters.tasks_run.load(Ordering::Relaxed),
         task_splits: phase.counters.task_splits.load(Ordering::Relaxed),
@@ -318,8 +367,14 @@ where
         max_chain_len: phase.counters.max_chain_len.load(Ordering::Relaxed),
         sched,
     };
-    let sinks = slots.into_iter().map(|m| m.into_inner().unwrap()).collect();
-    (sinks, report)
+    let sinks = slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        })
+        .collect();
+    Ok((sinks, report))
 }
 
 #[cfg(test)]

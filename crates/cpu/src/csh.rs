@@ -20,12 +20,13 @@
 //! `partition_s`, and `nm_join`; Table I's "CSH sample+part" row is the sum
 //! of the first three.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 use skewjoin_common::histogram::{per_worker_offsets, PartitionDirectory};
 use skewjoin_common::trace::counter;
-use skewjoin_common::{JoinError, JoinStats, OutputSink, Relation, Tuple};
+use skewjoin_common::{faults, JoinError, JoinStats, OutputSink, Relation, Tuple};
 
 use crate::cbase::join_partitions;
 use crate::config::CpuJoinConfig;
@@ -94,7 +95,7 @@ where
 
     // ---- Phase 2: partition R, splitting skewed tuples out. ----
     let t1 = Instant::now();
-    let (norm_r, skew_data, skew_dir, pstats_r) = partition_r_with_skew(r, cfg, &checkup);
+    let (norm_r, skew_data, skew_dir, pstats_r) = partition_r_with_skew(r, cfg, &checkup)?;
     stats.phases.record("partition_r", t1.elapsed());
     stats.partitions = norm_r.partitions();
     {
@@ -114,7 +115,7 @@ where
     let t2 = Instant::now();
     let mut sinks: Vec<S> = (0..threads).map(&make_sink).collect();
     let (norm_s, pstats_s) =
-        partition_s_with_skew(s, cfg, &checkup, &skew_data, &skew_dir, &mut sinks);
+        partition_s_with_skew(s, cfg, &checkup, &skew_data, &skew_dir, &mut sinks)?;
     stats.phases.record("partition_s", t2.elapsed());
     stats.skew_path_results = sinks.iter().map(|s| s.count()).sum();
     {
@@ -134,7 +135,7 @@ where
 
     // ---- Phase 4: NM-join over normal partitions. ----
     let t3 = Instant::now();
-    let (sinks, report) = join_partitions(&norm_r, &norm_s, cfg, sinks, false);
+    let (sinks, report) = join_partitions(&norm_r, &norm_s, cfg, sinks, false)?;
     stats.phases.record("nm_join", t3.elapsed());
     report.record(&mut stats.trace, "nm_join");
 
@@ -153,16 +154,22 @@ where
 /// scans consult the checkup table: scan 1 counts normal tuples per radix
 /// partition *and* skewed tuples per skewed key; the prefix sums then give
 /// every thread private cursors into both output buffers.
+///
+/// A panicking scatter worker is absorbed at the scope boundary and
+/// reported as [`JoinError::WorkerPanicked`] with phase `partition_r`.
 fn partition_r_with_skew(
     r: &Relation,
     cfg: &CpuJoinConfig,
     checkup: &SkewCheckupTable,
-) -> (
-    PartitionedRelation,
-    Vec<Tuple>,
-    PartitionDirectory,
-    PartitionStats,
-) {
+) -> Result<
+    (
+        PartitionedRelation,
+        Vec<Tuple>,
+        PartitionDirectory,
+        PartitionStats,
+    ),
+    JoinError,
+> {
     let threads = cfg.threads;
     let radix = &cfg.radix;
     let n_skew = checkup.len();
@@ -203,66 +210,87 @@ fn partition_r_with_skew(
     // range, so write-combining buys nothing there. Normal tuples go
     // through the write combiner when configured.
     let flushes = AtomicU64::new(0);
+    let panicked = AtomicUsize::new(0);
     let mut norm_data = vec![Tuple::default(); total_norm];
     let mut skew_data = vec![Tuple::default(); total_skew];
     {
         let norm_shared = SharedTupleSlice::new(&mut norm_data);
         let skew_shared = SharedTupleSlice::new(&mut skew_data);
         let flushes = &flushes;
+        let panicked = &panicked;
         std::thread::scope(|scope| {
             for (w, (mut ncur, mut scur)) in norm_offsets.into_iter().zip(skew_offsets).enumerate()
             {
                 let chunk = &r[segment(r.len(), threads, w)];
                 scope.spawn(move || {
-                    let mut wc = match cfg.scatter {
-                        ScatterMode::Buffered => {
-                            Some(WriteCombiner::new(radix.fanout(0), cfg.wc_tuples))
-                        }
-                        ScatterMode::Direct => None,
-                    };
-                    for t in chunk {
-                        match checkup.lookup(t.key) {
-                            Some(pid) => {
-                                let c = &mut scur[pid as usize];
-                                // SAFETY: per-(key, thread) cursor ranges are
-                                // disjoint by prefix-sum construction.
-                                unsafe { skew_shared.write(*c, *t) };
-                                *c += 1;
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        faults::maybe_panic("cpu.partition.scatter");
+                        let mut wc = match cfg.scatter {
+                            ScatterMode::Buffered => {
+                                Some(WriteCombiner::new(radix.fanout(0), cfg.wc_tuples))
                             }
-                            None => {
-                                let p = radix.partition_of(t.key, 0);
-                                match &mut wc {
-                                    // SAFETY: staged writes land in the same
-                                    // disjoint per-(partition, thread) cursor
-                                    // ranges as the direct path.
-                                    Some(wc) => unsafe { wc.stage(p, *t, &mut ncur, norm_shared) },
-                                    None => {
-                                        let c = &mut ncur[p];
-                                        // SAFETY: as above.
-                                        unsafe { norm_shared.write(*c, *t) };
-                                        *c += 1;
+                            ScatterMode::Direct => None,
+                        };
+                        for t in chunk {
+                            match checkup.lookup(t.key) {
+                                Some(pid) => {
+                                    let c = &mut scur[pid as usize];
+                                    // SAFETY: per-(key, thread) cursor ranges are
+                                    // disjoint by prefix-sum construction.
+                                    unsafe { skew_shared.write(*c, *t) };
+                                    *c += 1;
+                                }
+                                None => {
+                                    let p = radix.partition_of(t.key, 0);
+                                    match &mut wc {
+                                        // SAFETY: staged writes land in the same
+                                        // disjoint per-(partition, thread) cursor
+                                        // ranges as the direct path.
+                                        Some(wc) => unsafe {
+                                            wc.stage(p, *t, &mut ncur, norm_shared)
+                                        },
+                                        None => {
+                                            let c = &mut ncur[p];
+                                            // SAFETY: as above.
+                                            unsafe { norm_shared.write(*c, *t) };
+                                            *c += 1;
+                                        }
                                     }
                                 }
                             }
                         }
-                    }
-                    if let Some(mut wc) = wc {
-                        // Partial lines must land before the scope joins:
-                        // the refinement pass reads these ranges next.
-                        // SAFETY: as above.
-                        unsafe { wc.flush_all(&mut ncur, norm_shared) };
-                        flushes.fetch_add(wc.flushes(), Ordering::Relaxed);
+                        if let Some(mut wc) = wc {
+                            // Partial lines must land before the scope joins:
+                            // the refinement pass reads these ranges next.
+                            // SAFETY: as above.
+                            unsafe { wc.flush_all(&mut ncur, norm_shared) };
+                            flushes.fetch_add(wc.flushes(), Ordering::Relaxed);
+                        }
+                    }));
+                    if outcome.is_err() {
+                        let _ = panicked.compare_exchange(
+                            0,
+                            w + 1,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
                     }
                 });
             }
         });
     }
+    if let Some(worker) = panicked.load(Ordering::Acquire).checked_sub(1) {
+        return Err(JoinError::WorkerPanicked {
+            worker,
+            phase: "partition_r".into(),
+        });
+    }
 
     // Remaining radix passes over the normal buffer only.
     let (norm_data, norm_dir_starts, sched) =
-        refine_passes(norm_data, norm_starts, radix, threads, 1, cfg.scheduler);
+        refine_passes(norm_data, norm_starts, radix, threads, 1, cfg.scheduler)?;
 
-    (
+    Ok((
         PartitionedRelation {
             data: norm_data,
             directory: PartitionDirectory::new(norm_dir_starts),
@@ -273,11 +301,17 @@ fn partition_r_with_skew(
             buffer_flushes: flushes.into_inner(),
             sched,
         },
-    )
+    ))
 }
 
 /// Partitions S's normal tuples and immediately joins its skewed tuples
 /// against the skewed R arrays.
+///
+/// A panic in a scatter worker — including one thrown by a sink's
+/// `emit_r_run` mid-probe — is absorbed at the scope boundary and reported
+/// as [`JoinError::WorkerPanicked`] with phase `partition_s`; the sinks are
+/// left in whatever partially-fed state the panic found them in, which is
+/// fine because the caller discards them on error.
 fn partition_s_with_skew<S: OutputSink>(
     s: &Relation,
     cfg: &CpuJoinConfig,
@@ -285,7 +319,7 @@ fn partition_s_with_skew<S: OutputSink>(
     skew_data: &[Tuple],
     skew_dir: &PartitionDirectory,
     sinks: &mut [S],
-) -> (PartitionedRelation, PartitionStats) {
+) -> Result<(PartitionedRelation, PartitionStats), JoinError> {
     let threads = cfg.threads;
     let radix = &cfg.radix;
 
@@ -317,56 +351,77 @@ fn partition_s_with_skew<S: OutputSink>(
     // remainder flush before this scope joins, because the refinement pass
     // below reads the normal buffer immediately after.
     let flushes = AtomicU64::new(0);
+    let panicked = AtomicUsize::new(0);
     let mut norm_data = vec![Tuple::default(); total_norm];
     {
         let norm_shared = SharedTupleSlice::new(&mut norm_data);
         let flushes = &flushes;
+        let panicked = &panicked;
         std::thread::scope(|scope| {
             for (w, (mut ncur, sink)) in norm_offsets.into_iter().zip(sinks.iter_mut()).enumerate()
             {
                 let chunk = &s[segment(s.len(), threads, w)];
                 scope.spawn(move || {
-                    let mut wc = match cfg.scatter {
-                        ScatterMode::Buffered => {
-                            Some(WriteCombiner::new(radix.fanout(0), cfg.wc_tuples))
-                        }
-                        ScatterMode::Direct => None,
-                    };
-                    for t in chunk {
-                        match checkup.lookup(t.key) {
-                            Some(pid) => {
-                                let run = &skew_data[skew_dir.range(pid as usize)];
-                                sink.emit_r_run(t.key, run, t.payload);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        faults::maybe_panic("cpu.partition.scatter");
+                        let mut wc = match cfg.scatter {
+                            ScatterMode::Buffered => {
+                                Some(WriteCombiner::new(radix.fanout(0), cfg.wc_tuples))
                             }
-                            None => {
-                                let p = radix.partition_of(t.key, 0);
-                                match &mut wc {
-                                    // SAFETY: staged writes land in the same
-                                    // disjoint cursor ranges as in R.
-                                    Some(wc) => unsafe { wc.stage(p, *t, &mut ncur, norm_shared) },
-                                    None => {
-                                        let c = &mut ncur[p];
-                                        // SAFETY: disjoint cursor ranges, as in R.
-                                        unsafe { norm_shared.write(*c, *t) };
-                                        *c += 1;
+                            ScatterMode::Direct => None,
+                        };
+                        for t in chunk {
+                            match checkup.lookup(t.key) {
+                                Some(pid) => {
+                                    let run = &skew_data[skew_dir.range(pid as usize)];
+                                    sink.emit_r_run(t.key, run, t.payload);
+                                }
+                                None => {
+                                    let p = radix.partition_of(t.key, 0);
+                                    match &mut wc {
+                                        // SAFETY: staged writes land in the same
+                                        // disjoint cursor ranges as in R.
+                                        Some(wc) => unsafe {
+                                            wc.stage(p, *t, &mut ncur, norm_shared)
+                                        },
+                                        None => {
+                                            let c = &mut ncur[p];
+                                            // SAFETY: disjoint cursor ranges, as in R.
+                                            unsafe { norm_shared.write(*c, *t) };
+                                            *c += 1;
+                                        }
                                     }
                                 }
                             }
                         }
-                    }
-                    if let Some(mut wc) = wc {
-                        // SAFETY: as above.
-                        unsafe { wc.flush_all(&mut ncur, norm_shared) };
-                        flushes.fetch_add(wc.flushes(), Ordering::Relaxed);
+                        if let Some(mut wc) = wc {
+                            // SAFETY: as above.
+                            unsafe { wc.flush_all(&mut ncur, norm_shared) };
+                            flushes.fetch_add(wc.flushes(), Ordering::Relaxed);
+                        }
+                    }));
+                    if outcome.is_err() {
+                        let _ = panicked.compare_exchange(
+                            0,
+                            w + 1,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
                     }
                 });
             }
         });
     }
+    if let Some(worker) = panicked.load(Ordering::Acquire).checked_sub(1) {
+        return Err(JoinError::WorkerPanicked {
+            worker,
+            phase: "partition_s".into(),
+        });
+    }
 
     let (norm_data, norm_dir_starts, sched) =
-        refine_passes(norm_data, norm_starts, radix, threads, 1, cfg.scheduler);
-    (
+        refine_passes(norm_data, norm_starts, radix, threads, 1, cfg.scheduler)?;
+    Ok((
         PartitionedRelation {
             data: norm_data,
             directory: PartitionDirectory::new(norm_dir_starts),
@@ -375,7 +430,7 @@ fn partition_s_with_skew<S: OutputSink>(
             buffer_flushes: flushes.into_inner(),
             sched,
         },
-    )
+    ))
 }
 
 #[cfg(test)]

@@ -64,14 +64,26 @@ where
     );
     let slots: Vec<Mutex<S>> = (0..threads).map(&make_sink).map(Mutex::new).collect();
     let sched = run_to_completion(&queue, threads, |worker| {
-        let mut sink = slots[worker.index()].lock().unwrap();
+        let mut sink = slots[worker.index()]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         worker.run(|range: std::ops::Range<usize>, _w| {
             for t in &s[range] {
                 table.probe(t.key, |r_t| sink.emit(t.key, r_t.payload, t.payload));
             }
         });
-    });
-    let sinks: Vec<S> = slots.into_iter().map(|m| m.into_inner().unwrap()).collect();
+    })
+    .map_err(|worker| JoinError::WorkerPanicked {
+        worker,
+        phase: "probe".into(),
+    })?;
+    let sinks: Vec<S> = slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        })
+        .collect();
     stats.phases.record("probe", t1.elapsed());
 
     aggregate_sinks(&mut stats, &sinks);

@@ -12,13 +12,14 @@
 //! second pass: a thread claims a partition, sub-partitions it by the next
 //! run of radix bits into a disjoint output range, and moves on.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use skewjoin_common::hash::RadixConfig;
 use skewjoin_common::histogram::{
     exclusive_prefix_sum, histogram, per_worker_offsets, PartitionDirectory,
 };
-use skewjoin_common::Tuple;
+use skewjoin_common::{faults, JoinError, Tuple};
 
 use crate::task::{run_to_completion, SchedStats, SchedulerKind, TaskQueue};
 use crate::util::{segment, SharedTupleSlice};
@@ -140,7 +141,7 @@ pub fn parallel_radix_partition(
     tuples: &[Tuple],
     cfg: &RadixConfig,
     threads: usize,
-) -> PartitionedRelation {
+) -> Result<PartitionedRelation, JoinError> {
     parallel_radix_partition_with(tuples, cfg, threads, ScatterMode::Direct)
 }
 
@@ -151,13 +152,13 @@ pub fn parallel_radix_partition_with(
     cfg: &RadixConfig,
     threads: usize,
     mode: ScatterMode,
-) -> PartitionedRelation {
+) -> Result<PartitionedRelation, JoinError> {
     let opts = PartitionOptions {
         threads,
         mode,
         ..PartitionOptions::default()
     };
-    parallel_radix_partition_opts(tuples, cfg, &opts).0
+    Ok(parallel_radix_partition_opts(tuples, cfg, &opts)?.0)
 }
 
 /// Partitions `tuples` with all passes of `cfg` under the given
@@ -166,11 +167,16 @@ pub fn parallel_radix_partition_with(
 /// The first pass uses the configured [`ScatterMode`]; later passes always
 /// use direct stores — their working set is one parent partition, already
 /// cache-resident.
+///
+/// A panic inside a scatter or refinement worker (organic or injected via
+/// the `cpu.partition.*` failpoints) is absorbed at the scope boundary and
+/// reported as [`JoinError::WorkerPanicked`]; the partially written output
+/// is discarded, never exposed.
 pub fn parallel_radix_partition_opts(
     tuples: &[Tuple],
     cfg: &RadixConfig,
     opts: &PartitionOptions,
-) -> (PartitionedRelation, PartitionStats) {
+) -> Result<(PartitionedRelation, PartitionStats), JoinError> {
     let threads = opts.threads;
     assert!(threads > 0, "need at least one thread");
     assert!(
@@ -192,6 +198,8 @@ pub fn parallel_radix_partition_opts(
     let (offsets, starts) = per_worker_offsets(&hists);
 
     let flushes = AtomicU64::new(0);
+    // First scatter worker that panicked, stored as `worker + 1` (0 = none).
+    let panicked = AtomicUsize::new(0);
     // The per-worker cursor ranges from `per_worker_offsets` tile `0..n`
     // exactly, and each worker writes its ranges in full — every output
     // slot is written exactly once before anything reads it. The buffered
@@ -208,30 +216,50 @@ pub fn parallel_radix_partition_opts(
             ScatterMode::Buffered => SharedTupleSlice::from_uninit(out.spare_capacity_mut()),
         };
         let flushes = &flushes;
+        let panicked = &panicked;
         std::thread::scope(|scope| {
             for (w, cursors) in offsets.into_iter().enumerate() {
                 let seg = segment(tuples.len(), threads, w);
                 let chunk = &tuples[seg];
-                scope.spawn(move || match opts.mode {
-                    ScatterMode::Direct => scatter_direct(chunk, cfg, cursors, shared),
-                    ScatterMode::Buffered => {
-                        let n = scatter_buffered(chunk, cfg, cursors, shared, opts.wc_tuples);
-                        flushes.fetch_add(n, Ordering::Relaxed);
+                scope.spawn(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| match opts.mode {
+                        ScatterMode::Direct => scatter_direct(chunk, cfg, cursors, shared),
+                        ScatterMode::Buffered => {
+                            let n = scatter_buffered(chunk, cfg, cursors, shared, opts.wc_tuples);
+                            flushes.fetch_add(n, Ordering::Relaxed);
+                        }
+                    }));
+                    if outcome.is_err() {
+                        let _ = panicked.compare_exchange(
+                            0,
+                            w + 1,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
                     }
                 });
             }
         });
     }
+    if let Some(worker) = panicked.load(Ordering::Acquire).checked_sub(1) {
+        // A panicked worker may have left its cursor ranges partially
+        // written, so the output (uninitialised slots and all, in buffered
+        // mode) is dropped here without ever running `set_len`.
+        return Err(JoinError::WorkerPanicked {
+            worker,
+            phase: "partition".into(),
+        });
+    }
     if opts.mode == ScatterMode::Buffered {
         // SAFETY: the scatter scope above wrote all `tuples.len()` slots
         // (cursor ranges tile the output; the scope join synchronises the
-        // writes).
+        // writes), and no worker panicked part-way.
         unsafe { out.set_len(tuples.len()) };
     }
 
-    let (data, dir_starts, sched) = refine_passes(out, starts, cfg, threads, 1, opts.scheduler);
+    let (data, dir_starts, sched) = refine_passes(out, starts, cfg, threads, 1, opts.scheduler)?;
 
-    (
+    Ok((
         PartitionedRelation {
             data,
             directory: PartitionDirectory::new(dir_starts),
@@ -240,7 +268,7 @@ pub fn parallel_radix_partition_opts(
             buffer_flushes: flushes.into_inner(),
             sched,
         },
-    )
+    ))
 }
 
 /// Direct per-tuple scatter for one worker's segment.
@@ -250,6 +278,7 @@ fn scatter_direct(
     mut cursors: Vec<usize>,
     shared: SharedTupleSlice,
 ) {
+    faults::maybe_panic("cpu.partition.scatter");
     for t in chunk {
         let p = cfg.partition_of(t.key, 0);
         // SAFETY: cursors for (p, w) ranges are disjoint by construction of
@@ -269,6 +298,7 @@ fn scatter_buffered(
     shared: SharedTupleSlice,
     wc_tuples: usize,
 ) -> u64 {
+    faults::maybe_panic("cpu.partition.scatter");
     let mut wc = WriteCombiner::new(cursors.len(), wc_tuples);
     for t in chunk {
         let p = cfg.partition_of(t.key, 0);
@@ -355,6 +385,7 @@ impl WriteCombiner {
     /// # Safety
     /// Same contract as [`WriteCombiner::stage`].
     pub(crate) unsafe fn flush_all(&mut self, cursors: &mut [usize], shared: SharedTupleSlice) {
+        faults::maybe_panic("cpu.partition.flush");
         for (p, fill) in self.fill.iter_mut().enumerate() {
             let n = *fill as usize;
             if n == 0 {
@@ -380,7 +411,9 @@ impl WriteCombiner {
 /// buffer: each existing partition (delimited by `dir_starts`) is
 /// independently sub-partitioned, task-queue parallel. Returns the new
 /// buffer, directory starts, and scheduler activity. Used by both `Cbase`'s
-/// pass 2 and `CSH`'s refinement of normal partitions.
+/// pass 2 and `CSH`'s refinement of normal partitions. A panicking
+/// refinement worker poisons the queue and surfaces here as
+/// [`JoinError::WorkerPanicked`].
 pub(crate) fn refine_passes(
     mut data: Vec<Tuple>,
     mut dir_starts: Vec<usize>,
@@ -388,7 +421,7 @@ pub(crate) fn refine_passes(
     threads: usize,
     from_pass: usize,
     scheduler: SchedulerKind,
-) -> (Vec<Tuple>, Vec<usize>, SchedStats) {
+) -> Result<(Vec<Tuple>, Vec<usize>, SchedStats), JoinError> {
     let mut sched = SchedStats::default();
     for pass in from_pass..cfg.bits_per_pass.len() {
         let fanout = cfg.fanout(pass);
@@ -403,36 +436,41 @@ pub(crate) fn refine_passes(
             let data_ref = &data;
             let dir_ref = &dir_starts;
             let queue = TaskQueue::seeded(scheduler, 0..parents);
-            sched.merge(run_to_completion(
-                &queue,
-                threads.min(parents.max(1)),
-                |worker| {
-                    worker.run(|parent: usize, _w| {
-                        let base = dir_ref[parent];
-                        let slice = &data_ref[base..dir_ref[parent + 1]];
-                        let mut hist = histogram(slice, cfg, pass);
-                        exclusive_prefix_sum(&mut hist);
-                        for (j, h) in hist.iter().enumerate() {
-                            // SAFETY: each (parent, j) slot written once.
-                            unsafe { child_ptr.write(parent * fanout + j, base + h) };
-                        }
-                        let mut cursors = hist;
-                        for t in slice {
-                            let p = cfg.partition_of(t.key, pass);
-                            // SAFETY: parents own disjoint [base, end) ranges.
-                            unsafe { shared.write(base + cursors[p], *t) };
-                            cursors[p] += 1;
-                        }
-                    });
-                },
-            ));
+            let run = run_to_completion(&queue, threads.min(parents.max(1)), |worker| {
+                worker.run(|parent: usize, _w| {
+                    let base = dir_ref[parent];
+                    let slice = &data_ref[base..dir_ref[parent + 1]];
+                    let mut hist = histogram(slice, cfg, pass);
+                    exclusive_prefix_sum(&mut hist);
+                    for (j, h) in hist.iter().enumerate() {
+                        // SAFETY: each (parent, j) slot written once.
+                        unsafe { child_ptr.write(parent * fanout + j, base + h) };
+                    }
+                    let mut cursors = hist;
+                    for t in slice {
+                        let p = cfg.partition_of(t.key, pass);
+                        // SAFETY: parents own disjoint [base, end) ranges.
+                        unsafe { shared.write(base + cursors[p], *t) };
+                        cursors[p] += 1;
+                    }
+                });
+            });
+            match run {
+                Ok(stats) => sched.merge(stats),
+                Err(worker) => {
+                    return Err(JoinError::WorkerPanicked {
+                        worker,
+                        phase: "partition".into(),
+                    })
+                }
+            }
         }
 
         *child_starts.last_mut().expect("non-empty") = data.len();
         data = next;
         dir_starts = child_starts;
     }
-    (data, dir_starts, sched)
+    Ok((data, dir_starts, sched))
 }
 
 /// Sequentially partitions a slice by an arbitrary key→partition function —
@@ -496,7 +534,7 @@ mod tests {
     use skewjoin_common::Relation;
 
     fn check_partitioning(tuples: &[Tuple], cfg: &RadixConfig, threads: usize) {
-        let parted = parallel_radix_partition(tuples, cfg, threads);
+        let parted = parallel_radix_partition(tuples, cfg, threads).expect("partition failed");
         // Same multiset.
         assert_eq!(parted.data.len(), tuples.len());
         let mut orig: Vec<Tuple> = tuples.to_vec();
@@ -560,8 +598,8 @@ mod tests {
     fn single_thread_matches_parallel() {
         let r = test_relation(2000);
         let cfg = RadixConfig::two_pass(6);
-        let a = parallel_radix_partition(&r, &cfg, 1);
-        let b = parallel_radix_partition(&r, &cfg, 8);
+        let a = parallel_radix_partition(&r, &cfg, 1).expect("partition failed");
+        let b = parallel_radix_partition(&r, &cfg, 8).expect("partition failed");
         assert_eq!(a.directory.starts(), b.directory.starts());
         // Partition contents may be ordered differently across thread counts
         // within a partition; compare as multisets per partition.
@@ -579,8 +617,10 @@ mod tests {
         let r = test_relation(7777);
         for bits in [4u32, 8] {
             let cfg = RadixConfig::two_pass(bits);
-            let direct = parallel_radix_partition_with(&r, &cfg, 3, ScatterMode::Direct);
-            let buffered = parallel_radix_partition_with(&r, &cfg, 3, ScatterMode::Buffered);
+            let direct =
+                parallel_radix_partition_with(&r, &cfg, 3, ScatterMode::Direct).expect("direct");
+            let buffered = parallel_radix_partition_with(&r, &cfg, 3, ScatterMode::Buffered)
+                .expect("buffered");
             assert_eq!(direct.directory.starts(), buffered.directory.starts());
             for pid in 0..direct.partitions() {
                 let mut a = direct.partition(pid).to_vec();
@@ -598,7 +638,8 @@ mod tests {
         for n in [1usize, 7, 9, 63, 65] {
             let r = test_relation(n);
             let cfg = RadixConfig::single_pass(3);
-            let parted = parallel_radix_partition_with(&r, &cfg, 2, ScatterMode::Buffered);
+            let parted = parallel_radix_partition_with(&r, &cfg, 2, ScatterMode::Buffered)
+                .expect("buffered");
             assert_eq!(parted.data.len(), n);
             let mut got = parted.data.clone();
             let mut orig = r.tuples().to_vec();
@@ -612,7 +653,7 @@ mod tests {
     fn wc_line_sizes_all_agree() {
         let r = test_relation(4321);
         let cfg = RadixConfig::two_pass(6);
-        let direct = parallel_radix_partition(&r, &cfg, 2);
+        let direct = parallel_radix_partition(&r, &cfg, 2).expect("direct");
         for line in [1usize, 2, 16, 64] {
             let opts = PartitionOptions {
                 threads: 2,
@@ -620,7 +661,7 @@ mod tests {
                 wc_tuples: line,
                 ..PartitionOptions::default()
             };
-            let (parted, stats) = parallel_radix_partition_opts(&r, &cfg, &opts);
+            let (parted, stats) = parallel_radix_partition_opts(&r, &cfg, &opts).expect("opts");
             assert_eq!(direct.directory.starts(), parted.directory.starts());
             for pid in 0..direct.partitions() {
                 let mut a = direct.partition(pid).to_vec();
@@ -645,14 +686,14 @@ mod tests {
             mode: ScatterMode::Buffered,
             ..PartitionOptions::default()
         };
-        let (_, stats) = parallel_radix_partition_opts(&r, &cfg, &opts);
+        let (_, stats) = parallel_radix_partition_opts(&r, &cfg, &opts).expect("opts");
         assert!(stats.buffer_flushes > 0);
         // Direct mode never flushes.
         let direct = PartitionOptions {
             mode: ScatterMode::Direct,
             ..opts
         };
-        let (_, stats) = parallel_radix_partition_opts(&r, &cfg, &direct);
+        let (_, stats) = parallel_radix_partition_opts(&r, &cfg, &direct).expect("opts");
         assert_eq!(stats.buffer_flushes, 0);
     }
 
@@ -669,8 +710,8 @@ mod tests {
             scheduler: SchedulerKind::Mutex,
             ..ws
         };
-        let (a, _) = parallel_radix_partition_opts(&r, &cfg, &ws);
-        let (b, _) = parallel_radix_partition_opts(&r, &cfg, &mx);
+        let (a, _) = parallel_radix_partition_opts(&r, &cfg, &ws).expect("ws");
+        let (b, _) = parallel_radix_partition_opts(&r, &cfg, &mx).expect("mx");
         assert_eq!(a.directory.starts(), b.directory.starts());
         assert_eq!(a.data, b.data); // refinement writes are deterministic
     }
@@ -680,7 +721,7 @@ mod tests {
         // All tuples share one key → exactly one non-empty partition.
         let tuples: Vec<Tuple> = (0..500).map(|i| Tuple::new(7, i)).collect();
         let cfg = RadixConfig::two_pass(8);
-        let parted = parallel_radix_partition(&tuples, &cfg, 4);
+        let parted = parallel_radix_partition(&tuples, &cfg, 4).expect("partition failed");
         let non_empty = (0..parted.partitions())
             .filter(|&p| !parted.partition(p).is_empty())
             .count();

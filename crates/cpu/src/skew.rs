@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use skewjoin_common::hash::{mix32, mix64};
-use skewjoin_common::{Key, Tuple};
+use skewjoin_common::{faults, Key, Tuple};
 
 use crate::config::SkewDetectConfig;
 
@@ -51,6 +51,12 @@ pub fn detect_skewed_keys(tuples: &[Tuple], cfg: &SkewDetectConfig) -> Vec<Skewe
         .collect();
     // Hottest first; tie-break on key for determinism.
     skewed.sort_unstable_by(|a, b| b.sample_freq.cmp(&a.sample_freq).then(a.key.cmp(&b.key)));
+    // Chaos hook: a mis-detection fault drops the hottest key, forcing the
+    // undetected-heavy-key path — the NM-join must still produce correct
+    // results for the key CSH failed to special-case, just slower.
+    if !skewed.is_empty() && faults::fire("cpu.skew.detect") {
+        skewed.remove(0);
+    }
     skewed
 }
 

@@ -24,12 +24,29 @@
 //! Both schedulers share the same termination detection: workers exit when
 //! every queue is empty *and* no task is in flight (an in-flight task may
 //! spawn more).
+//!
+//! ## Panic recovery
+//!
+//! A panicking task handler (or user sink) must not deadlock the pool:
+//! `pending` is only decremented after a handler returns, so a worker that
+//! unwound mid-task would leave every other worker spinning on `pending >
+//! 0` forever. [`Worker::run`] therefore wraps each handler call in
+//! `catch_unwind`; on a panic it still retires the task, *poisons* the
+//! queue with its worker index, and exits. Every worker checks the poison
+//! flag in its loop and drains out promptly, and [`run_to_completion`]
+//! additionally catches panics escaping `worker_main` itself (e.g. from a
+//! steal loop or a sink lock), so the scope join never re-propagates and
+//! the caller gets `Err(first panicking worker)` to convert into
+//! [`skewjoin_common::JoinError::WorkerPanicked`].
 
 use std::cell::{Cell, UnsafeCell};
 use std::collections::VecDeque;
 use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use skewjoin_common::faults;
 
 /// Which scheduler drives a [`TaskQueue`]'s workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -85,6 +102,10 @@ pub struct TaskQueue<T> {
     /// each other beyond that publication edge, so `SeqCst` (the original
     /// mutex queue used it throughout) is unnecessary.
     pending: AtomicUsize,
+    /// 0 = healthy; `worker index + 1` of the first worker that panicked.
+    /// Once set, workers stop taking tasks and drain out (tasks left in the
+    /// queues are dropped, not run).
+    poisoned: AtomicUsize,
     counters: SchedCounters,
 }
 
@@ -101,6 +122,7 @@ impl<T> TaskQueue<T> {
             kind,
             injector: Mutex::new(VecDeque::new()),
             pending: AtomicUsize::new(0),
+            poisoned: AtomicUsize::new(0),
             counters: SchedCounters::default(),
         }
     }
@@ -135,6 +157,21 @@ impl<T> TaskQueue<T> {
     /// Number of tasks queued or in flight.
     pub fn pending(&self) -> usize {
         self.pending.load(Ordering::Acquire)
+    }
+
+    /// Index of the first worker that panicked, if any.
+    pub fn poisoned(&self) -> Option<usize> {
+        match self.poisoned.load(Ordering::Acquire) {
+            0 => None,
+            w => Some(w - 1),
+        }
+    }
+
+    /// Records `worker` as the first panicker (first writer wins).
+    fn poison(&self, worker: usize) {
+        let _ = self
+            .poisoned
+            .compare_exchange(0, worker + 1, Ordering::AcqRel, Ordering::Acquire);
     }
 
     /// Scheduler activity recorded so far (stable once all workers joined).
@@ -177,17 +214,29 @@ impl<'a, T: Send> Worker<'a, T> {
     }
 
     /// Runs `handler` on tasks until the scheduler drains: every queue
-    /// empty and all in-flight tasks (which may spawn successors) complete.
+    /// empty and all in-flight tasks (which may spawn successors) complete,
+    /// or a worker panics and the queue is poisoned (remaining tasks are
+    /// abandoned; they are dropped when the queue drops).
     pub fn run<F: FnMut(T, &Self)>(&self, mut handler: F) {
         let mut idle_spins: u32 = 0;
         loop {
+            if self.queue.poisoned.load(Ordering::Acquire) != 0 {
+                return;
+            }
             match self.next_task() {
                 Some(task) => {
                     idle_spins = 0;
-                    handler(task, self);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        faults::maybe_panic("sched.task.run");
+                        handler(task, self)
+                    }));
                     // Decrement *after* running: an in-flight task keeps
                     // other workers alive because it may spawn successors.
                     self.queue.pending.fetch_sub(1, Ordering::Release);
+                    if outcome.is_err() {
+                        self.queue.poison(self.index);
+                        return;
+                    }
                 }
                 None => {
                     if self.queue.pending.load(Ordering::Acquire) == 0 {
@@ -259,6 +308,10 @@ impl<'a, T: Send> Worker<'a, T> {
                             .counters
                             .tasks_stolen
                             .fetch_add(1, Ordering::Relaxed);
+                        // Failpoint: die holding a freshly stolen task —
+                        // `pending` is never decremented for it, so only
+                        // the poison flag saves the other workers.
+                        faults::maybe_panic("sched.steal");
                         return Some(t);
                     }
                     Steal::Empty => break,
@@ -288,8 +341,15 @@ impl<'a, T: Send> Worker<'a, T> {
 ///
 /// `worker_main` is called once per thread *on that thread* with its
 /// [`Worker`] handle; it sets up per-thread state (e.g. locks its output
-/// sink) and calls [`Worker::run`]. Returns the run's scheduler activity.
-pub fn run_to_completion<T, F>(queue: &TaskQueue<T>, threads: usize, worker_main: F) -> SchedStats
+/// sink) and calls [`Worker::run`]. Returns the run's scheduler activity,
+/// or `Err(worker index)` of the first worker that panicked — in that case
+/// the pool drained without running the remaining tasks and the partial
+/// output must be discarded by the caller.
+pub fn run_to_completion<T, F>(
+    queue: &TaskQueue<T>,
+    threads: usize,
+    worker_main: F,
+) -> Result<SchedStats, usize>
 where
     T: Send,
     F: Fn(Worker<'_, T>) + Sync,
@@ -304,16 +364,27 @@ where
             let deques = &deques;
             let worker_main = &worker_main;
             scope.spawn(move || {
-                worker_main(Worker {
-                    queue,
-                    deques,
-                    index: tid,
-                    rng: Cell::new(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(tid as u64 + 1) | 1),
-                });
+                // `Worker::run` already catches handler panics; this outer
+                // catch covers panics elsewhere in `worker_main` (sink
+                // setup, steal loops) so the scope join cannot re-panic.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    worker_main(Worker {
+                        queue,
+                        deques,
+                        index: tid,
+                        rng: Cell::new(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(tid as u64 + 1) | 1),
+                    });
+                }));
+                if outcome.is_err() {
+                    queue.poison(tid);
+                }
             });
         }
     });
-    queue.stats()
+    match queue.poisoned() {
+        Some(worker) => Err(worker),
+        None => Ok(queue.stats()),
+    }
 }
 
 /// A thief's view of one steal attempt.
@@ -529,7 +600,8 @@ mod tests {
                 worker.run(|t: u64, _w| {
                     sum.fetch_add(t, Ordering::Relaxed);
                 });
-            });
+            })
+            .unwrap();
             assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2, "{kind:?}");
             assert_eq!(q.pending(), 0);
         }
@@ -549,7 +621,8 @@ mod tests {
                         w.spawn(t - 1);
                     }
                 });
-            });
+            })
+            .unwrap();
             assert_eq!(count.load(Ordering::Relaxed), 11, "{kind:?}");
         }
     }
@@ -561,7 +634,8 @@ mod tests {
             let seen = Mutex::new(Vec::new());
             run_to_completion(&q, 1, |worker| {
                 worker.run(|t: i32, _w| seen.lock().unwrap().push(t));
-            });
+            })
+            .unwrap();
             let mut seen = seen.into_inner().unwrap();
             seen.sort_unstable();
             assert_eq!(seen, vec![1, 2, 3], "{kind:?}");
@@ -572,7 +646,7 @@ mod tests {
     fn empty_queue_returns_immediately() {
         for kind in BOTH {
             let q: TaskQueue<u32> = TaskQueue::new(kind);
-            run_to_completion(&q, 2, |worker| worker.run(|_t: u32, _w| unreachable!()));
+            run_to_completion(&q, 2, |worker| worker.run(|_t: u32, _w| unreachable!())).unwrap();
         }
     }
 
@@ -593,7 +667,8 @@ mod tests {
                     w.spawn(d + 1);
                 }
             });
-        });
+        })
+        .unwrap();
         assert_eq!(count.load(Ordering::Relaxed), (1 << (depth + 1)) - 1);
         assert_eq!(q.pending(), 0);
         // Steal accounting is returned (value is scheduling-dependent).
@@ -625,7 +700,8 @@ mod tests {
                     done.fetch_add(1, Ordering::Release);
                 }
             });
-        });
+        })
+        .unwrap();
         assert_eq!(done.load(Ordering::Acquire), CHILDREN);
         assert!(
             stats.tasks_stolen >= CHILDREN as u64,
@@ -654,7 +730,8 @@ mod tests {
                     }
                 }
             });
-        });
+        })
+        .unwrap();
         assert_eq!(ran.load(Ordering::Relaxed), total + 1);
     }
 
@@ -669,9 +746,123 @@ mod tests {
             for _ in 0..100 {
                 q.push(Arc::clone(&marker));
             }
-            run_to_completion(&q, 3, |worker| worker.run(|_t, _w| {}));
+            run_to_completion(&q, 3, |worker| worker.run(|_t, _w| {})).unwrap();
         }
         assert_eq!(Arc::strong_count(&marker), 1);
+    }
+
+    /// Runs `f` on a fresh thread and panics if it does not finish within
+    /// `secs` — converts a scheduler hang into a test failure instead of a
+    /// CI timeout.
+    fn with_deadline<R: Send + 'static>(secs: u64, f: impl FnOnce() -> R + Send + 'static) -> R {
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = tx.send(f());
+        });
+        rx.recv_timeout(std::time::Duration::from_secs(secs))
+            .expect("scheduler hung: deadline expired")
+    }
+
+    #[test]
+    fn panicking_task_poisons_instead_of_hanging() {
+        for kind in BOTH {
+            let err = with_deadline(20, move || {
+                let q = TaskQueue::seeded(kind, 0..1000u32);
+                run_to_completion(&q, 4, |worker| {
+                    worker.run(|t: u32, _w| {
+                        if t == 500 {
+                            panic!("boom");
+                        }
+                    });
+                })
+            });
+            assert!(err.is_err(), "{kind:?}: panic must surface, not hang");
+        }
+    }
+
+    #[test]
+    fn panic_on_last_task_before_barrier_is_reported() {
+        // The final task panicking is the nastiest shutdown edge: every
+        // other worker is already spinning on `pending > 0` waiting for it.
+        for kind in BOTH {
+            let err = with_deadline(20, move || {
+                let q = TaskQueue::seeded(kind, 0..64u32);
+                let ran = AtomicUsize::new(0);
+                run_to_completion(&q, 4, |worker| {
+                    worker.run(|_t: u32, _w| {
+                        if ran.fetch_add(1, Ordering::AcqRel) + 1 == 64 {
+                            panic!("last task dies");
+                        }
+                        // Slow tasks keep all workers busy until the end.
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    });
+                })
+            });
+            assert!(err.is_err(), "{kind:?}: last-task panic must surface");
+        }
+    }
+
+    #[test]
+    fn panic_during_stolen_task_is_reported() {
+        // Worker 0 runs the seed task, spawns children into its own deque,
+        // and stalls; the only way another worker gets a child is stealing.
+        // Any worker but 0 panics on sight, so the panic (if the steal
+        // happens — it does, worker 0 stalls until one is taken) runs on a
+        // stolen task.
+        let outcome = with_deadline(20, || {
+            let q = TaskQueue::new(SchedulerKind::WorkStealing);
+            q.push(usize::MAX);
+            let taken = AtomicUsize::new(0);
+            let res = run_to_completion(&q, 4, |worker| {
+                worker.run(|t: usize, w| {
+                    if t == usize::MAX {
+                        for c in 0..64 {
+                            w.spawn(c);
+                        }
+                        // Hold the parent task open until a child is stolen
+                        // (bounded: give up after ~2 s to avoid a hang if
+                        // every child somehow ran locally).
+                        for _ in 0..20_000 {
+                            if taken.load(Ordering::Acquire) > 0 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    } else if w.index() != 0 {
+                        taken.fetch_add(1, Ordering::Release);
+                        panic!("stolen task dies");
+                    }
+                });
+            });
+            (res, taken.load(Ordering::Acquire))
+        });
+        let (res, stolen) = outcome;
+        assert!(stolen > 0, "no child was ever stolen");
+        let worker = res.expect_err("stolen-task panic must surface");
+        assert_ne!(worker, 0, "the panicking worker was a thief");
+    }
+
+    #[test]
+    fn poisoned_queue_drops_abandoned_tasks() {
+        // Tasks left in deques/injector after a panic must still be freed.
+        use std::sync::Arc;
+        let marker = Arc::new(());
+        let m = Arc::clone(&marker);
+        let res = with_deadline(20, move || {
+            let q = TaskQueue::seeded(
+                SchedulerKind::WorkStealing,
+                (0..256).map(|i| (i, Arc::clone(&m))),
+            );
+            run_to_completion(&q, 2, |worker| {
+                worker.run(|(i, _guard): (usize, Arc<()>), _w| {
+                    if i == 3 {
+                        panic!("early death leaves a backlog");
+                    }
+                });
+            })
+        });
+        assert!(res.is_err());
+        assert_eq!(Arc::strong_count(&marker), 1, "abandoned tasks leaked");
     }
 
     #[test]

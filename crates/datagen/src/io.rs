@@ -57,7 +57,12 @@ pub fn to_bytes(relation: &Relation) -> Vec<u8> {
 }
 
 fn read_u32_le(data: &[u8], offset: usize) -> u32 {
-    u32::from_le_bytes(data[offset..offset + 4].try_into().expect("4 bytes"))
+    u32::from_le_bytes([
+        data[offset],
+        data[offset + 1],
+        data[offset + 2],
+        data[offset + 3],
+    ])
 }
 
 /// Deserializes a relation from the binary format.
@@ -65,8 +70,8 @@ pub fn from_bytes(data: &[u8]) -> Result<Relation, IoError> {
     if data.len() < 16 {
         return Err(IoError::Format("truncated header".into()));
     }
-    let magic: [u8; 4] = data[0..4].try_into().expect("4 bytes");
-    if &magic != MAGIC {
+    let magic = &data[0..4];
+    if magic != MAGIC {
         return Err(IoError::Format(format!(
             "bad magic {magic:?}, expected {MAGIC:?}"
         )));
@@ -77,12 +82,15 @@ pub fn from_bytes(data: &[u8]) -> Result<Relation, IoError> {
             "unsupported version {version} (this build reads {VERSION})"
         )));
     }
-    let count = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes")) as usize;
+    let count = (read_u32_le(data, 8) as u64 | ((read_u32_le(data, 12) as u64) << 32)) as usize;
     let body = &data[16..];
-    if body.len() != count * 8 {
+    // A hostile header can claim a count whose byte size overflows usize.
+    let expected_bytes = count
+        .checked_mul(8)
+        .ok_or_else(|| IoError::Format(format!("implausible tuple count {count}")))?;
+    if body.len() != expected_bytes {
         return Err(IoError::Format(format!(
-            "expected {} tuple bytes, found {}",
-            count * 8,
+            "expected {expected_bytes} tuple bytes, found {}",
             body.len()
         )));
     }

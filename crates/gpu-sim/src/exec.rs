@@ -11,7 +11,10 @@
 //! scheduler — so stragglers (the skew pathology) dominate exactly as on
 //! real hardware.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
+
+use skewjoin_common::{faults, JoinError};
 
 use crate::memory::{BufferId, GlobalMemory};
 use crate::metrics::Metrics;
@@ -44,7 +47,7 @@ use crate::spec::DeviceSpec;
 ///
 /// let mut dev = Device::new(DeviceSpec::a100());
 /// let buf = dev.memory.alloc(256, 8).unwrap();
-/// let stats = dev.launch("add_one", 4, 64, &mut AddOne { buf });
+/// let stats = dev.launch("add_one", 4, 64, &mut AddOne { buf }).unwrap();
 /// assert_eq!(dev.memory.host_read(buf, 255), 1);
 /// assert!(stats.device_cycles > 0);
 /// ```
@@ -203,7 +206,13 @@ impl<'a> BlockCtx<'a> {
     pub fn try_shared_alloc(&mut self, len: usize, elem_bytes: usize) -> Option<SharedId> {
         assert!(elem_bytes == 4 || elem_bytes == 8);
         let bytes = len * elem_bytes;
-        if self.shared_used + bytes > self.spec.shared_mem_per_block {
+        // Chaos hook: a firing `gpu.shared_alloc` failpoint models shared
+        // memory exhaustion; `shared_alloc` callers then panic with the
+        // standard exhaustion message, which `Device::launch` converts to
+        // `JoinError::GpuResourceExhausted`.
+        if self.shared_used + bytes > self.spec.shared_mem_per_block
+            || faults::fire("gpu.shared_alloc")
+        {
             return None;
         }
         self.shared_used += bytes;
@@ -455,18 +464,49 @@ impl Device {
     /// Launches `kernel` over `grid_blocks` blocks of `block_dim` threads.
     /// Blocks run sequentially (host) in block order; each is dispatched to
     /// the least-loaded SM for the timing model.
+    ///
+    /// Invalid launch configurations (zero or over-capacity `block_dim`,
+    /// ragged warps, a grid whose thread count overflows) are reported as
+    /// [`JoinError::InvalidConfig`] instead of panicking. A kernel block
+    /// that exhausts shared memory surfaces as
+    /// [`JoinError::GpuResourceExhausted`]; any other panic inside a block
+    /// (including injected faults) becomes [`JoinError::WorkerPanicked`]
+    /// with the block index as the worker. Either way the device stays
+    /// usable — the failed launch charges no cycles and is not logged.
     pub fn launch(
         &mut self,
         name: &str,
         grid_blocks: usize,
         block_dim: usize,
         kernel: &mut dyn Kernel,
-    ) -> LaunchStats {
-        assert!(block_dim > 0 && block_dim <= self.spec.max_threads_per_block);
-        assert!(
-            block_dim % self.spec.warp_size == 0,
-            "block_dim must be a multiple of the warp size"
-        );
+    ) -> Result<LaunchStats, JoinError> {
+        if block_dim == 0 {
+            return Err(JoinError::InvalidConfig(format!(
+                "kernel {name}: block_dim must be positive"
+            )));
+        }
+        if block_dim > self.spec.max_threads_per_block {
+            return Err(JoinError::InvalidConfig(format!(
+                "kernel {name}: block_dim {block_dim} exceeds the device limit of {} threads per block",
+                self.spec.max_threads_per_block
+            )));
+        }
+        if block_dim % self.spec.warp_size != 0 {
+            return Err(JoinError::InvalidConfig(format!(
+                "kernel {name}: block_dim {block_dim} must be a multiple of the warp size ({})",
+                self.spec.warp_size
+            )));
+        }
+        if grid_blocks.checked_mul(block_dim).is_none() {
+            return Err(JoinError::InvalidConfig(format!(
+                "kernel {name}: grid of {grid_blocks} blocks × {block_dim} threads overflows"
+            )));
+        }
+        if faults::fire("gpu.launch") {
+            return Err(JoinError::GpuResourceExhausted(format!(
+                "kernel {name}: injected launch failure"
+            )));
+        }
 
         let mut sm_loads = vec![0u64; self.spec.num_sms];
         let mut agg = Metrics::default();
@@ -489,7 +529,28 @@ impl Device {
                 shared: Vec::new(),
                 shared_used: 0,
             };
-            kernel.block(&mut ctx);
+            // The memory arena only mutates through costed ctx operations
+            // that keep it consistent at every step, so observing it after
+            // an aborted block is safe (results may be partial; the caller
+            // discards them on error).
+            let outcome = catch_unwind(AssertUnwindSafe(|| kernel.block(&mut ctx)));
+            if let Err(payload) = outcome {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("opaque panic payload");
+                return Err(if msg.contains("shared memory exhausted") {
+                    JoinError::GpuResourceExhausted(format!(
+                        "kernel {name}, block {block_idx}: {msg}"
+                    ))
+                } else {
+                    JoinError::WorkerPanicked {
+                        worker: block_idx,
+                        phase: name.to_string(),
+                    }
+                });
+            }
             let block_cycles = ctx.metrics.total_cycles();
             sm_loads[sm_slot] += block_cycles;
             max_block_cycles = max_block_cycles.max(block_cycles);
@@ -507,7 +568,7 @@ impl Device {
             metrics: agg,
         };
         self.launch_log.push(stats.clone());
-        stats
+        Ok(stats)
     }
 
     /// Total simulated cycles across all launches so far.
@@ -635,7 +696,7 @@ mod tests {
         dev.memory.host_upload(buf, 0, &init);
 
         let mut k = DoubleKernel { buf, n: 1000 };
-        let stats = dev.launch("double", 4, 256, &mut k);
+        let stats = dev.launch("double", 4, 256, &mut k).unwrap();
         assert_eq!(stats.grid_blocks, 4);
         assert!(stats.device_cycles > 0);
         assert!(stats.metrics.transactions > 0);
@@ -659,7 +720,9 @@ mod tests {
     fn device_time_is_dominated_by_straggler_block() {
         let mut dev = Device::new(DeviceSpec::tiny(1 << 20));
         // 8 blocks on 4 SMs; block 0 costs 100 000 ALU cycles.
-        let stats = dev.launch("imbalanced", 8, 32, &mut ImbalancedKernel);
+        let stats = dev
+            .launch("imbalanced", 8, 32, &mut ImbalancedKernel)
+            .unwrap();
         // The straggler's SM defines device time: ≥ 100 000, and the sum of
         // the 7 small blocks (7 000) must not add linearly to it.
         assert!(stats.device_cycles >= 100_000);
@@ -684,7 +747,7 @@ mod tests {
     #[test]
     fn shared_memory_alloc_and_budget() {
         let mut dev = Device::new(DeviceSpec::tiny(1 << 20));
-        let stats = dev.launch("shared", 1, 32, &mut SharedKernel);
+        let stats = dev.launch("shared", 1, 32, &mut SharedKernel).unwrap();
         assert_eq!(stats.metrics.barriers, 1);
         assert!(stats.metrics.shared_cycles > 0);
     }
@@ -705,7 +768,9 @@ mod tests {
     fn atomics_update_and_serialize() {
         let mut dev = Device::new(DeviceSpec::tiny(1 << 20));
         let buf = dev.memory.alloc(1, 8).unwrap();
-        let stats = dev.launch("atomic", 2, 32, &mut AtomicKernel { buf });
+        let stats = dev
+            .launch("atomic", 2, 32, &mut AtomicKernel { buf })
+            .unwrap();
         assert_eq!(dev.memory.host_read(buf, 0), 64);
         let c = dev.spec().costs;
         // Two blocks, each fixed + 31 serial increments.
@@ -727,7 +792,7 @@ mod tests {
                 ctx.warp_loop(&trips, 10);
             }
         }
-        let stats = dev.launch("div", 1, 32, &mut DivKernel);
+        let stats = dev.launch("div", 1, 32, &mut DivKernel).unwrap();
         assert_eq!(stats.metrics.alu_cycles, 1000);
         // waste = 10 * (100*32 - 131)/32 = 959 cycles (integer division).
         assert_eq!(stats.metrics.divergence_waste_cycles, 959);
@@ -746,7 +811,9 @@ mod tests {
                 ctx.warp_dependent_gather(self.buf, &[0, 1], &mut out);
             }
         }
-        let stats = dev.launch("chase", 1, 32, &mut ChaseKernel { buf });
+        let stats = dev
+            .launch("chase", 1, 32, &mut ChaseKernel { buf })
+            .unwrap();
         assert_eq!(
             stats.metrics.dependent_cycles,
             dev.spec().costs.dependent_latency
@@ -754,14 +821,71 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "multiple of the warp size")]
-    fn rejects_ragged_block_dim() {
+    fn rejects_invalid_launch_configs() {
         let mut dev = Device::new(DeviceSpec::tiny(1 << 20));
         struct Nop;
         impl Kernel for Nop {
             fn block(&mut self, _ctx: &mut BlockCtx<'_>) {}
         }
-        dev.launch("nop", 1, 33, &mut Nop);
+        for (grid, dim, needle) in [
+            (1usize, 33usize, "multiple of the warp size"),
+            (1, 0, "must be positive"),
+            (1, 1 << 20, "exceeds the device limit"),
+            (usize::MAX, 32, "overflows"),
+        ] {
+            match dev.launch("nop", grid, dim, &mut Nop) {
+                Err(JoinError::InvalidConfig(msg)) => {
+                    assert!(msg.contains(needle), "{msg:?} missing {needle:?}")
+                }
+                other => panic!("expected InvalidConfig for ({grid}, {dim}), got {other:?}"),
+            }
+        }
+        // The rejected launches charged nothing and were not logged.
+        assert_eq!(dev.total_cycles(), 0);
+        assert!(dev.launch_log().is_empty());
+    }
+
+    #[test]
+    fn shared_memory_exhaustion_is_a_typed_error() {
+        let mut dev = Device::new(DeviceSpec::tiny(1 << 20));
+        struct Greedy;
+        impl Kernel for Greedy {
+            fn block(&mut self, ctx: &mut BlockCtx<'_>) {
+                // Far beyond any block budget: `shared_alloc` panics and the
+                // launch boundary converts it.
+                ctx.shared_alloc(1 << 28, 8);
+            }
+        }
+        match dev.launch("greedy", 1, 32, &mut Greedy) {
+            Err(JoinError::GpuResourceExhausted(msg)) => {
+                assert!(msg.contains("shared memory exhausted"), "{msg}")
+            }
+            other => panic!("expected GpuResourceExhausted, got {other:?}"),
+        }
+        // The device stays usable after the failed launch.
+        struct Nop;
+        impl Kernel for Nop {
+            fn block(&mut self, _ctx: &mut BlockCtx<'_>) {}
+        }
+        assert!(dev.launch("nop", 1, 32, &mut Nop).is_ok());
+    }
+
+    #[test]
+    fn kernel_panic_is_reported_with_block_index() {
+        let mut dev = Device::new(DeviceSpec::tiny(1 << 20));
+        struct Faulty;
+        impl Kernel for Faulty {
+            fn block(&mut self, ctx: &mut BlockCtx<'_>) {
+                assert!(ctx.block_idx != 2, "kernel bug in block 2");
+            }
+        }
+        match dev.launch("faulty", 4, 32, &mut Faulty) {
+            Err(JoinError::WorkerPanicked { worker, phase }) => {
+                assert_eq!(worker, 2);
+                assert_eq!(phase, "faulty");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
     }
 
     #[test]
@@ -774,7 +898,7 @@ mod tests {
                 ctx.alu(1);
             }
         }
-        dev.launch("sync_heavy", 2, 32, &mut SyncHeavy);
+        dev.launch("sync_heavy", 2, 32, &mut SyncHeavy).unwrap();
         let report = dev.render_timeline();
         assert!(report.contains("sync_heavy"), "{report}");
         assert!(report.contains("sync ("), "{report}");
@@ -795,7 +919,7 @@ mod tests {
                 ctx.charge_dependent(1);
             }
         }
-        let stats = dev.launch("charges", 1, 32, &mut ChargeKernel);
+        let stats = dev.launch("charges", 1, 32, &mut ChargeKernel).unwrap();
         let c = dev.spec().costs;
         assert_eq!(stats.metrics.shared_cycles, 10 * c.shared_access);
         assert_eq!(stats.metrics.sync_cycles, 3 * c.sync_threads);
@@ -820,7 +944,7 @@ mod tests {
                 assert_eq!(mask.count_ones(), 16);
             }
         }
-        dev.launch("ballot", 1, 32, &mut BallotKernel);
+        dev.launch("ballot", 1, 32, &mut BallotKernel).unwrap();
     }
 
     #[test]
@@ -836,7 +960,9 @@ mod tests {
                 ctx.write_contiguous(self.buf, 0, &vals);
             }
         }
-        let stats = dev.launch("stream", 1, 32, &mut StreamKernel { buf });
+        let stats = dev
+            .launch("stream", 1, 32, &mut StreamKernel { buf })
+            .unwrap();
         // 128 × 8 B = 1024 B = 8 transactions, not 128.
         assert_eq!(stats.metrics.transactions, 8);
         assert_eq!(dev.memory.host_read(buf, 127), 127);

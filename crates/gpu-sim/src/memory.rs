@@ -57,7 +57,11 @@ impl GlobalMemory {
             "element width must be 4 or 8 bytes"
         );
         let bytes = len * elem_bytes;
-        if self.used_bytes + bytes > self.capacity_bytes {
+        // Chaos hook: a firing `gpu.memory.alloc` failpoint models device
+        // OOM through the same `None` arm callers already handle.
+        if self.used_bytes + bytes > self.capacity_bytes
+            || skewjoin_common::faults::fire("gpu.memory.alloc")
+        {
             return None;
         }
         self.used_bytes += bytes;

@@ -39,7 +39,7 @@ fn run_gather(indices: &[usize]) -> u64 {
             ctx.warp_gather(self.buf, self.indices, &mut out);
         }
     }
-    let stats = dev.launch("g", 1, 32, &mut K { buf, indices });
+    let stats = dev.launch("g", 1, 32, &mut K { buf, indices }).unwrap();
     stats.metrics.transactions
 }
 
@@ -91,7 +91,7 @@ fn device_time_monotone_in_blocks() {
         let blocks = 1 + rng.below(39);
         let cost = 1 + rng.next_u64() % 999;
         let mut dev = Device::new(DeviceSpec::tiny(1 << 20));
-        let stats = dev.launch("fixed", blocks, 32, &mut Fixed(cost));
+        let stats = dev.launch("fixed", blocks, 32, &mut Fixed(cost)).unwrap();
         let sms = dev.spec().num_sms as u64;
         let total_work = blocks as u64 * cost;
         assert!(stats.device_cycles >= total_work / sms, "case {case}");
@@ -128,6 +128,7 @@ fn atomic_serialization_monotone() {
         let mut dev = Device::new(DeviceSpec::tiny(1 << 20));
         let buf = dev.memory.alloc(32, 8).unwrap();
         dev.launch("a", 1, 32, &mut AtomicK { buf, collisions: c })
+            .unwrap()
             .metrics
             .atomic_cycles
     };
@@ -172,6 +173,6 @@ fn shared_memory_roundtrip() {
             perm.swap(i, j);
         }
         let mut dev = Device::new(DeviceSpec::tiny(1 << 20));
-        dev.launch("sh", 1, 32, &mut SharedK { perm });
+        dev.launch("sh", 1, 32, &mut SharedK { perm }).unwrap();
     }
 }

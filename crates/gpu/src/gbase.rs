@@ -62,8 +62,8 @@ where
     // ---- Partition phase (simulated time). ----
     let c0 = device.total_cycles();
     let l0 = device.launch_log().len();
-    let parted_r = gpu_partition(&mut device, r_buf, &radix, style, cfg.block_dim);
-    let parted_s = gpu_partition(&mut device, s_buf, &radix, style, cfg.block_dim);
+    let parted_r = gpu_partition(&mut device, r_buf, &radix, style, cfg.block_dim)?;
+    let parted_s = gpu_partition(&mut device, s_buf, &radix, style, cfg.block_dim)?;
     stats.phases.record(
         "partition",
         device.spec().cycles_to_duration(device.total_cycles() - c0),
@@ -99,7 +99,7 @@ where
     let mut sinks: Vec<S> = (0..device.spec().num_sms).map(&make_sink).collect();
     if !tasks.is_empty() {
         let mut kernel = NmJoinKernel::new(&tasks, &mut sinks);
-        device.launch("gbase_join", tasks.len(), cfg.block_dim, &mut kernel);
+        device.launch("gbase_join", tasks.len(), cfg.block_dim, &mut kernel)?;
     }
     stats.phases.record(
         "join",

@@ -88,14 +88,14 @@ where
         &radix,
         PartitionStyle::CountScatter,
         cfg.block_dim,
-    );
+    )?;
     let parted_s = gpu_partition(
         &mut device,
         s_buf,
         &radix,
         PartitionStyle::CountScatter,
         cfg.block_dim,
-    );
+    )?;
     stats.phases.record(
         "partition",
         device.spec().cycles_to_duration(device.total_cycles() - c0),
@@ -129,7 +129,7 @@ where
         &large_pids,
         &cfg.skew,
         cfg.block_dim,
-    );
+    )?;
     stats.phases.record(
         "detect",
         device.spec().cycles_to_duration(device.total_cycles() - c1),
@@ -162,7 +162,7 @@ where
             &d.keys,
             cfg.block_dim,
             "gsh_split_r",
-        );
+        )?;
         let s_split = split_large_partition(
             &mut device,
             &parted_s,
@@ -170,7 +170,7 @@ where
             &d.keys,
             cfg.block_dim,
             "gsh_split_s",
-        );
+        )?;
         splits.push((r_split, s_split));
     }
     stats.phases.record(
@@ -229,7 +229,7 @@ where
     let mut sinks: Vec<S> = (0..device.spec().num_sms).map(&make_sink).collect();
     if !tasks.is_empty() {
         let mut kernel = NmJoinKernel::new(&tasks, &mut sinks);
-        device.launch("gsh_nm_join", tasks.len(), cfg.block_dim, &mut kernel);
+        device.launch("gsh_nm_join", tasks.len(), cfg.block_dim, &mut kernel)?;
     }
     stats.phases.record(
         "nm_join",
@@ -283,7 +283,7 @@ where
             skew_tasks.len(),
             cfg.block_dim,
             &mut kernel,
-        );
+        )?;
     }
     stats.phases.record(
         "skew_join",

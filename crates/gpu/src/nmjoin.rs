@@ -232,7 +232,7 @@ mod tests {
             .map(|_| CountingSink::new())
             .collect();
         let mut kernel = NmJoinKernel::new(&tasks, &mut sinks);
-        let stats = dev.launch("nm", tasks.len(), 64, &mut kernel);
+        let stats = dev.launch("nm", tasks.len(), 64, &mut kernel).unwrap();
         (sinks.iter().map(|s| s.count()).sum(), stats.metrics)
     }
 

@@ -19,7 +19,7 @@
 //! implementation would also keep on the host for kernel launches.
 
 use skewjoin_common::hash::RadixConfig;
-use skewjoin_common::Key;
+use skewjoin_common::{JoinError, Key};
 use skewjoin_gpu_sim::{BlockCtx, BufferId, Device, Kernel};
 
 use crate::pack::key_of;
@@ -87,14 +87,15 @@ pub fn gpu_partition(
     cfg: &RadixConfig,
     style: PartitionStyle,
     block_dim: usize,
-) -> DevicePartitioned {
+) -> Result<DevicePartitioned, JoinError> {
     let n = device.memory.len(input);
 
     // ---- Pass 0 over the whole input. ----
-    let out0 = device
-        .memory
-        .alloc(n, 8)
-        .expect("device out of memory for partition buffer");
+    let out0 = device.memory.alloc(n, 8).ok_or_else(|| {
+        JoinError::GpuResourceExhausted(format!(
+            "partition buffer ({n} tuples) exceeds global memory"
+        ))
+    })?;
     let starts0 = run_pass(
         device,
         input,
@@ -105,20 +106,21 @@ pub fn gpu_partition(
         style,
         block_dim,
         "partition_pass0",
-    );
+    )?;
 
     if cfg.bits_per_pass.len() == 1 {
-        return DevicePartitioned {
+        return Ok(DevicePartitioned {
             buf: out0,
             starts: starts0,
-        };
+        });
     }
 
     // ---- Pass 1: one block-group per parent partition. ----
-    let out1 = device
-        .memory
-        .alloc(n, 8)
-        .expect("device out of memory for partition buffer");
+    let out1 = device.memory.alloc(n, 8).ok_or_else(|| {
+        JoinError::GpuResourceExhausted(format!(
+            "second partition buffer ({n} tuples) exceeds global memory"
+        ))
+    })?;
     let starts1 = run_pass(
         device,
         out0,
@@ -129,7 +131,7 @@ pub fn gpu_partition(
         style,
         block_dim,
         "partition_pass1",
-    );
+    )?;
     device.memory.free(out0);
 
     assert!(
@@ -137,10 +139,10 @@ pub fn gpu_partition(
         "GPU partitioning supports at most two passes (as in the paper)"
     );
 
-    DevicePartitioned {
+    Ok(DevicePartitioned {
         buf: out1,
         starts: starts1,
-    }
+    })
 }
 
 /// Runs one radix pass. With `parent_starts == None` the pass covers the
@@ -158,7 +160,7 @@ fn run_pass(
     style: PartitionStyle,
     block_dim: usize,
     name: &str,
-) -> Vec<usize> {
+) -> Result<Vec<usize>, JoinError> {
     let n = device.memory.len(input);
     let fanout = cfg.fanout(pass);
     let chunk = chunk_size(block_dim);
@@ -247,13 +249,13 @@ fn run_pass(
             blocks.len().max(1),
             block_dim,
             &mut count_kernel,
-        );
+        )?;
         // Scan over (blocks × fanout) counters.
         let words = (blocks.len() * fanout) as u64;
         let mut scan = StreamKernel {
             bytes: words * 8, // read + write once each (4 B counters, 2 ops)
         };
-        device.launch(&format!("{name}_scan"), 1, block_dim, &mut scan);
+        device.launch(&format!("{name}_scan"), 1, block_dim, &mut scan)?;
     }
 
     // ---- Scatter kernel. ----
@@ -272,7 +274,7 @@ fn run_pass(
         blocks.len().max(1),
         block_dim,
         &mut scatter,
-    );
+    )?;
 
     // Flattened child directory in pass-major order; the terminator is the
     // end of the data region.
@@ -281,7 +283,7 @@ fn run_pass(
         out_starts.extend_from_slice(&starts[..fanout]);
     }
     out_starts.push(ranges.last().map(|&(_, hi)| hi).unwrap_or(n));
-    out_starts
+    Ok(out_starts)
 }
 
 struct BlockPlan {
@@ -478,7 +480,7 @@ mod tests {
         let rel = test_relation(5000);
         let buf = upload(&mut dev, &rel);
         let cfg = RadixConfig::two_pass(6);
-        let parted = gpu_partition(&mut dev, buf, &cfg, PartitionStyle::CountScatter, 64);
+        let parted = gpu_partition(&mut dev, buf, &cfg, PartitionStyle::CountScatter, 64).unwrap();
         assert_eq!(parted.partitions(), 64);
         check_partitioned(&dev, &parted, &cfg, &rel);
         assert!(dev.total_cycles() > 0);
@@ -498,7 +500,8 @@ mod tests {
                 bucket_capacity: 64,
             },
             64,
-        );
+        )
+        .unwrap();
         check_partitioned(&dev, &parted, &cfg, &rel);
     }
 
@@ -508,7 +511,7 @@ mod tests {
         let rel = test_relation(1000);
         let buf = upload(&mut dev, &rel);
         let cfg = RadixConfig::single_pass(3);
-        let parted = gpu_partition(&mut dev, buf, &cfg, PartitionStyle::CountScatter, 32);
+        let parted = gpu_partition(&mut dev, buf, &cfg, PartitionStyle::CountScatter, 32).unwrap();
         assert_eq!(parted.partitions(), 8);
         check_partitioned(&dev, &parted, &cfg, &rel);
     }
@@ -519,7 +522,7 @@ mod tests {
         let rel = Relation::new();
         let buf = upload(&mut dev, &rel);
         let cfg = RadixConfig::two_pass(4);
-        let parted = gpu_partition(&mut dev, buf, &cfg, PartitionStyle::CountScatter, 32);
+        let parted = gpu_partition(&mut dev, buf, &cfg, PartitionStyle::CountScatter, 32).unwrap();
         assert_eq!(parted.partitions(), 16);
         assert!(parted.starts.iter().all(|&s| s == 0));
     }
@@ -530,7 +533,7 @@ mod tests {
         let rel = Relation::from_tuples(vec![Tuple::new(42, 7); 1000]);
         let buf = upload(&mut dev, &rel);
         let cfg = RadixConfig::two_pass(6);
-        let parted = gpu_partition(&mut dev, buf, &cfg, PartitionStyle::CountScatter, 64);
+        let parted = gpu_partition(&mut dev, buf, &cfg, PartitionStyle::CountScatter, 64).unwrap();
         let non_empty: Vec<usize> = (0..parted.partitions())
             .filter(|&p| parted.size(p) > 0)
             .collect();
@@ -546,7 +549,7 @@ mod tests {
 
         let mut dev_a = Device::new(DeviceSpec::tiny(1 << 22));
         let buf_a = upload(&mut dev_a, &rel);
-        gpu_partition(&mut dev_a, buf_a, &cfg, PartitionStyle::CountScatter, 64);
+        gpu_partition(&mut dev_a, buf_a, &cfg, PartitionStyle::CountScatter, 64).unwrap();
         let atomics_a: u64 = dev_a
             .launch_log()
             .iter()
@@ -563,7 +566,8 @@ mod tests {
                 bucket_capacity: 64,
             },
             64,
-        );
+        )
+        .unwrap();
         let atomics_b: u64 = dev_b
             .launch_log()
             .iter()

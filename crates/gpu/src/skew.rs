@@ -4,7 +4,7 @@
 //! skew-output kernel (one thread block per skewed R tuple).
 
 use skewjoin_common::hash::mix32;
-use skewjoin_common::{Key, OutputSink};
+use skewjoin_common::{JoinError, Key, OutputSink};
 use skewjoin_gpu_sim::{BlockCtx, BufferId, Device, Kernel};
 
 use crate::config::GpuSkewConfig;
@@ -32,9 +32,9 @@ pub fn detect_skew(
     large_pids: &[usize],
     cfg: &GpuSkewConfig,
     block_dim: usize,
-) -> Vec<DetectedSkew> {
+) -> Result<Vec<DetectedSkew>, JoinError> {
     if large_pids.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let results = match cfg.detection {
         crate::config::GpuDetectionMode::Sampled => {
@@ -46,7 +46,7 @@ pub fn detect_skew(
                 scratch_idx: Vec::new(),
                 scratch_vals: Vec::new(),
             };
-            device.launch("gsh_detect", large_pids.len(), block_dim, &mut kernel);
+            device.launch("gsh_detect", large_pids.len(), block_dim, &mut kernel)?;
             kernel.results
         }
         crate::config::GpuDetectionMode::Exact => {
@@ -56,18 +56,18 @@ pub fn detect_skew(
                 top_k: cfg.top_k,
                 results: vec![Vec::new(); large_pids.len()],
             };
-            device.launch("gsh_detect_exact", large_pids.len(), block_dim, &mut kernel);
+            device.launch("gsh_detect_exact", large_pids.len(), block_dim, &mut kernel)?;
             kernel.results
         }
     };
-    large_pids
+    Ok(large_pids
         .iter()
         .zip(results)
         .map(|(&pid, entries)| {
             let (keys, freqs) = entries.into_iter().unzip();
             DetectedSkew { pid, keys, freqs }
         })
-        .collect()
+        .collect())
 }
 
 /// Exact detection: hash every tuple of the partition through a
@@ -240,7 +240,7 @@ pub fn split_large_partition(
     keys: &[Key],
     block_dim: usize,
     label: &str,
-) -> SplitPartition {
+) -> Result<SplitPartition, JoinError> {
     let range = parted.range(pid);
 
     // Host mirror for cursor planning (the kernels do the costed work).
@@ -261,14 +261,16 @@ pub fn split_large_partition(
     }
     skew_starts.push(acc);
 
-    let skew_buf = device
-        .memory
-        .alloc(acc.max(1), 8)
-        .expect("device out of memory for skew arrays");
-    let norm_buf = device
-        .memory
-        .alloc(norm_len.max(1), 8)
-        .expect("device out of memory for normal residue");
+    let skew_buf = device.memory.alloc(acc.max(1), 8).ok_or_else(|| {
+        JoinError::GpuResourceExhausted(format!(
+            "skew arrays for partition {pid} ({acc} tuples) exceed global memory"
+        ))
+    })?;
+    let norm_buf = device.memory.alloc(norm_len.max(1), 8).ok_or_else(|| {
+        JoinError::GpuResourceExhausted(format!(
+            "normal residue for partition {pid} ({norm_len} tuples) exceeds global memory"
+        ))
+    })?;
 
     let mut kernel = SplitKernel {
         src: parted.buf,
@@ -297,17 +299,17 @@ pub fn split_large_partition(
         chunks,
         block_dim,
         &mut count_pass,
-    );
-    device.launch(&format!("{label}_scatter"), chunks, block_dim, &mut kernel);
+    )?;
+    device.launch(&format!("{label}_scatter"), chunks, block_dim, &mut kernel)?;
 
-    SplitPartition {
+    Ok(SplitPartition {
         pid,
         keys: keys.to_vec(),
         skew_buf,
         skew_starts,
         norm_buf,
         norm_len,
-    }
+    })
 }
 
 /// Count pass of the split: streams the partition comparing each tuple with
@@ -478,7 +480,7 @@ mod tests {
         keys.extend(0..3000u32);
         let rel = Relation::from_keys(&keys);
         let parted = single_partition(&mut dev, &rel);
-        let found = detect_skew(&mut dev, &parted, &[0], &GpuSkewConfig::default(), 64);
+        let found = detect_skew(&mut dev, &parted, &[0], &GpuSkewConfig::default(), 64).unwrap();
         assert_eq!(found.len(), 1);
         assert!(found[0].keys.contains(&100), "keys: {:?}", found[0].keys);
         assert!(found[0].keys.contains(&200));
@@ -498,7 +500,8 @@ mod tests {
             &[],
             &GpuSkewConfig::default(),
             64,
-        );
+        )
+        .unwrap();
         assert!(found.is_empty());
         assert_eq!(dev.total_cycles(), before);
     }
@@ -509,7 +512,7 @@ mod tests {
         let keys: Vec<u32> = (0..5000).collect();
         let rel = Relation::from_keys(&keys);
         let parted = single_partition(&mut dev, &rel);
-        let found = detect_skew(&mut dev, &parted, &[0], &GpuSkewConfig::default(), 64);
+        let found = detect_skew(&mut dev, &parted, &[0], &GpuSkewConfig::default(), 64).unwrap();
         assert!(
             found[0].keys.is_empty(),
             "uniform data flagged {:?}",
@@ -527,7 +530,7 @@ mod tests {
         let parted = single_partition(&mut dev, &rel);
         let mut cfg = GpuSkewConfig::default();
         cfg.detection = crate::config::GpuDetectionMode::Exact;
-        let found = detect_skew(&mut dev, &parted, &[0], &cfg, 64);
+        let found = detect_skew(&mut dev, &parted, &[0], &cfg, 64).unwrap();
         assert_eq!(found[0].keys[0], 100, "exact top-1 must be the hottest key");
         assert_eq!(found[0].keys[1], 200);
     }
@@ -539,13 +542,13 @@ mod tests {
 
         let mut dev_a = device();
         let parted_a = single_partition(&mut dev_a, &rel);
-        detect_skew(&mut dev_a, &parted_a, &[0], &GpuSkewConfig::default(), 64);
+        detect_skew(&mut dev_a, &parted_a, &[0], &GpuSkewConfig::default(), 64).unwrap();
 
         let mut dev_b = device();
         let parted_b = single_partition(&mut dev_b, &rel);
         let mut cfg = GpuSkewConfig::default();
         cfg.detection = crate::config::GpuDetectionMode::Exact;
-        detect_skew(&mut dev_b, &parted_b, &[0], &cfg, 64);
+        detect_skew(&mut dev_b, &parted_b, &[0], &cfg, 64).unwrap();
 
         assert!(
             dev_b.total_cycles() > dev_a.total_cycles(),
@@ -563,7 +566,7 @@ mod tests {
         keys.extend(1000..1200u32);
         let rel = Relation::from_keys(&keys);
         let parted = single_partition(&mut dev, &rel);
-        let split = split_large_partition(&mut dev, &parted, 0, &[7, 9], 64, "split");
+        let split = split_large_partition(&mut dev, &parted, 0, &[7, 9], 64, "split").unwrap();
 
         assert_eq!(split.skew_starts, vec![0, 500, 800]);
         assert_eq!(split.norm_len, 200);
@@ -601,7 +604,7 @@ mod tests {
             tasks: &tasks,
             sinks: &mut sinks,
         };
-        let stats = dev.launch("skew", tasks.len(), 64, &mut kernel);
+        let stats = dev.launch("skew", tasks.len(), 64, &mut kernel).unwrap();
         let total: u64 = sinks.iter().map(|s| s.count()).sum();
         assert_eq!(total, 1000);
         // No synchronization in this phase.

@@ -42,7 +42,7 @@ fn check(keys: &[u32], bits: u32, style: PartitionStyle, block_dim: usize) -> Re
     let mut dev = Device::new(DeviceSpec::tiny(1 << 24));
     let buf = upload_relation(&mut dev, &rel).ok_or("alloc failed")?;
     let cfg = RadixConfig::two_pass(bits);
-    let parted = gpu_partition(&mut dev, buf, &cfg, style, block_dim);
+    let parted = gpu_partition(&mut dev, buf, &cfg, style, block_dim).map_err(|e| e.to_string())?;
 
     if *parted.starts.last().unwrap() != rel.len() {
         return Err("directory total mismatch".into());
@@ -114,7 +114,7 @@ fn styles_produce_identical_directories() {
 
         let mut dev_a = Device::new(DeviceSpec::tiny(1 << 24));
         let buf_a = upload_relation(&mut dev_a, &rel).unwrap();
-        let a = gpu_partition(&mut dev_a, buf_a, &cfg, PartitionStyle::CountScatter, 64);
+        let a = gpu_partition(&mut dev_a, buf_a, &cfg, PartitionStyle::CountScatter, 64).unwrap();
 
         let mut dev_b = Device::new(DeviceSpec::tiny(1 << 24));
         let buf_b = upload_relation(&mut dev_b, &rel).unwrap();
@@ -126,7 +126,8 @@ fn styles_produce_identical_directories() {
                 bucket_capacity: 32,
             },
             64,
-        );
+        )
+        .unwrap();
         assert_eq!(&a.starts, &b.starts, "case {case}");
     }
 }

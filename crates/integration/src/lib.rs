@@ -16,11 +16,13 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod chaos;
+
 use std::collections::BTreeMap;
 
 use skewjoin::common::sink::tuple_mix;
 use skewjoin::common::trace::counter;
-use skewjoin::common::{Key, OutputSink, Payload, Relation, Trace};
+use skewjoin::common::{JoinError, Key, OutputSink, Payload, Relation, Trace};
 use skewjoin::cpu::{cbase_join, csh_join, npj_join, CpuJoinConfig};
 use skewjoin::datagen::{PaperWorkload, WorkloadSpec};
 use skewjoin::gpu::{gbase_join, gsh_join, GpuJoinConfig};
@@ -253,14 +255,15 @@ pub fn gpu_config(spec: CaseSpec) -> GpuJoinConfig {
     cfg
 }
 
-/// Runs one algorithm on one workload with per-key counting sinks and
-/// returns `(per-key counts, trace)`.
-pub fn run_with_key_counts(
+/// Fallible sibling of [`run_with_key_counts`]: any typed [`JoinError`]
+/// from the join (injected faults, resource exhaustion, …) is returned
+/// rather than unwrapped, so the chaos harness can classify it.
+pub fn try_run_with_key_counts(
     algorithm: Algorithm,
     r: &Relation,
     s: &Relation,
     spec: CaseSpec,
-) -> (BTreeMap<Key, u64>, Trace) {
+) -> Result<(BTreeMap<Key, u64>, Trace), JoinError> {
     let make = |_slot: usize| KeyCountSink::new();
     match algorithm {
         Algorithm::Cpu(algo) => {
@@ -269,20 +272,29 @@ pub fn run_with_key_counts(
                 CpuAlgorithm::Cbase => cbase_join(r, s, &cfg, make),
                 CpuAlgorithm::CbaseNpj => npj_join(r, s, &cfg, make),
                 CpuAlgorithm::Csh => csh_join(r, s, &cfg, make),
-            }
-            .expect("CPU join failed");
-            (merge_key_counts(&outcome.sinks), outcome.stats.trace)
+            }?;
+            Ok((merge_key_counts(&outcome.sinks), outcome.stats.trace))
         }
         Algorithm::Gpu(algo) => {
             let cfg = gpu_config(spec);
             let outcome = match algo {
                 GpuAlgorithm::Gbase => gbase_join(r, s, &cfg, make),
                 GpuAlgorithm::Gsh => gsh_join(r, s, &cfg, make),
-            }
-            .expect("GPU join failed");
-            (merge_key_counts(&outcome.sinks), outcome.stats.trace)
+            }?;
+            Ok((merge_key_counts(&outcome.sinks), outcome.stats.trace))
         }
     }
+}
+
+/// Runs one algorithm on one workload with per-key counting sinks and
+/// returns `(per-key counts, trace)`.
+pub fn run_with_key_counts(
+    algorithm: Algorithm,
+    r: &Relation,
+    s: &Relation,
+    spec: CaseSpec,
+) -> (BTreeMap<Key, u64>, Trace) {
+    try_run_with_key_counts(algorithm, r, s, spec).expect("join failed")
 }
 
 /// Diffs already-computed per-key counts against the reference and builds

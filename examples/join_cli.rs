@@ -121,8 +121,8 @@ fn main() {
     if let Some(prefix) = &args.save_prefix {
         let rp = prefix.with_extension("r.skjr");
         let sp = prefix.with_extension("s.skjr");
-        io::write_binary(&r, &rp).expect("save R");
-        io::write_binary(&s, &sp).expect("save S");
+        io::write_binary(&r, &rp).unwrap_or_else(|e| fail(&format!("{}: {e}", rp.display())));
+        io::write_binary(&s, &sp).unwrap_or_else(|e| fail(&format!("{}: {e}", sp.display())));
         println!("saved tables to {} and {}", rp.display(), sp.display());
     }
 

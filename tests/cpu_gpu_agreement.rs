@@ -106,19 +106,34 @@ fn gpu_memory_high_water_reported() {
     for algo in GpuAlgorithm::ALL {
         skewjoin::run_join(algo.into(), &w.r, &w.s, &jc, SinkSpec::Count).unwrap();
     }
-    // And genuinely fails when memory cannot hold the tables.
+    // When memory cannot hold the tables, the degradation ladder falls back
+    // to the CPU — still correct, with the fallback recorded in the trace.
     let small = JoinConfig::from(GpuJoinConfig {
         spec: DeviceSpec::tiny(1 << 10),
         block_dim: 64,
         ..GpuJoinConfig::default()
     });
-    let err = skewjoin::run_join(
+    let stats = skewjoin::run_join(
         Algorithm::Gpu(GpuAlgorithm::Gsh),
         &w.r,
         &w.s,
         &small,
         SinkSpec::Count,
     )
+    .unwrap();
+    assert!(
+        stats
+            .trace
+            .degradations
+            .iter()
+            .any(|d| d.contains("GSH→CSH")),
+        "degradations: {:?}",
+        stats.trace.degradations
+    );
+    // The underlying GPU join still reports the typed error directly.
+    let err = skewjoin::gpu::gsh_join(&w.r, &w.s, &small.gpu, |_| {
+        skewjoin::common::CountingSink::new()
+    })
     .unwrap_err();
     assert!(matches!(err, JoinError::GpuResourceExhausted(_)));
 }

@@ -1,0 +1,339 @@
+//! Fault recovery at the public API level: injected faults and hostile
+//! sinks must surface as typed [`JoinError`]s or recovered (degraded)
+//! results — never as hangs or escaped panics.
+//!
+//! The failpoint registry is process-global, so every test in this binary
+//! serializes behind one mutex, and every join runs under a watchdog that
+//! converts a hang into a test failure.
+
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+use skewjoin::common::faults::{self, Schedule};
+use skewjoin::prelude::*;
+
+/// Serializes all tests in this binary: armed failpoints are visible to
+/// every thread in the process.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Disarms every failpoint when a test body ends, even by panic.
+#[cfg(feature = "fault-injection")]
+struct DisarmOnDrop;
+
+#[cfg(feature = "fault-injection")]
+impl Drop for DisarmOnDrop {
+    fn drop(&mut self) {
+        faults::reset(0);
+    }
+}
+
+/// Runs `f` on a helper thread and fails the test if it outlives the
+/// deadline — the difference between "recovered with an error" and
+/// "deadlocked the scheduler".
+fn with_deadline<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(Duration::from_secs(secs))
+        .expect("join hung past the watchdog deadline instead of recovering")
+}
+
+fn workload(zipf: f64, seed: u64) -> PaperWorkload {
+    PaperWorkload::generate(WorkloadSpec::paper(4096, zipf, seed))
+}
+
+fn cpu_cfg() -> JoinConfig {
+    JoinConfig::from(CpuJoinConfig::with_threads(4))
+}
+
+/// A sink that panics after a fixed number of emits — a hostile consumer
+/// dying in the middle of result production.
+struct ExplodingSink {
+    remaining: u64,
+}
+
+impl OutputSink for ExplodingSink {
+    fn emit(&mut self, _key: Key, _r: Payload, _s: Payload) {
+        if self.remaining == 0 {
+            panic!("sink exploded mid-emit");
+        }
+        self.remaining -= 1;
+    }
+
+    fn count(&self) -> u64 {
+        0
+    }
+
+    fn checksum(&self) -> u64 {
+        0
+    }
+}
+
+#[test]
+fn panicking_sink_mid_emit_is_worker_panicked_on_every_cpu_algorithm() {
+    let _guard = lock();
+    let w = workload(0.9, 7);
+    for algo in [
+        CpuAlgorithm::Cbase,
+        CpuAlgorithm::CbaseNpj,
+        CpuAlgorithm::Csh,
+    ] {
+        let (r, s) = (w.r.clone(), w.s.clone());
+        let err = with_deadline(60, move || {
+            skewjoin::run_join_with(
+                Algorithm::Cpu(algo),
+                &r,
+                &s,
+                &cpu_cfg(),
+                |_worker: usize| ExplodingSink { remaining: 100 },
+            )
+            .unwrap_err()
+        });
+        match err {
+            JoinError::WorkerPanicked { phase, .. } => {
+                assert!(!phase.is_empty(), "{algo:?}: phase must be named");
+            }
+            other => panic!("{algo:?}: expected WorkerPanicked, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+mod injected {
+    use super::*;
+
+    fn clean_truth(w: &PaperWorkload) -> (u64, u64) {
+        let stats = skewjoin::run_join(
+            Algorithm::Cpu(CpuAlgorithm::Cbase),
+            &w.r,
+            &w.s,
+            &cpu_cfg(),
+            SinkSpec::Count,
+        )
+        .unwrap();
+        (stats.result_count, stats.checksum)
+    }
+
+    #[test]
+    fn task_panic_surfaces_as_worker_panicked_not_a_hang() {
+        let _guard = lock();
+        let _disarm = DisarmOnDrop;
+        let w = workload(0.9, 11);
+        faults::reset(11);
+        faults::arm("sched.task.run", Schedule::OnHit(3));
+        let (r, s) = (w.r.clone(), w.s.clone());
+        let err = with_deadline(60, move || {
+            skewjoin::run_join(
+                Algorithm::Cpu(CpuAlgorithm::Cbase),
+                &r,
+                &s,
+                &cpu_cfg(),
+                SinkSpec::Count,
+            )
+            .unwrap_err()
+        });
+        match err {
+            JoinError::WorkerPanicked { phase, .. } => {
+                assert!(!phase.is_empty());
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn task_panic_mid_volcano_emit_closes_the_channel_instead_of_hanging() {
+        // The volcano consumer blocks on a channel fed by worker sinks; a
+        // worker dying mid-run must still end with every sender dropped.
+        let _guard = lock();
+        let _disarm = DisarmOnDrop;
+        let w = workload(0.9, 13);
+        faults::reset(13);
+        faults::arm("sched.task.run", Schedule::OnHit(5));
+        let (r, s) = (w.r.clone(), w.s.clone());
+        let err = with_deadline(60, move || {
+            skewjoin::run_join(
+                Algorithm::Cpu(CpuAlgorithm::Cbase),
+                &r,
+                &s,
+                &cpu_cfg(),
+                SinkSpec::Volcano { capacity: 8 },
+            )
+            .unwrap_err()
+        });
+        assert!(matches!(err, JoinError::WorkerPanicked { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn steal_panic_poisons_the_queue_or_the_run_stays_correct() {
+        let _guard = lock();
+        let _disarm = DisarmOnDrop;
+        let w = workload(0.9, 17);
+        let truth = clean_truth(&w);
+        faults::reset(17);
+        faults::arm("sched.steal", Schedule::OnHit(1));
+        let (r, s) = (w.r.clone(), w.s.clone());
+        let result = with_deadline(60, move || {
+            skewjoin::run_join(
+                Algorithm::Cpu(CpuAlgorithm::Cbase),
+                &r,
+                &s,
+                &cpu_cfg(),
+                SinkSpec::Count,
+            )
+        });
+        // Whether a steal ever happens depends on thread timing; the
+        // contract is only "typed error or correct result, promptly".
+        match result {
+            Ok(stats) => assert_eq!((stats.result_count, stats.checksum), truth),
+            Err(JoinError::WorkerPanicked { .. }) => {}
+            Err(other) => panic!("expected WorkerPanicked or success, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gpu_alloc_fault_engages_the_degradation_ladder() {
+        let _guard = lock();
+        let _disarm = DisarmOnDrop;
+        let w = workload(0.9, 19);
+        let truth = clean_truth(&w);
+        faults::reset(19);
+        faults::arm("gpu.memory.alloc", Schedule::OnHit(1));
+        let cfg = JoinConfig::default();
+        let (r, s) = (w.r.clone(), w.s.clone());
+        let stats = with_deadline(60, move || {
+            skewjoin::run_join(
+                Algorithm::Gpu(GpuAlgorithm::Gbase),
+                &r,
+                &s,
+                &cfg,
+                SinkSpec::Count,
+            )
+            .unwrap()
+        });
+        assert_eq!((stats.result_count, stats.checksum), truth);
+        assert!(
+            !stats.trace.degradations.is_empty(),
+            "the recovered run must record how it degraded"
+        );
+    }
+
+    #[test]
+    fn persistent_gpu_faults_fall_back_to_the_cpu() {
+        let _guard = lock();
+        let _disarm = DisarmOnDrop;
+        let w = workload(0.9, 23);
+        let truth = clean_truth(&w);
+        faults::reset(23);
+        faults::arm("gpu.launch", Schedule::Always);
+        let cfg = JoinConfig::default();
+        let (r, s) = (w.r.clone(), w.s.clone());
+        let stats = with_deadline(60, move || {
+            skewjoin::run_join(
+                Algorithm::Gpu(GpuAlgorithm::Gsh),
+                &r,
+                &s,
+                &cfg,
+                SinkSpec::Count,
+            )
+            .unwrap()
+        });
+        assert_eq!((stats.result_count, stats.checksum), truth);
+        assert!(
+            stats
+                .trace
+                .degradations
+                .iter()
+                .any(|d| d.contains("GSH→CSH")),
+            "degradations: {:?}",
+            stats.trace.degradations
+        );
+    }
+
+    #[test]
+    fn skew_misdetection_degrades_gracefully_to_a_correct_result() {
+        let _guard = lock();
+        let _disarm = DisarmOnDrop;
+        let w = workload(1.1, 29);
+        let truth = clean_truth(&w);
+        faults::reset(29);
+        faults::arm("cpu.skew.detect", Schedule::Always);
+        let (r, s) = (w.r.clone(), w.s.clone());
+        let stats = with_deadline(60, move || {
+            skewjoin::run_join(
+                Algorithm::Cpu(CpuAlgorithm::Csh),
+                &r,
+                &s,
+                &cpu_cfg(),
+                SinkSpec::Count,
+            )
+            .unwrap()
+        });
+        // The hottest key was hidden from the detector; the normal
+        // partition path must still join it correctly.
+        assert_eq!((stats.result_count, stats.checksum), truth);
+    }
+
+    #[test]
+    fn forced_overflows_are_absorbed_by_recursive_splitting_or_typed() {
+        let _guard = lock();
+        let _disarm = DisarmOnDrop;
+        let w = workload(0.9, 31);
+        let truth = clean_truth(&w);
+        faults::reset(31);
+        faults::arm("cpu.partition.overflow", Schedule::OnHit(2));
+        let (r, s) = (w.r.clone(), w.s.clone());
+        let result = with_deadline(60, move || {
+            skewjoin::run_join(
+                Algorithm::Cpu(CpuAlgorithm::Cbase),
+                &r,
+                &s,
+                &cpu_cfg(),
+                SinkSpec::Count,
+            )
+        });
+        match result {
+            Ok(stats) => assert_eq!((stats.result_count, stats.checksum), truth),
+            Err(JoinError::PartitionOverflow(_)) => {}
+            Err(other) => panic!("expected success or PartitionOverflow, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(not(feature = "fault-injection"))]
+mod disabled {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn armed_failpoints_are_noops_without_the_feature() {
+        let _guard = lock();
+        assert!(!faults::ENABLED);
+        let w = workload(0.9, 37);
+        faults::reset(37);
+        for site in skewjoin_integration::chaos::FAILPOINT_SITES {
+            faults::arm(site, Schedule::Always);
+        }
+        let stats = with_deadline(60, move || {
+            skewjoin::run_join(
+                Algorithm::Cpu(CpuAlgorithm::Csh),
+                &w.r,
+                &w.s,
+                &cpu_cfg(),
+                SinkSpec::Count,
+            )
+            .unwrap()
+        });
+        assert!(stats.result_count > 0);
+        assert_eq!(
+            faults::hits("sched.task.run"),
+            0,
+            "no-op sites count no hits"
+        );
+        faults::reset(0);
+    }
+}
