@@ -1,8 +1,3 @@
-// TODO: migrate to the unified `run_join` API; these reproduction bins still
-// exercise the deprecated per-device entry points on purpose, as regression
-// coverage that the wrappers keep producing paper-accurate numbers.
-#![allow(deprecated)]
-
 //! Ablations over the design choices DESIGN.md calls out:
 //!
 //! 1. **CSH sample rate** (paper: 1 %) — detection cost vs. coverage.
@@ -34,7 +29,21 @@ fn cpu_cfg(args: &BenchArgs) -> CpuJoinConfig {
 }
 
 fn run_cpu(algo: CpuAlgorithm, w: &PaperWorkload, cfg: &CpuJoinConfig) -> JoinStats {
-    skewjoin::run_cpu_join(algo, &w.r, &w.s, cfg, SinkSpec::default()).expect("join failed")
+    let cfg = JoinConfig {
+        cpu: cfg.clone(),
+        ..JoinConfig::default()
+    };
+    skewjoin::run_join(Algorithm::Cpu(algo), &w.r, &w.s, &cfg, SinkSpec::default())
+        .expect("join failed")
+}
+
+fn run_gpu(algo: GpuAlgorithm, r: &Relation, s: &Relation, cfg: &GpuJoinConfig) -> JoinStats {
+    let cfg = JoinConfig {
+        gpu: cfg.clone(),
+        ..JoinConfig::default()
+    };
+    skewjoin::run_join(Algorithm::Gpu(algo), r, s, &cfg, SinkSpec::default())
+        .expect("GPU join failed")
 }
 
 fn main() {
@@ -108,8 +117,7 @@ fn main() {
     for k in [1usize, 2, 3, 5, 8] {
         let mut cfg = GpuJoinConfig::default();
         cfg.skew.top_k = k;
-        let s = skewjoin::run_gpu_join(GpuAlgorithm::Gsh, &gw.r, &gw.s, &cfg, SinkSpec::default())
-            .expect("GSH failed");
+        let s = run_gpu(GpuAlgorithm::Gsh, &gw.r, &gw.s, &cfg);
         println!(
             "{:>6} {:>12} {:>12} {:>10}",
             k,
@@ -174,14 +182,7 @@ fn main() {
     for cap in [128usize, 512, 2048] {
         let mut cfg = GpuJoinConfig::default();
         cfg.bucket_capacity = cap;
-        let s = skewjoin::run_gpu_join(
-            GpuAlgorithm::Gbase,
-            &gmid.r,
-            &gmid.s,
-            &cfg,
-            SinkSpec::default(),
-        )
-        .expect("Gbase failed");
+        let s = run_gpu(GpuAlgorithm::Gbase, &gmid.r, &gmid.s, &cfg);
         println!("{:>10} {:>12}", cap, fmt_time(s.phases.get("partition")));
         record.push(
             &format!("gbase_bucket_{cap}"),
@@ -204,11 +205,8 @@ fn main() {
     for sms in [8usize, 32, 108] {
         let mut cfg = GpuJoinConfig::default();
         cfg.spec.num_sms = sms;
-        let gb =
-            skewjoin::run_gpu_join(GpuAlgorithm::Gbase, &gw.r, &gw.s, &cfg, SinkSpec::default())
-                .expect("Gbase failed");
-        let gs = skewjoin::run_gpu_join(GpuAlgorithm::Gsh, &gw.r, &gw.s, &cfg, SinkSpec::default())
-            .expect("GSH failed");
+        let gb = run_gpu(GpuAlgorithm::Gbase, &gw.r, &gw.s, &cfg);
+        let gs = run_gpu(GpuAlgorithm::Gsh, &gw.r, &gw.s, &cfg);
         println!(
             "{:>6} {:>12} {:>12} {:>8.2}x",
             sms,

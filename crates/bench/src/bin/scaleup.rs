@@ -1,8 +1,3 @@
-// TODO: migrate to the unified `run_join` API; these reproduction bins still
-// exercise the deprecated per-device entry points on purpose, as regression
-// coverage that the wrappers keep producing paper-accurate numbers.
-#![allow(deprecated)]
-
 //! Reproduces the **larger-input experiment** (§V-B, last paragraph): scale
 //! the tables up at zipf 0.7 and report the CSH-over-Cbase and
 //! GSH-over-Gbase speedups (paper, at 560 M tuples: 3.5× and 10.4×).
@@ -32,24 +27,27 @@ fn main() {
         args.tuples, args.gpu_tuples
     );
 
-    let cpu_cfg = CpuJoinConfig {
-        threads: args.threads,
-        ..CpuJoinConfig::sized_for(args.tuples, 2048)
+    let cfg = JoinConfig {
+        cpu: CpuJoinConfig {
+            threads: args.threads,
+            ..CpuJoinConfig::sized_for(args.tuples, 2048)
+        },
+        gpu: GpuJoinConfig::default(),
     };
     let cw = PaperWorkload::generate(WorkloadSpec::paper(args.tuples, zipf, args.seed));
-    let cbase = skewjoin::run_cpu_join(
-        CpuAlgorithm::Cbase,
+    let cbase = skewjoin::run_join(
+        Algorithm::Cpu(CpuAlgorithm::Cbase),
         &cw.r,
         &cw.s,
-        &cpu_cfg,
+        &cfg,
         SinkSpec::default(),
     )
     .expect("Cbase");
-    let csh = skewjoin::run_cpu_join(
-        CpuAlgorithm::Csh,
+    let csh = skewjoin::run_join(
+        Algorithm::Cpu(CpuAlgorithm::Csh),
         &cw.r,
         &cw.s,
-        &cpu_cfg,
+        &cfg,
         SinkSpec::default(),
     )
     .expect("CSH");
@@ -65,21 +63,20 @@ fn main() {
         cbase.total_time().as_secs_f64() / csh.total_time().as_secs_f64().max(1e-12)
     );
 
-    let gpu_cfg = GpuJoinConfig::default();
     let gw = PaperWorkload::generate(WorkloadSpec::paper(args.gpu_tuples, zipf, args.seed));
-    let gbase = skewjoin::run_gpu_join(
-        GpuAlgorithm::Gbase,
+    let gbase = skewjoin::run_join(
+        Algorithm::Gpu(GpuAlgorithm::Gbase),
         &gw.r,
         &gw.s,
-        &gpu_cfg,
+        &cfg,
         SinkSpec::default(),
     )
     .expect("Gbase");
-    let gsh = skewjoin::run_gpu_join(
-        GpuAlgorithm::Gsh,
+    let gsh = skewjoin::run_join(
+        Algorithm::Gpu(GpuAlgorithm::Gsh),
         &gw.r,
         &gw.s,
-        &gpu_cfg,
+        &cfg,
         SinkSpec::default(),
     )
     .expect("GSH");

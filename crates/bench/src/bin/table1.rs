@@ -1,8 +1,3 @@
-// TODO: migrate to the unified `run_join` API; these reproduction bins still
-// exercise the deprecated per-device entry points on purpose, as regression
-// coverage that the wrappers keep producing paper-accurate numbers.
-#![allow(deprecated)]
-
 //! Reproduces **Table I**: per-phase execution time breakdown of all four
 //! partitioned joins for zipf factors 0.5–1.0.
 //!
@@ -27,11 +22,13 @@ fn main() {
     let mut record = BenchRecord::new("table1", &args);
     let zipfs = table1_zipfs();
 
-    let cpu_cfg = CpuJoinConfig {
-        threads: args.threads,
-        ..CpuJoinConfig::sized_for(args.tuples, 2048)
+    let cfg = JoinConfig {
+        cpu: CpuJoinConfig {
+            threads: args.threads,
+            ..CpuJoinConfig::sized_for(args.tuples, 2048)
+        },
+        gpu: GpuJoinConfig::default(),
     };
-    let gpu_cfg = GpuJoinConfig::default();
 
     // rows[r] = one label + one value per zipf.
     let labels = [
@@ -48,37 +45,37 @@ fn main() {
 
     for &zipf in &zipfs {
         let cw = PaperWorkload::generate(WorkloadSpec::paper(args.tuples, zipf, args.seed));
-        let cbase = skewjoin::run_cpu_join(
-            CpuAlgorithm::Cbase,
+        let cbase = skewjoin::run_join(
+            Algorithm::Cpu(CpuAlgorithm::Cbase),
             &cw.r,
             &cw.s,
-            &cpu_cfg,
+            &cfg,
             SinkSpec::default(),
         )
         .expect("Cbase");
-        let csh = skewjoin::run_cpu_join(
-            CpuAlgorithm::Csh,
+        let csh = skewjoin::run_join(
+            Algorithm::Cpu(CpuAlgorithm::Csh),
             &cw.r,
             &cw.s,
-            &cpu_cfg,
+            &cfg,
             SinkSpec::default(),
         )
         .expect("CSH");
 
         let gw = PaperWorkload::generate(WorkloadSpec::paper(args.gpu_tuples, zipf, args.seed));
-        let gbase = skewjoin::run_gpu_join(
-            GpuAlgorithm::Gbase,
+        let gbase = skewjoin::run_join(
+            Algorithm::Gpu(GpuAlgorithm::Gbase),
             &gw.r,
             &gw.s,
-            &gpu_cfg,
+            &cfg,
             SinkSpec::default(),
         )
         .expect("Gbase");
-        let gsh = skewjoin::run_gpu_join(
-            GpuAlgorithm::Gsh,
+        let gsh = skewjoin::run_join(
+            Algorithm::Gpu(GpuAlgorithm::Gsh),
             &gw.r,
             &gw.s,
-            &gpu_cfg,
+            &cfg,
             SinkSpec::default(),
         )
         .expect("GSH");

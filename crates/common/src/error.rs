@@ -27,6 +27,13 @@ pub enum JoinError {
     PartitionOverflow(String),
     /// The requested backend failed and no fallback could complete the join.
     BackendUnavailable(String),
+    /// The join was cancelled (explicitly or by a deadline) at a phase
+    /// boundary; `phase` names the phase that was about to start.
+    Cancelled {
+        /// The phase the execution was entering when it observed the
+        /// cancellation.
+        phase: String,
+    },
 }
 
 impl fmt::Display for JoinError {
@@ -42,6 +49,9 @@ impl fmt::Display for JoinError {
             }
             JoinError::PartitionOverflow(msg) => write!(f, "partition overflow: {msg}"),
             JoinError::BackendUnavailable(msg) => write!(f, "backend unavailable: {msg}"),
+            JoinError::Cancelled { phase } => {
+                write!(f, "cancelled before the {phase} phase")
+            }
         }
     }
 }
@@ -71,6 +81,10 @@ mod tests {
         assert!(e.to_string().contains("partition 7"));
         let e = JoinError::BackendUnavailable("GPU failed, CPU fallback failed".into());
         assert!(e.to_string().contains("fallback"));
+        let e = JoinError::Cancelled {
+            phase: "partition".into(),
+        };
+        assert_eq!(e.to_string(), "cancelled before the partition phase");
     }
 
     #[test]

@@ -14,19 +14,23 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod cancel;
 pub mod error;
 pub mod faults;
 pub mod hash;
 pub mod histogram;
 pub mod json;
+pub mod metrics;
 pub mod report;
 pub mod sink;
 pub mod stats;
 pub mod trace;
 pub mod tuple;
 
+pub use cancel::CancelToken;
 pub use error::JoinError;
 pub use json::Json;
+pub use metrics::MetricsRegistry;
 pub use sink::{CountingSink, MaterializeSink, OutputSink, SinkSpec, VolcanoSink};
 pub use stats::{JoinStats, PhaseTimes};
 pub use trace::{PhaseTrace, SkewedKey, Trace};

@@ -1,0 +1,469 @@
+//! A std-only metrics registry: counters, gauges, and histograms,
+//! snapshotted to JSON.
+//!
+//! The service layer (`skewjoind`) is the first place the workspace runs
+//! many joins concurrently, and its observability contract is *exact
+//! reconciliation*: every admitted request ends in exactly one terminal
+//! counter, so `admitted == completed + cancelled + failed` must hold in any
+//! quiescent snapshot. The instruments here are built for that:
+//!
+//! * [`Counter`] — monotone `u64`, lock-free increments that never lose
+//!   updates (N threads adding 1 M times each always sums to N million).
+//! * [`Gauge`] — a current value with a high-water mark; the memory
+//!   governor's occupancy gauge uses the peak to prove its budget held.
+//! * [`Histogram`] — fixed exponential bucket bounds with atomic counts;
+//!   snapshots report percentiles that are monotone in the quantile by
+//!   construction (a cumulative scan over the same frozen counts).
+//!
+//! All instruments are `Arc`-shared handles: the registry hands out clones,
+//! holders record without any registry lock, and [`MetricsRegistry::snapshot`]
+//! walks the registry to emit one JSON object. Names are free-form strings;
+//! dotted paths (`"governor.occupancy"`) are the convention.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A current-value instrument with a high-water mark.
+///
+/// `add`/`sub` move the value (saturating at zero); the peak records the
+/// largest value ever observed. Updates are lock-free; the peak is
+/// maintained with a CAS loop so concurrent raises never lose the maximum.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn raise_peak(&self, candidate: u64) {
+        let mut peak = self.peak.load(Ordering::Relaxed);
+        while candidate > peak {
+            match self.peak.compare_exchange_weak(
+                peak,
+                candidate,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => peak = actual,
+            }
+        }
+    }
+
+    /// Sets the value outright.
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+        self.raise_peak(value);
+    }
+
+    /// Adds `delta` to the value.
+    pub fn add(&self, delta: u64) {
+        let new = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.raise_peak(new);
+    }
+
+    /// Subtracts `delta`, saturating at zero.
+    pub fn sub(&self, delta: u64) {
+        let mut current = self.value.load(Ordering::Relaxed);
+        loop {
+            let new = current.saturating_sub(delta);
+            match self.value.compare_exchange_weak(
+                current,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The largest value ever set or reached.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over `u64` observations (the service records microseconds).
+///
+/// Bucket `i` counts observations `<= bounds[i]`; one implicit overflow
+/// bucket counts the rest. Bounds are fixed at construction and must be
+/// strictly increasing.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>, // bounds.len() + 1 (overflow last)
+    total: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Default latency bounds: exponential from 1 µs to ~17 s.
+pub fn default_latency_bounds_micros() -> Vec<u64> {
+    (0..25).map(|i| 1u64 << i).collect()
+}
+
+impl Histogram {
+    /// Creates a histogram with the given strictly increasing bucket bounds.
+    ///
+    /// # Panics
+    /// If `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds,
+            counts,
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self
+            .bounds
+            .partition_point(|&b| b < value)
+            .min(self.bounds.len());
+        // partition_point gives the first bound >= value; values above every
+        // bound land in the overflow bucket.
+        let idx = if idx < self.bounds.len() && value <= self.bounds[idx] {
+            idx
+        } else {
+            self.bounds.len()
+        };
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        let mut max = self.max.load(Ordering::Relaxed);
+        while value > max {
+            match self
+                .max
+                .compare_exchange_weak(max, value, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => max = actual,
+            }
+        }
+    }
+
+    /// Number of observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough frozen copy for percentile queries. (Counts are
+    /// read individually, so a snapshot racing writers may be off by the
+    /// in-flight observations; a quiescent snapshot is exact.)
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            total: counts.iter().sum(),
+            counts,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen histogram: bucket counts plus derived percentiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Upper bounds of the finite buckets.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1`, overflow last.
+    pub counts: Vec<u64>,
+    /// Total observations in this snapshot.
+    pub total: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the first
+    /// bucket whose cumulative count reaches `ceil(q × total)` (the observed
+    /// maximum for the overflow bucket). Returns 0 on an empty snapshot.
+    ///
+    /// Monotone in `q` by construction: a larger `q` needs a cumulative
+    /// count at least as large, which the scan reaches at the same or a
+    /// later bucket, and bucket upper bounds increase.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return if i < self.bounds.len() {
+                    // Don't report a bound above anything actually observed.
+                    self.bounds[i].min(self.max)
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Mean of all observations (0 on an empty snapshot).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+}
+
+/// A named collection of instruments, snapshotted to one JSON object.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Counter::new()))
+            .clone()
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Gauge::new()))
+            .clone()
+    }
+
+    /// The histogram named `name`, created with `bounds` on first use.
+    /// Later calls return the existing histogram regardless of `bounds`.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new(bounds.to_vec())))
+            .clone()
+    }
+
+    /// Reads a counter's current value; 0 if it was never created.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .unwrap()
+            .get(name)
+            .map_or(0, |c| c.get())
+    }
+
+    /// One JSON object: `{"counters": {...}, "gauges": {...},
+    /// "histograms": {...}}`. Gauges report `value` and `peak`; histograms
+    /// report count/sum/max plus p50/p95/p99 from a frozen snapshot.
+    pub fn snapshot(&self) -> Json {
+        let counters = {
+            let map = self.counters.lock().unwrap();
+            Json::Obj(
+                map.iter()
+                    .map(|(k, v)| (k.clone(), Json::from_u64(v.get())))
+                    .collect(),
+            )
+        };
+        let gauges = {
+            let map = self.gauges.lock().unwrap();
+            Json::Obj(
+                map.iter()
+                    .map(|(k, v)| {
+                        (
+                            k.clone(),
+                            Json::obj(vec![
+                                ("value", Json::from_u64(v.get())),
+                                ("peak", Json::from_u64(v.peak())),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let histograms = {
+            let map = self.histograms.lock().unwrap();
+            Json::Obj(
+                map.iter()
+                    .map(|(k, v)| {
+                        let snap = v.snapshot();
+                        (
+                            k.clone(),
+                            Json::obj(vec![
+                                ("count", Json::from_u64(snap.total)),
+                                ("sum", Json::from_u64(snap.sum)),
+                                ("max", Json::from_u64(snap.max)),
+                                ("p50", Json::from_u64(snap.percentile(0.50))),
+                                ("p95", Json::from_u64(snap.percentile(0.95))),
+                                ("p99", Json::from_u64(snap.percentile(0.99))),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        Json::obj(vec![
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("admitted");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name returns the same instrument.
+        assert_eq!(reg.counter("admitted").get(), 5);
+        assert_eq!(reg.counter_value("admitted"), 5);
+        assert_eq!(reg.counter_value("missing"), 0);
+
+        let g = reg.gauge("occupancy");
+        g.add(10);
+        g.add(5);
+        g.sub(12);
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.peak(), 15);
+        g.sub(100); // saturates
+        assert_eq!(g.get(), 0);
+        g.set(7);
+        assert_eq!(g.peak(), 15);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = Histogram::new(vec![10, 100, 1000]);
+        for v in [1, 5, 10, 11, 50, 100, 500, 5000] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.total, 8);
+        assert_eq!(snap.counts, vec![3, 3, 1, 1]);
+        assert_eq!(snap.max, 5000);
+        assert_eq!(snap.percentile(0.0), 10.min(snap.max));
+        // p100 lands in the overflow bucket: report the observed max.
+        assert_eq!(snap.percentile(1.0), 5000);
+        // Monotone sweep.
+        let mut last = 0;
+        for i in 0..=100 {
+            let p = snap.percentile(i as f64 / 100.0);
+            assert!(p >= last, "percentile not monotone at q={i}");
+            last = p;
+        }
+        assert!(snap.mean() > 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new(default_latency_bounds_micros());
+        let snap = h.snapshot();
+        assert_eq!(snap.percentile(0.5), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentile_never_exceeds_observed_max() {
+        let h = Histogram::new(vec![1 << 10, 1 << 20]);
+        h.observe(3);
+        let snap = h.snapshot();
+        // The bucket bound is 1024 but only 3 was ever observed.
+        assert_eq!(snap.percentile(0.99), 3);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(2);
+        reg.gauge("g").set(9);
+        reg.histogram("h", &[1, 2, 4]).observe(3);
+        let json = reg.snapshot();
+        assert_eq!(
+            json.get("counters")
+                .and_then(|c| c.get("a"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        let g = json.get("gauges").and_then(|g| g.get("g")).unwrap();
+        assert_eq!(g.get("value").and_then(Json::as_u64), Some(9));
+        assert_eq!(g.get("peak").and_then(Json::as_u64), Some(9));
+        let h = json.get("histograms").and_then(|h| h.get("h")).unwrap();
+        assert_eq!(h.get("count").and_then(Json::as_u64), Some(1));
+        // Round-trips through the JSON writer/parser.
+        assert_eq!(Json::parse(&json.to_string()).unwrap(), json);
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-style tests for `skewjoin_common::metrics`: the instruments the
+//! serving layer's exact-reconciliation contract stands on. Cases are swept
+//! from a fixed SplitMix64 seed, so failures reproduce without an external
+//! property-testing framework.
+
+use std::sync::Arc;
+
+use skewjoin_common::metrics::{
+    default_latency_bounds_micros, Counter, Gauge, Histogram, MetricsRegistry,
+};
+
+/// SplitMix64: deterministic case generator.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Percentiles are monotone in the quantile on *any* histogram: for every
+/// randomly filled histogram and every q₁ ≤ q₂, p(q₁) ≤ p(q₂); and every
+/// reported percentile is a bucket upper bound or the observed maximum.
+#[test]
+fn histogram_percentiles_are_monotone_in_the_quantile() {
+    let mut g = Gen::new(0xB0B);
+    for case in 0..100 {
+        let h = Histogram::new(default_latency_bounds_micros());
+        let observations = 1 + g.below(2000);
+        // Mix magnitudes so some cases concentrate in one bucket, others
+        // spread, and some overflow the last bound.
+        let scale = 1u64 << g.below(32);
+        for _ in 0..observations {
+            h.observe(g.below(scale.max(2)));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.total, observations, "case {case}");
+
+        let quantiles: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+        let mut previous = 0u64;
+        for &q in &quantiles {
+            let p = snap.percentile(q);
+            assert!(
+                p >= previous,
+                "case {case}: percentile({q}) = {p} < earlier {previous}"
+            );
+            assert!(
+                p <= snap.max.max(*snap.bounds.last().unwrap()),
+                "case {case}: percentile({q}) = {p} beyond max {}",
+                snap.max
+            );
+            previous = p;
+        }
+    }
+}
+
+/// An empty histogram reports zero everywhere instead of dividing by zero.
+#[test]
+fn empty_histogram_percentiles_are_zero() {
+    let h = Histogram::new(vec![1, 10, 100]);
+    let snap = h.snapshot();
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(snap.percentile(q), 0);
+    }
+}
+
+/// Bucket counts always sum to the total, under any observation pattern —
+/// no observation is lost to a bounds edge case (exact bound values, zero,
+/// u64::MAX overflowing the last bucket).
+#[test]
+fn histogram_counts_always_sum_to_total() {
+    let bounds = [1u64, 8, 64, 512];
+    let h = Histogram::new(bounds.to_vec());
+    let mut g = Gen::new(0xCAFE);
+    let mut expected = 0u64;
+    for &edge in &bounds {
+        h.observe(edge);
+        h.observe(edge + 1);
+        expected += 2;
+    }
+    h.observe(0);
+    h.observe(u64::MAX);
+    expected += 2;
+    for _ in 0..500 {
+        h.observe(g.below(2048));
+        expected += 1;
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.total, expected);
+    assert_eq!(snap.counts.iter().sum::<u64>(), expected);
+    assert_eq!(snap.counts.len(), bounds.len() + 1);
+}
+
+/// The reconciliation bedrock: N threads hammering one counter lose no
+/// update — the final value is *exactly* the sum of all increments.
+#[test]
+fn concurrent_counter_sums_are_exact() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 100_000;
+    let counter = Arc::new(Counter::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || {
+                // Mix inc() and add(k) so both entry points are covered.
+                for i in 0..PER_THREAD {
+                    if i % 2 == 0 {
+                        counter.inc();
+                    } else {
+                        counter.add(2);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Per thread: PER_THREAD/2 incs + PER_THREAD/2 adds of 2.
+    let expected = THREADS as u64 * (PER_THREAD / 2 + PER_THREAD / 2 * 2);
+    assert_eq!(counter.get(), expected);
+}
+
+/// Registry handles are shared, not copied: concurrent increments through
+/// independently obtained handles of the *same name* land on one counter,
+/// and `counter_value` sees the exact total.
+#[test]
+fn registry_counter_handles_share_one_instrument() {
+    const THREADS: usize = 6;
+    const PER_THREAD: u64 = 50_000;
+    let registry = Arc::new(MetricsRegistry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                let counter = registry.counter("svc.events");
+                for _ in 0..PER_THREAD {
+                    counter.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        registry.counter_value("svc.events"),
+        THREADS as u64 * PER_THREAD
+    );
+    assert_eq!(registry.counter_value("svc.never_touched"), 0);
+}
+
+/// Gauge peak under concurrent add/sub churn: the peak never exceeds the
+/// sum of all additions, and is at least the final value.
+#[test]
+fn concurrent_gauge_peak_is_a_true_high_water_mark() {
+    const THREADS: usize = 4;
+    const ROUNDS: u64 = 20_000;
+    let gauge = Arc::new(Gauge::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let gauge = Arc::clone(&gauge);
+            std::thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    gauge.add(3);
+                    gauge.sub(3);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Every add is matched by a sub, so the value settles at zero…
+    assert_eq!(gauge.get(), 0);
+    // …while the peak must have seen at least one add and can never exceed
+    // the theoretical maximum of all THREADS adds in flight at once.
+    assert!(gauge.peak() >= 3);
+    assert!(gauge.peak() <= 3 * THREADS as u64);
+}

@@ -3,8 +3,10 @@
 //! [`run_join`] is the single front door: it takes an [`Algorithm`] (CPU or
 //! GPU), a combined [`JoinConfig`], and a [`SinkSpec`]. Callers that need
 //! custom per-worker output sinks use [`run_join_with`] and a
-//! [`SinkFactory`]. The old per-device `run_cpu_join`/`run_gpu_join` remain
-//! as thin deprecated wrappers.
+//! [`SinkFactory`]. Cancellation is cooperative: a live
+//! [`CancelToken`](skewjoin_common::CancelToken) in `cfg.cpu.cancel` is
+//! checked at every CPU phase boundary and between degradation-ladder
+//! rungs, surfacing as [`JoinError::Cancelled`].
 
 use skewjoin_common::hash::RadixConfig;
 use skewjoin_common::{
@@ -264,6 +266,9 @@ fn run_gpu_degrading<F: SinkFactory>(
         })
     };
 
+    // The GPU joins run as one simulated launch sequence; the cancellation
+    // boundaries on this path are the ladder rungs.
+    cfg.cpu.cancel.check("gpu_execute")?;
     let mut degradations: Vec<String> = Vec::new();
     let mut last_gpu_err = match run_gpu(&cfg.gpu) {
         Ok(stats) => return Ok(stats),
@@ -281,6 +286,7 @@ fn run_gpu_degrading<F: SinkFactory>(
     let mut retry_cfg = cfg.gpu.clone();
     retry_cfg.radix = Some(RadixConfig::two_pass(retry_bits));
     if retry_bits > base_bits && retry_cfg.validate().is_ok() {
+        cfg.cpu.cancel.check("gpu_radix_retry")?;
         degradations.push(format!(
             "{algorithm}: retrying with {retry_bits} radix bits after: {last_gpu_err}"
         ));
@@ -296,7 +302,9 @@ fn run_gpu_degrading<F: SinkFactory>(
         }
     }
 
-    // Rung 2: CPU fallback with the skew-awareness tier preserved.
+    // Rung 2: CPU fallback with the skew-awareness tier preserved. (The CPU
+    // join re-checks the token at its own phase boundaries.)
+    cfg.cpu.cancel.check("cpu_fallback")?;
     let make = |worker: usize| factory.make_sink(worker);
     let (cpu_name, cpu_result) = match algorithm {
         GpuAlgorithm::Gbase => ("Cbase", cbase_join(r, s, &cfg.cpu, make).map(|o| o.stats)),
@@ -315,42 +323,6 @@ fn run_gpu_degrading<F: SinkFactory>(
              ({cpu_err})"
         ))),
     }
-}
-
-/// Runs a CPU join with per-thread sinks built from `sink`.
-#[deprecated(note = "use run_join with Algorithm::Cpu(..) and a JoinConfig")]
-pub fn run_cpu_join(
-    algorithm: CpuAlgorithm,
-    r: &Relation,
-    s: &Relation,
-    cfg: &CpuJoinConfig,
-    sink: SinkSpec,
-) -> Result<JoinStats, JoinError> {
-    run_join(
-        Algorithm::Cpu(algorithm),
-        r,
-        s,
-        &JoinConfig::from(cfg.clone()),
-        sink,
-    )
-}
-
-/// Runs a GPU join with per-SM-slot sinks built from `sink`.
-#[deprecated(note = "use run_join with Algorithm::Gpu(..) and a JoinConfig")]
-pub fn run_gpu_join(
-    algorithm: GpuAlgorithm,
-    r: &Relation,
-    s: &Relation,
-    cfg: &GpuJoinConfig,
-    sink: SinkSpec,
-) -> Result<JoinStats, JoinError> {
-    run_join(
-        Algorithm::Gpu(algorithm),
-        r,
-        s,
-        &JoinConfig::from(cfg.clone()),
-        sink,
-    )
 }
 
 /// Rejects sink specifications that would panic at worker construction.
@@ -452,24 +424,6 @@ mod tests {
             let err = run_join(algo, &r, &r, &cfg, SinkSpec::Volcano { capacity: 0 }).unwrap_err();
             assert!(matches!(err, JoinError::InvalidConfig(_)), "{algo}");
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_work() {
-        let w = PaperWorkload::generate(WorkloadSpec::paper(1024, 0.7, 13));
-        let cpu_cfg = CpuJoinConfig::with_threads(2);
-        let old = run_cpu_join(CpuAlgorithm::Cbase, &w.r, &w.s, &cpu_cfg, SinkSpec::Count).unwrap();
-        let new = run_join(
-            Algorithm::Cpu(CpuAlgorithm::Cbase),
-            &w.r,
-            &w.s,
-            &JoinConfig::from(cpu_cfg),
-            SinkSpec::Count,
-        )
-        .unwrap();
-        assert_eq!(old.result_count, new.result_count);
-        assert_eq!(old.checksum, new.checksum);
     }
 
     #[test]

@@ -42,13 +42,14 @@
 pub mod api;
 pub mod planner;
 
-#[allow(deprecated)]
-pub use api::{run_cpu_join, run_gpu_join};
 pub use api::{
     run_join, run_join_with, Algorithm, CountSinkFactory, CpuAlgorithm, GpuAlgorithm, JoinConfig,
     SinkFactory, VolcanoSinkFactory,
 };
-pub use planner::{validate_config, JoinPlan, PlannerOptions, TargetDevice};
+pub use planner::{
+    estimate_join_memory, validate_config, CostEstimate, JoinPlan, PlanCache, PlanCacheKey,
+    PlannerOptions, TargetDevice,
+};
 
 // Re-export the component crates under stable names.
 pub use skewjoin_common as common;

@@ -8,8 +8,21 @@
 //! any key above the skew threshold, and the baseline radix join otherwise
 //! (its task-queue machinery has marginally less overhead when no key is
 //! hot).
+//!
+//! Two serving-oriented extensions live here as well:
+//!
+//! * [`estimate_join_memory`] — a conservative per-query byte estimate the
+//!   join service's memory governor reserves against its global budget;
+//! * [`PlanCache`] — memoized planner decisions keyed by a cheap relation
+//!   fingerprint plus size and skew buckets, so repeat queries over the
+//!   same (or look-alike) relations skip the sampling pass.
 
-use skewjoin_common::{JoinError, JoinStats, Relation, SinkSpec};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use skewjoin_common::hash::mix64;
+use skewjoin_common::{JoinError, JoinStats, Relation, SinkSpec, Tuple};
 use skewjoin_cpu::skew::detect_skewed_keys;
 use skewjoin_cpu::CpuJoinConfig;
 use skewjoin_gpu::GpuJoinConfig;
@@ -57,7 +70,7 @@ pub fn validate_config(cfg: &JoinConfig) -> Result<(), JoinError> {
 }
 
 /// Which device the plan should target.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TargetDevice {
     /// Multi-threaded CPU execution.
     Cpu,
@@ -163,6 +176,256 @@ impl JoinPlan {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Memory cost model
+// ---------------------------------------------------------------------------
+
+/// A conservative per-query memory footprint estimate, split by where the
+/// bytes live. The join service's governor reserves `total_bytes()` against
+/// its global budget before admitting a query to a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostEstimate {
+    /// Host-side bytes: partition scratch (the radix joins ping-pong both
+    /// relations through one out-of-place copy each), hash tables, and
+    /// per-worker histograms.
+    pub host_bytes: u64,
+    /// Bytes that must additionally fit in GPU global memory (0 for CPU
+    /// algorithms): resident input tables, their partitioned copies, and
+    /// bucket metadata.
+    pub device_bytes: u64,
+}
+
+impl CostEstimate {
+    /// The total reservation the governor should take for this query.
+    pub fn total_bytes(&self) -> u64 {
+        self.host_bytes.saturating_add(self.device_bytes)
+    }
+}
+
+/// Estimates the peak memory a join of `r_tuples ⋈ s_tuples` needs under
+/// `cfg`, as an upper bound: it is better for the governor to queue a query
+/// that would have fit than to admit one that OOMs.
+///
+/// The model (8-byte tuples throughout):
+///
+/// * **Cbase / CSH** — out-of-place radix partitioning holds one scratch
+///   copy of each relation alongside the input (2× each table at peak),
+///   plus per-partition bucket tables sized to the build side (~2 words
+///   per R tuple) and per-worker histograms of the first-pass fan-out.
+/// * **cbase-npj** — no partition scratch; one global chained table with a
+///   power-of-two bucket array plus an 16-byte chain node per R tuple.
+/// * **Gbase / GSH** — both relations resident on the device together with
+///   their partitioned copies, the per-partition bucket tables over the
+///   build side (~2 words per R tuple), and offset metadata per partition;
+///   the host keeps only the staging copies it already owns.
+pub fn estimate_join_memory(
+    algorithm: Algorithm,
+    r_tuples: usize,
+    s_tuples: usize,
+    cfg: &JoinConfig,
+) -> CostEstimate {
+    let tuple = std::mem::size_of::<Tuple>() as u64;
+    let r = r_tuples as u64;
+    let s = s_tuples as u64;
+    match algorithm {
+        Algorithm::Cpu(CpuAlgorithm::Cbase) | Algorithm::Cpu(CpuAlgorithm::Csh) => {
+            let scratch = 2 * (r + s) * tuple;
+            let tables = 2 * r * tuple;
+            let fanout = 1u64 << cfg.cpu.radix.bits_per_pass.first().copied().unwrap_or(0);
+            let histograms = fanout * (cfg.cpu.threads as u64) * 8;
+            CostEstimate {
+                host_bytes: scratch + tables + histograms,
+                device_bytes: 0,
+            }
+        }
+        Algorithm::Cpu(CpuAlgorithm::CbaseNpj) => {
+            let buckets = (r.max(1).next_power_of_two()) * 8;
+            let chain = r * 16;
+            CostEstimate {
+                host_bytes: buckets + chain,
+                device_bytes: 0,
+            }
+        }
+        Algorithm::Gpu(_) => {
+            let bits = cfg.gpu.radix.as_ref().map_or(12, |rc| rc.total_bits());
+            let partitions = 1u64 << bits.min(24);
+            let device = 2 * (r + s) * tuple + 2 * r * tuple + partitions * 16;
+            CostEstimate {
+                host_bytes: (r + s) * tuple,
+                device_bytes: device,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+/// Cache key: a cheap relation fingerprint plus coarse size and skew
+/// buckets. Two relations that hash to the same key are "the same input for
+/// planning purposes" — same algorithm choice, not necessarily identical
+/// data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanCacheKey {
+    /// [`relation_fingerprint`] of the build side.
+    pub fingerprint: u64,
+    /// `log2(|R|)` — plans only transfer within a power-of-two size class.
+    pub size_bucket: u32,
+    /// Coarse skew bucket from a strided micro-sample (see
+    /// [`skew_bucket`]): 0 = no repeats observed … 3 = one key dominates.
+    pub skew_bucket: u8,
+    /// The device the plan targets.
+    pub device: TargetDevice,
+}
+
+/// A cheap order-sensitive fingerprint of a relation: its length mixed with
+/// up to 64 keys sampled at a fixed stride. Collisions only cost a wrong
+/// *plan* (still a correct join), so 64 probes is plenty.
+pub fn relation_fingerprint(rel: &Relation) -> u64 {
+    let n = rel.len();
+    let mut h = mix64(0x9E37_79B9_7F4A_7C15 ^ n as u64);
+    if n == 0 {
+        return h;
+    }
+    let stride = (n / 64).max(1);
+    for i in (0..n).step_by(stride).take(64) {
+        h = mix64(h ^ u64::from(rel[i].key).wrapping_mul(0xA24B_AED4_963E_E407));
+    }
+    h
+}
+
+/// Buckets the skew level of a relation from a 256-key strided micro-sample:
+/// the highest within-sample key frequency maps to `0` (all distinct),
+/// `1` (light repeats, ≤3), `2` (heavy repeats, ≤15), or `3` (a dominant
+/// hot key). Deterministic, and far cheaper than the planner's CSH-style
+/// sampling pass it lets cached queries skip.
+pub fn skew_bucket(rel: &Relation) -> u8 {
+    let n = rel.len();
+    if n == 0 {
+        return 0;
+    }
+    let stride = (n / 256).max(1);
+    let mut freq: HashMap<u32, u32> = HashMap::new();
+    let mut max = 0u32;
+    for i in (0..n).step_by(stride).take(256) {
+        let f = freq.entry(rel[i].key).or_insert(0);
+        *f += 1;
+        max = max.max(*f);
+    }
+    match max {
+        0..=1 => 0,
+        2..=3 => 1,
+        4..=15 => 2,
+        _ => 3,
+    }
+}
+
+struct PlanCacheInner {
+    map: HashMap<PlanCacheKey, JoinPlan>,
+    // Insertion order for FIFO eviction; entries stay cheap (a key copy).
+    order: VecDeque<PlanCacheKey>,
+}
+
+/// A bounded memo of planner decisions with hit/miss counters.
+///
+/// Thread-safe behind one mutex — the guarded section is a `HashMap` probe,
+/// negligible next to the sampling pass a hit avoids. Eviction is FIFO: the
+/// workload this serves (a join service replaying look-alike queries) has no
+/// use for LRU's extra bookkeeping.
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<PlanCacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` decisions (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(PlanCacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache key `plan` would use for this input.
+    pub fn key_for(r: &Relation, opts: &PlannerOptions) -> PlanCacheKey {
+        PlanCacheKey {
+            fingerprint: relation_fingerprint(r),
+            size_bucket: (r.len().max(1) as u64).ilog2(),
+            skew_bucket: skew_bucket(r),
+            device: opts.device,
+        }
+    }
+
+    /// Plans `r ⋈ s`, reusing a cached decision when one exists for this
+    /// key. Returns the plan and whether it was a cache hit.
+    pub fn plan(&self, r: &Relation, s: &Relation, opts: &PlannerOptions) -> (JoinPlan, bool) {
+        let key = Self::key_for(r, opts);
+        {
+            let inner = self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(plan) = inner.map.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (plan.clone(), true);
+            }
+        }
+        // Plan outside the lock: concurrent misses on the same key duplicate
+        // the sampling work once, which beats serializing every miss.
+        let plan = JoinPlan::plan(r, s, opts);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if !inner.map.contains_key(&key) {
+            while inner.map.len() >= self.capacity {
+                match inner.order.pop_front() {
+                    Some(old) => {
+                        inner.map.remove(&old);
+                    }
+                    None => break,
+                }
+            }
+            inner.map.insert(key, plan.clone());
+            inner.order.push_back(key);
+        }
+        (plan, false)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Decisions currently cached.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .map
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::field_reassign_with_default)]
 mod tests {
@@ -257,5 +520,78 @@ mod tests {
         .unwrap();
         assert_eq!(planned.result_count, direct.result_count);
         assert_eq!(planned.checksum, direct.checksum);
+    }
+
+    #[test]
+    fn memory_estimates_scale_with_input_and_device() {
+        let cfg = JoinConfig::default();
+        let small =
+            estimate_join_memory(Algorithm::Cpu(CpuAlgorithm::Cbase), 1 << 10, 1 << 10, &cfg);
+        let large =
+            estimate_join_memory(Algorithm::Cpu(CpuAlgorithm::Cbase), 1 << 20, 1 << 20, &cfg);
+        assert!(large.total_bytes() > small.total_bytes());
+        assert_eq!(small.device_bytes, 0);
+
+        // The partitioned CPU joins hold scratch copies; at minimum the
+        // estimate covers both inputs twice.
+        assert!(small.host_bytes >= 4 * (1u64 << 10) * 8);
+
+        let gpu = estimate_join_memory(Algorithm::Gpu(GpuAlgorithm::Gsh), 1 << 10, 1 << 10, &cfg);
+        assert!(gpu.device_bytes > 0);
+        assert!(gpu.total_bytes() > gpu.host_bytes);
+
+        let npj = estimate_join_memory(
+            Algorithm::Cpu(CpuAlgorithm::CbaseNpj),
+            1 << 10,
+            1 << 10,
+            &cfg,
+        );
+        assert!(npj.host_bytes > 0);
+        assert_eq!(npj.device_bytes, 0);
+    }
+
+    #[test]
+    fn fingerprints_separate_relations_and_repeat_deterministically() {
+        let a = PaperWorkload::generate(WorkloadSpec::paper(4096, 0.9, 7)).r;
+        let b = PaperWorkload::generate(WorkloadSpec::paper(4096, 0.0, 8)).r;
+        assert_eq!(relation_fingerprint(&a), relation_fingerprint(&a));
+        assert_ne!(relation_fingerprint(&a), relation_fingerprint(&b));
+        // Skew buckets order correctly at the extremes.
+        assert!(skew_bucket(&a) >= skew_bucket(&b));
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeat_and_counts() {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(1 << 14, 1.0, 11));
+        let opts = PlannerOptions::default();
+        let cache = PlanCache::new(8);
+        let (first, hit1) = cache.plan(&w.r, &w.s, &opts);
+        assert!(!hit1);
+        let (second, hit2) = cache.plan(&w.r, &w.s, &opts);
+        assert!(hit2);
+        assert_eq!(first.algorithm, second.algorithm);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+
+        // A different device is a different key even for the same relation.
+        let mut gpu_opts = PlannerOptions::default();
+        gpu_opts.device = TargetDevice::Gpu;
+        let (gpu_plan, hit3) = cache.plan(&w.r, &w.s, &gpu_opts);
+        assert!(!hit3);
+        assert!(!gpu_plan.algorithm.is_cpu());
+    }
+
+    #[test]
+    fn plan_cache_eviction_stays_bounded() {
+        let opts = PlannerOptions::default();
+        let cache = PlanCache::new(2);
+        for seed in 0..5 {
+            let w = PaperWorkload::generate(WorkloadSpec::paper(2048, 0.5, seed));
+            cache.plan(&w.r, &w.s, &opts);
+        }
+        assert!(cache.len() <= 2);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 5);
     }
 }

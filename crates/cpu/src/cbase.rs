@@ -239,6 +239,7 @@ where
     let mut stats = JoinStats::new("Cbase");
 
     // ---- Partition phase. ----
+    cfg.cancel.check("partition")?;
     let t0 = Instant::now();
     let opts = cfg.partition_options();
     let (parted_r, pstats_r) = parallel_radix_partition_opts(r, &cfg.radix, &opts)?;
@@ -261,6 +262,7 @@ where
     }
 
     // ---- Join phase. ----
+    cfg.cancel.check("join")?;
     let t1 = Instant::now();
     let sinks: Vec<S> = (0..cfg.threads).map(&make_sink).collect();
     let (sinks, report) = join_partitions(&parted_r, &parted_s, cfg, sinks, true)?;

@@ -1,7 +1,7 @@
 //! CPU join configuration.
 
 use skewjoin_common::hash::RadixConfig;
-use skewjoin_common::JoinError;
+use skewjoin_common::{CancelToken, JoinError};
 
 use crate::partition::{PartitionOptions, ScatterMode, SWWC_TUPLES};
 use crate::task::SchedulerKind;
@@ -98,6 +98,10 @@ pub struct CpuJoinConfig {
     /// Bucket bits per partition hash table are sized to the build side; this
     /// caps them to bound memory on pathological partitions.
     pub max_bucket_bits: u32,
+    /// Cooperative cancellation/deadline token, checked at phase boundaries.
+    /// The default is inert; the join service installs a live token per
+    /// admitted request.
+    pub cancel: CancelToken,
 }
 
 impl Default for CpuJoinConfig {
@@ -115,6 +119,7 @@ impl Default for CpuJoinConfig {
             wc_tuples: SWWC_TUPLES,
             scheduler: SchedulerKind::default(),
             max_bucket_bits: 22,
+            cancel: CancelToken::none(),
         }
     }
 }

@@ -75,6 +75,7 @@ where
 
     // ---- Phase 1: skew detection over R (sampling per the paper, or the
     // Misra–Gries single-pass extension). ----
+    cfg.cancel.check("sample")?;
     let t0 = Instant::now();
     let skewed = match cfg.detector {
         crate::config::SkewDetectorKind::Sampling => detect_skewed_keys(r, &cfg.skew),
@@ -94,6 +95,7 @@ where
         .set("sample", counter::SKEWED_KEYS, skewed.len() as u64);
 
     // ---- Phase 2: partition R, splitting skewed tuples out. ----
+    cfg.cancel.check("partition_r")?;
     let t1 = Instant::now();
     let (norm_r, skew_data, skew_dir, pstats_r) = partition_r_with_skew(r, cfg, &checkup)?;
     stats.phases.record("partition_r", t1.elapsed());
@@ -112,6 +114,7 @@ where
     }
 
     // ---- Phase 3: partition S; skewed S tuples emit results on the fly. ----
+    cfg.cancel.check("partition_s")?;
     let t2 = Instant::now();
     let mut sinks: Vec<S> = (0..threads).map(&make_sink).collect();
     let (norm_s, pstats_s) =
@@ -134,6 +137,7 @@ where
     }
 
     // ---- Phase 4: NM-join over normal partitions. ----
+    cfg.cancel.check("nm_join")?;
     let t3 = Instant::now();
     let (sinks, report) = join_partitions(&norm_r, &norm_s, cfg, sinks, false)?;
     stats.phases.record("nm_join", t3.elapsed());

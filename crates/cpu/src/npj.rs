@@ -36,6 +36,7 @@ where
     let threads = cfg.threads;
 
     // ---- Build phase: all threads insert disjoint segments of R. ----
+    cfg.cancel.check("build")?;
     let t0 = Instant::now();
     let table = ConcurrentChainedTable::sized(r, cfg.max_bucket_bits);
     std::thread::scope(|scope| {
@@ -53,6 +54,7 @@ where
     }
 
     // ---- Probe phase: S scanned as scheduler tasks. ----
+    cfg.cancel.check("probe")?;
     // Oversplitting S into more chunks than threads lets the scheduler
     // rebalance when one chunk hits a hot key's long chain — a static
     // per-thread segmentation would leave that thread the straggler.

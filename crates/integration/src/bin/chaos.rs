@@ -5,6 +5,11 @@
 //! result or a typed `JoinError` — never a hang, an escaped panic, or a
 //! wrong answer. See `skewjoin_integration::chaos` for the cell semantics.
 //!
+//! The matrix also covers the serving layer: the `service.admit` /
+//! `service.execute` sites each drive a whole `JoinService` burst per seed
+//! (see `skewjoin_integration::service_chaos`) under the same contract,
+//! plus exact metrics reconciliation.
+//!
 //! ```text
 //! chaos [--quick] [--seeds a,b,..] [--size n] [--zipf z] [--threads t] [--timeout-secs s]
 //! ```
@@ -20,6 +25,7 @@ use skewjoin::common::faults;
 use skewjoin_integration::chaos::{
     run_chaos_matrix, silence_injected_panics, MatrixConfig, FAILPOINT_SITES,
 };
+use skewjoin_integration::service_chaos::{run_service_matrix, SERVICE_FAILPOINT_SITES};
 
 fn die(msg: &str) -> ! {
     eprintln!("chaos: {msg}");
@@ -27,12 +33,17 @@ fn die(msg: &str) -> ! {
         "usage: chaos [--quick] [--seeds a,b,..] [--failpoints site,..] [--algos name,..] \
          [--size n] [--zipf z] [--threads t] [--timeout-secs s]"
     );
-    eprintln!("failpoint sites: {}", FAILPOINT_SITES.join(", "));
+    eprintln!(
+        "failpoint sites: {}, {}",
+        FAILPOINT_SITES.join(", "),
+        SERVICE_FAILPOINT_SITES.join(", ")
+    );
     std::process::exit(2);
 }
 
-fn parse_args() -> MatrixConfig {
+fn parse_args() -> (MatrixConfig, Vec<&'static str>) {
     let mut cfg = MatrixConfig::default();
+    let mut service_sites = SERVICE_FAILPOINT_SITES.to_vec();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |what: &str| {
@@ -52,16 +63,19 @@ fn parse_args() -> MatrixConfig {
                     .collect()
             }
             "--failpoints" => {
-                cfg.sites = value("--failpoints")
-                    .split(',')
-                    .map(|v| {
-                        let v = v.trim();
-                        FAILPOINT_SITES
-                            .into_iter()
-                            .find(|s| *s == v)
-                            .unwrap_or_else(|| die(&format!("unknown failpoint site {v:?}")))
-                    })
-                    .collect()
+                cfg.sites = Vec::new();
+                service_sites = Vec::new();
+                for v in value("--failpoints").split(',') {
+                    let v = v.trim();
+                    if let Some(site) = FAILPOINT_SITES.into_iter().find(|s| *s == v) {
+                        cfg.sites.push(site);
+                    } else if let Some(site) = SERVICE_FAILPOINT_SITES.into_iter().find(|s| *s == v)
+                    {
+                        service_sites.push(site);
+                    } else {
+                        die(&format!("unknown failpoint site {v:?}"));
+                    }
+                }
             }
             "--algos" => {
                 cfg.algorithms = value("--algos")
@@ -101,24 +115,28 @@ fn parse_args() -> MatrixConfig {
             other => die(&format!("unknown argument {other:?}")),
         }
     }
-    if cfg.seeds.is_empty() || cfg.sites.is_empty() || cfg.algorithms.is_empty() {
+    if cfg.seeds.is_empty()
+        || cfg.algorithms.is_empty()
+        || (cfg.sites.is_empty() && service_sites.is_empty())
+    {
         die("matrix must be non-empty");
     }
-    cfg
+    (cfg, service_sites)
 }
 
 fn main() {
-    let cfg = parse_args();
+    let (cfg, service_sites) = parse_args();
     silence_injected_panics();
 
-    let cells = cfg.seeds.len() * cfg.sites.len() * cfg.algorithms.len();
+    let cells = cfg.seeds.len() * (cfg.sites.len() * cfg.algorithms.len() + service_sites.len());
     println!(
-        "chaos: {} cells ({} seeds x {} failpoints x {} algorithms), size={} zipf={} \
-         threads={} timeout={}s",
+        "chaos: {} cells ({} seeds x ({} failpoints x {} algorithms + {} service sites)), \
+         size={} zipf={} threads={} timeout={}s",
         cells,
         cfg.seeds.len(),
         cfg.sites.len(),
         cfg.algorithms.len(),
+        service_sites.len(),
         cfg.size,
         cfg.zipf,
         cfg.threads,
@@ -132,10 +150,19 @@ fn main() {
     }
 
     let mut run = 0usize;
-    let results = run_chaos_matrix(&cfg, |cell| {
+    let mut results = run_chaos_matrix(&cfg, |cell| {
         run += 1;
         println!("  [{run:>4}/{cells}] {cell}");
     });
+    results.extend(run_service_matrix(
+        &cfg.seeds,
+        &service_sites,
+        cfg.timeout,
+        |cell| {
+            run += 1;
+            println!("  [{run:>4}/{cells}] {cell}");
+        },
+    ));
 
     let violations: Vec<_> = results
         .iter()

@@ -1,0 +1,353 @@
+//! Service soak harness: drives a [`JoinService`] with a concurrent burst
+//! of mixed CPU/GPU requests under a deliberately tight memory budget, then
+//! verifies the serving contract end to end:
+//!
+//! * every submission resolves to a typed outcome within the watchdog
+//!   (a dropped response is a violation);
+//! * every `Completed` response is diffcheck-correct against the
+//!   nested-loop reference (count and order-independent checksum);
+//! * requests carrying a deadline either finish inside it (plus grace) or
+//!   resolve as `Cancelled` — a late completion is a deadline miss;
+//! * the budget demonstrably forced queuing (`service.memory_waits` ≥ 1)
+//!   and at least one degradation-ladder rung engaged;
+//! * peak governor occupancy never exceeded the budget;
+//! * the final metrics reconcile exactly: `submitted = admitted + rejected`
+//!   and `admitted = completed + cancelled + failed`.
+//!
+//! ```text
+//! soak [--requests n] [--seeds a,b,..] [--workers n] [--tuples n] [--timeout-secs s]
+//! ```
+//!
+//! Exits non-zero iff any seed violated the contract.
+
+use std::time::{Duration, Instant};
+
+use skewjoin::datagen::{PaperWorkload, WorkloadSpec};
+use skewjoin::planner::{estimate_join_memory, TargetDevice};
+use skewjoin::{Algorithm, CpuAlgorithm, GpuAlgorithm, JoinConfig};
+use skewjoin_integration::chaos::reference_checksum;
+use skewjoin_integration::reference_key_counts;
+use skewjoin_service::{
+    AlgoChoice, JoinRequest, JoinService, Outcome, Priority, RequestPayload, ServiceConfig, Ticket,
+};
+
+struct SoakArgs {
+    requests: usize,
+    seeds: Vec<u64>,
+    workers: usize,
+    tuples: usize,
+    timeout: Duration,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("soak: {msg}");
+    eprintln!(
+        "usage: soak [--requests n] [--seeds a,b,..] [--workers n] [--tuples n] [--timeout-secs s]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> SoakArgs {
+    let mut args = SoakArgs {
+        requests: 64,
+        seeds: vec![17],
+        workers: 4,
+        tuples: 8192,
+        timeout: Duration::from_secs(120),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{what} needs a value")))
+        };
+        match flag.as_str() {
+            "--requests" => {
+                args.requests = value("--requests")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --requests value"))
+            }
+            "--seeds" => {
+                args.seeds = value("--seeds")
+                    .split(',')
+                    .map(|v| {
+                        v.trim()
+                            .parse()
+                            .unwrap_or_else(|_| die(&format!("bad seed value: {v:?}")))
+                    })
+                    .collect()
+            }
+            "--workers" => {
+                args.workers = value("--workers")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --workers value"))
+            }
+            "--tuples" => {
+                args.tuples = value("--tuples")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --tuples value"))
+            }
+            "--timeout-secs" => {
+                args.timeout = Duration::from_secs(
+                    value("--timeout-secs")
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --timeout-secs value")),
+                )
+            }
+            "--help" | "-h" => die("service soak harness"),
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    if args.requests == 0 || args.seeds.is_empty() {
+        die("need at least one request and one seed");
+    }
+    args
+}
+
+/// A budget between the CPU floor and the GPU estimate for `tuples`-sized
+/// inputs: CPU requests fit (but two cannot reserve at once, forcing
+/// memory-wait queuing), while GPU requests overshoot and must walk the
+/// degradation ladder.
+fn tight_budget(tuples: usize, join_config: &JoinConfig) -> u64 {
+    let cpu = estimate_join_memory(
+        Algorithm::Cpu(CpuAlgorithm::Csh),
+        tuples,
+        tuples,
+        join_config,
+    )
+    .total_bytes();
+    let gpu = estimate_join_memory(
+        Algorithm::Gpu(GpuAlgorithm::Gsh),
+        tuples,
+        tuples,
+        join_config,
+    )
+    .total_bytes();
+    assert!(cpu < gpu, "GPU estimates must exceed CPU ({cpu} vs {gpu})");
+    cpu + (gpu - cpu) / 2
+}
+
+/// The i-th request of the mix: CPU, GPU, and planner-routed algorithms
+/// over zipf 0 / 0.75 / 1.5, spread across four clients; every fourth
+/// request carries a (generous) deadline so deadline enforcement is live.
+fn request_for(i: usize, seed: u64, tuples: usize) -> JoinRequest {
+    let algos = [
+        AlgoChoice::Fixed(Algorithm::Cpu(CpuAlgorithm::Cbase)),
+        AlgoChoice::Fixed(Algorithm::Cpu(CpuAlgorithm::Csh)),
+        AlgoChoice::Fixed(Algorithm::Gpu(GpuAlgorithm::Gbase)),
+        AlgoChoice::Fixed(Algorithm::Gpu(GpuAlgorithm::Gsh)),
+        AlgoChoice::Auto(TargetDevice::Cpu),
+    ];
+    let zipfs = [0.0, 0.75, 1.5];
+    let mut req = JoinRequest::generate(
+        &format!("client-{}", i % 4),
+        algos[i % algos.len()],
+        tuples,
+        zipfs[i % zipfs.len()],
+        // Seed period 15 = lcm(5 algos, 3 zipfs): requests 15 apart repeat
+        // the exact workload, so Auto requests can hit the plan cache.
+        seed.wrapping_add((i % 15) as u64),
+    );
+    req.priority = match i % 5 {
+        0 => Priority::High,
+        4 => Priority::Low,
+        _ => Priority::Normal,
+    };
+    if i % 4 == 0 {
+        req.deadline = Some(Duration::from_secs(60));
+    }
+    req
+}
+
+fn verify_completed(request: &JoinRequest, outcome: &Outcome) -> Result<(), String> {
+    let Outcome::Completed(summary) = outcome else {
+        return Ok(());
+    };
+    let RequestPayload::Generate { tuples, zipf, seed } = request.payload else {
+        return Ok(());
+    };
+    let w = PaperWorkload::generate(WorkloadSpec::paper(tuples, zipf, seed));
+    let expected_total: u64 = reference_key_counts(&w.r, &w.s).values().sum();
+    let expected_checksum = reference_checksum(&w.r, &w.s);
+    if summary.result_count != expected_total {
+        return Err(format!(
+            "{} (zipf {zipf}, seed {seed}): expected {expected_total} results, got {}",
+            summary.algorithm, summary.result_count
+        ));
+    }
+    if summary.checksum != expected_checksum {
+        return Err(format!(
+            "{} (zipf {zipf}, seed {seed}): expected checksum {expected_checksum:#x}, got {:#x}",
+            summary.algorithm, summary.checksum
+        ));
+    }
+    Ok(())
+}
+
+fn soak_one_seed(args: &SoakArgs, seed: u64) -> Vec<String> {
+    let mut violations = Vec::new();
+
+    let mut cfg = ServiceConfig {
+        workers: args.workers,
+        queue_capacity: args.requests, // no load shedding: stress the governor
+        plan_cache_capacity: 32,
+        ..ServiceConfig::default()
+    };
+    cfg.join_config.cpu.threads = 2;
+    cfg.memory_budget = tight_budget(args.tuples, &cfg.join_config);
+    let budget = cfg.memory_budget;
+    let service = JoinService::start(cfg);
+
+    let requests: Vec<JoinRequest> = (0..args.requests)
+        .map(|i| request_for(i, seed, args.tuples))
+        .collect();
+
+    // Submit everything up front — the whole burst is in flight at once.
+    let started = Instant::now();
+    let tickets: Vec<(JoinRequest, Ticket)> = requests
+        .into_iter()
+        .map(|req| {
+            let ticket = service.submit(req.clone());
+            (req, ticket)
+        })
+        .collect();
+
+    let mut completed = 0usize;
+    let mut rejected = 0usize;
+    let mut cancelled = 0usize;
+    let mut failed = 0usize;
+    let mut ladder_engagements = 0usize;
+    let mut plan_cache_hits = 0usize;
+    for (request, ticket) in tickets {
+        let Some(response) = ticket.wait_timeout(args.timeout) else {
+            violations.push(format!(
+                "dropped response: request from {} got no reply within {:?}",
+                request.client, args.timeout
+            ));
+            continue;
+        };
+        if let Err(diff) = verify_completed(&request, &response.outcome) {
+            violations.push(format!("wrong answer: {diff}"));
+        }
+        match &response.outcome {
+            Outcome::Completed(summary) => {
+                completed += 1;
+                if summary.degradations.iter().any(|d| d.contains("governor")) {
+                    ladder_engagements += 1;
+                }
+                if summary.plan_cache_hit {
+                    plan_cache_hits += 1;
+                }
+                if let Some(deadline) = request.deadline {
+                    let grace = Duration::from_secs(5);
+                    if started.elapsed() > deadline + grace {
+                        violations.push(format!(
+                            "deadline miss: request from {} completed {:?} after submission \
+                             despite a {deadline:?} deadline",
+                            request.client,
+                            started.elapsed()
+                        ));
+                    }
+                }
+            }
+            Outcome::Rejected { .. } => rejected += 1,
+            Outcome::Cancelled { .. } => cancelled += 1,
+            Outcome::Failed { error } => {
+                failed += 1;
+                // Failures must be typed service errors, not panics leaking
+                // through as strings.
+                if error.contains("panicked") {
+                    violations.push(format!("untyped failure: {error}"));
+                }
+            }
+        }
+    }
+
+    let peak = service.governor().peak();
+    if peak > budget {
+        violations.push(format!(
+            "governor overshoot: peak occupancy {peak} B exceeds budget {budget} B"
+        ));
+    }
+
+    let m = service.metrics();
+    let memory_waits = m.counter_value("service.memory_waits");
+    if memory_waits == 0 {
+        violations.push("budget never forced queuing (service.memory_waits == 0)".into());
+    }
+    if ladder_engagements == 0 {
+        violations.push("no degradation-ladder engagement across the whole soak".into());
+    }
+
+    service.shutdown();
+    let submitted = m.counter_value("service.submitted");
+    let admitted = m.counter_value("service.admitted");
+    let m_rejected = m.counter_value("service.rejected");
+    let m_completed = m.counter_value("service.completed");
+    let m_cancelled = m.counter_value("service.cancelled");
+    let m_failed = m.counter_value("service.failed");
+    if submitted != admitted + m_rejected {
+        violations.push(format!(
+            "metrics mismatch: submitted {submitted} != admitted {admitted} + rejected {m_rejected}"
+        ));
+    }
+    if admitted != m_completed + m_cancelled + m_failed {
+        violations.push(format!(
+            "metrics mismatch: admitted {admitted} != completed {m_completed} + cancelled \
+             {m_cancelled} + failed {m_failed}"
+        ));
+    }
+    // The client-side tally must agree with the service's own books.
+    if (completed, rejected, cancelled, failed)
+        != (
+            m_completed as usize,
+            m_rejected as usize,
+            m_cancelled as usize,
+            m_failed as usize,
+        )
+    {
+        violations.push(format!(
+            "metrics mismatch: client saw {completed}/{rejected}/{cancelled}/{failed} \
+             (completed/rejected/cancelled/failed) but the service recorded \
+             {m_completed}/{m_rejected}/{m_cancelled}/{m_failed}"
+        ));
+    }
+
+    println!(
+        "  seed {seed}: {completed} completed ({ladder_engagements} via governor ladder, \
+         {plan_cache_hits} plan-cache hits), {rejected} rejected, {cancelled} cancelled, \
+         {failed} failed; {memory_waits} memory waits; peak {peak}/{budget} B; wall {:?}",
+        started.elapsed()
+    );
+    violations
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "soak: {} requests x {} seed(s), {} workers, {} tuples/side, watchdog {:?}",
+        args.requests,
+        args.seeds.len(),
+        args.workers,
+        args.tuples,
+        args.timeout
+    );
+
+    let mut violations = Vec::new();
+    for &seed in &args.seeds {
+        for v in soak_one_seed(&args, seed) {
+            violations.push(format!("seed {seed}: {v}"));
+        }
+    }
+
+    if violations.is_empty() {
+        println!("soak: contract holds across all seeds");
+        return;
+    }
+    println!();
+    for v in &violations {
+        println!("VIOLATION: {v}");
+    }
+    eprintln!("soak: {} violation(s)", violations.len());
+    std::process::exit(1);
+}

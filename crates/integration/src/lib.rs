@@ -17,6 +17,7 @@
 #![warn(clippy::all)]
 
 pub mod chaos;
+pub mod service_chaos;
 
 use std::collections::BTreeMap;
 

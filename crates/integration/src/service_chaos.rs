@@ -1,0 +1,247 @@
+//! Chaos cells for the serving layer (`skewjoin-service`).
+//!
+//! The engine-level matrix ([`crate::chaos`]) arms failpoints *inside* a
+//! join; these cells arm the two service-level sites —
+//! [`FAILPOINT_ADMIT`](skewjoin_service::service::FAILPOINT_ADMIT) and
+//! [`FAILPOINT_EXECUTE`](skewjoin_service::service::FAILPOINT_EXECUTE) —
+//! and drive a whole [`JoinService`] through a burst of mixed requests.
+//!
+//! The contract mirrors the engine's, lifted to the serving layer: every
+//! submission resolves to a **typed outcome** (never a dropped response,
+//! never a hang), every `Completed` response is **diffcheck-correct**
+//! against the nested-loop reference, and after shutdown the metrics
+//! **reconcile exactly** (`submitted = admitted + rejected`,
+//! `admitted = completed + cancelled + failed`).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use skewjoin::common::faults::{self, Schedule};
+use skewjoin::datagen::{PaperWorkload, WorkloadSpec};
+use skewjoin::{Algorithm, CpuAlgorithm, GpuAlgorithm};
+use skewjoin_service::{AlgoChoice, JoinRequest, JoinService, Outcome, ServiceConfig, Ticket};
+
+use crate::chaos::{reference_checksum, CellOutcome, ChaosCell};
+use crate::reference_key_counts;
+
+/// The service-level failpoint sites.
+pub const SERVICE_FAILPOINT_SITES: [&str; 2] = [
+    skewjoin_service::service::FAILPOINT_ADMIT,
+    skewjoin_service::service::FAILPOINT_EXECUTE,
+];
+
+/// The deterministic schedule a service cell arms `site` with. Both sites
+/// fire per-request, so a per-hit probability sheds/fails a seed-dependent
+/// subset of the burst (possibly none — a clean-path cell).
+pub fn service_schedule_for(site: &str, seed: u64) -> Schedule {
+    match site {
+        "service.admit" => Schedule::Probability(0.25 + (seed % 3) as f64 * 0.1),
+        "service.execute" => Schedule::Probability(0.20 + (seed % 4) as f64 * 0.1),
+        _ => Schedule::OnHit(1),
+    }
+}
+
+/// The request burst one cell submits: every (algorithm, zipf) pairing the
+/// soak mixes, sized for oracle scale.
+fn burst(seed: u64) -> Vec<JoinRequest> {
+    let algos = [
+        Algorithm::Cpu(CpuAlgorithm::Cbase),
+        Algorithm::Cpu(CpuAlgorithm::Csh),
+        Algorithm::Gpu(GpuAlgorithm::Gbase),
+        Algorithm::Gpu(GpuAlgorithm::Gsh),
+    ];
+    let zipfs = [0.0, 0.75, 1.5];
+    let mut requests = Vec::new();
+    for (i, &algo) in algos.iter().enumerate() {
+        for (j, &zipf) in zipfs.iter().enumerate() {
+            let client = format!("client-{}", (i + j) % 3);
+            requests.push(JoinRequest::generate(
+                &client,
+                AlgoChoice::Fixed(algo),
+                2048,
+                zipf,
+                seed.wrapping_mul(31)
+                    .wrapping_add((i * zipfs.len() + j) as u64),
+            ));
+        }
+    }
+    requests
+}
+
+fn verify_completed(request: &JoinRequest, outcome: &Outcome) -> Result<(), String> {
+    let Outcome::Completed(summary) = outcome else {
+        return Ok(());
+    };
+    let skewjoin_service::RequestPayload::Generate { tuples, zipf, seed } = request.payload else {
+        return Ok(());
+    };
+    let w = PaperWorkload::generate(WorkloadSpec::paper(tuples, zipf, seed));
+    let expected_total: u64 = reference_key_counts(&w.r, &w.s).values().sum();
+    let expected_checksum = reference_checksum(&w.r, &w.s);
+    if summary.result_count != expected_total {
+        return Err(format!(
+            "{} on zipf {zipf}: expected {expected_total} results, got {}",
+            summary.algorithm, summary.result_count
+        ));
+    }
+    if summary.checksum != expected_checksum {
+        return Err(format!(
+            "{} on zipf {zipf}: expected checksum {expected_checksum:#x}, got {:#x}",
+            summary.algorithm, summary.checksum
+        ));
+    }
+    Ok(())
+}
+
+fn cell_body(site: &'static str, seed: u64, per_response_timeout: Duration) -> CellOutcome {
+    faults::reset(seed);
+    faults::arm(site, service_schedule_for(site, seed));
+
+    let mut cfg = ServiceConfig {
+        workers: 2,
+        queue_capacity: 32,
+        memory_budget: 1 << 30,
+        ..ServiceConfig::default()
+    };
+    cfg.join_config.cpu.threads = 2;
+    let service = JoinService::start(cfg);
+
+    let requests = burst(seed);
+    let tickets: Vec<(JoinRequest, Ticket)> = requests
+        .into_iter()
+        .map(|req| {
+            let ticket = service.submit(req.clone());
+            (req, ticket)
+        })
+        .collect();
+
+    let mut typed = Vec::new();
+    let mut degradations = 0usize;
+    for (request, ticket) in tickets {
+        let Some(response) = ticket.wait_timeout(per_response_timeout) else {
+            faults::reset(0);
+            return CellOutcome::Hang;
+        };
+        if let Err(diff) = verify_completed(&request, &response.outcome) {
+            faults::reset(0);
+            return CellOutcome::WrongAnswer(diff);
+        }
+        match &response.outcome {
+            Outcome::Completed(summary) => degradations += summary.degradations.len(),
+            Outcome::Rejected { reason, .. } => typed.push(format!("rejected: {reason}")),
+            Outcome::Cancelled { phase } => typed.push(format!("cancelled at {phase}")),
+            Outcome::Failed { error } => typed.push(format!("failed: {error}")),
+        }
+    }
+
+    service.shutdown();
+    faults::reset(0);
+
+    // Reconciliation is part of the contract: a cell whose books don't
+    // balance mis-counted a request somewhere, even if every response
+    // looked fine individually.
+    let m = service.metrics();
+    let submitted = m.counter_value("service.submitted");
+    let admitted = m.counter_value("service.admitted");
+    let rejected = m.counter_value("service.rejected");
+    let terminal = m.counter_value("service.completed")
+        + m.counter_value("service.cancelled")
+        + m.counter_value("service.failed");
+    if submitted != admitted + rejected || admitted != terminal {
+        return CellOutcome::WrongAnswer(format!(
+            "metrics do not reconcile: submitted {submitted}, admitted {admitted}, \
+             rejected {rejected}, terminal {terminal}"
+        ));
+    }
+
+    if typed.is_empty() {
+        CellOutcome::Correct { degradations }
+    } else {
+        CellOutcome::TypedError(format!("{} typed outcome(s): {}", typed.len(), typed[0]))
+    }
+}
+
+/// Runs one service cell under a watchdog, mirroring
+/// [`crate::chaos::run_cell`].
+pub fn run_service_cell(site: &'static str, seed: u64, timeout: Duration) -> CellOutcome {
+    let (tx, rx) = mpsc::channel();
+    let per_response = timeout / 2;
+    let spawned = std::thread::Builder::new()
+        .name(format!("svc-chaos-{site}-{seed}"))
+        .spawn(move || {
+            let outcome =
+                match catch_unwind(AssertUnwindSafe(|| cell_body(site, seed, per_response))) {
+                    Ok(outcome) => outcome,
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        CellOutcome::EscapedPanic(msg)
+                    }
+                };
+            let _ = tx.send(outcome);
+        });
+    match spawned {
+        Ok(_) => rx.recv_timeout(timeout).unwrap_or(CellOutcome::Hang),
+        Err(e) => CellOutcome::EscapedPanic(format!("spawn failed: {e}")),
+    }
+}
+
+/// Every service site × seed. Same reporting shape as the engine matrix so
+/// the chaos CLI can merge both.
+pub fn run_service_matrix(
+    seeds: &[u64],
+    sites: &[&'static str],
+    timeout: Duration,
+    mut progress: impl FnMut(&ChaosCell),
+) -> Vec<ChaosCell> {
+    let mut cells = Vec::new();
+    for &seed in seeds {
+        for &site in sites {
+            let outcome = run_service_cell(site, seed, timeout);
+            let cell = ChaosCell {
+                algorithm: "service".to_string(),
+                site,
+                seed,
+                outcome,
+            };
+            progress(&cell);
+            cells.push(cell);
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_schedules_are_deterministic_per_seed() {
+        for site in SERVICE_FAILPOINT_SITES {
+            assert_eq!(service_schedule_for(site, 3), service_schedule_for(site, 3));
+        }
+        assert_ne!(
+            service_schedule_for("service.admit", 0),
+            service_schedule_for("service.admit", 1)
+        );
+    }
+
+    // Fault-armed service cells run in `tests/service.rs` (its own process);
+    // the failpoint registry is process-global and arming it here would race
+    // the other lib tests.
+    #[cfg(not(feature = "fault-injection"))]
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn service_cell_runs_clean_without_the_feature() {
+        assert!(!faults::ENABLED);
+        let outcome = run_service_cell(SERVICE_FAILPOINT_SITES[0], 5, Duration::from_secs(60));
+        assert!(
+            matches!(outcome, CellOutcome::Correct { .. }),
+            "expected a clean sweep, got {outcome:?}"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! `skewjoind` — the standalone join service daemon.
+//!
+//! Binds a TCP listener and serves length-prefixed JSON join requests
+//! against a shared worker pool with admission control, a memory governor,
+//! and a plan cache (see the `skewjoin-service` crate docs).
+//!
+//! ```text
+//! cargo run -p skewjoin-service --bin skewjoind -- \
+//!     --listen 127.0.0.1:7733 --workers 4 --budget-mb 512
+//! ```
+//!
+//! Probe it with the `join_cli` example:
+//!
+//! ```text
+//! cargo run -p skewjoin-service --example join_cli -- \
+//!     --connect 127.0.0.1:7733 --algo auto --tuples 65536 --zipf 0.9
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use skewjoin_service::{protocol, JoinService, ServiceConfig};
+
+struct Args {
+    listen: String,
+    cfg: ServiceConfig,
+}
+
+const USAGE: &str = "usage: skewjoind [--listen ADDR] [--workers N] [--queue N] \
+[--budget-mb N] [--cache N]
+  --listen ADDR   TCP address to bind (default 127.0.0.1:7733; use port 0 for ephemeral)
+  --workers N     worker threads executing joins (default 4)
+  --queue N       admission queue capacity before load shedding (default 64)
+  --budget-mb N   memory governor budget in MiB (default 1024)
+  --cache N       plan cache capacity in entries (default 64)";
+
+fn parse_args() -> Result<Args, String> {
+    let mut listen = "127.0.0.1:7733".to_string();
+    let mut cfg = ServiceConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(String::new());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
+        let bad = |e| format!("bad value {value:?} for {flag}: {e}");
+        match flag.as_str() {
+            "--listen" => listen = value.clone(),
+            "--workers" => cfg.workers = value.parse().map_err(bad)?,
+            "--queue" => cfg.queue_capacity = value.parse().map_err(bad)?,
+            "--budget-mb" => {
+                cfg.memory_budget = value.parse::<u64>().map_err(bad)? * (1 << 20);
+            }
+            "--cache" => cfg.plan_cache_capacity = value.parse().map_err(bad)?,
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(Args { listen, cfg })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) if msg.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("skewjoind: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let workers = args.cfg.workers;
+    let queue = args.cfg.queue_capacity;
+    let budget = args.cfg.memory_budget;
+    let service = JoinService::start(args.cfg);
+    let server = match protocol::serve(Arc::clone(&service), args.listen.as_str()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("skewjoind: cannot listen on {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "skewjoind listening on {} ({} workers, queue {}, budget {} MiB)",
+        server.addr(),
+        workers,
+        queue,
+        budget >> 20,
+    );
+
+    // Serve until killed. The accept loop and workers run on their own
+    // threads; parking the main thread keeps the process alive without
+    // spinning.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,222 @@
+//! The memory governor: a global byte budget that every admitted query
+//! reserves its estimated footprint against before executing.
+//!
+//! Estimates come from [`skewjoin::planner::estimate_join_memory`] — a
+//! deliberate over-approximation, so the governor queues queries that might
+//! have squeaked by rather than admitting one that OOMs the process.
+//! Reservations are RAII: dropping a [`Reservation`] releases the bytes and
+//! wakes waiters, so no error path can leak budget.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use skewjoin::common::CancelToken;
+
+struct State {
+    in_use: u64,
+    peak: u64,
+}
+
+/// Why a reservation could not be granted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReserveError {
+    /// The request alone exceeds the whole budget — waiting can never help.
+    ExceedsBudget {
+        /// Bytes requested.
+        requested: u64,
+        /// The governor's total budget.
+        budget: u64,
+    },
+    /// The wait was cancelled (or its deadline expired) before space freed
+    /// up.
+    Cancelled,
+}
+
+/// A global memory budget with blocking reservations.
+pub struct MemoryGovernor {
+    budget: u64,
+    state: Mutex<State>,
+    freed: Condvar,
+}
+
+impl MemoryGovernor {
+    /// A governor over `budget` bytes.
+    pub fn new(budget: u64) -> Arc<Self> {
+        Arc::new(Self {
+            budget,
+            state: Mutex::new(State { in_use: 0, peak: 0 }),
+            freed: Condvar::new(),
+        })
+    }
+
+    /// Reserves `bytes`, blocking while the budget is fully committed.
+    /// Checks `cancel` (including its deadline) each time the wait wakes,
+    /// so a cancelled query stops queuing instead of holding a worker.
+    pub fn reserve(
+        self: &Arc<Self>,
+        bytes: u64,
+        cancel: &CancelToken,
+    ) -> Result<Reservation, ReserveError> {
+        if bytes > self.budget {
+            return Err(ReserveError::ExceedsBudget {
+                requested: bytes,
+                budget: self.budget,
+            });
+        }
+        let mut state = self.lock();
+        loop {
+            if cancel.is_cancelled() {
+                return Err(ReserveError::Cancelled);
+            }
+            if self.budget - state.in_use >= bytes {
+                state.in_use += bytes;
+                state.peak = state.peak.max(state.in_use);
+                return Ok(Reservation {
+                    governor: Arc::clone(self),
+                    bytes,
+                });
+            }
+            // Wake periodically even without a release so deadline expiry
+            // is noticed; releases notify immediately.
+            let (next, _) = self
+                .freed
+                .wait_timeout(state, Duration::from_millis(10))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = next;
+        }
+    }
+
+    /// Non-blocking variant: `None` when the bytes are not available right
+    /// now (including the never-fits case).
+    pub fn try_reserve(self: &Arc<Self>, bytes: u64) -> Option<Reservation> {
+        if bytes > self.budget {
+            return None;
+        }
+        let mut state = self.lock();
+        if self.budget - state.in_use >= bytes {
+            state.in_use += bytes;
+            state.peak = state.peak.max(state.in_use);
+            Some(Reservation {
+                governor: Arc::clone(self),
+                bytes,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Total budget in bytes.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Bytes currently reserved.
+    pub fn occupancy(&self) -> u64 {
+        self.lock().in_use
+    }
+
+    /// High-water mark of [`occupancy`](Self::occupancy) — the acceptance
+    /// criterion "peak governor occupancy ≤ budget" reads this.
+    pub fn peak(&self) -> u64 {
+        self.lock().peak
+    }
+
+    fn release(&self, bytes: u64) {
+        let mut state = self.lock();
+        state.in_use = state.in_use.saturating_sub(bytes);
+        drop(state);
+        self.freed.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A granted byte reservation; released on drop.
+pub struct Reservation {
+    governor: Arc<MemoryGovernor>,
+    bytes: u64,
+}
+
+impl Reservation {
+    /// Bytes this reservation holds.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.governor.release(self.bytes);
+    }
+}
+
+impl std::fmt::Debug for Reservation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reservation")
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn reservations_release_on_drop_and_track_peak() {
+        let gov = MemoryGovernor::new(1000);
+        let a = gov.try_reserve(600).unwrap();
+        assert_eq!(gov.occupancy(), 600);
+        let b = gov.try_reserve(400).unwrap();
+        assert_eq!(gov.occupancy(), 1000);
+        assert!(gov.try_reserve(1).is_none());
+        drop(a);
+        assert_eq!(gov.occupancy(), 400);
+        drop(b);
+        assert_eq!(gov.occupancy(), 0);
+        assert_eq!(gov.peak(), 1000);
+    }
+
+    #[test]
+    fn oversized_requests_fail_fast() {
+        let gov = MemoryGovernor::new(100);
+        match gov.reserve(101, &CancelToken::none()) {
+            Err(ReserveError::ExceedsBudget { requested, budget }) => {
+                assert_eq!((requested, budget), (101, 100));
+            }
+            other => panic!("expected ExceedsBudget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocked_reserve_proceeds_when_space_frees() {
+        let gov = MemoryGovernor::new(100);
+        let held = gov.try_reserve(80).unwrap();
+        let waiter = {
+            let gov = Arc::clone(&gov);
+            std::thread::spawn(move || gov.reserve(50, &CancelToken::none()).map(|r| r.bytes()))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        drop(held);
+        assert_eq!(waiter.join().unwrap(), Ok(50));
+        assert_eq!(gov.occupancy(), 0);
+    }
+
+    #[test]
+    fn deadline_expiry_unblocks_a_waiting_reserve() {
+        let gov = MemoryGovernor::new(100);
+        let _held = gov.try_reserve(100).unwrap();
+        let cancel = CancelToken::with_timeout(Duration::from_millis(30));
+        let start = Instant::now();
+        assert!(matches!(
+            gov.reserve(50, &cancel),
+            Err(ReserveError::Cancelled)
+        ));
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+}

@@ -1,0 +1,311 @@
+//! Length-prefixed TCP protocol: each frame is a `u32` big-endian byte
+//! length followed by that many bytes of UTF-8 JSON.
+//!
+//! Ops (the `"op"` member of a request frame):
+//!
+//! * `"join"` (default) — a [`JoinRequest`]; answered with one
+//!   [`JoinResponse`] frame once the join resolves.
+//! * `"metrics"` — answered with the service snapshot (metrics, governor,
+//!   plan cache).
+//! * `"ping"` — answered with `{"ok": true}`; liveness probe.
+//!
+//! Malformed frames get a `failed` response naming the parse error (id 0,
+//! since no request was admitted) instead of a dropped connection; only a
+//! broken transport closes the stream.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use skewjoin::common::json::Json;
+
+use crate::request::{JoinRequest, JoinResponse, Outcome};
+use crate::service::JoinService;
+
+/// Frames larger than this are refused — a corrupt length prefix must not
+/// trigger a multi-gigabyte allocation.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Writes one length-prefixed JSON frame.
+pub fn write_frame(w: &mut impl Write, json: &Json) -> io::Result<()> {
+    let body = json.to_string_pretty();
+    let bytes = body.as_bytes();
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds u32 length"))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed JSON frame. A clean EOF before the length
+/// prefix surfaces as `ErrorKind::UnexpectedEof`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Json> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_be_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let text = String::from_utf8(body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("non-UTF-8 frame: {e}")))?;
+    Json::parse(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad frame JSON: {e}")))
+}
+
+/// A running TCP front end over a [`JoinService`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with `"127.0.0.1:0"` ephemeral binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept loop. Existing
+    /// connections drain on their own (they are client-driven); the
+    /// underlying service keeps running until its own `shutdown`.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Unblock the accept loop with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves `service` over it until
+/// [`ServerHandle::stop`].
+pub fn serve(service: Arc<JoinService>, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::Builder::new()
+        .name("skewjoind-accept".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let service = Arc::clone(&service);
+                let _ = std::thread::Builder::new()
+                    .name("skewjoind-conn".into())
+                    .spawn(move || handle_connection(&service, stream));
+            }
+        })?;
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn handle_connection(service: &JoinService, mut stream: TcpStream) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown-peer".into());
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            // Clean close or broken transport: nothing left to answer.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Describe the malformed frame, then resynchronization is
+                // hopeless (the stream offset is lost), so close.
+                let _ = write_frame(&mut stream, &protocol_error(&e.to_string()));
+                return;
+            }
+            Err(_) => return,
+        };
+        let op = frame.get("op").and_then(Json::as_str).unwrap_or("join");
+        let reply = match op {
+            "ping" => Json::obj(vec![("ok", Json::Bool(true))]),
+            "metrics" => service.snapshot(),
+            "join" => match JoinRequest::from_json(&frame, &peer) {
+                Ok(request) => service.submit(request).wait().to_json(),
+                Err(msg) => protocol_error(&msg),
+            },
+            other => protocol_error(&format!("unknown op {other:?}")),
+        };
+        if write_frame(&mut stream, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// A `failed` response with id 0: the frame never became an admitted
+/// request, so no service accounting applies.
+fn protocol_error(msg: &str) -> Json {
+    JoinResponse {
+        id: 0,
+        outcome: Outcome::Failed {
+            error: format!("protocol error: {msg}"),
+        },
+    }
+    .to_json()
+}
+
+/// A blocking client for the frame protocol.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Submits a join and blocks for its response.
+    pub fn join(&mut self, request: &JoinRequest) -> io::Result<JoinResponse> {
+        write_frame(&mut self.stream, &request.to_json())?;
+        let reply = read_frame(&mut self.stream)?;
+        JoinResponse::from_json(&reply)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+
+    /// Fetches the service snapshot.
+    pub fn metrics(&mut self) -> io::Result<Json> {
+        write_frame(
+            &mut self.stream,
+            &Json::obj(vec![("op", Json::str("metrics"))]),
+        )?;
+        read_frame(&mut self.stream)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        write_frame(
+            &mut self.stream,
+            &Json::obj(vec![("op", Json::str("ping"))]),
+        )?;
+        let reply = read_frame(&mut self.stream)?;
+        Ok(reply.get("ok").and_then(Json::as_bool).unwrap_or(false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::AlgoChoice;
+    use crate::service::ServiceConfig;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let json = Json::obj(vec![("op", Json::str("ping")), ("n", Json::from_u64(7))]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &json).unwrap();
+        assert_eq!(
+            u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize,
+            buf.len() - 4
+        );
+        let back = read_frame(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(back.get("n").and_then(Json::as_u64), Some(7));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        buf.extend_from_slice(b"junk");
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_eof_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100u32.to_be_bytes());
+        buf.extend_from_slice(b"short");
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    fn tiny_server() -> (Arc<JoinService>, ServerHandle) {
+        let mut cfg = ServiceConfig {
+            workers: 2,
+            queue_capacity: 16,
+            ..ServiceConfig::default()
+        };
+        cfg.join_config.cpu.threads = 2;
+        let service = JoinService::start(cfg);
+        let handle = serve(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        (service, handle)
+    }
+
+    #[test]
+    fn tcp_round_trip_join_metrics_ping() {
+        let (service, handle) = tiny_server();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        assert!(client.ping().unwrap());
+
+        let req = JoinRequest::generate("wire", AlgoChoice::parse("csh").unwrap(), 2048, 0.9, 3);
+        let resp = client.join(&req).unwrap();
+        match resp.outcome {
+            Outcome::Completed(summary) => assert!(summary.result_count > 0),
+            other => panic!("expected completion over TCP, got {other:?}"),
+        }
+
+        let snapshot = client.metrics().unwrap();
+        assert!(snapshot.get("governor").is_some());
+        drop(client);
+        handle.stop();
+        service.shutdown();
+    }
+
+    #[test]
+    fn malformed_wire_request_gets_a_typed_error_frame() {
+        let (service, handle) = tiny_server();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        write_frame(
+            &mut stream,
+            &Json::obj(vec![
+                ("op", Json::str("join")),
+                ("algo", Json::str("bogus")),
+            ]),
+        )
+        .unwrap();
+        let reply = read_frame(&mut stream).unwrap();
+        let resp = JoinResponse::from_json(&reply).unwrap();
+        match resp.outcome {
+            Outcome::Failed { error } => assert!(error.contains("bogus")),
+            other => panic!("expected a protocol error, got {other:?}"),
+        }
+        drop(stream);
+        handle.stop();
+        service.shutdown();
+    }
+}

@@ -1,0 +1,827 @@
+//! The join service itself: a shared worker pool executing admitted
+//! requests through `skewjoin::run_join`, wrapped in the three serving
+//! mechanisms — admission control ([`FairQueue`]), the
+//! [`MemoryGovernor`], and the planner's [`PlanCache`].
+//!
+//! ## Lifecycle and accounting
+//!
+//! Every submission increments `service.submitted` and ends in exactly one
+//! terminal counter:
+//!
+//! * `service.rejected` — load-shed at admission (queue full, budget
+//!   infeasible, injected admission fault, shutdown); never admitted.
+//! * `service.completed` / `service.cancelled` / `service.failed` — the
+//!   three ends of an *admitted* request.
+//!
+//! The reconciliation invariant the soak harness asserts:
+//! `submitted = admitted + rejected` and
+//! `admitted = completed + cancelled + failed`, exactly, after shutdown.
+//!
+//! ## Degradation ladder
+//!
+//! A request whose memory estimate exceeds the global budget is degraded at
+//! dispatch, in order: (1) narrower radix bits, shrinking partition
+//! metadata and write-combining footprints; (2) for GPU algorithms, the
+//! simulated device memory is clamped to the budget so the executor's own
+//! ladder (`GpuResourceExhausted` → finer fan-out → CPU fallback) engages
+//! organically; (3) a request that cannot fit even fully degraded is
+//! rejected *at admission*, before it occupies queue space. Every rung
+//! taken is reported in the response's `degradations`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use skewjoin::common::hash::RadixConfig;
+use skewjoin::common::json::Json;
+use skewjoin::common::metrics::{default_latency_bounds_micros, MetricsRegistry};
+use skewjoin::common::{faults, CancelToken, JoinError, Relation, SinkSpec};
+use skewjoin::planner::{estimate_join_memory, PlanCache, PlannerOptions, TargetDevice};
+use skewjoin::{run_join, Algorithm, CpuAlgorithm, GpuAlgorithm, JoinConfig};
+use skewjoin_datagen::{PaperWorkload, WorkloadSpec};
+
+use crate::governor::{MemoryGovernor, ReserveError};
+use crate::queue::{FairQueue, PushError};
+use crate::request::{
+    AlgoChoice, JoinRequest, JoinResponse, JoinSummary, Outcome, RequestId, RequestPayload,
+};
+
+/// Failpoint hit once per submission, before admission. Arming it injects
+/// typed `Rejected` outcomes.
+pub const FAILPOINT_ADMIT: &str = "service.admit";
+/// Failpoint hit once per dequeued request, before execution. Arming it
+/// injects typed `Failed` outcomes.
+pub const FAILPOINT_EXECUTE: &str = "service.execute";
+
+/// Radix-bit floor the governor's narrowing rung stops at.
+const MIN_RADIX_BITS: u32 = 6;
+
+/// Service deployment knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing joins (each join additionally parallelizes
+    /// internally per its `JoinConfig`).
+    pub workers: usize,
+    /// Bound on queued (admitted, not yet executing) requests.
+    pub queue_capacity: usize,
+    /// Global memory budget in bytes the governor reserves against.
+    pub memory_budget: u64,
+    /// Planner decisions cached.
+    pub plan_cache_capacity: usize,
+    /// Execution configuration for requests that do not carry their own.
+    pub join_config: JoinConfig,
+    /// Deadline applied to requests that do not set one. `None` = no
+    /// deadline.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 64,
+            memory_budget: 1 << 30,
+            plan_cache_capacity: 64,
+            join_config: JoinConfig::default(),
+            default_deadline: None,
+        }
+    }
+}
+
+/// An admitted request travelling from `submit` to a worker.
+struct Pending {
+    id: RequestId,
+    request: JoinRequest,
+    cancel: CancelToken,
+    enqueued: Instant,
+    tx: mpsc::Sender<JoinResponse>,
+}
+
+struct Shared {
+    cfg: ServiceConfig,
+    queue: FairQueue<Pending>,
+    governor: Arc<MemoryGovernor>,
+    plan_cache: PlanCache,
+    metrics: MetricsRegistry,
+    next_id: AtomicU64,
+    cancels: Mutex<HashMap<RequestId, CancelToken>>,
+}
+
+/// Handle to one submitted request; resolves to its [`JoinResponse`].
+pub struct Ticket {
+    id: RequestId,
+    rx: mpsc::Receiver<JoinResponse>,
+}
+
+impl Ticket {
+    /// The service-assigned request id (usable with
+    /// [`JoinService::cancel`]).
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// Blocks until the response arrives. A service that dropped the
+    /// channel without responding (a bug; the soak harness treats it as a
+    /// violation) surfaces as a `Failed` outcome rather than a panic.
+    pub fn wait(self) -> JoinResponse {
+        let id = self.id;
+        self.rx.recv().unwrap_or(JoinResponse {
+            id,
+            outcome: Outcome::Failed {
+                error: "response channel dropped without a response".into(),
+            },
+        })
+    }
+
+    /// Bounded wait; `None` on timeout (the request keeps running).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JoinResponse> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+/// The concurrent join service. Construct with [`JoinService::start`];
+/// submissions are `&self`, so share it in an `Arc` across client threads.
+pub struct JoinService {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    shut_down: AtomicBool,
+}
+
+impl JoinService {
+    /// Starts the worker pool and returns the running service.
+    pub fn start(cfg: ServiceConfig) -> Arc<JoinService> {
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: FairQueue::new(cfg.queue_capacity),
+            governor: MemoryGovernor::new(cfg.memory_budget),
+            plan_cache: PlanCache::new(cfg.plan_cache_capacity),
+            metrics: MetricsRegistry::new(),
+            next_id: AtomicU64::new(1),
+            cancels: Mutex::new(HashMap::new()),
+            cfg,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("skewjoind-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Arc::new(JoinService {
+            shared,
+            workers: Mutex::new(handles),
+            shut_down: AtomicBool::new(false),
+        })
+    }
+
+    /// Submits a request. Always returns a ticket; admission failures
+    /// resolve it immediately with a typed [`Outcome::Rejected`].
+    pub fn submit(&self, request: JoinRequest) -> Ticket {
+        let shared = &self.shared;
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let ticket = Ticket { id, rx };
+        shared.metrics.counter("service.submitted").inc();
+
+        let reject = |reason: String, retry_after: Duration| {
+            shared.metrics.counter("service.rejected").inc();
+            let _ = tx.send(JoinResponse {
+                id,
+                outcome: Outcome::Rejected {
+                    reason,
+                    retry_after,
+                },
+            });
+        };
+
+        if faults::fire(FAILPOINT_ADMIT) {
+            reject(
+                format!("{}: injected admission fault", faults::PANIC_PREFIX),
+                self.retry_after(),
+            );
+            return ticket;
+        }
+
+        // Budget-infeasibility is an *admission* decision: a request whose
+        // fully-degraded footprint exceeds the budget would only ever
+        // occupy queue space before failing, so it is shed here.
+        if let Err(need) = self.fits_budget_degraded(&request) {
+            reject(
+                format!(
+                    "memory estimate {need} B exceeds budget {} B even fully degraded",
+                    shared.cfg.memory_budget
+                ),
+                self.retry_after(),
+            );
+            return ticket;
+        }
+
+        let cancel = match request.deadline.or(shared.cfg.default_deadline) {
+            Some(d) => CancelToken::with_timeout(d),
+            None => CancelToken::new(),
+        };
+        let pending = Pending {
+            id,
+            request,
+            cancel: cancel.clone(),
+            enqueued: Instant::now(),
+            tx: tx.clone(),
+        };
+        let priority = pending.request.priority;
+        let client = pending.request.client.clone();
+        match shared.queue.push(priority, &client, pending) {
+            Ok(()) => {
+                shared.metrics.counter("service.admitted").inc();
+                shared
+                    .metrics
+                    .gauge("service.queue_depth")
+                    .set(shared.queue.len() as u64);
+                shared
+                    .cancels
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .insert(id, cancel);
+            }
+            Err(PushError::QueueFull { depth }) => {
+                reject(format!("queue full ({depth} queued)"), self.retry_after());
+            }
+            Err(PushError::Closed) => {
+                reject("service is shutting down".into(), Duration::from_secs(1));
+            }
+        }
+        ticket
+    }
+
+    /// Cooperatively cancels an in-flight request. `true` if the id was
+    /// known (admitted and not yet resolved).
+    pub fn cancel(&self, id: RequestId) -> bool {
+        let cancels = self
+            .shared
+            .cancels
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match cancels.get(&id) {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The service's metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.shared.metrics
+    }
+
+    /// The memory governor (budget, occupancy, peak).
+    pub fn governor(&self) -> &Arc<MemoryGovernor> {
+        &self.shared.governor
+    }
+
+    /// The plan cache (hit/miss counters).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.shared.plan_cache
+    }
+
+    /// Entries currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// One JSON document with metrics, governor, and plan-cache state —
+    /// what the TCP `metrics` op and the CLI report.
+    pub fn snapshot(&self) -> Json {
+        let shared = &self.shared;
+        Json::obj(vec![
+            ("metrics", shared.metrics.snapshot()),
+            (
+                "governor",
+                Json::obj(vec![
+                    ("budget_bytes", Json::from_u64(shared.governor.budget())),
+                    (
+                        "occupancy_bytes",
+                        Json::from_u64(shared.governor.occupancy()),
+                    ),
+                    ("peak_bytes", Json::from_u64(shared.governor.peak())),
+                ]),
+            ),
+            (
+                "plan_cache",
+                Json::obj(vec![
+                    ("hits", Json::from_u64(shared.plan_cache.hits())),
+                    ("misses", Json::from_u64(shared.plan_cache.misses())),
+                    ("entries", Json::from_u64(shared.plan_cache.len() as u64)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Closes admission, resolves everything still queued as
+    /// `Cancelled { phase: "shutdown" }`, and joins the workers. In-flight
+    /// joins run to their next phase boundary. Idempotent.
+    pub fn shutdown(&self) {
+        if self.shut_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let shared = &self.shared;
+        shared.queue.close();
+        // Raise every live token so in-flight joins stop at the next phase
+        // boundary instead of running to completion.
+        for token in shared
+            .cancels
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+        {
+            token.cancel();
+        }
+        for pending in shared.queue.drain() {
+            finish(
+                shared,
+                pending.id,
+                &pending.tx,
+                Outcome::Cancelled {
+                    phase: "shutdown".into(),
+                },
+            );
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(
+            &mut self
+                .workers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for h in handles {
+            let _ = h.join();
+        }
+        shared
+            .metrics
+            .gauge("service.queue_depth")
+            .set(shared.queue.len() as u64);
+    }
+
+    /// Backoff hint scaled to queue pressure: deeper queue, longer wait.
+    fn retry_after(&self) -> Duration {
+        let depth = self.shared.queue.len() as u64;
+        Duration::from_millis(10 + 5 * depth)
+    }
+
+    /// `Ok` if the request fits the budget after every degradation rung
+    /// (narrowest radix, CPU fallback); `Err(bytes)` with the irreducible
+    /// estimate otherwise.
+    fn fits_budget_degraded(&self, request: &JoinRequest) -> Result<(), u64> {
+        let cfg = &self.shared.cfg;
+        let algorithm = match request.algo {
+            AlgoChoice::Fixed(a) => a,
+            AlgoChoice::Auto(TargetDevice::Cpu) => Algorithm::Cpu(CpuAlgorithm::Csh),
+            AlgoChoice::Auto(TargetDevice::Gpu) => Algorithm::Gpu(GpuAlgorithm::Gsh),
+        };
+        // The floor of the ladder is the CPU (fallback) algorithm at the
+        // narrowest fan-out.
+        let floor_algo = Algorithm::Cpu(match algorithm {
+            Algorithm::Cpu(a) => a,
+            Algorithm::Gpu(GpuAlgorithm::Gbase) => CpuAlgorithm::Cbase,
+            Algorithm::Gpu(GpuAlgorithm::Gsh) => CpuAlgorithm::Csh,
+        });
+        let mut floor_cfg = request
+            .config
+            .clone()
+            .unwrap_or_else(|| cfg.join_config.clone());
+        floor_cfg.cpu.radix = RadixConfig::two_pass(MIN_RADIX_BITS);
+        let est = estimate_join_memory(
+            floor_algo,
+            request.payload.r_tuples(),
+            request.payload.s_tuples(),
+            &floor_cfg,
+        );
+        if est.total_bytes() > cfg.memory_budget {
+            Err(est.total_bytes())
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Drop for JoinService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(pending) = shared.queue.pop() {
+        shared
+            .metrics
+            .gauge("service.queue_depth")
+            .set(shared.queue.len() as u64);
+        execute(shared, pending);
+    }
+}
+
+/// Records the terminal counter for `outcome` and delivers the response.
+/// Exactly one `finish` happens per admitted request — the reconciliation
+/// invariant hangs on that.
+fn finish(shared: &Shared, id: RequestId, tx: &mpsc::Sender<JoinResponse>, outcome: Outcome) {
+    let counter = match outcome {
+        Outcome::Completed(_) => "service.completed",
+        Outcome::Cancelled { .. } => "service.cancelled",
+        Outcome::Failed { .. } => "service.failed",
+        // Rejections are accounted at submit; an admitted request never
+        // resolves to Rejected.
+        Outcome::Rejected { .. } => unreachable!("admitted requests cannot be rejected"),
+    };
+    shared.metrics.counter(counter).inc();
+    shared
+        .cancels
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .remove(&id);
+    // A client that dropped its ticket just doesn't read the response; the
+    // accounting above already happened.
+    let _ = tx.send(JoinResponse { id, outcome });
+}
+
+fn execute(shared: &Arc<Shared>, pending: Pending) {
+    let Pending {
+        id,
+        request,
+        cancel,
+        enqueued,
+        tx,
+    } = pending;
+    let queue_wait = enqueued.elapsed();
+    shared
+        .metrics
+        .histogram(
+            "service.queue_wait_micros",
+            &default_latency_bounds_micros(),
+        )
+        .observe(queue_wait.as_micros() as u64);
+
+    if cancel.is_cancelled() {
+        return finish(
+            shared,
+            id,
+            &tx,
+            Outcome::Cancelled {
+                phase: "queued".into(),
+            },
+        );
+    }
+    if faults::fire(FAILPOINT_EXECUTE) {
+        let err = JoinError::BackendUnavailable(format!(
+            "{}: injected execution fault",
+            faults::PANIC_PREFIX
+        ));
+        return finish(
+            shared,
+            id,
+            &tx,
+            Outcome::Failed {
+                error: err.to_string(),
+            },
+        );
+    }
+
+    // Materialize input relations.
+    let (r, s): (Arc<Relation>, Arc<Relation>) = match &request.payload {
+        RequestPayload::Inline { r, s } => (Arc::clone(r), Arc::clone(s)),
+        RequestPayload::Generate { tuples, zipf, seed } => {
+            let w = PaperWorkload::generate(WorkloadSpec::paper(*tuples, *zipf, *seed));
+            (Arc::new(w.r), Arc::new(w.s))
+        }
+    };
+
+    // Resolve the algorithm (plan cache for Auto requests).
+    let mut cfg = request
+        .config
+        .clone()
+        .unwrap_or_else(|| shared.cfg.join_config.clone());
+    let (algorithm, plan_cache_hit) = match request.algo {
+        AlgoChoice::Fixed(a) => (a, false),
+        AlgoChoice::Auto(device) => {
+            let opts = PlannerOptions {
+                device,
+                cpu: cfg.cpu.clone(),
+                gpu: cfg.gpu.clone(),
+            };
+            let (plan, hit) = shared.plan_cache.plan(&r, &s, &opts);
+            (plan.algorithm, hit)
+        }
+    };
+
+    // Memory-governor degradation ladder (see module docs).
+    let mut degradations: Vec<String> = Vec::new();
+    let budget = shared.governor.budget();
+    let mut est = estimate_join_memory(algorithm, r.len(), s.len(), &cfg);
+    while est.total_bytes() > budget && cfg.cpu.radix.total_bits() > MIN_RADIX_BITS {
+        let narrower = cfg
+            .cpu
+            .radix
+            .total_bits()
+            .saturating_sub(2)
+            .max(MIN_RADIX_BITS);
+        cfg.cpu.radix = RadixConfig::two_pass(narrower);
+        if !algorithm.is_cpu() {
+            cfg.gpu.radix = Some(RadixConfig::two_pass(narrower));
+        }
+        degradations.push(format!(
+            "governor: narrowed radix to {narrower} bits (estimate {} B > budget {budget} B)",
+            est.total_bytes()
+        ));
+        est = estimate_join_memory(algorithm, r.len(), s.len(), &cfg);
+    }
+    if est.total_bytes() > budget {
+        if let Algorithm::Gpu(gpu_algo) = algorithm {
+            // The CPU fallback is what admission guaranteed feasible, so
+            // its reservation is earmarked first; the GPU attempt only
+            // gets the slack. A too-small grant raises
+            // GpuResourceExhausted inside the simulator and the
+            // executor's own ladder (finer fan-out, then CPU fallback)
+            // takes over organically.
+            let fallback = Algorithm::Cpu(match gpu_algo {
+                GpuAlgorithm::Gbase => CpuAlgorithm::Cbase,
+                GpuAlgorithm::Gsh => CpuAlgorithm::Csh,
+            });
+            let fallback_est = estimate_join_memory(fallback, r.len(), s.len(), &cfg);
+            let slack = budget
+                .saturating_sub(fallback_est.total_bytes())
+                .max(1 << 10);
+            cfg.gpu.spec.global_mem_bytes = cfg.gpu.spec.global_mem_bytes.min(slack as usize);
+            degradations.push(format!(
+                "governor: clamped device memory to {} B; relying on the {gpu_algo} \
+                 degradation ladder",
+                cfg.gpu.spec.global_mem_bytes
+            ));
+            est = fallback_est;
+        }
+    }
+
+    // Reserve; blocks (queuing under memory pressure) until space frees or
+    // the deadline/cancel fires. `service.memory_waits` counts requests
+    // that could not reserve immediately — the observable for "the budget
+    // forced queuing".
+    let reservation = match shared.governor.try_reserve(est.total_bytes()) {
+        Some(res) => Ok(res),
+        None => {
+            shared.metrics.counter("service.memory_waits").inc();
+            shared.governor.reserve(est.total_bytes(), &cancel)
+        }
+    };
+    let reservation = match reservation {
+        Ok(res) => res,
+        Err(ReserveError::Cancelled) => {
+            return finish(
+                shared,
+                id,
+                &tx,
+                Outcome::Cancelled {
+                    phase: "memory_wait".into(),
+                },
+            );
+        }
+        Err(ReserveError::ExceedsBudget { requested, budget }) => {
+            // Admission-time feasibility should have shed this; keep it a
+            // typed failure rather than a panic if an estimate drifts.
+            return finish(
+                shared,
+                id,
+                &tx,
+                Outcome::Failed {
+                    error: format!(
+                        "memory estimate {requested} B exceeds budget {budget} B post-degradation"
+                    ),
+                },
+            );
+        }
+    };
+
+    cfg.cpu.cancel = cancel.clone();
+    let started = Instant::now();
+    let result = run_join(algorithm, &r, &s, &cfg, SinkSpec::Count);
+    drop(reservation);
+
+    let outcome = match result {
+        Ok(stats) => {
+            shared
+                .metrics
+                .histogram("service.exec_micros", &default_latency_bounds_micros())
+                .observe(started.elapsed().as_micros() as u64);
+            let mut all_degradations = degradations;
+            all_degradations.extend(stats.trace.degradations.iter().cloned());
+            Outcome::Completed(JoinSummary {
+                algorithm: stats.algorithm.clone(),
+                result_count: stats.result_count,
+                checksum: stats.checksum,
+                exec_nanos: stats.total_time().as_nanos() as u64,
+                queue_nanos: queue_wait.as_nanos() as u64,
+                degradations: all_degradations,
+                plan_cache_hit,
+            })
+        }
+        Err(JoinError::Cancelled { phase }) => Outcome::Cancelled { phase },
+        Err(e) => Outcome::Failed {
+            error: e.to_string(),
+        },
+    };
+    finish(shared, id, &tx, outcome);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_service(workers: usize, queue: usize, budget: u64) -> Arc<JoinService> {
+        let mut cfg = ServiceConfig {
+            workers,
+            queue_capacity: queue,
+            memory_budget: budget,
+            ..ServiceConfig::default()
+        };
+        cfg.join_config.cpu.threads = 2;
+        JoinService::start(cfg)
+    }
+
+    fn csh() -> AlgoChoice {
+        AlgoChoice::Fixed(Algorithm::Cpu(CpuAlgorithm::Csh))
+    }
+
+    #[test]
+    fn completes_a_generate_request() {
+        let svc = small_service(2, 8, 1 << 30);
+        let resp = svc
+            .submit(JoinRequest::generate("t", csh(), 2048, 0.9, 7))
+            .wait();
+        match resp.outcome {
+            Outcome::Completed(summary) => {
+                assert!(summary.result_count > 0);
+                assert_eq!(summary.algorithm, "CSH");
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        svc.shutdown();
+        reconcile(&svc);
+    }
+
+    #[test]
+    fn rejects_when_queue_is_full() {
+        // One worker, tiny queue, many submissions: some must shed.
+        let svc = small_service(1, 2, 1 << 30);
+        let tickets: Vec<Ticket> = (0..16)
+            .map(|i| svc.submit(JoinRequest::generate(&format!("c{i}"), csh(), 4096, 0.9, i)))
+            .collect();
+        let outcomes: Vec<JoinResponse> = tickets.into_iter().map(Ticket::wait).collect();
+        let rejected = outcomes
+            .iter()
+            .filter(|o| matches!(o.outcome, Outcome::Rejected { .. }))
+            .count();
+        assert!(rejected > 0, "expected load shedding");
+        for o in &outcomes {
+            if let Outcome::Rejected { retry_after, .. } = &o.outcome {
+                assert!(*retry_after > Duration::ZERO);
+            }
+        }
+        svc.shutdown();
+        reconcile(&svc);
+    }
+
+    #[test]
+    fn infeasible_memory_is_rejected_at_admission() {
+        let svc = small_service(1, 8, 1 << 16);
+        let resp = svc
+            .submit(JoinRequest::generate("t", csh(), 1 << 20, 0.0, 1))
+            .wait();
+        match resp.outcome {
+            Outcome::Rejected { reason, .. } => assert!(reason.contains("budget")),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        svc.shutdown();
+        reconcile(&svc);
+    }
+
+    #[test]
+    fn deadline_in_the_past_cancels_at_a_named_boundary() {
+        let svc = small_service(1, 8, 1 << 30);
+        let mut req = JoinRequest::generate("t", csh(), 1 << 15, 0.9, 3);
+        req.deadline = Some(Duration::ZERO);
+        let resp = svc.submit(req).wait();
+        match resp.outcome {
+            Outcome::Cancelled { phase } => assert!(!phase.is_empty()),
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+        svc.shutdown();
+        reconcile(&svc);
+    }
+
+    #[test]
+    fn explicit_cancel_resolves_queued_request() {
+        // Single worker busy with a big join; the queued one gets cancelled.
+        let svc = small_service(1, 8, 1 << 30);
+        let busy = svc.submit(JoinRequest::generate("a", csh(), 1 << 16, 1.0, 5));
+        let queued = svc.submit(JoinRequest::generate("b", csh(), 1 << 16, 1.0, 6));
+        assert!(svc.cancel(queued.id()));
+        let resp = queued.wait();
+        assert!(matches!(resp.outcome, Outcome::Cancelled { .. }));
+        let _ = busy.wait();
+        svc.shutdown();
+        reconcile(&svc);
+        assert!(!svc.cancel(9999), "unknown ids are not cancellable");
+    }
+
+    #[test]
+    fn governor_forces_gpu_ladder_under_tight_budget() {
+        // Budget fits the CPU fallback but not the GPU estimate: the
+        // service clamps device memory and the executor ladder lands on
+        // the CPU, recording every rung.
+        // At 16 Ki tuples/side the CPU estimate is ≈790 KB and the GPU
+        // estimate ≈1.4 MB, so this budget admits the request (CPU floor
+        // fits) but forces the GPU ladder.
+        let tuples = 1 << 14;
+        let budget = 1_000_000;
+        let svc = small_service(1, 8, budget);
+        let resp = svc
+            .submit(JoinRequest::generate(
+                "t",
+                AlgoChoice::Fixed(Algorithm::Gpu(GpuAlgorithm::Gsh)),
+                tuples,
+                0.9,
+                11,
+            ))
+            .wait();
+        match resp.outcome {
+            Outcome::Completed(summary) => {
+                assert!(
+                    summary.degradations.iter().any(|d| d.contains("governor")),
+                    "expected a governor rung in {:?}",
+                    summary.degradations
+                );
+                assert_eq!(summary.algorithm, "CSH", "expected the CPU fallback");
+            }
+            other => panic!("expected completion via ladder, got {other:?}"),
+        }
+        assert!(svc.governor().peak() <= budget);
+        svc.shutdown();
+        reconcile(&svc);
+    }
+
+    #[test]
+    fn auto_requests_hit_the_plan_cache_on_repeat() {
+        let svc = small_service(1, 8, 1 << 30);
+        let req = || JoinRequest::generate("t", AlgoChoice::Auto(TargetDevice::Cpu), 8192, 1.0, 9);
+        let first = svc.submit(req()).wait();
+        let second = svc.submit(req()).wait();
+        match (&first.outcome, &second.outcome) {
+            (Outcome::Completed(a), Outcome::Completed(b)) => {
+                assert!(!a.plan_cache_hit);
+                assert!(b.plan_cache_hit);
+                assert_eq!(a.checksum, b.checksum);
+            }
+            other => panic!("expected two completions, got {other:?}"),
+        }
+        assert_eq!(svc.plan_cache().hits(), 1);
+        assert_eq!(svc.plan_cache().misses(), 1);
+        svc.shutdown();
+        reconcile(&svc);
+    }
+
+    #[test]
+    fn shutdown_resolves_queued_requests_as_cancelled() {
+        let svc = small_service(1, 32, 1 << 30);
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| svc.submit(JoinRequest::generate("t", csh(), 1 << 15, 1.0, i)))
+            .collect();
+        svc.shutdown();
+        let mut cancelled = 0;
+        for t in tickets {
+            match t.wait().outcome {
+                Outcome::Completed(_) | Outcome::Failed { .. } => {}
+                Outcome::Cancelled { .. } => cancelled += 1,
+                Outcome::Rejected { .. } => {}
+            }
+        }
+        assert!(cancelled > 0, "queued work should resolve as cancelled");
+        reconcile(&svc);
+    }
+
+    /// Asserts the accounting invariant after shutdown.
+    fn reconcile(svc: &JoinService) {
+        let m = svc.metrics();
+        let submitted = m.counter_value("service.submitted");
+        let admitted = m.counter_value("service.admitted");
+        let rejected = m.counter_value("service.rejected");
+        let completed = m.counter_value("service.completed");
+        let cancelled = m.counter_value("service.cancelled");
+        let failed = m.counter_value("service.failed");
+        assert_eq!(submitted, admitted + rejected, "submission accounting");
+        assert_eq!(
+            admitted,
+            completed + cancelled + failed,
+            "terminal accounting"
+        );
+    }
+}

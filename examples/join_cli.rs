@@ -1,21 +1,34 @@
-//! A small command-line joiner: load relations from CSV/binary files (or
-//! generate them), pick an algorithm (or let the planner decide), join, and
-//! report statistics.
+//! A small command-line joiner with three modes: run a join in-process,
+//! submit one to a running `skewjoind` over TCP, or serve one yourself.
 //!
 //! ```sh
-//! # Generate, save, and join a skewed workload:
-//! cargo run --release -p skewjoin --example join_cli -- \
+//! # Local: generate, save, and join a skewed workload.
+//! cargo run --release -p skewjoin-service --example join_cli -- \
 //!     --generate 1048576 --zipf 0.9 --save-prefix /tmp/skewdemo --algo plan
 //!
-//! # Join two CSV files on their first column:
-//! cargo run --release -p skewjoin --example join_cli -- \
+//! # Local: join two CSV files on their first column.
+//! cargo run --release -p skewjoin-service --example join_cli -- \
 //!     --r my_r.csv --s my_s.csv --algo csh
+//!
+//! # Client: submit the same request to a running skewjoind.
+//! cargo run --release -p skewjoin-service --example join_cli -- \
+//!     --connect 127.0.0.1:7733 --generate 65536 --zipf 1.25 --algo auto
+//!
+//! # Server: a one-liner skewjoind (ephemeral port with :0).
+//! cargo run --release -p skewjoin-service --example join_cli -- \
+//!     --serve 127.0.0.1:7733
 //! ```
+//!
+//! Every protocol or IO failure reports to stderr and exits nonzero; user
+//! errors never panic.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use skewjoin::datagen::io;
+use skewjoin::planner::TargetDevice;
 use skewjoin::prelude::*;
+use skewjoin_service::{protocol, AlgoChoice, JoinRequest, JoinService, Outcome, ServiceConfig};
 
 /// Prints a clean CLI error and exits (no panic backtrace for user errors).
 fn fail(msg: &str) -> ! {
@@ -32,6 +45,8 @@ struct CliArgs {
     algo: String,
     save_prefix: Option<PathBuf>,
     threads: Option<usize>,
+    connect: Option<String>,
+    serve: Option<String>,
 }
 
 fn parse_args() -> CliArgs {
@@ -44,6 +59,8 @@ fn parse_args() -> CliArgs {
         algo: "plan".to_string(),
         save_prefix: None,
         threads: None,
+        connect: None,
+        serve: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -80,12 +97,16 @@ fn parse_args() -> CliArgs {
                         .unwrap_or_else(|_| fail("--threads needs an integer")),
                 )
             }
+            "--connect" => args.connect = Some(val("--connect")),
+            "--serve" => args.serve = Some(val("--serve")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: join_cli [--r FILE --s FILE | --generate N [--zipf Z] [--seed S]]\n\
-                     \x20               [--algo cbase|npj|csh|gbase|gsh|plan] [--threads N]\n\
-                     \x20               [--save-prefix PATH]\n\
-                     FILE may be .csv (key in column 0) or the binary .skjr format."
+                     \x20               [--algo cbase|npj|csh|gbase|gsh|plan|plan-gpu] [--threads N]\n\
+                     \x20               [--save-prefix PATH] [--connect ADDR | --serve ADDR]\n\
+                     FILE may be .csv (key in column 0) or the binary .skjr format.\n\
+                     --connect submits the request to a running skewjoind instead of\n\
+                     joining in-process; --serve runs a skewjoind on ADDR until killed."
                 );
                 std::process::exit(0);
             }
@@ -105,15 +126,90 @@ fn load(path: &Path) -> Relation {
     rel
 }
 
+/// `--serve` mode: a one-binary skewjoind.
+fn serve(addr: &str, threads: Option<usize>) -> ! {
+    let mut cfg = ServiceConfig::default();
+    if let Some(t) = threads {
+        cfg.join_config.cpu.threads = t;
+    }
+    let service = JoinService::start(cfg);
+    let server = protocol::serve(Arc::clone(&service), addr)
+        .unwrap_or_else(|e| fail(&format!("cannot listen on {addr}: {e}")));
+    println!("join_cli serving on {}", server.addr());
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `--connect` mode: ship the request to a running server and report its
+/// typed outcome. Exit codes: 0 completed, 1 rejected/cancelled/failed,
+/// 2 usage or transport error.
+fn submit_remote(addr: &str, request: &JoinRequest) -> ! {
+    let mut client = protocol::Client::connect(addr)
+        .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+    let response = client
+        .join(request)
+        .unwrap_or_else(|e| fail(&format!("request to {addr} failed: {e}")));
+    match response.outcome {
+        Outcome::Completed(summary) => {
+            println!(
+                "request {} completed via {}: {} results, checksum {:#018x}",
+                response.id, summary.algorithm, summary.result_count, summary.checksum
+            );
+            println!(
+                "  exec {:.3} ms, queued {:.3} ms, plan cache {}",
+                summary.exec_nanos as f64 / 1e6,
+                summary.queue_nanos as f64 / 1e6,
+                if summary.plan_cache_hit {
+                    "hit"
+                } else {
+                    "miss"
+                },
+            );
+            if !summary.degradations.is_empty() {
+                println!("  degradations: {}", summary.degradations.join(", "));
+            }
+            std::process::exit(0);
+        }
+        Outcome::Rejected {
+            reason,
+            retry_after,
+        } => {
+            eprintln!(
+                "request {} rejected: {reason} (retry after {retry_after:?})",
+                response.id
+            );
+            std::process::exit(1);
+        }
+        Outcome::Cancelled { phase } => {
+            eprintln!("request {} cancelled at {phase}", response.id);
+            std::process::exit(1);
+        }
+        Outcome::Failed { error } => {
+            eprintln!("request {} failed: {error}", response.id);
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
+
+    if let Some(addr) = &args.serve {
+        serve(addr, args.threads);
+    }
 
     let (r, s) = match (&args.r_path, &args.s_path, args.generate) {
         (Some(rp), Some(sp), None) => (load(rp), load(sp)),
         (None, None, Some(n)) => {
-            println!("generating two {n}-tuple tables (zipf {})…", args.zipf);
-            let w = PaperWorkload::generate(WorkloadSpec::paper(n, args.zipf, args.seed));
-            (w.r, w.s)
+            if args.connect.is_some() {
+                // Generation happens server-side; nothing to materialize here.
+                (Relation::default(), Relation::default())
+            } else {
+                println!("generating two {n}-tuple tables (zipf {})…", args.zipf);
+                let w = PaperWorkload::generate(WorkloadSpec::paper(n, args.zipf, args.seed));
+                (w.r, w.s)
+            }
         }
         _ => fail("pass either --r and --s, or --generate N; see --help"),
     };
@@ -124,6 +220,21 @@ fn main() {
         io::write_binary(&r, &rp).unwrap_or_else(|e| fail(&format!("{}: {e}", rp.display())));
         io::write_binary(&s, &sp).unwrap_or_else(|e| fail(&format!("{}: {e}", sp.display())));
         println!("saved tables to {} and {}", rp.display(), sp.display());
+    }
+
+    if let Some(addr) = &args.connect {
+        let algo = match args.algo.as_str() {
+            // The local planner spelling; the service calls it "auto".
+            "plan" => AlgoChoice::Auto(TargetDevice::Cpu),
+            "plan-gpu" => AlgoChoice::Auto(TargetDevice::Gpu),
+            other => AlgoChoice::parse(other)
+                .unwrap_or_else(|| fail(&format!("unknown algorithm {other}; try --help"))),
+        };
+        let request = match args.generate {
+            Some(n) => JoinRequest::generate("join_cli", algo, n, args.zipf, args.seed),
+            None => JoinRequest::inline("join_cli", algo, Arc::new(r), Arc::new(s)),
+        };
+        submit_remote(addr, &request);
     }
 
     let mut opts = PlannerOptions::default();
