@@ -5,9 +5,11 @@
 //! skew detection, partitioning, and the join phase on the CPU, and between
 //! degradation-ladder rungs in the unified `run_join` front door — and bails
 //! out with [`crate::JoinError::Cancelled`] naming the phase it was about to
-//! enter. Cancellation is cooperative: a phase already running completes (or
-//! fails) before the token is consulted again, so the granularity is one
-//! pipeline phase, not one tuple.
+//! enter. The CPU probe loops additionally poll [`CancelToken::is_cancelled`]
+//! every ~1024 probe tuples, because a skew-degenerate chained table can make
+//! a single probe phase run for minutes; a cancel observed mid-phase discards
+//! the phase's partial output and surfaces the same typed error. Cancellation
+//! stays cooperative — the granularity is a probe chunk, not one tuple.
 //!
 //! Tokens carry an optional deadline. A token is *cancelled* once either the
 //! flag was raised via [`CancelToken::cancel`] or the deadline has passed;

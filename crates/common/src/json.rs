@@ -200,10 +200,16 @@ impl Json {
     }
 
     /// Parses a complete JSON document; trailing non-whitespace is an error.
+    ///
+    /// Containers may nest at most [`MAX_PARSE_DEPTH`] levels — the parser
+    /// is recursive-descent, so unbounded nesting in hostile input (e.g. a
+    /// megabyte of `[`) would otherwise overflow the thread stack, which
+    /// aborts the process instead of unwinding.
     pub fn parse(input: &str) -> Result<Json, JsonParseError> {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -280,9 +286,13 @@ fn write_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Maximum container nesting depth [`Json::parse`] accepts.
+pub const MAX_PARSE_DEPTH: usize = 512;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -291,6 +301,16 @@ impl<'a> Parser<'a> {
             offset: self.pos,
             message: message.to_string(),
         }
+    }
+
+    fn enter(&mut self) -> Result<(), JsonParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.err(&format!(
+                "containers nested deeper than {MAX_PARSE_DEPTH} levels"
+            )));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -335,6 +355,13 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.enter()?;
+        let result = self.object_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn object_inner(&mut self) -> Result<Json, JsonParseError> {
         self.expect(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
@@ -363,6 +390,13 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.enter()?;
+        let result = self.array_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn array_inner(&mut self) -> Result<Json, JsonParseError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -416,13 +450,21 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Advance one full UTF-8 character; the input is a &str,
-                    // so char boundaries are always valid.
+                    // Copy the longest run of unescaped bytes in one step.
+                    // Splitting on the raw `"`/`\` bytes is UTF-8-safe
+                    // (ASCII bytes never occur inside a multi-byte
+                    // sequence), and validating only the run keeps parsing
+                    // linear — validating the whole tail per character made
+                    // long strings quadratic.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    let run_len = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\')
+                        .unwrap_or(rest.len());
+                    let run = std::str::from_utf8(&rest[..run_len])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(run);
+                    self.pos += run_len;
                 }
             }
         }
@@ -489,15 +531,43 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("invalid number"))
+        match text.parse::<f64>() {
+            // `str::parse` maps overflowing literals like `1e999` to ±inf;
+            // JSON has no non-finite numbers, and letting one in would make
+            // the value unserializable (the writer emits `null` for it).
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            Ok(_) => Err(self.err("number out of range for a finite f64")),
+            Err(_) => Err(self.err("invalid number")),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A multi-megabyte string member must parse in linear time. The old
+    /// per-character loop re-validated the whole remaining input for every
+    /// character, so an 8 MiB string took minutes; fixed, it is
+    /// milliseconds, and the generous bound below only catches a
+    /// reintroduced quadratic scan.
+    #[test]
+    fn long_strings_parse_in_linear_time() {
+        let pad = "x".repeat(8 * 1024 * 1024);
+        let body = format!("{{\"pad\":\"{pad}\",\"esc\":\"a\\nb\"}}");
+        let start = std::time::Instant::now();
+        let doc = Json::parse(&body).unwrap();
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(20),
+            "string parsing is superlinear again: {:?}",
+            start.elapsed()
+        );
+        assert_eq!(
+            doc.get("pad").and_then(Json::as_str).map(str::len),
+            Some(pad.len())
+        );
+        assert_eq!(doc.get("esc").and_then(Json::as_str), Some("a\nb"));
+    }
 
     #[test]
     fn roundtrip_compact() {
@@ -565,6 +635,72 @@ mod tests {
         assert!(Json::parse("{\"a\" 1}").is_err());
         assert!(Json::parse("tru").is_err());
         assert!(Json::parse("1 2").is_err());
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null_and_never_parse_back() {
+        // RFC 8259 has no NaN/Infinity: the writer degrades them to null…
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(Json::Num(bad).to_string(), "null");
+            assert_eq!(Json::Num(bad).to_string_pretty(), "null");
+        }
+        let doc = Json::obj(vec![("v", Json::Num(f64::NAN))]);
+        assert_eq!(
+            Json::parse(&doc.to_string()).unwrap().get("v"),
+            Some(&Json::Null)
+        );
+        // …the parser rejects the bare tokens…
+        for token in ["NaN", "nan", "Infinity", "-Infinity", "inf"] {
+            assert!(Json::parse(token).is_err(), "accepted {token:?}");
+        }
+        // …and overflow-to-infinity literals cannot smuggle one in.
+        for literal in ["1e999", "-1e999", "1e309", "123456789e301"] {
+            assert!(Json::parse(literal).is_err(), "accepted {literal:?}");
+        }
+        // Large-but-finite literals still parse.
+        assert_eq!(Json::parse("1e308").unwrap().as_f64(), Some(1e308));
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // Regression: the recursive-descent parser used to recurse once per
+        // `[`, so ~100k of them overflowed the thread stack (an abort, not
+        // an unwind). Depth just inside the cap parses; past it is a typed
+        // error.
+        let deep_ok = "[".repeat(MAX_PARSE_DEPTH) + &"]".repeat(MAX_PARSE_DEPTH);
+        assert!(Json::parse(&deep_ok).is_ok());
+        let too_deep = "[".repeat(MAX_PARSE_DEPTH + 1) + &"]".repeat(MAX_PARSE_DEPTH + 1);
+        let err = Json::parse(&too_deep).unwrap_err();
+        assert!(err.message.contains("nested deeper"), "{err}");
+        // Hostile depth far beyond the cap fails fast instead of aborting.
+        assert!(Json::parse(&"[".repeat(200_000)).is_err());
+        // Mixed-container nesting counts both kinds of frame.
+        let mixed = r#"{"a": [{"b": [{"c": 1}]}]}"#;
+        assert!(Json::parse(mixed).is_ok());
+        // Depth resets between siblings: wide documents are unaffected.
+        let wide = format!("[{}]", vec!["[1]"; 10_000].join(","));
+        assert!(Json::parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn escape_sequences_roundtrip_through_both_writers() {
+        let tricky = Json::obj(vec![
+            ("quote\"backslash\\", Json::str("\u{0}\u{1f}\t\r\n")),
+            ("unicode", Json::str("π😀é\u{7f}")),
+            ("slash", Json::str("a/b")),
+        ]);
+        assert_eq!(Json::parse(&tricky.to_string()).unwrap(), tricky);
+        assert_eq!(Json::parse(&tricky.to_string_pretty()).unwrap(), tricky);
+        // Escaped-solidus and surrogate-pair escapes parse to the same
+        // strings as their literal forms.
+        assert_eq!(
+            Json::parse(r#""\/😀""#).unwrap(),
+            Json::Str("/😀".to_string())
+        );
+        assert_eq!(
+            Json::parse(r#""\ud83d\ude00""#).unwrap(),
+            Json::Str("😀".to_string())
+        );
     }
 
     #[test]

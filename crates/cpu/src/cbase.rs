@@ -20,7 +20,9 @@ use std::time::Instant;
 
 use skewjoin_common::hash::mix32;
 use skewjoin_common::trace::counter;
-use skewjoin_common::{faults, JoinError, JoinStats, OutputSink, Relation, Trace, Tuple};
+use skewjoin_common::{
+    faults, CancelToken, JoinError, JoinStats, OutputSink, Relation, Trace, Tuple,
+};
 
 use crate::config::CpuJoinConfig;
 use crate::hashtable::ChainedTable;
@@ -74,6 +76,9 @@ struct JoinPhase<'a> {
     extra_bits: u32,
     max_depth: u32,
     max_bucket_bits: u32,
+    /// Observed between tasks and between probe chunks, so a deadline or an
+    /// explicit cancel interrupts even a chain-heavy join phase promptly.
+    cancel: CancelToken,
     counters: JoinPhaseCounters,
 }
 
@@ -125,7 +130,7 @@ impl<'a> JoinPhase<'a> {
     ) {
         let r = task.r_buf.get(&task.r_range);
         let s = task.s_buf.get(&task.s_range);
-        if r.is_empty() || s.is_empty() {
+        if r.is_empty() || s.is_empty() || self.cancel.is_cancelled() {
             return;
         }
         self.counters.tasks_run.fetch_add(1, Ordering::Relaxed);
@@ -158,7 +163,18 @@ impl<'a> JoinPhase<'a> {
             return;
         }
 
-        let table = ChainedTable::build(r, self.max_bucket_bits);
+        let table = match ChainedTable::try_build(r, self.max_bucket_bits) {
+            Ok(table) => table,
+            Err(e) => {
+                // Unreachable while overflow_budget ≤ MAX_BUILD_TUPLES, but
+                // a typed record beats a worker panic if that ever changes.
+                let mut slot = self.overflow.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(e.to_string());
+                }
+                return;
+            }
+        };
         self.counters
             .build_tuples
             .fetch_add(r.len() as u64, Ordering::Relaxed);
@@ -168,7 +184,12 @@ impl<'a> JoinPhase<'a> {
         self.counters
             .max_chain_len
             .fetch_max(table.max_chain_len() as u64, Ordering::Relaxed);
-        table.probe_all(s, sink);
+        for chunk in s.chunks(1024) {
+            table.probe_all(chunk, sink);
+            if self.cancel.is_cancelled() {
+                return;
+            }
+        }
     }
 
     /// Re-partitions both sides with `extra_bits` more radix bits and
@@ -317,11 +338,14 @@ where
         // anything the paper's workloads build, but a real ceiling for a
         // degenerate build side; fault injection shrinks it effectively to
         // zero by marking tasks over-budget directly.
-        overflow_budget: (1usize << cfg.max_bucket_bits).saturating_mul(64),
+        overflow_budget: (1usize << cfg.max_bucket_bits)
+            .saturating_mul(64)
+            .min(crate::hashtable::MAX_BUILD_TUPLES),
         overflow: Mutex::new(None),
         extra_bits: cfg.extra_pass_bits,
         max_depth: 6,
         max_bucket_bits: cfg.max_bucket_bits,
+        cancel: cfg.cancel.clone(),
         counters: JoinPhaseCounters::default(),
     };
 
@@ -361,6 +385,10 @@ where
     if let Some(msg) = phase.overflow.lock().unwrap().take() {
         return Err(JoinError::PartitionOverflow(msg));
     }
+    // A cancel observed mid-phase left the sinks partially fed; the typed
+    // error makes the caller discard them.
+    cfg.cancel
+        .check(if allow_split { "join" } else { "nm_join" })?;
     let report = JoinPhaseReport {
         tasks_run: phase.counters.tasks_run.load(Ordering::Relaxed),
         task_splits: phase.counters.task_splits.load(Ordering::Relaxed),
@@ -459,6 +487,55 @@ mod tests {
         assert!(outcome.stats.phases.get("partition") > std::time::Duration::ZERO);
         assert!(outcome.stats.phases.get("join") > std::time::Duration::ZERO);
         assert!(outcome.stats.partitions > 0);
+    }
+
+    #[test]
+    fn cancel_interrupts_join_mid_phase() {
+        // Single hot key: splitting cannot help, so one task probes all of
+        // S against a 64-tuple build. The sink trips the token inside the
+        // first 1024-tuple probe chunk; the post-drain check must turn the
+        // partial output into a typed Cancelled error.
+        #[derive(Debug)]
+        struct CancellingSink {
+            inner: CountingSink,
+            cancel: skewjoin_common::CancelToken,
+            after: u64,
+        }
+        impl OutputSink for CancellingSink {
+            fn emit(
+                &mut self,
+                key: skewjoin_common::Key,
+                r_payload: skewjoin_common::Payload,
+                s_payload: skewjoin_common::Payload,
+            ) {
+                self.inner.emit(key, r_payload, s_payload);
+                if self.inner.count() == self.after {
+                    self.cancel.cancel();
+                }
+            }
+            fn count(&self) -> u64 {
+                self.inner.count()
+            }
+            fn checksum(&self) -> u64 {
+                self.inner.checksum()
+            }
+        }
+
+        let r = Relation::from_tuples(vec![Tuple::new(7, 0); 64]);
+        let s = Relation::from_tuples((0..4096u32).map(|i| Tuple::new(7, i)).collect());
+        let cancel = CancelToken::new();
+        let mut cfg = CpuJoinConfig::with_threads(1);
+        cfg.cancel = cancel.clone();
+        let err = cbase_join(&r, &s, &cfg, |_| CancellingSink {
+            inner: CountingSink::new(),
+            cancel: cancel.clone(),
+            after: 100,
+        })
+        .unwrap_err();
+        assert!(
+            matches!(&err, JoinError::Cancelled { phase } if phase == "join"),
+            "expected mid-join Cancelled, got {err:?}"
+        );
     }
 
     #[test]

@@ -186,6 +186,15 @@ impl CpuJoinConfig {
                 "extra_pass_bits must be in 1..=12".into(),
             ));
         }
+        // 0 would shift table_hash by the full word width (a panic in debug
+        // builds, an out-of-range bucket in release); past 28 the bucket
+        // array alone exceeds a gigabyte.
+        if !(1..=28).contains(&self.max_bucket_bits) {
+            return Err(JoinError::InvalidConfig(format!(
+                "max_bucket_bits must be in 1..=28, got {}",
+                self.max_bucket_bits
+            )));
+        }
         if let SkewDetectorKind::Frequent {
             capacity,
             min_fraction,
@@ -257,6 +266,14 @@ mod tests {
         cfg.wc_tuples = 128; // larger than 64
         assert!(cfg.validate().is_err());
         cfg.wc_tuples = 16;
+        assert!(cfg.validate().is_ok());
+
+        let mut cfg = CpuJoinConfig::default();
+        cfg.max_bucket_bits = 0; // would shift table_hash by 32
+        assert!(cfg.validate().is_err());
+        cfg.max_bucket_bits = 29;
+        assert!(cfg.validate().is_err());
+        cfg.max_bucket_bits = 1;
         assert!(cfg.validate().is_ok());
     }
 

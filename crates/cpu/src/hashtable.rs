@@ -14,7 +14,26 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use skewjoin_common::hash::{bucket_bits_for, table_hash};
-use skewjoin_common::{Key, OutputSink, Tuple};
+use skewjoin_common::{JoinError, Key, OutputSink, Tuple};
+
+/// Largest build side either table can represent. Chain links store
+/// `tuple index + 1` in a `u32` with 0 reserved as the empty sentinel, so
+/// index `u32::MAX - 1` (encoding `u32::MAX`) is the last representable
+/// tuple; one past it the encoding `(i + 1) as u32` silently wraps to the
+/// sentinel and the tuple vanishes from its chain.
+pub const MAX_BUILD_TUPLES: usize = u32::MAX as usize - 1;
+
+/// Checks that `len` build tuples fit the slot encoding, naming `table` in
+/// the error.
+pub fn check_build_len(len: usize, table: &str) -> Result<(), JoinError> {
+    if len > MAX_BUILD_TUPLES {
+        return Err(JoinError::InvalidInput(format!(
+            "{table} build side of {len} tuples exceeds the {MAX_BUILD_TUPLES}-tuple slot \
+             encoding limit"
+        )));
+    }
+    Ok(())
+}
 
 /// A single-threaded bucket-chaining hash table over a borrowed tuple slice.
 pub struct ChainedTable<'a> {
@@ -27,8 +46,11 @@ pub struct ChainedTable<'a> {
 }
 
 impl<'a> ChainedTable<'a> {
-    /// Builds a table over `tuples` with `2^bits` buckets.
-    pub fn build_with_bits(tuples: &'a [Tuple], bits: u32) -> Self {
+    /// Builds a table over `tuples` with `2^bits` buckets, or
+    /// [`JoinError::InvalidInput`] if the build side exceeds
+    /// [`MAX_BUILD_TUPLES`].
+    pub fn try_build_with_bits(tuples: &'a [Tuple], bits: u32) -> Result<Self, JoinError> {
+        check_build_len(tuples.len(), "chained table")?;
         let mut buckets = vec![0u32; 1usize << bits];
         let mut next = vec![0u32; tuples.len()];
         for (i, t) in tuples.iter().enumerate() {
@@ -36,18 +58,35 @@ impl<'a> ChainedTable<'a> {
             next[i] = buckets[h];
             buckets[h] = (i + 1) as u32;
         }
-        Self {
+        Ok(Self {
             tuples,
             buckets,
             next,
             bits,
-        }
+        })
+    }
+
+    /// Builds a table over `tuples` with `2^bits` buckets.
+    ///
+    /// # Panics
+    /// Panics if the build side exceeds [`MAX_BUILD_TUPLES`]; use
+    /// [`ChainedTable::try_build_with_bits`] for a typed error.
+    pub fn build_with_bits(tuples: &'a [Tuple], bits: u32) -> Self {
+        Self::try_build_with_bits(tuples, bits).expect("build side fits the slot encoding")
+    }
+
+    /// Fallible sibling of [`ChainedTable::build`].
+    pub fn try_build(tuples: &'a [Tuple], max_bits: u32) -> Result<Self, JoinError> {
+        Self::try_build_with_bits(tuples, bucket_bits_for(tuples.len()).min(max_bits))
     }
 
     /// Builds a table sized to roughly one bucket per tuple, capped at
     /// `max_bits`.
+    ///
+    /// # Panics
+    /// Panics if the build side exceeds [`MAX_BUILD_TUPLES`].
     pub fn build(tuples: &'a [Tuple], max_bits: u32) -> Self {
-        Self::build_with_bits(tuples, bucket_bits_for(tuples.len()).min(max_bits))
+        Self::try_build(tuples, max_bits).expect("build side fits the slot encoding")
     }
 
     /// Number of buckets.
@@ -104,22 +143,41 @@ pub struct ConcurrentChainedTable<'a> {
 }
 
 impl<'a> ConcurrentChainedTable<'a> {
-    /// Allocates an empty table over `tuples` with `2^bits` buckets; call
+    /// Allocates an empty table over `tuples` with `2^bits` buckets, or
+    /// [`JoinError::InvalidInput`] past [`MAX_BUILD_TUPLES`]; call
     /// [`ConcurrentChainedTable::insert_range`] from worker threads to build.
-    pub fn with_bits(tuples: &'a [Tuple], bits: u32) -> Self {
+    pub fn try_with_bits(tuples: &'a [Tuple], bits: u32) -> Result<Self, JoinError> {
+        check_build_len(tuples.len(), "concurrent chained table")?;
         let buckets = (0..1usize << bits).map(|_| AtomicU32::new(0)).collect();
         let next = (0..tuples.len()).map(|_| AtomicU32::new(0)).collect();
-        Self {
+        Ok(Self {
             tuples,
             buckets,
             next,
             bits,
-        }
+        })
+    }
+
+    /// Allocates an empty table over `tuples` with `2^bits` buckets.
+    ///
+    /// # Panics
+    /// Panics if the build side exceeds [`MAX_BUILD_TUPLES`]; use
+    /// [`ConcurrentChainedTable::try_with_bits`] for a typed error.
+    pub fn with_bits(tuples: &'a [Tuple], bits: u32) -> Self {
+        Self::try_with_bits(tuples, bits).expect("build side fits the slot encoding")
+    }
+
+    /// Fallible sibling of [`ConcurrentChainedTable::sized`].
+    pub fn try_sized(tuples: &'a [Tuple], max_bits: u32) -> Result<Self, JoinError> {
+        Self::try_with_bits(tuples, bucket_bits_for(tuples.len()).min(max_bits))
     }
 
     /// Allocates sized to the input (≈1 bucket/tuple, capped).
+    ///
+    /// # Panics
+    /// Panics if the build side exceeds [`MAX_BUILD_TUPLES`].
     pub fn sized(tuples: &'a [Tuple], max_bits: u32) -> Self {
-        Self::with_bits(tuples, bucket_bits_for(tuples.len()).min(max_bits))
+        Self::try_sized(tuples, max_bits).expect("build side fits the slot encoding")
     }
 
     /// Inserts the tuples in `range` (call with disjoint ranges from each
@@ -250,6 +308,34 @@ mod tests {
             b.sort_unstable();
             assert_eq!(a, b, "key {key}");
         }
+    }
+
+    #[test]
+    fn build_len_guard_at_the_encoding_boundary() {
+        // The check itself at the exact boundary (allocating 4G tuples to
+        // drive the real constructor over the edge is not feasible in a
+        // unit test, and the check is the single gate both builders share).
+        assert!(check_build_len(MAX_BUILD_TUPLES, "chained table").is_ok());
+        let err = check_build_len(MAX_BUILD_TUPLES + 1, "chained table").unwrap_err();
+        match err {
+            JoinError::InvalidInput(msg) => {
+                assert!(msg.contains("slot encoding"), "unexpected message: {msg}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+        // One past the boundary is precisely where `(i + 1) as u32` would
+        // wrap onto the 0 = empty sentinel.
+        assert_eq!((MAX_BUILD_TUPLES + 1) as u32, u32::MAX);
+        assert_eq!(((MAX_BUILD_TUPLES + 1) + 1) as u32, 0);
+    }
+
+    #[test]
+    fn try_builders_accept_small_inputs() {
+        let build = tuples_with_keys(&[1, 2, 3]);
+        assert!(ChainedTable::try_build(&build, 22).is_ok());
+        assert!(ChainedTable::try_build_with_bits(&build, 4).is_ok());
+        assert!(ConcurrentChainedTable::try_sized(&build, 22).is_ok());
+        assert!(ConcurrentChainedTable::try_with_bits(&build, 4).is_ok());
     }
 
     #[test]

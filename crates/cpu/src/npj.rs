@@ -38,7 +38,10 @@ where
     // ---- Build phase: all threads insert disjoint segments of R. ----
     cfg.cancel.check("build")?;
     let t0 = Instant::now();
-    let table = ConcurrentChainedTable::sized(r, cfg.max_bucket_bits);
+    // The global table holds *all* of R, so the slot-encoding bound is a
+    // real input limit here (per-partition builds hit the overflow budget
+    // long before it).
+    let table = ConcurrentChainedTable::try_sized(r, cfg.max_bucket_bits)?;
     std::thread::scope(|scope| {
         for w in 0..threads {
             let table = &table;
@@ -70,8 +73,18 @@ where
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         worker.run(|range: std::ops::Range<usize>, _w| {
-            for t in &s[range] {
-                table.probe(t.key, |r_t| sink.emit(t.key, r_t.payload, t.payload));
+            // Probing a skew-degenerate table can take minutes per chunk
+            // (every probe walks a chain of r.len() >> bucket_bits links),
+            // so cancellation must be observable *inside* a task, not just
+            // at phase boundaries. Partial output is discarded by the
+            // post-drain check below.
+            for tuples in s[range].chunks(1024) {
+                if cfg.cancel.is_cancelled() {
+                    return;
+                }
+                for t in tuples {
+                    table.probe(t.key, |r_t| sink.emit(t.key, r_t.payload, t.payload));
+                }
             }
         });
     })
@@ -79,6 +92,7 @@ where
         worker,
         phase: "probe".into(),
     })?;
+    cfg.cancel.check("probe")?;
     let sinks: Vec<S> = slots
         .into_iter()
         .map(|m| {
@@ -103,8 +117,32 @@ where
 mod tests {
     use super::*;
     use crate::reference::reference_join;
-    use skewjoin_common::{CountingSink, Tuple};
+    use skewjoin_common::{CancelToken, CountingSink, Key, Payload, Tuple};
     use skewjoin_datagen::{PaperWorkload, WorkloadSpec};
+
+    /// Trips the shared cancel token after `after` results — the in-process
+    /// stand-in for a watchdog firing while the probe phase is underway.
+    #[derive(Debug)]
+    struct CancellingSink {
+        inner: CountingSink,
+        cancel: CancelToken,
+        after: u64,
+    }
+
+    impl OutputSink for CancellingSink {
+        fn emit(&mut self, key: Key, r_payload: Payload, s_payload: Payload) {
+            self.inner.emit(key, r_payload, s_payload);
+            if self.inner.count() == self.after {
+                self.cancel.cancel();
+            }
+        }
+        fn count(&self) -> u64 {
+            self.inner.count()
+        }
+        fn checksum(&self) -> u64 {
+            self.inner.checksum()
+        }
+    }
 
     #[test]
     fn matches_reference_across_skews() {
@@ -166,6 +204,39 @@ mod tests {
         .unwrap();
         assert_eq!(outcome.stats.result_count, 3);
         assert_eq!(outcome.sinks.len(), 16);
+    }
+
+    #[test]
+    fn cancel_interrupts_probe_mid_phase() {
+        // One hot key: every probe tuple matches all 64 build tuples, so
+        // the sink trips the token inside the first 1024-tuple probe chunk
+        // and the next chunk boundary must abandon the join.
+        let r = Relation::from_tuples(vec![Tuple::new(7, 0); 64]);
+        let s = Relation::from_tuples((0..4096u32).map(|i| Tuple::new(7, i)).collect());
+        let cancel = CancelToken::new();
+        let mut cfg = CpuJoinConfig::with_threads(1);
+        cfg.cancel = cancel.clone();
+        let err = npj_join(&r, &s, &cfg, |_| CancellingSink {
+            inner: CountingSink::new(),
+            cancel: cancel.clone(),
+            after: 100,
+        })
+        .unwrap_err();
+        assert!(
+            matches!(&err, JoinError::Cancelled { phase } if phase == "probe"),
+            "expected mid-probe Cancelled, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_token_fails_fast() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let mut cfg = CpuJoinConfig::with_threads(2);
+        cfg.cancel = cancel;
+        let r = Relation::from_keys(&[1, 2, 3]);
+        let err = npj_join(&r, &r, &cfg, |_| CountingSink::new()).unwrap_err();
+        assert!(matches!(err, JoinError::Cancelled { .. }));
     }
 
     #[test]

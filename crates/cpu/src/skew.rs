@@ -27,8 +27,26 @@ pub struct SkewedKey {
 /// configured threshold, hottest first.
 ///
 /// Sampling is strided with a pseudo-random phase per stride window: cheap,
-/// deterministic per seed, and unbiased for the frequency estimate (every
-/// tuple has probability `sample_rate` of selection).
+/// deterministic per seed, and unbiased — every tuple is selected with
+/// probability exactly `1/stride`, *including* the final partial window
+/// (when `len % stride != 0`): the pick offset is drawn over the full
+/// stride and discarded when it falls past the window's end, so the tail
+/// is sampled with probability `window/stride` rather than always. (An
+/// always-sampled tail would over-weight its tuples by `stride/window`,
+/// letting a moderately-hot key that happens to sit at the end of R cross
+/// the skew threshold it shouldn't.)
+///
+/// Estimator bias that remains, documented rather than fixed:
+///
+/// * `stride = round(1/sample_rate)` — the effective per-tuple rate is
+///   `1/stride`, which differs from `sample_rate` whenever `1/sample_rate`
+///   is not an integer (e.g. 0.03 → stride 33 → effective 0.0303…).
+///   `sample_rate ≥ 1.0` degenerates to `stride = 1`, a full scan.
+/// * One pick per window means within-window frequencies are capped at 1:
+///   a key occupying an entire window contributes one sample where
+///   Bernoulli sampling would contribute `window × rate` on average. The
+///   estimate for keys spanning many windows (the ones skew detection
+///   cares about) is unaffected.
 pub fn detect_skewed_keys(tuples: &[Tuple], cfg: &SkewDetectConfig) -> Vec<SkewedKey> {
     let stride = (1.0 / cfg.sample_rate).round().max(1.0) as usize;
     let mut freq: HashMap<Key, u32> = HashMap::new();
@@ -37,10 +55,14 @@ pub fn detect_skewed_keys(tuples: &[Tuple], cfg: &SkewDetectConfig) -> Vec<Skewe
     while window_start < tuples.len() {
         let window_end = (window_start + stride).min(tuples.len());
         let window = window_end - window_start;
-        // One pseudo-random pick per stride window.
+        // One pseudo-random pick per stride window, offset drawn over the
+        // full stride so a partial tail window keeps per-tuple probability
+        // 1/stride instead of 1/window.
         counter = counter.wrapping_add(1);
-        let pick = window_start + (mix64(counter) as usize) % window;
-        *freq.entry(tuples[pick].key).or_insert(0) += 1;
+        let offset = (mix64(counter) as usize) % stride;
+        if offset < window {
+            *freq.entry(tuples[window_start + offset].key).or_insert(0) += 1;
+        }
         window_start = window_end;
     }
 
@@ -187,6 +209,67 @@ mod tests {
     #[test]
     fn empty_input_no_skew() {
         assert!(detect_skewed_keys(&[], &SkewDetectConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn tail_window_is_sampleable_but_not_oversampled() {
+        // Regression for the partial-window bias: with `len % stride != 0`
+        // the old sampler picked uniformly *within* the tail window, giving
+        // its tuples probability 1/window instead of 1/stride — a key
+        // sitting in the tail was over-weighted by stride/window (2× here).
+        //
+        // Layout: 10 full windows of unique cold keys, then a 50-tuple tail
+        // (stride 100) holding only the marker key. min_sample_freq = 1
+        // turns the detector into a "was it sampled at all?" probe.
+        let stride = 100usize;
+        let tail = 50usize;
+        let marker = 0xDEAD_BEEFu32;
+        let mut keys: Vec<u32> = (1..=(10 * stride) as u32).collect();
+        keys.extend(vec![marker; tail]);
+        let tuples = tuples_of(&keys);
+
+        let runs = 400;
+        let mut sampled = 0usize;
+        for seed in 0..runs {
+            let cfg = SkewDetectConfig {
+                sample_rate: 1.0 / stride as f64,
+                min_sample_freq: 1,
+                seed,
+            };
+            if detect_skewed_keys(&tuples, &cfg)
+                .iter()
+                .any(|s| s.key == marker)
+            {
+                sampled += 1;
+            }
+        }
+        // Unbiased sampling hits the tail with probability tail/stride =
+        // 0.5 per run (expected 200 of 400, σ = 10); the old always-sample
+        // behaviour would score 400/400. Bounds at ±5σ.
+        let lo = 150;
+        let hi = 250;
+        assert!(
+            (lo..=hi).contains(&sampled),
+            "tail sampled in {sampled}/{runs} runs, expected ≈{}",
+            runs / 2
+        );
+    }
+
+    #[test]
+    fn full_scan_rate_covers_every_window() {
+        // sample_rate = 1.0 → stride 1 → every tuple sampled exactly once.
+        let keys: Vec<u32> = (0..997).map(|i| i % 13).collect();
+        let cfg = SkewDetectConfig {
+            sample_rate: 1.0,
+            min_sample_freq: 2,
+            seed: 3,
+        };
+        let skewed = detect_skewed_keys(&tuples_of(&keys), &cfg);
+        // All 13 keys appear ≥ 76 times; a full scan must report them all
+        // with their exact frequencies.
+        assert_eq!(skewed.len(), 13);
+        let total: u32 = skewed.iter().map(|s| s.sample_freq).sum();
+        assert_eq!(total, 997);
     }
 
     #[test]

@@ -38,8 +38,8 @@ use crate::rng::Rng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct ZipfWorkload {
-    /// `cumulative[i]` = upper bound of interval `i` in `[0, 1)`; strictly
-    /// increasing, last element is 1.0.
+    /// `cumulative[i]` = upper bound of interval `i`; non-decreasing,
+    /// every element in `(0, 1]`, last element exactly 1.0.
     cumulative: Vec<f64>,
     /// Unique key of each interval (interval 0 is the most probable).
     keys: Vec<Key>,
@@ -81,10 +81,16 @@ impl ZipfWorkload {
         let mut cumulative = Vec::with_capacity(num_keys);
         let mut acc = 0.0f64;
         for w in &weights {
-            acc += w / total;
+            // Clamp the running sum: with millions of tiny weights the
+            // accumulation can drift *above* 1.0 before the last interval,
+            // and forcing only the final element back down would make the
+            // array non-monotone — `partition_point`'s contract broken and
+            // the overshot intervals assigned negative probability mass.
+            acc = (acc + w / total).min(1.0);
             cumulative.push(acc);
         }
-        // Guard against floating-point drift so every draw lands in range.
+        // Drift-low tail guard: the final upper bound is 1.0 by definition,
+        // so a draw in the last ulp below 1.0 still lands inside the array.
         *cumulative.last_mut().expect("num_keys > 0") = 1.0;
 
         // Random unique key per interval: XOR with a seed-derived salt then a
@@ -271,6 +277,44 @@ mod tests {
         let k = z.key_of_rank(0);
         assert!(t.iter().all(|tup| tup.key == k));
         assert_eq!(z.expected_join_output(100) as u64, 10_000);
+    }
+
+    #[test]
+    fn cumulative_drift_leaves_no_negative_mass() {
+        // Regression: with hundreds of thousands of tiny weights the running
+        // float sum drifts off 1.0 in either direction. Drift-high used to
+        // leave the array non-monotone once the last element was forced back
+        // to 1.0 — observable as negative probability mass on the tail
+        // ranks; drift-low used to leave the final upper bound below 1.0 so
+        // a draw in the last ulp could fall past the array.
+        for theta in [0.25, 0.75, 0.99, 1.0, 1.5, 2.0] {
+            let n = 300_000;
+            let z = ZipfWorkload::new(n, theta, 17);
+            let mut sum = 0.0f64;
+            for r in 0..n {
+                let p = z.probability_of_rank(r);
+                assert!(p >= 0.0, "theta={theta} rank={r} negative mass {p}");
+                sum += p;
+            }
+            // The per-rank masses telescope over the cumulative array, whose
+            // last element is pinned at exactly 1.0.
+            assert!((sum - 1.0).abs() < 1e-9, "theta={theta} sum={sum}");
+        }
+    }
+
+    #[test]
+    fn draws_always_land_in_the_key_array() {
+        // Every draw must map to a real interval even at the distribution's
+        // tail; exercised across skew extremes including θ = 2.
+        for theta in [0.0, 1.0, 2.0] {
+            let z = ZipfWorkload::new(10_000, theta, 23);
+            let universe: std::collections::HashSet<Key> =
+                (0..z.num_keys()).map(|i| z.key_of_rank(i)).collect();
+            let mut rng = Rng::seed_from_u64(29);
+            for _ in 0..20_000 {
+                assert!(universe.contains(&z.draw(&mut rng)));
+            }
+        }
     }
 
     #[test]

@@ -123,6 +123,28 @@ impl GpuJoinConfig {
                 "bucket_capacity must be ≥ 1".into(),
             ));
         }
+        if let Some(capacity) = self.table_capacity {
+            // A zero capacity would make the NM sub-list decomposition spin
+            // forever (each sub-list would be empty), and an oversized one
+            // would panic inside the build kernel instead of failing
+            // cleanly: the chained table needs 8 B tuple + 4 B link per
+            // tuple plus 4 B per bucket head, all in one block's shared
+            // memory.
+            if capacity == 0 {
+                return Err(JoinError::InvalidConfig(
+                    "table_capacity must be ≥ 1".into(),
+                ));
+            }
+            let buckets = 1usize << skewjoin_common::hash::bucket_bits_for(capacity);
+            let table_bytes = capacity * 12 + buckets * 4;
+            if table_bytes > self.spec.shared_mem_per_block {
+                return Err(JoinError::InvalidConfig(format!(
+                    "table_capacity {capacity} needs {table_bytes} bytes of shared memory \
+                     per block, but the device offers {}",
+                    self.spec.shared_mem_per_block
+                )));
+            }
+        }
         if let Some(cfg) = &self.radix {
             if cfg.bits_per_pass.is_empty() || cfg.total_bits() == 0 || cfg.total_bits() > 24 {
                 return Err(JoinError::InvalidConfig(
@@ -191,6 +213,25 @@ mod tests {
             ..GpuJoinConfig::default()
         };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_table_capacity() {
+        let mut cfg = GpuJoinConfig::default();
+        cfg.table_capacity = Some(0); // would spin build_nm_tasks forever
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_table_capacity_exceeding_shared_memory() {
+        let mut cfg = GpuJoinConfig::default();
+        // 2¹⁴ tuples × 12 B + bucket heads ≫ 48 KB: the build kernel would
+        // panic mid-launch if this were accepted.
+        cfg.table_capacity = Some(1 << 14);
+        assert!(cfg.validate().is_err());
+        // The largest power of two that does fit must stay accepted.
+        cfg.table_capacity = Some(2048);
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -145,8 +145,15 @@ impl Kernel for SampleKernel<'_> {
             cap
         } else {
             let fit = (ctx.spec().shared_mem_per_block - ctx.shared_used()) / 8;
-            let c = fit.next_power_of_two() / 2;
-            ctx.shared_alloc(c, 8);
+            // `next_power_of_two()/2` is 0 for fit ≤ 1, and the table below
+            // needs at least a few slots for its mask arithmetic; if not
+            // even a minimal table fits, leave the partition unsampled (no
+            // keys detected) rather than indexing through an underflowed
+            // mask.
+            let c = (fit.next_power_of_two() / 2).max(8);
+            if ctx.try_shared_alloc(c, 8).is_none() {
+                return;
+            }
             c
         };
         let mask = cap - 1;

@@ -1,0 +1,259 @@
+//! `fuzz` — the skewfuzz CLI.
+//!
+//! Generates structured random join and protocol-frame cases, checks them
+//! against the differential / metamorphic / trace oracles, shrinks every
+//! violation, and (with `--write-corpus`) commits the minimized repros to
+//! the regression corpus that `cargo test` replays.
+//!
+//! ```text
+//! fuzz [--cases N] [--seeds n | a,b,c] [--max-size N]
+//!      [--timeout-secs S] [--corpus-dir DIR] [--write-corpus] [--quick]
+//!      [--repro SEED:INDEX]
+//! ```
+//!
+//! `--seeds 3` means seeds `1..=3`; a comma list names seeds explicitly.
+//! `--repro 3:453` regenerates exactly case 453 of seed 3's stream
+//! (respecting `--max-size`), prints its JSON, and checks it once without
+//! shrinking — the tool for digging into one misbehaving case.
+//! Exits non-zero if any violation survived shrinking.
+
+use std::time::{Duration, Instant};
+
+use skewjoin_integration::skewfuzz::{run_fuzz, FuzzOptions};
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: fuzz [--cases N] [--seeds n|a,b,c] [--max-size N] \
+         [--timeout-secs S] [--corpus-dir DIR] [--write-corpus] [--quick] \
+         [--repro SEED:INDEX]"
+    );
+    std::process::exit(2);
+}
+
+/// Regenerates one `(seed, index)` case, prints it, checks it, exits.
+fn repro(seed: u64, index: usize, max_size: usize, timeout: Duration) -> ! {
+    use skewjoin::datagen::Rng;
+    use skewjoin_integration::skewfuzz::{frames, gen, oracle};
+    let opts = FuzzOptions::default();
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5EED_F0CC_AC1D_BEEF);
+    for i in 0..=index {
+        let is_frame = opts.frame_share > 0 && i % opts.frame_share == opts.frame_share - 1;
+        if is_frame {
+            let case = gen::gen_frame_case(&mut rng, seed, i);
+            if i < index {
+                continue;
+            }
+            println!("{}", case.to_json().to_string_pretty());
+            let harness = frames::FrameHarness::start().ok();
+            match frames::check_frame(&case, harness.as_ref()) {
+                None => {
+                    println!("verdict: pass");
+                    std::process::exit(0);
+                }
+                Some(details) => {
+                    println!("verdict: VIOLATION: {details}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            let case = gen::gen_join_case(&mut rng, seed, i, max_size);
+            if i < index {
+                continue;
+            }
+            println!("{}", case.to_json().to_string_pretty());
+            let started = Instant::now();
+            let verdict = oracle::check_join_case(&case, timeout);
+            println!("checked in {:.1?}", started.elapsed());
+            match verdict {
+                oracle::CaseVerdict::Pass => {
+                    println!("verdict: pass");
+                    std::process::exit(0);
+                }
+                oracle::CaseVerdict::TypedError(e) => {
+                    println!("verdict: typed error (accepted): {e}");
+                    std::process::exit(0);
+                }
+                oracle::CaseVerdict::Violation(details) => {
+                    println!("verdict: VIOLATION: {details}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    unreachable!("loop always exits at `index`");
+}
+
+fn main() {
+    let mut cases = 500usize;
+    let mut seeds: Vec<u64> = vec![1, 2, 3];
+    let mut max_size = 1usize << 20;
+    let mut timeout_secs = 60u64;
+    let mut corpus_dir = skewjoin_integration::skewfuzz::corpus_dir();
+    let mut write_corpus = false;
+    let mut repro_at: Option<(u64, usize)> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--cases" => {
+                cases = value("--cases")
+                    .parse()
+                    .unwrap_or_else(|_| die("--cases must be an integer"));
+            }
+            "--seeds" => {
+                let spec = value("--seeds");
+                if spec.contains(',') {
+                    seeds = spec
+                        .split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse()
+                                .unwrap_or_else(|_| die("--seeds entries must be integers"))
+                        })
+                        .collect();
+                } else {
+                    let n: u64 = spec
+                        .parse()
+                        .unwrap_or_else(|_| die("--seeds must be an integer or a comma list"));
+                    seeds = (1..=n).collect();
+                }
+            }
+            "--max-size" => {
+                max_size = value("--max-size")
+                    .parse()
+                    .unwrap_or_else(|_| die("--max-size must be an integer"));
+            }
+            "--timeout-secs" => {
+                timeout_secs = value("--timeout-secs")
+                    .parse()
+                    .unwrap_or_else(|_| die("--timeout-secs must be an integer"));
+            }
+            "--repro" => {
+                let spec = value("--repro");
+                let (s, i) = spec
+                    .split_once(':')
+                    .unwrap_or_else(|| die("--repro takes SEED:INDEX"));
+                repro_at = Some((
+                    s.parse()
+                        .unwrap_or_else(|_| die("--repro seed must be an integer")),
+                    i.parse()
+                        .unwrap_or_else(|_| die("--repro index must be an integer")),
+                ));
+            }
+            "--corpus-dir" => corpus_dir = value("--corpus-dir").into(),
+            "--write-corpus" => write_corpus = true,
+            "--quick" => {
+                cases = 120;
+                max_size = 65_536;
+                seeds = vec![1];
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    if seeds.is_empty() {
+        die("--seeds resolved to an empty list");
+    }
+    if let Some((seed, index)) = repro_at {
+        repro(seed, index, max_size, Duration::from_secs(timeout_secs));
+    }
+
+    let started = Instant::now();
+    let mut all_violations = Vec::new();
+    let mut total_cases = 0usize;
+    let mut total_typed = 0usize;
+    for &seed in &seeds {
+        let opts = FuzzOptions {
+            cases,
+            seed,
+            max_size,
+            timeout: Duration::from_secs(timeout_secs),
+            ..FuzzOptions::default()
+        };
+        let mut last_tick = Instant::now();
+        let report = run_fuzz(&opts, |index, name, violations| {
+            if last_tick.elapsed() >= Duration::from_secs(10) {
+                last_tick = Instant::now();
+                println!(
+                    "  seed {seed}: {}/{cases} cases ({name}), {violations} violation(s)",
+                    index + 1
+                );
+            }
+        });
+        println!(
+            "seed {seed}: {} join + {} frame cases, {} typed errors accepted, {} violation(s)",
+            report.join_cases,
+            report.frame_cases,
+            report.typed_errors,
+            report.violations.len()
+        );
+        total_cases += report.join_cases + report.frame_cases;
+        total_typed += report.typed_errors;
+        all_violations.extend(report.violations);
+    }
+
+    for (i, violation) in all_violations.iter().enumerate() {
+        println!("\n--- violation {} ---", i + 1);
+        println!("{violation}");
+        if write_corpus {
+            let file = corpus_dir.join(format!("{}.json", violation.entry.name()));
+            if let Err(e) = std::fs::create_dir_all(&corpus_dir) {
+                eprintln!("cannot create corpus dir: {e}");
+            } else {
+                match std::fs::write(&file, violation.entry.to_json().to_string_pretty()) {
+                    Ok(()) => println!("  written to {}", file.display()),
+                    Err(e) => eprintln!("  cannot write corpus file: {e}"),
+                }
+            }
+        }
+    }
+
+    println!(
+        "\nskewfuzz: {} seeds x {} cases = {} cases in {:.1?}; {} typed errors accepted; {} violation(s)",
+        seeds.len(),
+        cases,
+        total_cases,
+        started.elapsed(),
+        total_typed,
+        all_violations.len()
+    );
+    if !all_violations.is_empty() {
+        let _ = write_corpus; // repros printed above (and written if asked)
+        std::process::exit(1);
+    }
+    // Replay the committed corpus as a final regression sweep.
+    let corpus = skewjoin_integration::skewfuzz::load_corpus(&corpus_dir);
+    if !corpus.is_empty() {
+        let harness = skewjoin_integration::skewfuzz::frames::FrameHarness::start().ok();
+        let mut regressions = 0;
+        for entry in &corpus {
+            match entry {
+                Ok(entry) => {
+                    if let Some(details) = skewjoin_integration::skewfuzz::replay(
+                        entry,
+                        harness.as_ref(),
+                        Duration::from_secs(timeout_secs),
+                    ) {
+                        regressions += 1;
+                        println!("corpus regression [{}]: {details}", entry.name());
+                    }
+                }
+                Err(e) => {
+                    regressions += 1;
+                    println!("corpus entry unreadable: {e}");
+                }
+            }
+        }
+        println!(
+            "corpus replay: {} entries, {regressions} regression(s)",
+            corpus.len()
+        );
+        if regressions > 0 {
+            std::process::exit(1);
+        }
+    }
+}

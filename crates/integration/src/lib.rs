@@ -18,6 +18,7 @@
 
 pub mod chaos;
 pub mod service_chaos;
+pub mod skewfuzz;
 
 use std::collections::BTreeMap;
 

@@ -1,0 +1,189 @@
+//! Protocol-frame fuzzing: the frame codec and a live TCP service must
+//! survive arbitrary bytes.
+//!
+//! Two levels:
+//!
+//! * **Codec level** — `read_frame`, `Json::parse`, and
+//!   `JoinRequest::from_json` are fed the raw bytes directly; any escaped
+//!   panic is a violation (errors are the expected currency here).
+//! * **Service level** — the bytes are written to a real
+//!   `skewjoind` socket. The contract is *reply-or-close*: within the
+//!   timeout the server must either send back a parseable frame or close
+//!   the connection. Hanging the reader, crashing the accept loop, or
+//!   replying with bytes its own codec cannot parse are violations.
+
+use std::io::{Cursor, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use skewjoin::cpu::CpuJoinConfig;
+use skewjoin_service::{
+    protocol, JoinRequest, JoinResponse, JoinService, ServerHandle, ServiceConfig,
+};
+
+use super::FrameCase;
+
+/// How long the service gets to reply or close before the case counts as a
+/// hang. Generated join payloads are capped small, so this is generous.
+pub const REPLY_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A live `skewjoind` instance shared by every frame case of a run.
+pub struct FrameHarness {
+    service: Arc<JoinService>,
+    handle: Option<ServerHandle>,
+}
+
+impl FrameHarness {
+    /// Starts a small service on a loopback port.
+    pub fn start() -> std::io::Result<FrameHarness> {
+        let mut cfg = ServiceConfig {
+            workers: 2,
+            queue_capacity: 32,
+            ..ServiceConfig::default()
+        };
+        cfg.join_config.cpu = CpuJoinConfig::with_threads(2);
+        let service = JoinService::start(cfg);
+        let handle = protocol::serve(service.clone(), "127.0.0.1:0")?;
+        Ok(FrameHarness {
+            service,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address frame cases should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.as_ref().expect("server running").addr()
+    }
+}
+
+impl Drop for FrameHarness {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            handle.stop();
+        }
+        self.service.shutdown();
+    }
+}
+
+/// Codec-level check: none of the parsing layers may panic on these bytes,
+/// no matter how malformed. Returns `Some(details)` on violation.
+pub fn check_codec(bytes: &[u8]) -> Option<String> {
+    let bytes = bytes.to_vec();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        // The frame reader over the exact bytes.
+        let mut cursor = Cursor::new(&bytes[..]);
+        if let Ok(json) = protocol::read_frame(&mut cursor) {
+            // A frame that decodes must survive request parsing too.
+            let _ = JoinRequest::from_json(&json, "skewfuzz");
+            let _ = JoinResponse::from_json(&json);
+        }
+        // The JSON parser over the body alone (skipping the prefix), which
+        // exercises it on truncated/garbage text the framing would refuse.
+        if bytes.len() > 4 {
+            if let Ok(body) = std::str::from_utf8(&bytes[4..]) {
+                let _ = skewjoin::common::json::Json::parse(body);
+            }
+        }
+    }));
+    match outcome {
+        Ok(()) => None,
+        Err(payload) => Some(format!(
+            "frame codec panicked: {}",
+            payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "non-string panic payload".into())
+        )),
+    }
+}
+
+/// Service-level check: write the bytes to a live server and demand
+/// reply-or-close within [`REPLY_TIMEOUT`]. Returns `Some(details)` on
+/// violation.
+pub fn check_service(addr: SocketAddr, bytes: &[u8]) -> Option<String> {
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => return Some(format!("connect failed: {e}")),
+    };
+    let _ = stream.set_read_timeout(Some(REPLY_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(REPLY_TIMEOUT));
+    // The server may close mid-write (e.g. on an oversized declared
+    // length); write errors are part of the contract, not violations.
+    let _ = stream.write_all(bytes);
+    let _ = stream.flush();
+    // Half-close so a server waiting on a truncated frame sees EOF.
+    let _ = stream.shutdown(Shutdown::Write);
+    match protocol::read_frame(&mut stream) {
+        Ok(json) => {
+            // Whatever came back must be coherent: join-style replies (any
+            // frame carrying an "outcome") must parse as a JoinResponse;
+            // ping/metrics replies are plain objects and just need to have
+            // decoded, which `read_frame` already guaranteed.
+            if json.get("outcome").is_some() {
+                if let Err(e) = JoinResponse::from_json(&json) {
+                    return Some(format!("unparseable response frame: {e} in {json}"));
+                }
+            }
+            None
+        }
+        Err(e) => match e.kind() {
+            // Clean close (or the reset a close can race into) is fine.
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe => None,
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => Some(format!(
+                "service neither replied nor closed within {REPLY_TIMEOUT:?}"
+            )),
+            // InvalidData here means the server replied with a frame its
+            // own codec refuses — a server-side bug.
+            _ => Some(format!("response unreadable: {e}")),
+        },
+    }
+}
+
+/// Runs one frame case through the codec check and (when a harness is up)
+/// the live service check.
+pub fn check_frame(case: &FrameCase, harness: Option<&FrameHarness>) -> Option<String> {
+    if let Some(v) = check_codec(&case.bytes) {
+        return Some(v);
+    }
+    if let Some(h) = harness {
+        if let Some(v) = check_service(h.addr(), &case.bytes) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skewjoin::datagen::Rng;
+
+    #[test]
+    fn codec_survives_structured_garbage() {
+        let mut rng = Rng::seed_from_u64(23);
+        for i in 0..200 {
+            let case = super::super::gen::gen_frame_case(&mut rng, 23, i);
+            assert_eq!(check_codec(&case.bytes), None, "case {}", case.name);
+        }
+    }
+
+    #[test]
+    fn live_service_honors_reply_or_close_on_edge_frames() {
+        let harness = FrameHarness::start().expect("loopback bind");
+        // Zero-length frame: empty body is invalid JSON → protocol error
+        // reply, not a hang.
+        assert_eq!(check_service(harness.addr(), &[0, 0, 0, 0]), None);
+        // Oversized declared length → refusal without a giant allocation.
+        let mut oversized = (protocol::MAX_FRAME_BYTES + 1).to_be_bytes().to_vec();
+        oversized.push(b'x');
+        assert_eq!(check_service(harness.addr(), &oversized), None);
+        // Truncated frame then close → server must just drop it.
+        assert_eq!(check_service(harness.addr(), &[0, 0, 0, 50, b'{']), None);
+    }
+}

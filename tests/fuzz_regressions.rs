@@ -1,0 +1,71 @@
+//! Replays every minimized repro committed to `tests/fuzz_corpus/` and runs
+//! a small deterministic fuzz smoke so the harness itself stays honest.
+//!
+//! Each corpus file is one shrunk case that once violated an oracle; the
+//! fix that closed it must keep it green forever. New violations found by
+//! the `fuzz` binary land here via `--write-corpus`.
+
+use std::time::Duration;
+
+use skewjoin_integration::skewfuzz::frames::FrameHarness;
+use skewjoin_integration::skewfuzz::{corpus_dir, load_corpus, replay, run_fuzz, FuzzOptions};
+
+const REPLAY_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Every committed repro must pass (a typed error is a pass; a violation is
+/// a regression of a previously fixed bug).
+#[test]
+fn corpus_replays_clean() {
+    let dir = corpus_dir();
+    let entries = load_corpus(&dir);
+    let needs_harness = entries
+        .iter()
+        .any(|e| matches!(e, Ok(skewjoin_integration::skewfuzz::CorpusEntry::Frame(_))));
+    let harness = if needs_harness {
+        Some(FrameHarness::start().expect("loopback service for frame repros"))
+    } else {
+        None
+    };
+    let mut regressions = Vec::new();
+    for entry in entries {
+        match entry {
+            Ok(entry) => {
+                if let Some(details) = replay(&entry, harness.as_ref(), REPLAY_TIMEOUT) {
+                    regressions.push(format!("{}: {details}", entry.name()));
+                }
+            }
+            Err(e) => regressions.push(format!("unreadable corpus file: {e}")),
+        }
+    }
+    assert!(
+        regressions.is_empty(),
+        "fuzz corpus regressions:\n{}",
+        regressions.join("\n")
+    );
+}
+
+/// A short fixed-seed fuzz run rides along with `cargo test`: 48 cases is
+/// enough to notice a harness-breaking change (or a blatant new bug)
+/// without dominating the suite's wall clock.
+#[test]
+fn inline_fuzz_smoke_finds_nothing() {
+    let opts = FuzzOptions {
+        cases: 48,
+        seed: 7,
+        max_size: 20_000,
+        timeout: Duration::from_secs(60),
+        frame_share: 4,
+    };
+    let report = run_fuzz(&opts, &mut |_: usize, _: &str, _: usize| {});
+    assert_eq!(report.join_cases + report.frame_cases, 48);
+    assert!(
+        report.violations.is_empty(),
+        "fuzz smoke violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -202,6 +202,72 @@ fn tcp_auto_request_round_trips_with_metrics() {
     svc.shutdown();
 }
 
+/// A zero-length frame (a bare `00 00 00 00` prefix) is a legal length
+/// with an empty body, which is not JSON: the server must answer with a
+/// typed protocol-error response — not hang, not crash the accept loop.
+#[test]
+fn zero_length_frame_gets_a_typed_protocol_error() {
+    use std::io::Write;
+    let svc = small_service(1, 4);
+    let server = protocol::serve(std::sync::Arc::clone(&svc), "127.0.0.1:0").expect("bind");
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream.write_all(&[0, 0, 0, 0]).expect("send empty frame");
+    let reply = protocol::read_frame(&mut stream).expect("typed reply frame");
+    let resp = skewjoin_service::JoinResponse::from_json(&reply).expect("parseable response");
+    assert_eq!(resp.id, 0, "protocol errors carry id 0");
+    match resp.outcome {
+        Outcome::Failed { error } => assert!(
+            error.contains("protocol error"),
+            "unexpected error text: {error}"
+        ),
+        other => panic!("expected a protocol-error failure, got {other:?}"),
+    }
+    drop(stream);
+    server.stop();
+    svc.shutdown();
+}
+
+/// A frame of *exactly* `MAX_FRAME_BYTES` sits on the accept side of the
+/// limit (the cap is `>`): a valid join request padded to the boundary
+/// with an unknown string member (the parser ignores unknown fields) must
+/// be parsed and served like any other request.
+#[test]
+fn frame_of_exactly_max_bytes_is_served() {
+    use std::io::Write;
+    let svc = small_service(1, 4);
+    let server = protocol::serve(std::sync::Arc::clone(&svc), "127.0.0.1:0").expect("bind");
+    let req = JoinRequest::generate("edge", AlgoChoice::Auto(TargetDevice::Cpu), 1024, 0.75, 5);
+    let base = req.to_json().to_string_pretty();
+    // Splice a `"pad"` member into the object so the body lands on the
+    // boundary byte-for-byte.
+    let stripped = base.trim_end().strip_suffix('}').expect("object body");
+    let frame_overhead = stripped.len() + ",\"pad\":\"\"}".len();
+    let pad_len = protocol::MAX_FRAME_BYTES as usize - frame_overhead;
+    let body = format!("{stripped},\"pad\":\"{}\"}}", "x".repeat(pad_len));
+    assert_eq!(body.len(), protocol::MAX_FRAME_BYTES as usize);
+
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout");
+    stream
+        .write_all(&(protocol::MAX_FRAME_BYTES).to_be_bytes())
+        .expect("prefix");
+    stream.write_all(body.as_bytes()).expect("64 MiB body");
+    let reply = protocol::read_frame(&mut stream).expect("reply frame");
+    let resp = skewjoin_service::JoinResponse::from_json(&reply).expect("parseable response");
+    match resp.outcome {
+        Outcome::Completed(summary) => assert!(summary.result_count > 0),
+        other => panic!("boundary-sized request should complete, got {other:?}"),
+    }
+    drop(stream);
+    server.stop();
+    svc.shutdown();
+}
+
 /// The service-level chaos cells, clean path: without armed failpoints the
 /// burst completes correctly and reconciles.
 #[test]
