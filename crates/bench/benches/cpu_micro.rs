@@ -10,7 +10,7 @@ use skewjoin::cpu::partition::{
 };
 use skewjoin::cpu::skew::detect_skewed_keys;
 use skewjoin::prelude::*;
-use skewjoin_bench::micro::{bench, black_box, group};
+use skewjoin_bench::micro::{bench, black_box, compare, group};
 
 const N: usize = 1 << 18;
 
@@ -64,15 +64,28 @@ fn bench_scatter_modes() {
     group("scatter_mode");
     let w = PaperWorkload::generate(WorkloadSpec::paper(N, 0.0, 5));
     let cfg = RadixConfig::two_pass(12);
-    for (name, mode) in [
-        ("direct", ScatterMode::Direct),
-        ("buffered", ScatterMode::Buffered),
-    ] {
-        bench(name, 5, || {
-            parallel_radix_partition_with(black_box(w.r.tuples()), &cfg, 4, mode)
-                .expect("partition failed")
-        });
-    }
+    // An A/B comparison, so interleave the reps — timing "direct" as one
+    // block and "buffered" as the next charged whichever ran second with a
+    // warmed cache and a different noise window.
+    compare(
+        "scatter",
+        5,
+        [
+            ("direct", ScatterMode::Direct),
+            ("buffered", ScatterMode::Buffered),
+        ]
+        .into_iter()
+        .map(|(name, mode)| {
+            let r = &w.r;
+            let cfg = &cfg;
+            let f: Box<dyn FnMut()> = Box::new(move || {
+                parallel_radix_partition_with(black_box(r.tuples()), cfg, 4, mode)
+                    .expect("partition failed");
+            });
+            (name, f)
+        })
+        .collect(),
+    );
 }
 
 fn bench_full_joins() {

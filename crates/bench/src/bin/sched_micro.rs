@@ -27,7 +27,7 @@ use std::time::{Duration, Instant};
 
 use skewjoin::common::hash::{RadixConfig, RadixMode};
 use skewjoin::cpu::partition::{parallel_radix_partition_opts, PartitionOptions, SWWC_TUPLES};
-use skewjoin::cpu::{ScatterMode, SchedulerKind};
+use skewjoin::cpu::{ScatterMode, SchedulerKind, SimdPolicy};
 use skewjoin::prelude::*;
 use skewjoin_bench::{fmt_time, BenchArgs, BenchRecord};
 
@@ -103,6 +103,7 @@ fn bench_partition_only(args: &BenchArgs, record: &mut BenchRecord) {
                     mode: v.scatter,
                     wc_tuples: SWWC_TUPLES,
                     scheduler: v.scheduler,
+                    simd: SimdPolicy::Auto.resolve(),
                 };
                 let start = Instant::now();
                 let (parted, _stats) = parallel_radix_partition_opts(w.r.tuples(), &radix, &opts)

@@ -53,7 +53,9 @@ pub fn render_chart(measurements: &[Measurement], opts: &ChartOptions) -> String
             .push((m.zipf, m.seconds));
     }
     for pts in series.values_mut() {
-        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite zipf"));
+        // total_cmp: a NaN zipf in a hand-edited record must not panic the
+        // renderer (it sorts last and plots at the clamp edge instead).
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
     }
 
     let xs: Vec<f64> = measurements.iter().map(|m| m.zipf).collect();

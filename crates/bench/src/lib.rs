@@ -53,9 +53,57 @@ impl Default for BenchArgs {
     }
 }
 
+/// A user-correctable harness error: bad CLI input or an unwritable record
+/// path. These used to be `panic!`/`expect` sites, which buried the actual
+/// problem under a backtrace; the binaries now print the message and exit.
+#[derive(Debug)]
+pub enum BenchError {
+    /// A flag that takes a value was the last argument.
+    MissingValue(String),
+    /// A flag's value did not parse (`--threads x`, `--tuples 3q`, …).
+    InvalidValue {
+        /// The flag (or value kind) being parsed.
+        flag: String,
+        /// The offending input.
+        value: String,
+    },
+    /// An argument that is not a known flag.
+    UnknownFlag(String),
+    /// A record file could not be written.
+    Io {
+        /// Destination path.
+        path: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::MissingValue(flag) => write!(f, "{flag} requires a value"),
+            BenchError::InvalidValue { flag, value } => {
+                write!(f, "invalid value {value:?} for {flag}")
+            }
+            BenchError::UnknownFlag(flag) => write!(f, "unknown flag {flag}; try --help"),
+            BenchError::Io { path, source } => write!(f, "cannot write {path}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
 impl BenchArgs {
     /// Parses `--tuples N --gpu-tuples N --threads N --seed N --json PATH`
-    /// from the process arguments; unknown flags abort with usage help.
+    /// from the process arguments; prints a one-line error (or usage help)
+    /// and exits on bad input.
     pub fn parse() -> Self {
         Self::parse_with_defaults(Self::default())
     }
@@ -66,42 +114,74 @@ impl BenchArgs {
     /// to equal another harness's default, which a sentinel comparison
     /// could not distinguish.
     pub fn parse_with_defaults(defaults: Self) -> Self {
-        let mut args = defaults;
-        let mut it = std::env::args().skip(1);
+        match Self::try_parse_from(std::env::args().skip(1), defaults) {
+            Ok(Some(args)) => args,
+            Ok(None) => {
+                eprintln!(
+                    "flags: --tuples N --gpu-tuples N --threads N --seed N --json PATH\n\
+                     counts accept suffixes: k, m (e.g. --tuples 32m for the paper scale)"
+                );
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The testable core of [`BenchArgs::parse_with_defaults`]: parses an
+    /// explicit argument list. `Ok(None)` means `--help` was requested.
+    pub fn try_parse_from(
+        args: impl IntoIterator<Item = String>,
+        defaults: Self,
+    ) -> Result<Option<Self>, BenchError> {
+        let mut out = defaults;
+        let mut it = args.into_iter();
         while let Some(flag) = it.next() {
             let mut take = |name: &str| {
                 it.next()
-                    .unwrap_or_else(|| panic!("{name} requires a value"))
+                    .ok_or_else(|| BenchError::MissingValue(name.to_string()))
             };
             match flag.as_str() {
-                "--tuples" => args.tuples = parse_count(&take("--tuples")),
-                "--gpu-tuples" => args.gpu_tuples = parse_count(&take("--gpu-tuples")),
-                "--threads" => args.threads = take("--threads").parse().expect("threads"),
-                "--seed" => args.seed = take("--seed").parse().expect("seed"),
-                "--json" => args.json_out = Some(take("--json")),
-                "--help" | "-h" => {
-                    eprintln!(
-                        "flags: --tuples N --gpu-tuples N --threads N --seed N --json PATH\n\
-                         counts accept suffixes: k, m (e.g. --tuples 32m for the paper scale)"
-                    );
-                    std::process::exit(0);
+                "--tuples" => out.tuples = parse_count(&take("--tuples")?)?,
+                "--gpu-tuples" => out.gpu_tuples = parse_count(&take("--gpu-tuples")?)?,
+                "--threads" => {
+                    let v = take("--threads")?;
+                    out.threads = v.parse().map_err(|_| BenchError::InvalidValue {
+                        flag: "--threads".into(),
+                        value: v,
+                    })?;
                 }
-                other => panic!("unknown flag {other}; try --help"),
+                "--seed" => {
+                    let v = take("--seed")?;
+                    out.seed = v.parse().map_err(|_| BenchError::InvalidValue {
+                        flag: "--seed".into(),
+                        value: v,
+                    })?;
+                }
+                "--json" => out.json_out = Some(take("--json")?),
+                "--help" | "-h" => return Ok(None),
+                other => return Err(BenchError::UnknownFlag(other.to_string())),
             }
         }
-        args
+        Ok(Some(out))
     }
 }
 
 /// Parses `32m`, `512k`, or plain integers.
-pub fn parse_count(s: &str) -> usize {
+pub fn parse_count(s: &str) -> Result<usize, BenchError> {
+    let invalid = || BenchError::InvalidValue {
+        flag: "count".into(),
+        value: s.to_string(),
+    };
     let lower = s.to_ascii_lowercase();
     if let Some(v) = lower.strip_suffix('m') {
-        v.parse::<usize>().expect("count") * 1_000_000
+        Ok(v.parse::<usize>().map_err(|_| invalid())? * 1_000_000)
     } else if let Some(v) = lower.strip_suffix('k') {
-        v.parse::<usize>().expect("count") * 1_000
+        Ok(v.parse::<usize>().map_err(|_| invalid())? * 1_000)
     } else {
-        lower.parse().expect("count")
+        lower.parse().map_err(|_| invalid())
     }
 }
 
@@ -255,16 +335,25 @@ impl BenchRecord {
     /// Writes the record as JSON if `--json` was given, else to the default
     /// location `target/bench-results/<experiment>.json`.
     pub fn write(&self, args: &BenchArgs) {
+        match self.try_write(args) {
+            Ok(path) => println!("\nJSON record: {path}"),
+            Err(e) => eprintln!("warning: {e}"),
+        }
+    }
+
+    /// Like [`BenchRecord::write`] but returning the destination path or a
+    /// typed error instead of printing.
+    pub fn try_write(&self, args: &BenchArgs) -> Result<String, BenchError> {
         let path = args.json_out.clone().unwrap_or_else(|| {
             std::fs::create_dir_all("target/bench-results").ok();
             format!("target/bench-results/{}.json", self.experiment)
         });
         let json = self.to_json().to_string_pretty();
-        if let Err(e) = std::fs::write(&path, json) {
-            eprintln!("warning: could not write {path}: {e}");
-        } else {
-            println!("\nJSON record: {path}");
-        }
+        std::fs::write(&path, json).map_err(|source| BenchError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        Ok(path)
     }
 }
 
@@ -296,10 +385,70 @@ mod tests {
 
     #[test]
     fn parse_count_suffixes() {
-        assert_eq!(parse_count("1024"), 1024);
-        assert_eq!(parse_count("512k"), 512_000);
-        assert_eq!(parse_count("32m"), 32_000_000);
-        assert_eq!(parse_count("32M"), 32_000_000);
+        assert_eq!(parse_count("1024").unwrap(), 1024);
+        assert_eq!(parse_count("512k").unwrap(), 512_000);
+        assert_eq!(parse_count("32m").unwrap(), 32_000_000);
+        assert_eq!(parse_count("32M").unwrap(), 32_000_000);
+    }
+
+    #[test]
+    fn parse_count_rejects_garbage() {
+        assert!(matches!(
+            parse_count("3q"),
+            Err(BenchError::InvalidValue { .. })
+        ));
+        assert!(parse_count("").is_err());
+        assert!(parse_count("k").is_err());
+    }
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn try_parse_reads_all_flags() {
+        let parsed = BenchArgs::try_parse_from(
+            argv(&[
+                "--tuples",
+                "1m",
+                "--gpu-tuples",
+                "64k",
+                "--threads",
+                "3",
+                "--seed",
+                "9",
+                "--json",
+                "out.json",
+            ]),
+            BenchArgs::default(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(parsed.tuples, 1_000_000);
+        assert_eq!(parsed.gpu_tuples, 64_000);
+        assert_eq!(parsed.threads, 3);
+        assert_eq!(parsed.seed, 9);
+        assert_eq!(parsed.json_out.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn try_parse_reports_typed_errors() {
+        let d = BenchArgs::default;
+        assert!(matches!(
+            BenchArgs::try_parse_from(argv(&["--tuples"]), d()),
+            Err(BenchError::MissingValue(f)) if f == "--tuples"
+        ));
+        assert!(matches!(
+            BenchArgs::try_parse_from(argv(&["--threads", "x"]), d()),
+            Err(BenchError::InvalidValue { flag, .. }) if flag == "--threads"
+        ));
+        assert!(matches!(
+            BenchArgs::try_parse_from(argv(&["--frobnicate"]), d()),
+            Err(BenchError::UnknownFlag(f)) if f == "--frobnicate"
+        ));
+        assert!(BenchArgs::try_parse_from(argv(&["--help"]), d())
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub mod counter {
     pub const STEAL_FAILURES: &str = "steal_failures";
     /// Software write-combining lines flushed during a scatter.
     pub const BUFFER_FLUSHES: &str = "buffer_flushes";
+    /// Morsel-granular tasks executed by a pipelined phase (histogram,
+    /// scatter, refine, build, or probe morsels, per phase).
+    pub const MORSELS: &str = "morsels";
     /// Kernel launches in a simulated-GPU phase.
     pub const KERNEL_LAUNCHES: &str = "kernel_launches";
     /// Total simulated device cycles for the phase.

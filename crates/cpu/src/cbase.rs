@@ -13,10 +13,15 @@
 //! load variance. Both stop helping once a single key dominates — tuples
 //! with one key can never be split apart, which is exactly the pathology
 //! §III measures and `CSH` fixes.
+//!
+//! [`cbase_join`] itself executes through the morsel pipeline in
+//! [`crate::morsel`]: partition, build, and probe morsels flow through one
+//! scheduler run with no global phase barrier. The barrier-style
+//! [`join_partitions`] driver below is retained for CSH's NM-join, whose
+//! partition phase is fused with inline skew probing and stays scan-based.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
 use skewjoin_common::hash::mix32;
 use skewjoin_common::trace::counter;
@@ -26,43 +31,57 @@ use skewjoin_common::{
 
 use crate::config::CpuJoinConfig;
 use crate::hashtable::ChainedTable;
-use crate::partition::{parallel_radix_partition_opts, partition_slice_by, PartitionedRelation};
-use crate::task::{run_to_completion, SchedStats, TaskQueue, Worker};
+use crate::partition::{partition_slice_by, PartitionedRelation};
+use crate::simd::SimdLevel;
+use crate::task::{run_to_completion, SchedStats, TaskQueue};
+use crate::util::SharedTupleSlice;
 use crate::{aggregate_sinks, JoinOutcome};
 
-/// A tuple buffer a join task can reference: either a slice of the global
-/// partitioned relation, or a shared buffer produced by task splitting.
+/// A tuple buffer a join task can reference: a slice of the global
+/// partitioned relation, a shared buffer produced by task splitting, or a
+/// raw view into one of the morsel pipeline's output buffers.
 #[derive(Clone)]
-enum TupleBuf<'a> {
+pub(crate) enum TupleBuf<'a> {
+    /// Borrowed slice of a fully materialised partitioned relation.
     Slice(&'a [Tuple]),
+    /// Shared buffer produced by recursive task splitting.
     Shared(Arc<[Tuple]>),
+    /// Raw view into a morsel-pipeline buffer. Only constructed by
+    /// [`crate::morsel`] for ranges whose producing tasks have all
+    /// completed (the pipeline's completion countdowns and the scheduler's
+    /// queue handoff give the required happens-before), so reading them
+    /// here is sound.
+    Raw(SharedTupleSlice),
 }
 
 impl TupleBuf<'_> {
     #[inline]
-    fn get(&self, range: &std::ops::Range<usize>) -> &[Tuple] {
+    pub(crate) fn get(&self, range: &std::ops::Range<usize>) -> &[Tuple] {
         match self {
             TupleBuf::Slice(s) => &s[range.clone()],
             TupleBuf::Shared(s) => &s[range.clone()],
+            // SAFETY: quiescence per the variant's construction contract.
+            TupleBuf::Raw(s) => unsafe { s.slice(range.clone()) },
         }
     }
 }
 
 /// One join task: matching ranges of R and S tuples plus the radix depth at
 /// which further splitting would continue.
-struct JoinTask<'a> {
-    r_buf: TupleBuf<'a>,
-    r_range: std::ops::Range<usize>,
-    s_buf: TupleBuf<'a>,
-    s_range: std::ops::Range<usize>,
+pub(crate) struct JoinTask<'a> {
+    pub(crate) r_buf: TupleBuf<'a>,
+    pub(crate) r_range: std::ops::Range<usize>,
+    pub(crate) s_buf: TupleBuf<'a>,
+    pub(crate) s_range: std::ops::Range<usize>,
     /// Next unconsumed bit of the mixed key for splitting.
-    shift: u32,
-    depth: u32,
+    pub(crate) shift: u32,
+    pub(crate) depth: u32,
 }
 
-/// Shared parameters of the join phase.
-struct JoinPhase<'a> {
-    queue: TaskQueue<JoinTask<'a>>,
+/// Shared parameters of the join phase, independent of which scheduler run
+/// executes the tasks: the barrier-style [`join_partitions`] driver and the
+/// morsel pipeline both dispatch into [`JoinPhase::run_task`].
+pub(crate) struct JoinPhase {
     r_split_threshold: usize,
     s_split_threshold: usize,
     /// Hard cap on a single task's build side. A task over this budget is
@@ -79,6 +98,8 @@ struct JoinPhase<'a> {
     /// Observed between tasks and between probe chunks, so a deadline or an
     /// explicit cancel interrupts even a chain-heavy join phase promptly.
     cancel: CancelToken,
+    /// Resolved SIMD level for the probe front end.
+    simd: SimdLevel,
     counters: JoinPhaseCounters,
 }
 
@@ -118,14 +139,74 @@ impl JoinPhaseReport {
     }
 }
 
-impl<'a> JoinPhase<'a> {
+impl JoinPhase {
+    /// Join-phase parameters for pairing `parts` partitions holding
+    /// `r_total`/`s_total` tuples. `allow_split` enables Cbase's large-task
+    /// splitting heuristic; CSH's NM-join runs with it off.
+    pub(crate) fn new(
+        cfg: &CpuJoinConfig,
+        r_total: usize,
+        s_total: usize,
+        parts: usize,
+        allow_split: bool,
+    ) -> Self {
+        let avg_r = (r_total / parts.max(1)).max(1);
+        let avg_s = (s_total / parts.max(1)).max(1);
+        Self {
+            r_split_threshold: if allow_split {
+                ((avg_r as f64 * cfg.split_factor) as usize).max(64)
+            } else {
+                usize::MAX
+            },
+            s_split_threshold: if allow_split {
+                ((avg_s as f64 * cfg.split_factor) as usize).max(64)
+            } else {
+                usize::MAX
+            },
+            // Average chain length 64 with every bucket in use — far beyond
+            // anything the paper's workloads build, but a real ceiling for a
+            // degenerate build side; fault injection shrinks it effectively
+            // to zero by marking tasks over-budget directly.
+            overflow_budget: (1usize << cfg.max_bucket_bits)
+                .saturating_mul(64)
+                .min(crate::hashtable::MAX_BUILD_TUPLES),
+            overflow: Mutex::new(None),
+            extra_bits: cfg.extra_pass_bits,
+            max_depth: 6,
+            max_bucket_bits: cfg.max_bucket_bits,
+            cancel: cfg.cancel.clone(),
+            simd: cfg.simd.resolve(),
+            counters: JoinPhaseCounters::default(),
+        }
+    }
+
+    /// First unrecoverable overflow recorded by a task, if any (checked
+    /// after the scheduler drains).
+    pub(crate) fn take_overflow(&self) -> Option<String> {
+        self.overflow.lock().unwrap().take()
+    }
+
+    /// Snapshot of the phase's counters plus the run's scheduler activity.
+    pub(crate) fn report(&self, sched: SchedStats) -> JoinPhaseReport {
+        JoinPhaseReport {
+            tasks_run: self.counters.tasks_run.load(Ordering::Relaxed),
+            task_splits: self.counters.task_splits.load(Ordering::Relaxed),
+            build_tuples: self.counters.build_tuples.load(Ordering::Relaxed),
+            probe_tuples: self.counters.probe_tuples.load(Ordering::Relaxed),
+            max_chain_len: self.counters.max_chain_len.load(Ordering::Relaxed),
+            sched,
+        }
+    }
+
     /// Executes one task: split if oversized and splittable, else build and
-    /// probe. Splits are spawned through `worker`, so the sub-pairs land on
-    /// the splitting worker's own deque and stay cache-hot unless stolen.
-    fn run_task<S: OutputSink>(
+    /// probe. Splits go through `spawn` — the barrier driver forwards it to
+    /// the worker's own deque and the morsel pipeline wraps it into its own
+    /// task type — so sub-pairs stay cache-hot on the splitting thread
+    /// unless stolen.
+    pub(crate) fn run_task<'a, S: OutputSink>(
         &self,
         task: JoinTask<'a>,
-        worker: &Worker<'_, JoinTask<'a>>,
+        spawn: &mut dyn FnMut(JoinTask<'a>),
         sink: &mut S,
     ) {
         let r = task.r_buf.get(&task.r_range);
@@ -140,7 +221,7 @@ impl<'a> JoinPhase<'a> {
             over_budget || r.len() > self.r_split_threshold || s.len() > self.s_split_threshold;
         let can_split = task.depth < self.max_depth && task.shift + self.extra_bits <= 32;
         if oversized && can_split {
-            if let Some(()) = self.try_split(&task, worker, r, s) {
+            if let Some(()) = self.try_split(&task, spawn, r, s) {
                 self.counters.task_splits.fetch_add(1, Ordering::Relaxed);
                 return;
             }
@@ -185,7 +266,7 @@ impl<'a> JoinPhase<'a> {
             .max_chain_len
             .fetch_max(table.max_chain_len() as u64, Ordering::Relaxed);
         for chunk in s.chunks(1024) {
-            table.probe_all(chunk, sink);
+            table.probe_all_with(chunk, sink, self.simd);
             if self.cancel.is_cancelled() {
                 return;
             }
@@ -197,10 +278,10 @@ impl<'a> JoinPhase<'a> {
     /// no progress (all tuples of both sides land in one sub-partition —
     /// i.e. the task is dominated by a single join key), in which case the
     /// caller joins the task directly.
-    fn try_split(
+    fn try_split<'a>(
         &self,
         task: &JoinTask<'a>,
-        worker: &Worker<'_, JoinTask<'a>>,
+        spawn: &mut dyn FnMut(JoinTask<'a>),
         r: &[Tuple],
         s: &[Tuple],
     ) -> Option<()> {
@@ -231,7 +312,7 @@ impl<'a> JoinPhase<'a> {
             if r_range.is_empty() || s_range.is_empty() {
                 continue;
             }
-            worker.spawn(JoinTask {
+            spawn(JoinTask {
                 r_buf: TupleBuf::Shared(Arc::clone(&r_shared)),
                 r_range,
                 s_buf: TupleBuf::Shared(Arc::clone(&s_shared)),
@@ -246,6 +327,11 @@ impl<'a> JoinPhase<'a> {
 
 /// Runs the Cbase parallel radix join. `make_sink(tid)` constructs each
 /// worker thread's output sink.
+///
+/// Execution is morsel-driven (see [`crate::morsel`]): partition, build,
+/// and probe work flows through one scheduler run in ~`cfg.morsel_tuples`
+/// units with no global barrier between the phases. Results and per-phase
+/// accounting are identical to the former barrier execution.
 pub fn cbase_join<S, F>(
     r: &Relation,
     s: &Relation,
@@ -258,38 +344,7 @@ where
 {
     cfg.validate()?;
     let mut stats = JoinStats::new("Cbase");
-
-    // ---- Partition phase. ----
-    cfg.cancel.check("partition")?;
-    let t0 = Instant::now();
-    let opts = cfg.partition_options();
-    let (parted_r, pstats_r) = parallel_radix_partition_opts(r, &cfg.radix, &opts)?;
-    let (parted_s, pstats_s) = parallel_radix_partition_opts(s, &cfg.radix, &opts)?;
-    stats.phases.record("partition", t0.elapsed());
-    stats.partitions = parted_r.partitions();
-    let mut pstats = pstats_r;
-    pstats.merge(pstats_s);
-    {
-        let p = stats.trace.phase("partition");
-        p.add(counter::TUPLES_IN, (r.len() + s.len()) as u64);
-        p.add(
-            counter::TUPLES_OUT,
-            (parted_r.data.len() + parted_s.data.len()) as u64,
-        );
-        p.set(counter::PARTITIONS, parted_r.partitions() as u64);
-        p.add(counter::BUFFER_FLUSHES, pstats.buffer_flushes);
-        p.add(counter::TASKS_STOLEN, pstats.sched.tasks_stolen);
-        p.add(counter::STEAL_FAILURES, pstats.sched.steal_failures);
-    }
-
-    // ---- Join phase. ----
-    cfg.cancel.check("join")?;
-    let t1 = Instant::now();
-    let sinks: Vec<S> = (0..cfg.threads).map(&make_sink).collect();
-    let (sinks, report) = join_partitions(&parted_r, &parted_s, cfg, sinks, true)?;
-    stats.phases.record("join", t1.elapsed());
-    report.record(&mut stats.trace, "join");
-
+    let sinks = crate::morsel::run_pipeline(r, s, cfg, &make_sink, &mut stats)?;
     aggregate_sinks(&mut stats, &sinks);
     stats
         .trace
@@ -320,34 +375,13 @@ where
     let parts = parted_r.partitions();
     assert_eq!(parts, parted_s.partitions(), "mismatched partition fan-out");
 
-    let avg_r = (parted_r.data.len() / parts.max(1)).max(1);
-    let avg_s = (parted_s.data.len() / parts.max(1)).max(1);
-    let phase = JoinPhase {
-        queue: TaskQueue::new(cfg.scheduler),
-        r_split_threshold: if allow_split {
-            ((avg_r as f64 * cfg.split_factor) as usize).max(64)
-        } else {
-            usize::MAX
-        },
-        s_split_threshold: if allow_split {
-            ((avg_s as f64 * cfg.split_factor) as usize).max(64)
-        } else {
-            usize::MAX
-        },
-        // Average chain length 64 with every bucket in use — far beyond
-        // anything the paper's workloads build, but a real ceiling for a
-        // degenerate build side; fault injection shrinks it effectively to
-        // zero by marking tasks over-budget directly.
-        overflow_budget: (1usize << cfg.max_bucket_bits)
-            .saturating_mul(64)
-            .min(crate::hashtable::MAX_BUILD_TUPLES),
-        overflow: Mutex::new(None),
-        extra_bits: cfg.extra_pass_bits,
-        max_depth: 6,
-        max_bucket_bits: cfg.max_bucket_bits,
-        cancel: cfg.cancel.clone(),
-        counters: JoinPhaseCounters::default(),
-    };
+    let phase = JoinPhase::new(
+        cfg,
+        parted_r.data.len(),
+        parted_s.data.len(),
+        parts,
+        allow_split,
+    );
 
     // Largest pairs first so stragglers start early.
     let mut pids: Vec<usize> = (0..parts)
@@ -356,19 +390,20 @@ where
     pids.sort_unstable_by_key(|&p| {
         std::cmp::Reverse(parted_r.directory.size(p) + parted_s.directory.size(p))
     });
-    for p in pids {
-        phase.queue.push(JoinTask {
+    let queue = TaskQueue::seeded(
+        cfg.scheduler,
+        pids.into_iter().map(|p| JoinTask {
             r_buf: TupleBuf::Slice(&parted_r.data),
             r_range: parted_r.directory.range(p),
             s_buf: TupleBuf::Slice(&parted_s.data),
             s_range: parted_s.directory.range(p),
             shift: cfg.radix.total_bits(),
             depth: 0,
-        });
-    }
+        }),
+    );
 
     let slots: Vec<Mutex<S>> = sinks.into_iter().map(Mutex::new).collect();
-    let sched = run_to_completion(&phase.queue, slots.len(), |worker| {
+    let sched = run_to_completion(&queue, slots.len(), |worker| {
         // Each worker owns its slot for the whole run — the lock is taken
         // exactly once per thread, so there is no contention. A panicking
         // sink poisons its own slot's mutex, which the scheduler's outer
@@ -376,27 +411,20 @@ where
         let mut sink = slots[worker.index()]
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        worker.run(|task, w| phase.run_task(task, w, &mut *sink));
+        worker.run(|task, w| phase.run_task(task, &mut |t| w.spawn(t), &mut *sink));
     })
     .map_err(|worker| JoinError::WorkerPanicked {
         worker,
         phase: if allow_split { "join" } else { "nm_join" }.into(),
     })?;
-    if let Some(msg) = phase.overflow.lock().unwrap().take() {
+    if let Some(msg) = phase.take_overflow() {
         return Err(JoinError::PartitionOverflow(msg));
     }
     // A cancel observed mid-phase left the sinks partially fed; the typed
     // error makes the caller discard them.
     cfg.cancel
         .check(if allow_split { "join" } else { "nm_join" })?;
-    let report = JoinPhaseReport {
-        tasks_run: phase.counters.tasks_run.load(Ordering::Relaxed),
-        task_splits: phase.counters.task_splits.load(Ordering::Relaxed),
-        build_tuples: phase.counters.build_tuples.load(Ordering::Relaxed),
-        probe_tuples: phase.counters.probe_tuples.load(Ordering::Relaxed),
-        max_chain_len: phase.counters.max_chain_len.load(Ordering::Relaxed),
-        sched,
-    };
+    let report = phase.report(sched);
     let sinks = slots
         .into_iter()
         .map(|m| {

@@ -4,7 +4,13 @@ use skewjoin_common::hash::RadixConfig;
 use skewjoin_common::{CancelToken, JoinError};
 
 use crate::partition::{PartitionOptions, ScatterMode, SWWC_TUPLES};
+use crate::simd::SimdPolicy;
 use crate::task::SchedulerKind;
+
+/// Default tuples per pipeline morsel (~16 K tuples = 128 KiB of input, a
+/// cache-friendly unit that still yields enough tasks to keep the
+/// work-stealing scheduler balanced).
+pub const DEFAULT_MORSEL_TUPLES: usize = 16 * 1024;
 
 /// Which mechanism CSH uses to find skewed keys before partitioning.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,6 +104,14 @@ pub struct CpuJoinConfig {
     /// Bucket bits per partition hash table are sized to the build side; this
     /// caps them to bound memory on pathological partitions.
     pub max_bucket_bits: u32,
+    /// SIMD policy for the scatter/probe hot loops ([`SimdPolicy::Auto`]
+    /// detects the widest available instruction set at runtime;
+    /// [`SimdPolicy::Scalar`] forces the always-compiled fallback).
+    pub simd: SimdPolicy,
+    /// Tuples per morsel in the pipelined execution of `cbase` and
+    /// `cbase-npj`: the granularity at which partition/build/probe work
+    /// flows through the scheduler. Must be in `256..=2^24`.
+    pub morsel_tuples: usize,
     /// Cooperative cancellation/deadline token, checked at phase boundaries.
     /// The default is inert; the join service installs a live token per
     /// admitted request.
@@ -119,6 +133,8 @@ impl Default for CpuJoinConfig {
             wc_tuples: SWWC_TUPLES,
             scheduler: SchedulerKind::default(),
             max_bucket_bits: 22,
+            simd: SimdPolicy::default(),
+            morsel_tuples: DEFAULT_MORSEL_TUPLES,
             cancel: CancelToken::none(),
         }
     }
@@ -151,6 +167,7 @@ impl CpuJoinConfig {
             mode: self.scatter,
             wc_tuples: self.wc_tuples,
             scheduler: self.scheduler,
+            simd: self.simd.resolve(),
         }
     }
 
@@ -193,6 +210,14 @@ impl CpuJoinConfig {
             return Err(JoinError::InvalidConfig(format!(
                 "max_bucket_bits must be in 1..=28, got {}",
                 self.max_bucket_bits
+            )));
+        }
+        // Below 256 the per-morsel bookkeeping dominates the work; past 2^24
+        // a "morsel" is bigger than any workload we pipeline.
+        if !(256..=(1 << 24)).contains(&self.morsel_tuples) {
+            return Err(JoinError::InvalidConfig(format!(
+                "morsel_tuples must be in 256..=2^24, got {}",
+                self.morsel_tuples
             )));
         }
         if let SkewDetectorKind::Frequent {
@@ -275,6 +300,18 @@ mod tests {
         assert!(cfg.validate().is_err());
         cfg.max_bucket_bits = 1;
         assert!(cfg.validate().is_ok());
+
+        let mut cfg = CpuJoinConfig::default();
+        cfg.morsel_tuples = 0;
+        assert!(cfg.validate().is_err());
+        cfg.morsel_tuples = 255;
+        assert!(cfg.validate().is_err());
+        cfg.morsel_tuples = (1 << 24) + 1;
+        assert!(cfg.validate().is_err());
+        cfg.morsel_tuples = 256;
+        assert!(cfg.validate().is_ok());
+        cfg.morsel_tuples = 1 << 24;
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]
@@ -288,6 +325,14 @@ mod tests {
         assert_eq!(opts.mode, ScatterMode::Buffered);
         assert_eq!(opts.wc_tuples, 16);
         assert_eq!(opts.scheduler, SchedulerKind::Mutex);
+        assert_eq!(opts.simd, cfg.simd.resolve());
+
+        let mut scalar = CpuJoinConfig::with_threads(1);
+        scalar.simd = SimdPolicy::Scalar;
+        assert_eq!(
+            scalar.partition_options().simd,
+            crate::simd::SimdLevel::Scalar
+        );
     }
 
     #[test]

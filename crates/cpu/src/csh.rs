@@ -291,8 +291,15 @@ fn partition_r_with_skew(
     }
 
     // Remaining radix passes over the normal buffer only.
-    let (norm_data, norm_dir_starts, sched) =
-        refine_passes(norm_data, norm_starts, radix, threads, 1, cfg.scheduler)?;
+    let (norm_data, norm_dir_starts, sched) = refine_passes(
+        norm_data,
+        norm_starts,
+        radix,
+        threads,
+        1,
+        cfg.scheduler,
+        cfg.simd.resolve(),
+    )?;
 
     Ok((
         PartitionedRelation {
@@ -423,8 +430,15 @@ fn partition_s_with_skew<S: OutputSink>(
         });
     }
 
-    let (norm_data, norm_dir_starts, sched) =
-        refine_passes(norm_data, norm_starts, radix, threads, 1, cfg.scheduler)?;
+    let (norm_data, norm_dir_starts, sched) = refine_passes(
+        norm_data,
+        norm_starts,
+        radix,
+        threads,
+        1,
+        cfg.scheduler,
+        cfg.simd.resolve(),
+    )?;
     Ok((
         PartitionedRelation {
             data: norm_data,

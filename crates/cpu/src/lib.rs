@@ -27,19 +27,22 @@ pub mod config;
 pub mod csh;
 pub mod frequent;
 pub mod hashtable;
+pub mod morsel;
 pub mod npj;
 pub mod partition;
 pub mod reference;
+pub mod simd;
 pub mod skew;
 pub mod task;
 pub mod util;
 
 pub use cbase::cbase_join;
-pub use config::{CpuJoinConfig, SkewDetectConfig, SkewDetectorKind};
+pub use config::{CpuJoinConfig, SkewDetectConfig, SkewDetectorKind, DEFAULT_MORSEL_TUPLES};
 pub use csh::csh_join;
 pub use npj::npj_join;
 pub use partition::{PartitionOptions, PartitionStats, ScatterMode};
 pub use reference::reference_join;
+pub use simd::{SimdLevel, SimdPolicy};
 pub use task::{SchedStats, SchedulerKind};
 
 use skewjoin_common::{JoinStats, OutputSink};

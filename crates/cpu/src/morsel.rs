@@ -1,0 +1,676 @@
+//! Morsel-driven pipelining for the partitioned CPU joins.
+//!
+//! The former Cbase execution ran partition and join as two barrier-separated
+//! parallel phases: every thread finished pass-0 scatter, then a second
+//! scheduler run joined the finished partitions. This module replaces the
+//! barriers with one scheduler run over fine-grained *morsels*
+//! (~[`crate::config::DEFAULT_MORSEL_TUPLES`] tuples each) whose dependencies
+//! are tracked with atomic countdowns:
+//!
+//! 1. **Hist** — one task per input segment per side counts pass-0 partition
+//!    sizes. The last finisher prefix-sums the histograms into per-segment
+//!    write cursors and spawns the Scatter tasks.
+//! 2. **Scatter** — one task per segment copies its tuples into the scratch
+//!    buffer at the precomputed cursors ([`ScatterMode::Direct`] or the
+//!    write-combining buffered variant, SIMD-hashed either way). The last
+//!    finisher either publishes the pass-0 starts as final (single-pass
+//!    config) or spawns one Refine task per pass-0 partition.
+//! 3. **Refine** — one task per pass-0 partition runs the remaining radix
+//!    passes *locally* (stable per-pass counting sorts, so the final layout
+//!    is byte-identical to the former global refine), copies the result into
+//!    the final buffer, and publishes its children's start offsets.
+//! 4. **Join** — a per-partition gate ([`AtomicU8`], one bit per side) arms
+//!    when *both* sides have refined that pass-0 partition; the second
+//!    arrival spawns the build+probe tasks. Join tasks are the existing
+//!    [`JoinPhase`] tasks — recursive skew splitting, overflow budget, and
+//!    SIMD probe included — so one side's hot partition can be mid-probe
+//!    while the other side is still scattering cold data.
+//!
+//! There is no global phase boundary, so per-phase wall-clock is attributed
+//! by timestamp: the moment the second side finishes refining is the end of
+//! the "partition" phase; the remainder of the run is "join". Cancellation
+//! is polled at every task entry and inside probe loops; a cancelled task
+//! returns without decrementing its countdown, the queue drains, and the
+//! driver reports [`JoinError::Cancelled`] for the phase that was in flight.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+use skewjoin_common::histogram::{exclusive_prefix_sum, histogram, per_worker_offsets};
+use skewjoin_common::trace::counter;
+use skewjoin_common::{JoinError, JoinStats, OutputSink, Relation, Tuple};
+
+use crate::cbase::{JoinPhase, JoinTask, TupleBuf};
+use crate::config::CpuJoinConfig;
+use crate::partition::{pass_spec, scatter_buffered, scatter_direct, SharedUsizeSlice};
+use crate::simd::{self, SimdLevel, HASH_BATCH};
+use crate::task::{run_to_completion, TaskQueue, Worker};
+use crate::util::{segment, SharedTupleSlice};
+use crate::ScatterMode;
+
+/// Upper bound on segments per side, so tiny morsel sizes on huge inputs
+/// cannot explode the task count (the scheduler is fine with thousands of
+/// tasks, but histograms cost `fanout(0)` words each).
+const MAX_SEGMENTS: usize = 512;
+
+/// Which input relation a partition task belongs to.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Side {
+    /// Build side.
+    R = 0,
+    /// Probe side.
+    S = 1,
+}
+
+/// One schedulable unit of pipeline work.
+enum Task<'a> {
+    /// Count pass-0 partition sizes over one input segment.
+    Hist { side: Side, seg: usize },
+    /// Scatter one input segment into the scratch buffer.
+    Scatter { side: Side, seg: usize },
+    /// Run radix passes 1.. locally over one pass-0 partition.
+    Refine { side: Side, parent: usize },
+    /// Build+probe one final partition (or a recursive split of one).
+    Join(JoinTask<'a>),
+}
+
+/// Per-side partitioning state.
+struct SideState<'a> {
+    input: &'a [Tuple],
+    /// Number of hist/scatter segments (>= 1 even for empty input).
+    segs: usize,
+    /// Per-segment pass-0 histograms, filled by Hist tasks.
+    hists: Mutex<Vec<Vec<usize>>>,
+    hists_left: AtomicUsize,
+    /// Per-segment scatter cursors, produced by the last Hist finisher.
+    cursor_rows: Mutex<Vec<Vec<usize>>>,
+    /// Pass-0 partition starts (`fanout(0) + 1` entries).
+    pass0_starts: OnceLock<Vec<usize>>,
+    scatters_left: AtomicUsize,
+    refines_left: AtomicUsize,
+    /// Pass-0 scatter target.
+    scratch: SharedTupleSlice,
+    /// Fully refined tuples; aliases `scratch` for single-pass configs.
+    finals: SharedTupleSlice,
+    /// Start offset of every final partition (`total_fanout()` entries; the
+    /// end of parent `p`'s last child is `pass0_starts[p + 1]`). Entry
+    /// `p * fanout_rest + j` is written only by parent `p`'s Refine task,
+    /// so concurrent Refines never touch the same slot.
+    child_starts: SharedUsizeSlice,
+    /// Write-combining buffer flushes (buffered scatter mode only).
+    flushes: AtomicU64,
+}
+
+impl<'a> SideState<'a> {
+    fn new(
+        input: &'a [Tuple],
+        morsel_tuples: usize,
+        refines: usize,
+        scratch: SharedTupleSlice,
+        finals: SharedTupleSlice,
+        child_starts: SharedUsizeSlice,
+    ) -> Self {
+        let segs = input
+            .len()
+            .div_ceil(morsel_tuples.max(1))
+            .clamp(1, MAX_SEGMENTS);
+        Self {
+            input,
+            segs,
+            hists: Mutex::new(vec![Vec::new(); segs]),
+            hists_left: AtomicUsize::new(segs),
+            cursor_rows: Mutex::new(Vec::new()),
+            pass0_starts: OnceLock::new(),
+            scatters_left: AtomicUsize::new(segs),
+            refines_left: AtomicUsize::new(refines),
+            scratch,
+            finals,
+            child_starts,
+            flushes: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Error/cancel phase attribution: nothing recorded yet.
+const PHASE_NONE: usize = 0;
+/// A partition-stage task (Hist/Scatter/Refine) panicked first.
+const PHASE_PARTITION: usize = 1;
+/// A join task panicked first.
+const PHASE_JOIN: usize = 2;
+
+/// Shared state of one pipelined join run.
+struct Pipeline<'a> {
+    cfg: &'a CpuJoinConfig,
+    passes: usize,
+    fanout0: usize,
+    /// Children per pass-0 partition (`total_fanout / fanout0`).
+    fanout_rest: usize,
+    simd: SimdLevel,
+    sides: [SideState<'a>; 2],
+    join: JoinPhase,
+    /// One gate per pass-0 partition; bit 0 = R refined, bit 1 = S refined.
+    gates: Vec<AtomicU8>,
+    /// Sides whose partitioning has not completed yet (starts at 2).
+    sides_left: AtomicUsize,
+    started: Instant,
+    /// Nanoseconds from run start until both sides finished partitioning;
+    /// 0 while partitioning is still in flight.
+    partition_ns: AtomicU64,
+    /// Whether any join task started (phase attribution for cancel/panic
+    /// observed before partitioning completed).
+    join_started: AtomicBool,
+    /// Hist + Scatter + Refine tasks executed.
+    partition_morsels: AtomicU64,
+    /// First panic's phase (`PHASE_*`), recorded in the task dispatcher.
+    error_phase: AtomicUsize,
+}
+
+impl<'a> Pipeline<'a> {
+    fn side(&self, side: Side) -> &SideState<'a> {
+        &self.sides[side as usize]
+    }
+
+    /// Runs one task, recording the phase on panic before re-raising so the
+    /// driver can attribute [`JoinError::WorkerPanicked`] without barriers.
+    fn dispatch<S: OutputSink>(&self, task: Task<'a>, w: &Worker<'_, Task<'a>>, sink: &mut S) {
+        let phase_code = match &task {
+            Task::Join(_) => PHASE_JOIN,
+            _ => PHASE_PARTITION,
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| match task {
+            Task::Hist { side, seg } => self.run_hist(side, seg, w),
+            Task::Scatter { side, seg } => self.run_scatter(side, seg, w),
+            Task::Refine { side, parent } => self.run_refine(side, parent, w),
+            Task::Join(t) => {
+                self.join_started.store(true, Ordering::Relaxed);
+                self.join
+                    .run_task(t, &mut |next| w.spawn(Task::Join(next)), sink);
+            }
+        }));
+        if let Err(payload) = outcome {
+            let _ = self.error_phase.compare_exchange(
+                PHASE_NONE,
+                phase_code,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+            resume_unwind(payload);
+        }
+    }
+
+    fn run_hist(&self, side: Side, seg: usize, w: &Worker<'_, Task<'a>>) {
+        if self.cfg.cancel.is_cancelled() {
+            return;
+        }
+        self.partition_morsels.fetch_add(1, Ordering::Relaxed);
+        let st = self.side(side);
+        let chunk = &st.input[segment(st.input.len(), st.segs, seg)];
+        let hist = histogram(chunk, &self.cfg.radix, 0);
+        st.hists.lock().unwrap_or_else(PoisonError::into_inner)[seg] = hist;
+        if st.hists_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last histogram: prefix-sum into per-segment cursors (the lock
+            // pairs with each Hist task's write, the countdown's AcqRel
+            // pairs every earlier decrement with this read).
+            let hists =
+                std::mem::take(&mut *st.hists.lock().unwrap_or_else(PoisonError::into_inner));
+            let (cursors, starts) = per_worker_offsets(&hists);
+            *st.cursor_rows
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = cursors;
+            st.pass0_starts
+                .set(starts)
+                .expect("pass-0 starts published once");
+            for seg in 0..st.segs {
+                w.spawn(Task::Scatter { side, seg });
+            }
+        }
+    }
+
+    fn run_scatter(&self, side: Side, seg: usize, w: &Worker<'_, Task<'a>>) {
+        if self.cfg.cancel.is_cancelled() {
+            return;
+        }
+        self.partition_morsels.fetch_add(1, Ordering::Relaxed);
+        let st = self.side(side);
+        let chunk = &st.input[segment(st.input.len(), st.segs, seg)];
+        let cursors = std::mem::take(
+            &mut st
+                .cursor_rows
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)[seg],
+        );
+        match self.cfg.scatter {
+            ScatterMode::Direct => {
+                scatter_direct(chunk, &self.cfg.radix, cursors, st.scratch, self.simd)
+            }
+            ScatterMode::Buffered => {
+                let flushes = scatter_buffered(
+                    chunk,
+                    &self.cfg.radix,
+                    cursors,
+                    st.scratch,
+                    self.cfg.wc_tuples,
+                    self.simd,
+                );
+                st.flushes.fetch_add(flushes, Ordering::Relaxed);
+            }
+        }
+        if st.scatters_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.side_scattered(side, w);
+        }
+    }
+
+    /// Last scatter of `side` finished: hand every pass-0 partition to the
+    /// next stage.
+    fn side_scattered(&self, side: Side, w: &Worker<'_, Task<'a>>) {
+        let st = self.side(side);
+        if self.passes == 1 {
+            // No refine passes: pass-0 partitions are final.
+            let starts = st.pass0_starts.get().expect("starts published");
+            for (j, &v) in starts.iter().take(self.fanout0).enumerate() {
+                // SAFETY: single writer (this task), in bounds by length.
+                unsafe { st.child_starts.write(j, v) };
+            }
+            for parent in 0..self.fanout0 {
+                self.arm_gate(parent, side, w);
+            }
+            self.side_done();
+        } else {
+            for parent in 0..self.fanout0 {
+                w.spawn(Task::Refine { side, parent });
+            }
+        }
+    }
+
+    /// Runs radix passes `1..passes` over one pass-0 partition, locally and
+    /// stably, reproducing the former global refine's layout exactly, then
+    /// publishes the partition's final tuples and child start offsets.
+    fn run_refine(&self, side: Side, parent: usize, w: &Worker<'_, Task<'a>>) {
+        if self.cfg.cancel.is_cancelled() {
+            return;
+        }
+        self.partition_morsels.fetch_add(1, Ordering::Relaxed);
+        let st = self.side(side);
+        let p0 = st.pass0_starts.get().expect("starts published");
+        let (base, end) = (p0[parent], p0[parent + 1]);
+        // SAFETY: spawned (transitively) by the last Scatter finisher, so
+        // every scatter write happens-before via the countdown + queue
+        // handoff; `[base, end)` belongs to this parent alone.
+        let src = unsafe { st.scratch.slice(base..end) };
+        let mut data: Vec<Tuple> = src.to_vec();
+        // Local partition directory, refined one pass at a time. Starting
+        // from MSD pass 0, each subsequent stable counting sort yields the
+        // same final order as the former sequential refine.
+        let mut dir: Vec<usize> = vec![0, data.len()];
+        let mut pids = [0u32; HASH_BATCH];
+        for pass in 1..self.passes {
+            let fanout = self.cfg.radix.fanout(pass);
+            let parents = dir.len() - 1;
+            let (mixed, shift, mask) = pass_spec(&self.cfg.radix, pass);
+            let mut next = vec![Tuple::default(); data.len()];
+            let mut child = vec![0usize; parents * fanout + 1];
+            for p in 0..parents {
+                let lo = dir[p];
+                let slice = &data[lo..dir[p + 1]];
+                let mut cursors = histogram(slice, &self.cfg.radix, pass);
+                exclusive_prefix_sum(&mut cursors);
+                for (j, &c) in cursors.iter().enumerate() {
+                    child[p * fanout + j] = lo + c;
+                }
+                for batch in slice.chunks(HASH_BATCH) {
+                    simd::hash_indices(self.simd, batch, mixed, shift, mask, &mut pids);
+                    for (t, &pid) in batch.iter().zip(&pids) {
+                        let cursor = &mut cursors[pid as usize];
+                        next[lo + *cursor] = *t;
+                        *cursor += 1;
+                    }
+                }
+            }
+            *child.last_mut().expect("non-empty directory") = data.len();
+            data = next;
+            dir = child;
+        }
+        debug_assert_eq!(dir.len() - 1, self.fanout_rest);
+        // SAFETY: disjoint destination ranges/slots per parent (see the
+        // `child_starts` field docs); readers are gated on `arm_gate`.
+        unsafe {
+            st.finals.copy_from(base, data.as_ptr(), data.len());
+            for (j, &d) in dir.iter().take(self.fanout_rest).enumerate() {
+                st.child_starts
+                    .write(parent * self.fanout_rest + j, base + d);
+            }
+        }
+        self.arm_gate(parent, side, w);
+        if st.refines_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.side_done();
+        }
+    }
+
+    /// Marks `side`'s contribution to pass-0 partition `parent` complete;
+    /// the second arrival spawns the partition's join tasks.
+    fn arm_gate(&self, parent: usize, side: Side, w: &Worker<'_, Task<'a>>) {
+        let bit = 1u8 << (side as usize);
+        let prev = self.gates[parent].fetch_or(bit, Ordering::AcqRel);
+        debug_assert_eq!(prev & bit, 0, "partition gate armed twice by one side");
+        if prev != 0 {
+            self.spawn_joins(parent, w);
+        }
+    }
+
+    /// Range of final child `j` under pass-0 partition `parent` on `side`.
+    ///
+    /// # Safety
+    /// Both sides' starts for `parent` must be published (gate fully armed).
+    unsafe fn child_range(&self, side: Side, parent: usize, j: usize) -> Range<usize> {
+        let st = self.side(side);
+        let start = unsafe { st.child_starts.read(parent * self.fanout_rest + j) };
+        let end = if j + 1 < self.fanout_rest {
+            unsafe { st.child_starts.read(parent * self.fanout_rest + j + 1) }
+        } else {
+            st.pass0_starts.get().expect("starts published")[parent + 1]
+        };
+        start..end
+    }
+
+    fn spawn_joins(&self, parent: usize, w: &Worker<'_, Task<'a>>) {
+        let shift = self.cfg.radix.total_bits();
+        for j in 0..self.fanout_rest {
+            // SAFETY: called from the gate's second arm; the `fetch_or`'s
+            // Acquire pairs with the publishing side's Release, so both
+            // sides' child offsets (and tuple data) are visible.
+            let r_range = unsafe { self.child_range(Side::R, parent, j) };
+            let s_range = unsafe { self.child_range(Side::S, parent, j) };
+            if r_range.is_empty() || s_range.is_empty() {
+                continue;
+            }
+            w.spawn(Task::Join(JoinTask {
+                r_buf: TupleBuf::Raw(self.side(Side::R).finals),
+                r_range,
+                s_buf: TupleBuf::Raw(self.side(Side::S).finals),
+                s_range,
+                shift,
+                depth: 0,
+            }));
+        }
+    }
+
+    /// One side finished partitioning; the second arrival timestamps the
+    /// end of the partition phase.
+    fn side_done(&self) {
+        if self.sides_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let ns = self.started.elapsed().as_nanos().max(1) as u64;
+            self.partition_ns.store(ns, Ordering::Release);
+        }
+    }
+
+    /// Phase to blame for a cancellation observed after the run drained.
+    fn progress_phase(&self) -> &'static str {
+        if self.partition_ns.load(Ordering::Acquire) != 0
+            || self.join_started.load(Ordering::Relaxed)
+        {
+            "join"
+        } else {
+            "partition"
+        }
+    }
+
+    /// Phase to blame for the first worker panic.
+    fn panic_phase(&self) -> &'static str {
+        match self.error_phase.load(Ordering::Acquire) {
+            PHASE_PARTITION => "partition",
+            PHASE_JOIN => "join",
+            // Panic outside the dispatcher (scheduler failpoints, sink
+            // setup): fall back to pipeline progress.
+            _ => self.progress_phase(),
+        }
+    }
+}
+
+/// Runs the full morsel-driven partition→build→probe pipeline for Cbase.
+///
+/// Creates one sink per thread via `make_sink`, drives all stages through a
+/// single scheduler run, and records per-phase times, partition counts, and
+/// trace counters into `stats` (result aggregation is left to the caller,
+/// which owns the returned sinks).
+pub(crate) fn run_pipeline<S, F>(
+    r: &Relation,
+    s: &Relation,
+    cfg: &CpuJoinConfig,
+    make_sink: &F,
+    stats: &mut JoinStats,
+) -> Result<Vec<S>, JoinError>
+where
+    S: OutputSink,
+    F: Fn(usize) -> S + Sync,
+{
+    cfg.cancel.check("partition")?;
+    let radix = &cfg.radix;
+    let passes = radix.bits_per_pass.len();
+    let fanout0 = radix.fanout(0);
+    let total_fanout = radix.total_fanout();
+    let fanout_rest = total_fanout / fanout0;
+    let simd = cfg.simd.resolve();
+
+    // Backing buffers live here, across the scheduler run; the pipeline
+    // hands out raw views into them. For single-pass configs the scratch
+    // buffer *is* the final buffer.
+    let mut r_scratch = vec![Tuple::default(); r.len()];
+    let mut s_scratch = vec![Tuple::default(); s.len()];
+    let mut r_refined = vec![Tuple::default(); if passes > 1 { r.len() } else { 0 }];
+    let mut s_refined = vec![Tuple::default(); if passes > 1 { s.len() } else { 0 }];
+    let mut r_child = vec![0usize; total_fanout];
+    let mut s_child = vec![0usize; total_fanout];
+
+    let r_scratch_view = SharedTupleSlice::new(&mut r_scratch);
+    let s_scratch_view = SharedTupleSlice::new(&mut s_scratch);
+    let r_finals = if passes > 1 {
+        SharedTupleSlice::new(&mut r_refined)
+    } else {
+        r_scratch_view
+    };
+    let s_finals = if passes > 1 {
+        SharedTupleSlice::new(&mut s_refined)
+    } else {
+        s_scratch_view
+    };
+
+    let refines = if passes > 1 { fanout0 } else { 0 };
+    let pipeline = Pipeline {
+        cfg,
+        passes,
+        fanout0,
+        fanout_rest,
+        simd,
+        sides: [
+            SideState::new(
+                r.tuples(),
+                cfg.morsel_tuples,
+                refines,
+                r_scratch_view,
+                r_finals,
+                SharedUsizeSlice::new(&mut r_child),
+            ),
+            SideState::new(
+                s.tuples(),
+                cfg.morsel_tuples,
+                refines,
+                s_scratch_view,
+                s_finals,
+                SharedUsizeSlice::new(&mut s_child),
+            ),
+        ],
+        join: JoinPhase::new(cfg, r.len(), s.len(), total_fanout, true),
+        gates: (0..fanout0).map(|_| AtomicU8::new(0)).collect(),
+        sides_left: AtomicUsize::new(2),
+        started: Instant::now(),
+        partition_ns: AtomicU64::new(0),
+        join_started: AtomicBool::new(false),
+        partition_morsels: AtomicU64::new(0),
+        error_phase: AtomicUsize::new(PHASE_NONE),
+    };
+
+    let seeds = (0..pipeline.side(Side::R).segs)
+        .map(|seg| Task::Hist { side: Side::R, seg })
+        .chain((0..pipeline.side(Side::S).segs).map(|seg| Task::Hist { side: Side::S, seg }));
+    let queue = TaskQueue::seeded(cfg.scheduler, seeds);
+    let slots: Vec<Mutex<S>> = (0..cfg.threads).map(|i| Mutex::new(make_sink(i))).collect();
+
+    let run = run_to_completion(&queue, cfg.threads, |worker| {
+        let mut sink = slots[worker.index()]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        worker.run(|task, w| pipeline.dispatch(task, w, &mut *sink));
+    });
+    let sched = run.map_err(|worker| JoinError::WorkerPanicked {
+        worker,
+        phase: pipeline.panic_phase().to_string(),
+    })?;
+    if let Some(msg) = pipeline.join.take_overflow() {
+        return Err(JoinError::PartitionOverflow(msg));
+    }
+    cfg.cancel.check(pipeline.progress_phase())?;
+
+    let wall = pipeline.started.elapsed();
+    let partition_d =
+        Duration::from_nanos(pipeline.partition_ns.load(Ordering::Acquire).max(1)).min(wall);
+    let join_d = wall
+        .checked_sub(partition_d)
+        .filter(|d| !d.is_zero())
+        .unwrap_or(Duration::from_nanos(1));
+    stats.phases.record("partition", partition_d);
+    stats.phases.record("join", join_d);
+    stats.partitions = total_fanout;
+
+    let tuples = (r.len() + s.len()) as u64;
+    let flushes = pipeline.side(Side::R).flushes.load(Ordering::Relaxed)
+        + pipeline.side(Side::S).flushes.load(Ordering::Relaxed);
+    {
+        let p = stats.trace.phase("partition");
+        p.add(counter::TUPLES_IN, tuples);
+        p.add(counter::TUPLES_OUT, tuples);
+        p.set(counter::PARTITIONS, total_fanout as u64);
+        p.add(counter::BUFFER_FLUSHES, flushes);
+        p.add(
+            counter::MORSELS,
+            pipeline.partition_morsels.load(Ordering::Relaxed),
+        );
+    }
+    let report = pipeline.join.report(sched);
+    report.record(&mut stats.trace, "join");
+    stats
+        .trace
+        .phase("join")
+        .add(counter::MORSELS, report.tasks_run);
+
+    Ok(slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use skewjoin_common::hash::RadixConfig;
+    use skewjoin_common::CountingSink;
+    use skewjoin_datagen::{PaperWorkload, WorkloadSpec};
+
+    use super::*;
+    use crate::cbase::cbase_join;
+    use crate::reference::reference_join;
+    use crate::simd::SimdPolicy;
+
+    fn inputs(tuples: usize, zipf: f64, seed: u64) -> (Relation, Relation) {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(tuples, zipf, seed));
+        (w.r, w.s)
+    }
+
+    fn run(cfg: &CpuJoinConfig, r: &Relation, s: &Relation) -> (u64, u64, JoinStats) {
+        let out = cbase_join(r, s, cfg, |_| CountingSink::new()).expect("join");
+        (out.stats.result_count, out.stats.checksum, out.stats)
+    }
+
+    fn expected(r: &Relation, s: &Relation) -> (u64, u64) {
+        let mut sink = CountingSink::new();
+        let stats = reference_join(r, s, &mut sink);
+        (stats.result_count, stats.checksum)
+    }
+
+    #[test]
+    fn matches_reference_multi_morsel() {
+        let (r, s) = inputs(60_000, 0.9, 7);
+        let (exp_count, exp_checksum) = expected(&r, &s);
+        let mut cfg = CpuJoinConfig::with_threads(4);
+        cfg.morsel_tuples = 4096; // force many segments per side
+        let (count, checksum, stats) = run(&cfg, &r, &s);
+        assert_eq!(count, exp_count);
+        assert_eq!(checksum, exp_checksum);
+        let morsels = stats.trace.get("partition", counter::MORSELS).unwrap_or(0);
+        // ~15 hist + ~15 scatter segments per side plus one refine per
+        // pass-0 partition: well above the one-task-per-thread barrier era.
+        assert!(
+            morsels > 40,
+            "expected many partition morsels, got {morsels}"
+        );
+        assert!(stats.trace.get("join", counter::MORSELS).unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn morsel_size_invariance() {
+        let (r, s) = inputs(40_000, 1.2, 11);
+        let mut baseline = None;
+        for morsel_tuples in [256, 1024, 4096, 40_000, 1 << 20] {
+            let mut cfg = CpuJoinConfig::with_threads(3);
+            cfg.morsel_tuples = morsel_tuples;
+            let (count, checksum, _) = run(&cfg, &r, &s);
+            match baseline {
+                None => baseline = Some((count, checksum)),
+                Some(b) => assert_eq!(
+                    (count, checksum),
+                    b,
+                    "result changed at morsel_tuples={morsel_tuples}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn simd_and_scalar_agree_end_to_end() {
+        let (r, s) = inputs(50_000, 1.5, 13);
+        let mut scalar_cfg = CpuJoinConfig::with_threads(4);
+        scalar_cfg.simd = SimdPolicy::Scalar;
+        let mut auto_cfg = CpuJoinConfig::with_threads(4);
+        auto_cfg.simd = SimdPolicy::Auto;
+        assert_eq!(run(&scalar_cfg, &r, &s).0, run(&auto_cfg, &r, &s).0);
+        assert_eq!(run(&scalar_cfg, &r, &s).1, run(&auto_cfg, &r, &s).1);
+    }
+
+    #[test]
+    fn single_pass_and_three_pass_configs() {
+        let (r, s) = inputs(30_000, 0.5, 17);
+        let (exp_count, exp_checksum) = expected(&r, &s);
+        for bits in [vec![6u32], vec![4, 4, 4]] {
+            let mut cfg = CpuJoinConfig::with_threads(2);
+            cfg.radix = RadixConfig {
+                bits_per_pass: bits.clone(),
+                ..cfg.radix
+            };
+            let (count, checksum, stats) = run(&cfg, &r, &s);
+            assert_eq!(count, exp_count, "bits_per_pass={bits:?}");
+            assert_eq!(checksum, exp_checksum, "bits_per_pass={bits:?}");
+            assert_eq!(stats.partitions, cfg.radix.total_fanout());
+        }
+    }
+
+    #[test]
+    fn empty_sides_flow_through_pipeline() {
+        let (r, s) = inputs(10_000, 0.0, 19);
+        let empty = Relation::new();
+        let cfg = CpuJoinConfig::with_threads(2);
+        assert_eq!(run(&cfg, &empty, &s).0, 0);
+        assert_eq!(run(&cfg, &r, &empty).0, 0);
+        assert_eq!(run(&cfg, &empty, &empty).0, 0);
+    }
+}

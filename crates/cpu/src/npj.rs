@@ -7,8 +7,10 @@
 //! paper's Figure 4a shows it as the worst CPU performer — and it inherits
 //! the same long-chain pathology under skew.
 
-use std::sync::Mutex;
-use std::time::Instant;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 use skewjoin_common::trace::counter;
 use skewjoin_common::{JoinError, JoinStats, OutputSink, Relation};
@@ -19,8 +21,23 @@ use crate::task::{run_to_completion, TaskQueue};
 use crate::util::segment;
 use crate::{aggregate_sinks, JoinOutcome};
 
+/// One schedulable unit of no-partition-join work.
+enum NpjTask {
+    /// CAS-insert one segment of R into the shared table.
+    Build(Range<usize>),
+    /// Probe the table with one segment of S.
+    Probe(Range<usize>),
+}
+
 /// Runs the no-partition join. `make_sink(tid)` constructs each worker
 /// thread's output sink.
+///
+/// Execution is morsel-driven: build and probe morsels of
+/// ~`cfg.morsel_tuples` tuples flow through a single scheduler run. The
+/// last build morsel to finish timestamps the build phase and spawns the
+/// probe morsels, so there is no thread barrier between the phases — a
+/// thread that finishes its build work early steals other build morsels
+/// rather than idling at a join point.
 pub fn npj_join<S, F>(
     r: &Relation,
     s: &Relation,
@@ -34,73 +51,92 @@ where
     cfg.validate()?;
     let mut stats = JoinStats::new("cbase-npj");
     let threads = cfg.threads;
+    let simd = cfg.simd.resolve();
 
-    // ---- Build phase: all threads insert disjoint segments of R. ----
     cfg.cancel.check("build")?;
-    let t0 = Instant::now();
+    let started = Instant::now();
     // The global table holds *all* of R, so the slot-encoding bound is a
     // real input limit here (per-partition builds hit the overflow budget
     // long before it).
     let table = ConcurrentChainedTable::try_sized(r, cfg.max_bucket_bits)?;
-    std::thread::scope(|scope| {
-        for w in 0..threads {
-            let table = &table;
-            let range = segment(r.len(), threads, w);
-            scope.spawn(move || table.insert_range(range));
-        }
-    });
-    stats.phases.record("build", t0.elapsed());
-    {
-        let p = stats.trace.phase("build");
-        p.add(counter::BUILD_TUPLES, r.len() as u64);
-        p.max(counter::MAX_CHAIN_LEN, table.max_chain_len() as u64);
-    }
 
-    // ---- Probe phase: S scanned as scheduler tasks. ----
-    cfg.cancel.check("probe")?;
-    // Oversplitting S into more chunks than threads lets the scheduler
-    // rebalance when one chunk hits a hot key's long chain — a static
-    // per-thread segmentation would leave that thread the straggler.
-    let t1 = Instant::now();
-    let chunks = (threads * 4).max(1);
+    let morsel = cfg.morsel_tuples.max(1);
+    let build_chunks = r.len().div_ceil(morsel).clamp(1, 4096);
+    // Oversplitting S beyond the morsel count lets the scheduler rebalance
+    // when one chunk hits a hot key's long chain — a static per-thread
+    // segmentation would leave that thread the straggler.
+    let probe_chunks = s.len().div_ceil(morsel).max(threads * 4).clamp(1, 8192);
+    let builds_left = AtomicUsize::new(build_chunks);
+    let build_ns = AtomicU64::new(0);
+    let probe_morsels = AtomicU64::new(0);
+
     let queue = TaskQueue::seeded(
         cfg.scheduler,
-        (0..chunks).map(|c| segment(s.len(), chunks, c)),
+        (0..build_chunks).map(|c| NpjTask::Build(segment(r.len(), build_chunks, c))),
     );
     let slots: Vec<Mutex<S>> = (0..threads).map(&make_sink).map(Mutex::new).collect();
     let sched = run_to_completion(&queue, threads, |worker| {
         let mut sink = slots[worker.index()]
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        worker.run(|range: std::ops::Range<usize>, _w| {
-            // Probing a skew-degenerate table can take minutes per chunk
-            // (every probe walks a chain of r.len() >> bucket_bits links),
-            // so cancellation must be observable *inside* a task, not just
-            // at phase boundaries. Partial output is discarded by the
-            // post-drain check below.
-            for tuples in s[range].chunks(1024) {
+            .unwrap_or_else(PoisonError::into_inner);
+        worker.run(|task, w| match task {
+            NpjTask::Build(range) => {
                 if cfg.cancel.is_cancelled() {
                     return;
                 }
-                for t in tuples {
-                    table.probe(t.key, |r_t| sink.emit(t.key, r_t.payload, t.payload));
+                table.insert_range(range);
+                if builds_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    // Last build morsel: the build phase ends here; hand
+                    // the probe morsels to the scheduler.
+                    build_ns.store(
+                        started.elapsed().as_nanos().max(1) as u64,
+                        Ordering::Release,
+                    );
+                    for c in 0..probe_chunks {
+                        w.spawn(NpjTask::Probe(segment(s.len(), probe_chunks, c)));
+                    }
+                }
+            }
+            NpjTask::Probe(range) => {
+                probe_morsels.fetch_add(1, Ordering::Relaxed);
+                // Probing a skew-degenerate table can take minutes per
+                // chunk (every probe walks a chain of r.len() >>
+                // bucket_bits links), so cancellation must be observable
+                // *inside* a task, not just at phase boundaries. Partial
+                // output is discarded by the post-drain check below.
+                for tuples in s[range].chunks(1024) {
+                    if cfg.cancel.is_cancelled() {
+                        return;
+                    }
+                    table.probe_all_with(tuples, &mut *sink, simd);
                 }
             }
         });
     })
     .map_err(|worker| JoinError::WorkerPanicked {
         worker,
-        phase: "probe".into(),
+        phase: phase_in_flight(&build_ns).into(),
     })?;
-    cfg.cancel.check("probe")?;
+    cfg.cancel.check(phase_in_flight(&build_ns))?;
     let sinks: Vec<S> = slots
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-        })
+        .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
         .collect();
-    stats.phases.record("probe", t1.elapsed());
+
+    let wall = started.elapsed();
+    let build_d = Duration::from_nanos(build_ns.load(Ordering::Acquire).max(1)).min(wall);
+    let probe_d = wall
+        .checked_sub(build_d)
+        .filter(|d| !d.is_zero())
+        .unwrap_or(Duration::from_nanos(1));
+    stats.phases.record("build", build_d);
+    stats.phases.record("probe", probe_d);
+    {
+        let p = stats.trace.phase("build");
+        p.add(counter::BUILD_TUPLES, r.len() as u64);
+        p.max(counter::MAX_CHAIN_LEN, table.max_chain_len() as u64);
+        p.add(counter::MORSELS, build_chunks as u64);
+    }
 
     aggregate_sinks(&mut stats, &sinks);
     {
@@ -109,8 +145,19 @@ where
         p.set(counter::RESULTS, stats.result_count);
         p.add(counter::TASKS_STOLEN, sched.tasks_stolen);
         p.add(counter::STEAL_FAILURES, sched.steal_failures);
+        p.add(counter::MORSELS, probe_morsels.load(Ordering::Relaxed));
     }
     Ok(JoinOutcome { stats, sinks })
+}
+
+/// Phase to blame for a panic or cancellation: once the last build morsel
+/// has timestamped the build phase, everything in flight is probe work.
+fn phase_in_flight(build_ns: &AtomicU64) -> &'static str {
+    if build_ns.load(Ordering::Acquire) != 0 {
+        "probe"
+    } else {
+        "build"
+    }
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@ use skewjoin_common::histogram::{
 };
 use skewjoin_common::{faults, JoinError, Tuple};
 
+use crate::simd::{self, SimdLevel, SimdPolicy, HASH_BATCH};
 use crate::task::{run_to_completion, SchedStats, SchedulerKind, TaskQueue};
 use crate::util::{segment, SharedTupleSlice};
 
@@ -94,6 +95,8 @@ pub struct PartitionOptions {
     pub wc_tuples: usize,
     /// Scheduler driving the refinement passes.
     pub scheduler: SchedulerKind,
+    /// Resolved SIMD level the scatter loops hash with.
+    pub simd: SimdLevel,
 }
 
 impl Default for PartitionOptions {
@@ -103,6 +106,7 @@ impl Default for PartitionOptions {
             mode: ScatterMode::default(),
             wc_tuples: SWWC_TUPLES,
             scheduler: SchedulerKind::default(),
+            simd: SimdPolicy::Auto.resolve(),
         }
     }
 }
@@ -223,9 +227,18 @@ pub fn parallel_radix_partition_opts(
                 let chunk = &tuples[seg];
                 scope.spawn(move || {
                     let outcome = catch_unwind(AssertUnwindSafe(|| match opts.mode {
-                        ScatterMode::Direct => scatter_direct(chunk, cfg, cursors, shared),
+                        ScatterMode::Direct => {
+                            scatter_direct(chunk, cfg, cursors, shared, opts.simd)
+                        }
                         ScatterMode::Buffered => {
-                            let n = scatter_buffered(chunk, cfg, cursors, shared, opts.wc_tuples);
+                            let n = scatter_buffered(
+                                chunk,
+                                cfg,
+                                cursors,
+                                shared,
+                                opts.wc_tuples,
+                                opts.simd,
+                            );
                             flushes.fetch_add(n, Ordering::Relaxed);
                         }
                     }));
@@ -257,7 +270,8 @@ pub fn parallel_radix_partition_opts(
         unsafe { out.set_len(tuples.len()) };
     }
 
-    let (data, dir_starts, sched) = refine_passes(out, starts, cfg, threads, 1, opts.scheduler)?;
+    let (data, dir_starts, sched) =
+        refine_passes(out, starts, cfg, threads, 1, opts.scheduler, opts.simd)?;
 
     Ok((
         PartitionedRelation {
@@ -271,40 +285,61 @@ pub fn parallel_radix_partition_opts(
     ))
 }
 
-/// Direct per-tuple scatter for one worker's segment.
-fn scatter_direct(
+/// Hash parameters of radix pass `pass` for [`simd::hash_indices`].
+#[inline]
+pub(crate) fn pass_spec(cfg: &RadixConfig, pass: usize) -> (bool, u32, u32) {
+    (
+        cfg.mode == skewjoin_common::hash::RadixMode::Mixed,
+        cfg.shift(pass),
+        (cfg.fanout(pass) - 1) as u32,
+    )
+}
+
+/// Direct per-tuple scatter for one worker's segment: partition indices are
+/// hashed a SIMD batch at a time, then the stores replay the batch.
+pub(crate) fn scatter_direct(
     chunk: &[Tuple],
     cfg: &RadixConfig,
     mut cursors: Vec<usize>,
     shared: SharedTupleSlice,
+    level: SimdLevel,
 ) {
     faults::maybe_panic("cpu.partition.scatter");
-    for t in chunk {
-        let p = cfg.partition_of(t.key, 0);
-        // SAFETY: cursors for (p, w) ranges are disjoint by construction of
-        // `per_worker_offsets`.
-        unsafe { shared.write(cursors[p], *t) };
-        cursors[p] += 1;
+    let (mixed, shift, mask) = pass_spec(cfg, 0);
+    let mut pids = [0u32; HASH_BATCH];
+    for batch in chunk.chunks(HASH_BATCH) {
+        simd::hash_indices(level, batch, mixed, shift, mask, &mut pids);
+        for (t, &p) in batch.iter().zip(&pids) {
+            // SAFETY: cursors for (p, w) ranges are disjoint by construction
+            // of `per_worker_offsets`.
+            unsafe { shared.write(cursors[p as usize], *t) };
+            cursors[p as usize] += 1;
+        }
     }
 }
 
 /// Software write-combining scatter: stage up to `wc_tuples` tuples per
 /// partition in a thread-local buffer; flush a full line at once. Returns
 /// the number of full-line flushes.
-fn scatter_buffered(
+pub(crate) fn scatter_buffered(
     chunk: &[Tuple],
     cfg: &RadixConfig,
     mut cursors: Vec<usize>,
     shared: SharedTupleSlice,
     wc_tuples: usize,
+    level: SimdLevel,
 ) -> u64 {
     faults::maybe_panic("cpu.partition.scatter");
+    let (mixed, shift, mask) = pass_spec(cfg, 0);
     let mut wc = WriteCombiner::new(cursors.len(), wc_tuples);
-    for t in chunk {
-        let p = cfg.partition_of(t.key, 0);
-        // SAFETY: the staged writes land in this worker's private cursor
-        // ranges — same disjointness argument as the direct path.
-        unsafe { wc.stage(p, *t, &mut cursors, shared) };
+    let mut pids = [0u32; HASH_BATCH];
+    for batch in chunk.chunks(HASH_BATCH) {
+        simd::hash_indices(level, batch, mixed, shift, mask, &mut pids);
+        for (t, &p) in batch.iter().zip(&pids) {
+            // SAFETY: the staged writes land in this worker's private cursor
+            // ranges — same disjointness argument as the direct path.
+            unsafe { wc.stage(p as usize, *t, &mut cursors, shared) };
+        }
     }
     // SAFETY: as above.
     unsafe { wc.flush_all(&mut cursors, shared) };
@@ -421,6 +456,7 @@ pub(crate) fn refine_passes(
     threads: usize,
     from_pass: usize,
     scheduler: SchedulerKind,
+    level: SimdLevel,
 ) -> Result<(Vec<Tuple>, Vec<usize>, SchedStats), JoinError> {
     let mut sched = SchedStats::default();
     for pass in from_pass..cfg.bits_per_pass.len() {
@@ -435,8 +471,10 @@ pub(crate) fn refine_passes(
             let child_ptr = SharedUsizeSlice::new(&mut child_starts);
             let data_ref = &data;
             let dir_ref = &dir_starts;
+            let (mixed, shift, mask) = pass_spec(cfg, pass);
             let queue = TaskQueue::seeded(scheduler, 0..parents);
             let run = run_to_completion(&queue, threads.min(parents.max(1)), |worker| {
+                let mut pids = [0u32; HASH_BATCH];
                 worker.run(|parent: usize, _w| {
                     let base = dir_ref[parent];
                     let slice = &data_ref[base..dir_ref[parent + 1]];
@@ -447,11 +485,13 @@ pub(crate) fn refine_passes(
                         unsafe { child_ptr.write(parent * fanout + j, base + h) };
                     }
                     let mut cursors = hist;
-                    for t in slice {
-                        let p = cfg.partition_of(t.key, pass);
-                        // SAFETY: parents own disjoint [base, end) ranges.
-                        unsafe { shared.write(base + cursors[p], *t) };
-                        cursors[p] += 1;
+                    for batch in slice.chunks(HASH_BATCH) {
+                        simd::hash_indices(level, batch, mixed, shift, mask, &mut pids);
+                        for (t, &p) in batch.iter().zip(&pids) {
+                            // SAFETY: parents own disjoint [base, end) ranges.
+                            unsafe { shared.write(base + cursors[p as usize], *t) };
+                            cursors[p as usize] += 1;
+                        }
                     }
                 });
             });
@@ -500,9 +540,11 @@ pub fn partition_slice_by<F: Fn(u32) -> usize>(
 }
 
 /// Raw shared view over a `usize` slice for disjoint parallel writes
-/// (mirrors [`SharedTupleSlice`]; see its safety contract).
+/// (mirrors [`SharedTupleSlice`]; see its safety contract). Shared with the
+/// morsel pipeline, whose refine tasks publish child partition boundaries
+/// through it.
 #[derive(Clone, Copy)]
-struct SharedUsizeSlice {
+pub(crate) struct SharedUsizeSlice {
     ptr: *mut usize,
     len: usize,
 }
@@ -511,7 +553,7 @@ unsafe impl Send for SharedUsizeSlice {}
 unsafe impl Sync for SharedUsizeSlice {}
 
 impl SharedUsizeSlice {
-    fn new(slice: &mut [usize]) -> Self {
+    pub(crate) fn new(slice: &mut [usize]) -> Self {
         Self {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
@@ -521,9 +563,19 @@ impl SharedUsizeSlice {
     /// # Safety
     /// `idx` in bounds; each index written by exactly one thread.
     #[inline(always)]
-    unsafe fn write(&self, idx: usize, value: usize) {
+    pub(crate) unsafe fn write(&self, idx: usize, value: usize) {
         debug_assert!(idx < self.len);
         unsafe { self.ptr.add(idx).write(value) };
+    }
+
+    /// # Safety
+    /// `idx` in bounds, already written, and no concurrent writer (the
+    /// morsel pipeline reads a parent's starts only after the publishing
+    /// task completed — the join gate's `fetch_or` gives the edge).
+    #[inline(always)]
+    pub(crate) unsafe fn read(&self, idx: usize) -> usize {
+        debug_assert!(idx < self.len);
+        unsafe { self.ptr.add(idx).read() }
     }
 }
 
@@ -714,6 +766,32 @@ mod tests {
         let (b, _) = parallel_radix_partition_opts(&r, &cfg, &mx).expect("mx");
         assert_eq!(a.directory.starts(), b.directory.starts());
         assert_eq!(a.data, b.data); // refinement writes are deterministic
+    }
+
+    #[test]
+    fn simd_and_scalar_partitioning_are_identical() {
+        // Same segment order + same cursor math → byte-identical output,
+        // whatever lane width computed the partition indices.
+        let r = test_relation(6001); // odd size: exercises every tail path
+        for bits in [3u32, 9] {
+            let cfg = RadixConfig::two_pass(bits);
+            for mode in [ScatterMode::Direct, ScatterMode::Buffered] {
+                let scalar = PartitionOptions {
+                    threads: 3,
+                    mode,
+                    simd: SimdLevel::Scalar,
+                    ..PartitionOptions::default()
+                };
+                let auto = PartitionOptions {
+                    simd: SimdPolicy::Auto.resolve(),
+                    ..scalar
+                };
+                let (a, _) = parallel_radix_partition_opts(&r, &cfg, &scalar).expect("scalar");
+                let (b, _) = parallel_radix_partition_opts(&r, &cfg, &auto).expect("auto");
+                assert_eq!(a.directory.starts(), b.directory.starts());
+                assert_eq!(a.data, b.data, "bits {bits} mode {mode:?}");
+            }
+        }
     }
 
     #[test]

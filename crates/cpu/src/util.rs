@@ -67,6 +67,22 @@ impl SharedTupleSlice {
         unsafe { self.ptr.add(idx).write(value) };
     }
 
+    /// Materialises an immutable view of `range`.
+    ///
+    /// # Safety
+    /// Every index in `range` must already be written, no thread may write
+    /// any index of `range` for the lifetime of the returned slice, and
+    /// `range` must be in bounds. The morsel pipeline upholds this by only
+    /// reading ranges whose producing tasks have all completed (the
+    /// completion countdowns give the necessary happens-before edges).
+    #[inline]
+    pub unsafe fn slice(&self, range: std::ops::Range<usize>) -> &[Tuple] {
+        debug_assert!(range.start <= range.end && range.end <= self.len);
+        // SAFETY: bounds, initialisation, and quiescence per the caller's
+        // contract.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(range.start), range.len()) }
+    }
+
     /// Copies `n` tuples from `src` into `idx..idx + n` in one bulk move —
     /// the flush path of the software write-combining buffers, where a
     /// per-element `write` loop would defeat the point of batching.

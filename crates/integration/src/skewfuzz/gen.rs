@@ -232,6 +232,10 @@ fn draw_config(rng: &mut Rng, case_size: usize) -> FuzzConfig {
     } else {
         [8, 16, 22, 22, 28][rng.below(5)]
     };
+    // Bias toward the small morsels that actually fragment fuzz-sized
+    // inputs — the default 16 Ki morsel leaves most cases single-morsel.
+    cfg.morsel_tuples = [256, 256, 1024, 4096, 16_384, 1 << 20][rng.below(6)];
+    cfg.force_scalar = rng.below(8) == 0;
     cfg.sample_rate = [0.001, 0.01, 0.1, 0.5, 1.0][rng.below(5)];
     cfg.min_sample_freq = [2, 2, 3, 8][rng.below(4)];
     cfg.detect_seed = rng.next_u64();
@@ -253,7 +257,7 @@ fn draw_config(rng: &mut Rng, case_size: usize) -> FuzzConfig {
     // validation.
     if rng.below(16) == 0 {
         cfg.expect_invalid = true;
-        match rng.below(10) {
+        match rng.below(11) {
             0 => cfg.wc_tuples = 7,
             1 => cfg.max_bucket_bits = 0,
             2 => cfg.max_bucket_bits = 29,
@@ -265,7 +269,8 @@ fn draw_config(rng: &mut Rng, case_size: usize) -> FuzzConfig {
             // Zero would spin the NM sub-list decomposition forever; a
             // 2²⁰-tuple table cannot fit any block's shared memory.
             8 => cfg.gpu_table_capacity = Some(0),
-            _ => cfg.gpu_table_capacity = Some(1 << 20),
+            9 => cfg.gpu_table_capacity = Some(1 << 20),
+            _ => cfg.morsel_tuples = 0,
         }
         // The broken GPU knobs only fail GPU algorithms and vice versa;
         // the caller re-rolls the algorithm to match (see gen_join_case).
@@ -320,12 +325,16 @@ pub fn gen_join_case(rng: &mut Rng, seed: u64, index: usize, max_size: usize) ->
     let oracle = if config.expect_invalid || r.len() + s.len() > 300_000 {
         Oracle::Diff
     } else {
-        match rng.below(8) {
+        match rng.below(10) {
             0..=2 => Oracle::Diff,
             3 => Oracle::Permute,
             4 => Oracle::SwapSides,
             5 | 6 => Oracle::Bijection,
-            _ => Oracle::SplitAdditive,
+            7 => Oracle::SplitAdditive,
+            // The SIMD identity only distinguishes anything on the CPU
+            // joins; the GPU simulator has no vector dispatch to flip.
+            _ if matches!(algorithm, Algorithm::Cpu(_)) => Oracle::SimdScalar,
+            _ => Oracle::Diff,
         }
     };
 

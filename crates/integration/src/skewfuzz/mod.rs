@@ -41,7 +41,7 @@ use std::time::Duration;
 use skewjoin::common::hash::{RadixConfig, RadixMode};
 use skewjoin::common::json::Json;
 use skewjoin::common::{Relation, Tuple};
-use skewjoin::cpu::{CpuJoinConfig, ScatterMode, SchedulerKind};
+use skewjoin::cpu::{CpuJoinConfig, ScatterMode, SchedulerKind, SimdPolicy};
 use skewjoin::datagen::Rng;
 use skewjoin::gpu::GpuJoinConfig;
 use skewjoin::gpu_sim::DeviceSpec;
@@ -76,6 +76,12 @@ pub enum Oracle {
     /// For any disjoint split `R = R₁ ⊎ R₂`:
     /// `|R ⋈ S|ₖ = |R₁ ⋈ S|ₖ + |R₂ ⋈ S|ₖ`.
     SplitAdditive,
+    /// Re-running with the SIMD policy flipped (forced-scalar vs
+    /// auto-detected vector kernels) must change neither the per-key
+    /// counts nor the checksum — the vector paths are pure replacements
+    /// for the scalar ones, never semantic variants. CPU algorithms only;
+    /// the GPU simulator has no SIMD dispatch.
+    SimdScalar,
 }
 
 impl Oracle {
@@ -87,6 +93,7 @@ impl Oracle {
             Oracle::SwapSides => "swap-sides",
             Oracle::Bijection => "bijection",
             Oracle::SplitAdditive => "split-additive",
+            Oracle::SimdScalar => "simd-scalar",
         }
     }
 
@@ -98,6 +105,7 @@ impl Oracle {
             "swap-sides" => Some(Oracle::SwapSides),
             "bijection" => Some(Oracle::Bijection),
             "split-additive" => Some(Oracle::SplitAdditive),
+            "simd-scalar" => Some(Oracle::SimdScalar),
             _ => None,
         }
     }
@@ -128,6 +136,11 @@ pub struct FuzzConfig {
     pub extra_pass_bits: u32,
     /// Hash-table bucket-bit cap.
     pub max_bucket_bits: u32,
+    /// Force the scalar kernels even where SIMD is available — the other
+    /// half of the [`Oracle::SimdScalar`] identity.
+    pub force_scalar: bool,
+    /// Tuples per morsel in the pipelined CPU joins.
+    pub morsel_tuples: usize,
     /// CSH detector sample rate.
     pub sample_rate: f64,
     /// CSH detector frequency threshold.
@@ -166,6 +179,8 @@ impl Default for FuzzConfig {
             split_factor: cpu.split_factor,
             extra_pass_bits: cpu.extra_pass_bits,
             max_bucket_bits: cpu.max_bucket_bits,
+            force_scalar: false,
+            morsel_tuples: cpu.morsel_tuples,
             sample_rate: cpu.skew.sample_rate,
             min_sample_freq: cpu.skew.min_sample_freq,
             detect_seed: cpu.skew.seed,
@@ -207,6 +222,12 @@ impl FuzzConfig {
                 SchedulerKind::WorkStealing
             },
             max_bucket_bits: self.max_bucket_bits,
+            simd: if self.force_scalar {
+                SimdPolicy::Scalar
+            } else {
+                SimdPolicy::Auto
+            },
+            morsel_tuples: self.morsel_tuples,
             ..CpuJoinConfig::default()
         };
         cfg.skew.sample_rate = self.sample_rate;
@@ -258,6 +279,8 @@ impl FuzzConfig {
                 "max_bucket_bits",
                 Json::from_u64(u64::from(self.max_bucket_bits)),
             ),
+            ("force_scalar", Json::Bool(self.force_scalar)),
+            ("morsel_tuples", Json::from_u64(self.morsel_tuples as u64)),
             ("sample_rate", Json::num(self.sample_rate)),
             (
                 "min_sample_freq",
@@ -317,6 +340,12 @@ impl FuzzConfig {
         }
         if let Some(v) = u("max_bucket_bits") {
             cfg.max_bucket_bits = v as u32;
+        }
+        if let Some(v) = b("force_scalar") {
+            cfg.force_scalar = v;
+        }
+        if let Some(v) = u("morsel_tuples") {
+            cfg.morsel_tuples = v as usize;
         }
         if let Some(v) = f("sample_rate") {
             cfg.sample_rate = v;
@@ -693,6 +722,8 @@ mod tests {
             config: FuzzConfig {
                 radix_bits: vec![3, 5],
                 raw_radix: true,
+                force_scalar: true,
+                morsel_tuples: 1024,
                 gpu_table_capacity: Some(256),
                 tiny_device: true,
                 expect_invalid: false,

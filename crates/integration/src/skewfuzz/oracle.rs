@@ -482,6 +482,46 @@ pub fn check_join_case(case: &JoinCase, timeout: Duration) -> CaseVerdict {
                 ));
             }
         }
+        Oracle::SimdScalar => {
+            // Same inputs, SIMD policy flipped: the vector kernels must be
+            // bit-for-bit replacements for the scalar ones. Catches lane
+            // remainder bugs, masked-store slips, and hash divergence that
+            // the differential layer only sees when SIMD happens to be the
+            // buggy side.
+            let mut cfg = case.config.clone();
+            cfg.force_scalar = !cfg.force_scalar;
+            let lane = if cfg.force_scalar {
+                "forced-scalar"
+            } else {
+                "auto-simd"
+            };
+            match execute(case.algorithm, case.r.clone(), case.s.clone(), cfg, timeout) {
+                ExecOutcome::Completed(var) => {
+                    if let Some(v) = variant_self_check(lane, &var, &case.r, &case.s) {
+                        return CaseVerdict::Violation(v);
+                    }
+                    if var.counts != primary.counts {
+                        return CaseVerdict::Violation(format!(
+                            "{label}: flipping the SIMD policy ({lane} variant) changed \
+                             per-key counts: {}",
+                            count_diff(&primary.counts, &var.counts)
+                        ));
+                    }
+                    if var.checksum != primary.checksum {
+                        return CaseVerdict::Violation(format!(
+                            "{label}: flipping the SIMD policy ({lane} variant) changed \
+                             the checksum ({:#018x} -> {:#018x})",
+                            primary.checksum, var.checksum
+                        ));
+                    }
+                }
+                other => {
+                    if let Some(v) = variant_violation(label, lane, other) {
+                        return CaseVerdict::Violation(v);
+                    }
+                }
+            }
+        }
     }
     CaseVerdict::Pass
 }
@@ -563,6 +603,7 @@ mod tests {
             Oracle::SwapSides,
             Oracle::Bijection,
             Oracle::SplitAdditive,
+            Oracle::SimdScalar,
         ] {
             for algorithm in Algorithm::ALL {
                 let case = JoinCase {

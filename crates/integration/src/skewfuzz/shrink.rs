@@ -132,6 +132,8 @@ pub fn shrink_join(case: &JoinCase, timeout: Duration, mut budget: usize) -> Joi
         try_default!(split_factor);
         try_default!(extra_pass_bits);
         try_default!(max_bucket_bits);
+        try_default!(force_scalar);
+        try_default!(morsel_tuples);
         try_default!(sample_rate);
         try_default!(min_sample_freq);
         try_default!(detect_seed);
