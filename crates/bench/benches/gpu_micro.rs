@@ -4,9 +4,9 @@
 //! guard against regressions in the simulator's own overhead.
 
 use skewjoin::common::hash::RadixConfig;
+use skewjoin::gpu::backend::SimBackend;
 use skewjoin::gpu::pack::upload_relation;
 use skewjoin::gpu::partition::{gpu_partition, PartitionStyle};
-use skewjoin::gpu_sim::Device;
 use skewjoin::prelude::*;
 use skewjoin_bench::micro::{bench, black_box, group};
 
@@ -23,8 +23,8 @@ fn bench_gpu_partition() {
         ),
     ] {
         bench(name, 5, || {
-            let mut dev = Device::new(DeviceSpec::a100());
-            let buf = upload_relation(&mut dev, &w.r).unwrap();
+            let mut dev = SimBackend::new(DeviceSpec::a100());
+            let buf = upload_relation(&mut dev, &w.r, "table R").unwrap();
             gpu_partition(
                 &mut dev,
                 black_box(buf),

@@ -31,7 +31,10 @@ pub use cancel::CancelToken;
 pub use error::JoinError;
 pub use json::Json;
 pub use metrics::MetricsRegistry;
-pub use sink::{CountingSink, MaterializeSink, OutputSink, SinkSpec, VolcanoSink};
+pub use sink::{
+    CountSinkFactory, CountingSink, MaterializeSink, OutputSink, SinkFactory, SinkSpec,
+    VolcanoSink, VolcanoSinkFactory,
+};
 pub use stats::{JoinStats, PhaseTimes};
 pub use trace::{PhaseTrace, SkewedKey, Trace};
 pub use tuple::{Key, Payload, Relation, Tuple};

@@ -234,6 +234,57 @@ impl Default for SinkSpec {
     }
 }
 
+/// Builds one output sink per worker (CPU thread or GPU SM slot).
+///
+/// This is the sink plumbing shared by every join entry point — the CPU
+/// joins, `gbase_join`/`gsh_join`, and the `run_join` front door all take a
+/// `SinkFactory`. Implemented for any `Fn(usize) -> S + Sync` closure, so
+/// `csh_join(r, s, &cfg, |_w| CountingSink::new())` works directly; named
+/// factories ([`CountSinkFactory`], [`VolcanoSinkFactory`]) cover the
+/// [`SinkSpec`] cases.
+pub trait SinkFactory: Sync {
+    /// The sink type each worker receives.
+    type Sink: OutputSink;
+
+    /// Constructs worker `worker`'s sink.
+    fn make_sink(&self, worker: usize) -> Self::Sink;
+}
+
+impl<S: OutputSink, F: Fn(usize) -> S + Sync> SinkFactory for F {
+    type Sink = S;
+
+    fn make_sink(&self, worker: usize) -> S {
+        self(worker)
+    }
+}
+
+/// [`SinkFactory`] for [`SinkSpec::Count`]: counting sinks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountSinkFactory;
+
+impl SinkFactory for CountSinkFactory {
+    type Sink = CountingSink;
+
+    fn make_sink(&self, _worker: usize) -> CountingSink {
+        CountingSink::new()
+    }
+}
+
+/// [`SinkFactory`] for [`SinkSpec::Volcano`]: fixed-capacity volcano sinks.
+#[derive(Debug, Clone, Copy)]
+pub struct VolcanoSinkFactory {
+    /// Tuple capacity of each worker's output buffer.
+    pub capacity: usize,
+}
+
+impl SinkFactory for VolcanoSinkFactory {
+    type Sink = VolcanoSink;
+
+    fn make_sink(&self, _worker: usize) -> VolcanoSink {
+        VolcanoSink::new(self.capacity)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,11 +9,11 @@
 //! rungs, surfacing as [`JoinError::Cancelled`].
 
 use skewjoin_common::hash::RadixConfig;
-use skewjoin_common::{
-    CountingSink, JoinError, JoinStats, OutputSink, Relation, SinkSpec, VolcanoSink,
-};
+use skewjoin_common::{JoinError, JoinStats, Relation, SinkSpec};
 use skewjoin_cpu::{cbase_join, csh_join, npj_join, CpuJoinConfig};
 use skewjoin_gpu::{gbase_join, gsh_join, GpuJoinConfig};
+
+pub use skewjoin_common::{CountSinkFactory, SinkFactory, VolcanoSinkFactory};
 
 /// The CPU join algorithms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -157,55 +157,6 @@ impl From<GpuJoinConfig> for JoinConfig {
     }
 }
 
-/// Builds one output sink per worker (CPU thread or GPU SM slot).
-///
-/// Implemented for any `Fn(usize) -> S + Sync` closure, so
-/// `run_join_with(algo, r, s, &cfg, |_w| CountingSink::new())` works
-/// directly; named factories ([`CountSinkFactory`], [`VolcanoSinkFactory`])
-/// cover the [`SinkSpec`] cases.
-pub trait SinkFactory: Sync {
-    /// The sink type each worker receives.
-    type Sink: OutputSink;
-
-    /// Constructs worker `worker`'s sink.
-    fn make_sink(&self, worker: usize) -> Self::Sink;
-}
-
-impl<S: OutputSink, F: Fn(usize) -> S + Sync> SinkFactory for F {
-    type Sink = S;
-
-    fn make_sink(&self, worker: usize) -> S {
-        self(worker)
-    }
-}
-
-/// [`SinkFactory`] for [`SinkSpec::Count`]: counting sinks.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct CountSinkFactory;
-
-impl SinkFactory for CountSinkFactory {
-    type Sink = CountingSink;
-
-    fn make_sink(&self, _worker: usize) -> CountingSink {
-        CountingSink::new()
-    }
-}
-
-/// [`SinkFactory`] for [`SinkSpec::Volcano`]: fixed-capacity volcano sinks.
-#[derive(Debug, Clone, Copy)]
-pub struct VolcanoSinkFactory {
-    /// Tuple capacity of each worker's output buffer.
-    pub capacity: usize,
-}
-
-impl SinkFactory for VolcanoSinkFactory {
-    type Sink = VolcanoSink;
-
-    fn make_sink(&self, _worker: usize) -> VolcanoSink {
-        VolcanoSink::new(self.capacity)
-    }
-}
-
 /// Runs any join algorithm with per-worker sinks described by `sink`,
 /// returning the aggregate statistics (wall-clock phase times for CPU
 /// algorithms, simulated times for GPU ones).
@@ -266,9 +217,12 @@ fn run_gpu_degrading<F: SinkFactory>(
         })
     };
 
-    // The GPU joins run as one simulated launch sequence; the cancellation
-    // boundaries on this path are the ladder rungs.
+    // The GPU joins run as one launch sequence on the configured backend;
+    // the cancellation boundaries on this path are the ladder rungs. Every
+    // rung records which backend was executing so a trace reads unambiguously
+    // when the sim and host backends are compared.
     cfg.cpu.cancel.check("gpu_execute")?;
+    let backend = cfg.gpu.backend.name();
     let mut degradations: Vec<String> = Vec::new();
     let mut last_gpu_err = match run_gpu(&cfg.gpu) {
         Ok(stats) => return Ok(stats),
@@ -288,7 +242,8 @@ fn run_gpu_degrading<F: SinkFactory>(
     if retry_bits > base_bits && retry_cfg.validate().is_ok() {
         cfg.cpu.cancel.check("gpu_radix_retry")?;
         degradations.push(format!(
-            "{algorithm}: retrying with {retry_bits} radix bits after: {last_gpu_err}"
+            "{algorithm} on {backend} backend: retrying with {retry_bits} radix bits \
+             after: {last_gpu_err}"
         ));
         match run_gpu(&retry_cfg) {
             Ok(mut stats) => {
@@ -310,7 +265,9 @@ fn run_gpu_degrading<F: SinkFactory>(
         GpuAlgorithm::Gbase => ("Cbase", cbase_join(r, s, &cfg.cpu, make).map(|o| o.stats)),
         GpuAlgorithm::Gsh => ("CSH", csh_join(r, s, &cfg.cpu, make).map(|o| o.stats)),
     };
-    degradations.push(format!("{algorithm}→{cpu_name}: {last_gpu_err}"));
+    degradations.push(format!(
+        "{algorithm}→{cpu_name} (gpu backend {backend}): {last_gpu_err}"
+    ));
     match cpu_result {
         Ok(mut stats) => {
             for d in degradations {
@@ -338,6 +295,7 @@ fn validate_sink(sink: SinkSpec) -> Result<(), JoinError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use skewjoin_common::CountingSink;
     use skewjoin_datagen::{PaperWorkload, WorkloadSpec};
     use skewjoin_gpu_sim::DeviceSpec;
 
@@ -459,6 +417,11 @@ mod tests {
                     .last()
                     .unwrap()
                     .contains(&format!("{algo}→{fallback}")),
+                "{algo}: ladder {ladder:?}"
+            );
+            // The ladder names the backend that was executing when it fell.
+            assert!(
+                ladder.last().unwrap().contains("gpu backend sim"),
                 "{algo}: ladder {ladder:?}"
             );
         }

@@ -69,6 +69,6 @@ pub mod prelude {
     };
     pub use skewjoin_cpu::{CpuJoinConfig, SkewDetectConfig};
     pub use skewjoin_datagen::{PaperWorkload, WorkloadSpec, ZipfWorkload};
-    pub use skewjoin_gpu::GpuJoinConfig;
+    pub use skewjoin_gpu::{GpuBackendKind, GpuJoinConfig};
     pub use skewjoin_gpu_sim::DeviceSpec;
 }

@@ -25,7 +25,7 @@ use skewjoin_common::hash::mix64;
 use skewjoin_common::{JoinError, JoinStats, Relation, SinkSpec, Tuple};
 use skewjoin_cpu::skew::detect_skewed_keys;
 use skewjoin_cpu::CpuJoinConfig;
-use skewjoin_gpu::GpuJoinConfig;
+use skewjoin_gpu::{GpuBackendKind, GpuJoinConfig};
 
 use crate::api::{run_join, Algorithm, CpuAlgorithm, GpuAlgorithm, JoinConfig};
 
@@ -277,6 +277,10 @@ pub struct PlanCacheKey {
     pub skew_bucket: u8,
     /// The device the plan targets.
     pub device: TargetDevice,
+    /// Which GPU backend would execute the plan. Kept in the key even for
+    /// CPU-targeted plans: it is one copied byte, and it means a cached
+    /// decision can never leak across backends when the target flips.
+    pub gpu_backend: GpuBackendKind,
 }
 
 /// A cheap order-sensitive fingerprint of a relation: its length mixed with
@@ -361,6 +365,7 @@ impl PlanCache {
             size_bucket: (r.len().max(1) as u64).ilog2(),
             skew_bucket: skew_bucket(r),
             device: opts.device,
+            gpu_backend: opts.gpu.backend,
         }
     }
 
@@ -580,6 +585,29 @@ mod tests {
         let (gpu_plan, hit3) = cache.plan(&w.r, &w.s, &gpu_opts);
         assert!(!hit3);
         assert!(!gpu_plan.algorithm.is_cpu());
+    }
+
+    #[test]
+    fn plan_cache_key_separates_gpu_backends() {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(1 << 12, 1.0, 23));
+        let mut sim_opts = PlannerOptions::default();
+        sim_opts.device = TargetDevice::Gpu;
+        let mut host_opts = sim_opts.clone();
+        host_opts.gpu.backend = GpuBackendKind::Host;
+
+        let sim_key = PlanCache::key_for(&w.r, &sim_opts);
+        let host_key = PlanCache::key_for(&w.r, &host_opts);
+        assert_eq!(sim_key.gpu_backend, GpuBackendKind::Sim);
+        assert_eq!(host_key.gpu_backend, GpuBackendKind::Host);
+        assert_ne!(sim_key, host_key);
+
+        // Same fingerprint, size, skew, device — only the backend differs,
+        // so a cached sim decision is a miss under the host backend.
+        let cache = PlanCache::new(8);
+        cache.plan(&w.r, &w.s, &sim_opts);
+        let (_, hit) = cache.plan(&w.r, &w.s, &host_opts);
+        assert!(!hit);
+        assert_eq!(cache.misses(), 2);
     }
 
     #[test]

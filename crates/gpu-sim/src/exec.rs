@@ -60,6 +60,57 @@ pub trait Kernel {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SharedId(usize);
 
+impl SharedId {
+    /// Builds a `SharedId` from a raw allocation index. Intended for
+    /// alternative block-context implementations (e.g. a host-execution
+    /// backend) that mirror the simulator's allocation order.
+    #[doc(hidden)]
+    pub fn from_raw(raw: usize) -> Self {
+        SharedId(raw)
+    }
+
+    /// The raw allocation index behind this handle.
+    #[doc(hidden)]
+    pub fn raw(self) -> usize {
+        self.0
+    }
+}
+
+/// Validates a kernel launch configuration against a device spec — the
+/// checks every backend must make before running blocks. Shared between
+/// [`Device::launch`] and host-execution backends so both report identical
+/// [`JoinError::InvalidConfig`] messages.
+pub fn validate_launch_config(
+    spec: &DeviceSpec,
+    name: &str,
+    grid_blocks: usize,
+    block_dim: usize,
+) -> Result<(), JoinError> {
+    if block_dim == 0 {
+        return Err(JoinError::InvalidConfig(format!(
+            "kernel {name}: block_dim must be positive"
+        )));
+    }
+    if block_dim > spec.max_threads_per_block {
+        return Err(JoinError::InvalidConfig(format!(
+            "kernel {name}: block_dim {block_dim} exceeds the device limit of {} threads per block",
+            spec.max_threads_per_block
+        )));
+    }
+    if block_dim % spec.warp_size != 0 {
+        return Err(JoinError::InvalidConfig(format!(
+            "kernel {name}: block_dim {block_dim} must be a multiple of the warp size ({})",
+            spec.warp_size
+        )));
+    }
+    if grid_blocks.checked_mul(block_dim).is_none() {
+        return Err(JoinError::InvalidConfig(format!(
+            "kernel {name}: grid of {grid_blocks} blocks × {block_dim} threads overflows"
+        )));
+    }
+    Ok(())
+}
+
 /// Per-block execution context: identity, costed memory operations, and
 /// this block's metrics.
 pub struct BlockCtx<'a> {
@@ -480,28 +531,7 @@ impl Device {
         block_dim: usize,
         kernel: &mut dyn Kernel,
     ) -> Result<LaunchStats, JoinError> {
-        if block_dim == 0 {
-            return Err(JoinError::InvalidConfig(format!(
-                "kernel {name}: block_dim must be positive"
-            )));
-        }
-        if block_dim > self.spec.max_threads_per_block {
-            return Err(JoinError::InvalidConfig(format!(
-                "kernel {name}: block_dim {block_dim} exceeds the device limit of {} threads per block",
-                self.spec.max_threads_per_block
-            )));
-        }
-        if block_dim % self.spec.warp_size != 0 {
-            return Err(JoinError::InvalidConfig(format!(
-                "kernel {name}: block_dim {block_dim} must be a multiple of the warp size ({})",
-                self.spec.warp_size
-            )));
-        }
-        if grid_blocks.checked_mul(block_dim).is_none() {
-            return Err(JoinError::InvalidConfig(format!(
-                "kernel {name}: grid of {grid_blocks} blocks × {block_dim} threads overflows"
-            )));
-        }
+        validate_launch_config(&self.spec, name, grid_blocks, block_dim)?;
         if faults::fire("gpu.launch") {
             return Err(JoinError::GpuResourceExhausted(format!(
                 "kernel {name}: injected launch failure"

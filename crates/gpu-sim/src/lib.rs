@@ -33,7 +33,7 @@ pub mod memory;
 pub mod metrics;
 pub mod spec;
 
-pub use exec::{BlockCtx, Device, Kernel, LaunchStats};
+pub use exec::{validate_launch_config, BlockCtx, Device, Kernel, LaunchStats, SharedId};
 pub use memory::{BufferId, GlobalMemory};
 pub use metrics::Metrics;
 pub use spec::{CostParams, DeviceSpec};

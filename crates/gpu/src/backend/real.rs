@@ -1,0 +1,138 @@
+//! Feature-gated seam for a real GPU device (`--features real-device`).
+//!
+//! No driver ships in-tree — constructing [`RealBackend`] always returns
+//! [`JoinError::BackendUnavailable`] — but the module pins down *where* a
+//! Vulkan/krnl-style backend plugs in and what it must provide, so the
+//! compile-time shape is checked by the CI feature matrix today:
+//!
+//! * **Buffers** — [`GpuBackend::alloc`]/`free`/`host_upload`/`host_read`
+//!   map onto `VkBuffer` (or krnl's `Buffer<u64>`) plus staging transfers.
+//!   `BufferId` stays the portable handle; the backend owns the
+//!   id → device-buffer table.
+//! * **Launches** — [`GpuBackend::launch`] compiles each named kernel to a
+//!   compute pipeline (SPIR-V; with krnl, a `#[kernel]` fn per
+//!   `DeviceKernel` implementor), binds the buffer table as a descriptor
+//!   set, dispatches `grid_blocks` workgroups of `block_dim` invocations,
+//!   and fences. The [`BlockOps`] cost hooks (`charge_*`, `account_*`,
+//!   `alu`) compile to nothing on hardware — real time comes from
+//!   timestamp queries, reported via [`LaunchStats::device_cycles`].
+//! * **Limits** — [`GpuBackendKind::effective_spec`] is where queried
+//!   device limits (`maxComputeSharedMemorySize`,
+//!   `maxComputeWorkGroupSize`, heap size) replace the configured
+//!   [`DeviceSpec`], so `GpuJoinConfig::validate` checks against what the
+//!   hardware actually enforces.
+//! * **Block-order contract** — the sequential block-index-order guarantee
+//!   of the sim/host backends does NOT hold on hardware. Kernels that rely
+//!   on it (the split/scatter cursor kernels) must switch to their
+//!   atomic-cursor variants, which is why the cursor layout is already
+//!   per-block in global memory rather than captured host state.
+//!
+//! [`GpuBackendKind::effective_spec`]: super::GpuBackendKind::effective_spec
+
+use skewjoin_common::JoinError;
+use skewjoin_gpu_sim::{BufferId, DeviceSpec, LaunchStats};
+
+use super::{DeviceKernel, GpuBackend, GpuBackendKind};
+
+#[cfg(doc)]
+use super::BlockOps;
+
+/// Placeholder for a hardware-backed [`GpuBackend`]. Unconstructible until a
+/// device driver lands; [`RealBackend::create`] reports the backend as
+/// unavailable with a pointer to this seam.
+pub struct RealBackend {
+    _unconstructible: std::convert::Infallible,
+}
+
+impl RealBackend {
+    /// Attempts to open a real device. Always fails in this build: the
+    /// `real-device` feature only reserves the seam.
+    pub fn create(_spec: DeviceSpec) -> Result<Self, JoinError> {
+        Err(JoinError::BackendUnavailable(
+            "real-device backend is a stub: no GPU driver is linked into this build \
+             (see crates/gpu/src/backend/real.rs for the Vulkan/krnl seam)"
+                .to_string(),
+        ))
+    }
+}
+
+impl GpuBackend for RealBackend {
+    fn kind(&self) -> GpuBackendKind {
+        GpuBackendKind::Real
+    }
+
+    fn spec(&self) -> &DeviceSpec {
+        match self._unconstructible {}
+    }
+
+    fn alloc(
+        &mut self,
+        _len: usize,
+        _elem_bytes: usize,
+        _label: &str,
+    ) -> Result<BufferId, JoinError> {
+        match self._unconstructible {}
+    }
+
+    fn free(&mut self, _buf: BufferId) {
+        match self._unconstructible {}
+    }
+
+    fn buffer_len(&self, _buf: BufferId) -> usize {
+        match self._unconstructible {}
+    }
+
+    fn host_upload(&mut self, _buf: BufferId, _offset: usize, _values: &[u64]) {
+        match self._unconstructible {}
+    }
+
+    fn host_read(&self, _buf: BufferId, _idx: usize) -> u64 {
+        match self._unconstructible {}
+    }
+
+    fn host_write(&mut self, _buf: BufferId, _idx: usize, _value: u64) {
+        match self._unconstructible {}
+    }
+
+    fn host_slice(&self, _buf: BufferId) -> &[u64] {
+        match self._unconstructible {}
+    }
+
+    fn launch(
+        &mut self,
+        _name: &str,
+        _grid_blocks: usize,
+        _block_dim: usize,
+        _kernel: &mut dyn DeviceKernel,
+    ) -> Result<LaunchStats, JoinError> {
+        match self._unconstructible {}
+    }
+
+    fn total_cycles(&self) -> u64 {
+        match self._unconstructible {}
+    }
+
+    fn launch_log(&self) -> &[LaunchStats] {
+        match self._unconstructible {}
+    }
+
+    fn render_timeline(&self) -> String {
+        match self._unconstructible {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_reports_backend_unavailable() {
+        match RealBackend::create(DeviceSpec::tiny(1 << 20)) {
+            Err(JoinError::BackendUnavailable(msg)) => {
+                assert!(msg.contains("stub"), "{msg}");
+            }
+            Err(e) => panic!("stub backend must refuse with BackendUnavailable, got {e}"),
+            Ok(_) => panic!("stub backend must not construct"),
+        }
+    }
+}

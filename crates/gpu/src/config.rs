@@ -4,6 +4,8 @@ use skewjoin_common::hash::RadixConfig;
 use skewjoin_common::JoinError;
 use skewjoin_gpu_sim::DeviceSpec;
 
+use crate::backend::GpuBackendKind;
+
 /// How GSH finds skewed keys inside a large partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum GpuDetectionMode {
@@ -61,6 +63,10 @@ pub struct GpuJoinConfig {
     /// Gbase's linked-bucket size in tuples (allocation granularity of its
     /// dynamic partition buffers).
     pub bucket_capacity: usize,
+    /// Which [`GpuBackend`](crate::backend::GpuBackend) executes the
+    /// kernels: the simulator (default), host execution, or — feature-gated
+    /// — a real device.
+    pub backend: GpuBackendKind,
 }
 
 impl Default for GpuJoinConfig {
@@ -72,17 +78,25 @@ impl Default for GpuJoinConfig {
             table_capacity: None,
             skew: GpuSkewConfig::default(),
             bucket_capacity: 512,
+            backend: GpuBackendKind::default(),
         }
     }
 }
 
 impl GpuJoinConfig {
+    /// The device limits the *selected* backend will actually enforce.
+    /// For the sim and host backends this is `spec` verbatim; a real-device
+    /// backend substitutes limits queried from the driver.
+    pub fn effective_spec(&self) -> DeviceSpec {
+        self.backend.effective_spec(&self.spec)
+    }
+
     /// Tuples whose table (8 B tuple + 4 B link + 4 B bucket head each)
     /// fits the block's shared memory, rounded down to a power of two.
     pub fn derived_table_capacity(&self) -> usize {
         self.table_capacity.unwrap_or_else(|| {
             let per_tuple = 16; // 8 tuple + 4 next + 4 bucket head
-            let cap = self.spec.shared_mem_per_block / per_tuple;
+            let cap = self.effective_spec().shared_mem_per_block / per_tuple;
             (cap.max(64)).next_power_of_two() / 2
         })
     }
@@ -99,15 +113,17 @@ impl GpuJoinConfig {
         RadixConfig::two_pass(bits)
     }
 
-    /// Validates the configuration.
+    /// Validates the configuration against the limits the *selected*
+    /// backend enforces (`effective_spec`), not the configured sim defaults.
     pub fn validate(&self) -> Result<(), JoinError> {
+        let spec = self.effective_spec();
         if self.block_dim == 0
-            || self.block_dim % self.spec.warp_size != 0
-            || self.block_dim > self.spec.max_threads_per_block
+            || self.block_dim % spec.warp_size != 0
+            || self.block_dim > spec.max_threads_per_block
         {
             return Err(JoinError::InvalidConfig(format!(
                 "block_dim {} must be a positive multiple of {} up to {}",
-                self.block_dim, self.spec.warp_size, self.spec.max_threads_per_block
+                self.block_dim, spec.warp_size, spec.max_threads_per_block
             )));
         }
         if !(self.skew.sample_rate > 0.0 && self.skew.sample_rate <= 1.0) {
@@ -137,11 +153,11 @@ impl GpuJoinConfig {
             }
             let buckets = 1usize << skewjoin_common::hash::bucket_bits_for(capacity);
             let table_bytes = capacity * 12 + buckets * 4;
-            if table_bytes > self.spec.shared_mem_per_block {
+            if table_bytes > spec.shared_mem_per_block {
                 return Err(JoinError::InvalidConfig(format!(
                     "table_capacity {capacity} needs {table_bytes} bytes of shared memory \
                      per block, but the device offers {}",
-                    self.spec.shared_mem_per_block
+                    spec.shared_mem_per_block
                 )));
             }
         }
@@ -156,11 +172,11 @@ impl GpuJoinConfig {
             // would panic inside the kernel instead of failing cleanly.
             for &bits in &cfg.bits_per_pass {
                 let hist_bytes = (1usize << bits) * 4;
-                if hist_bytes > self.spec.shared_mem_per_block {
+                if hist_bytes > spec.shared_mem_per_block {
                     return Err(JoinError::InvalidConfig(format!(
                         "radix pass of {bits} bits needs a {hist_bytes}-byte shared-memory \
                          histogram, but the device offers {} bytes per block",
-                        self.spec.shared_mem_per_block
+                        spec.shared_mem_per_block
                     )));
                 }
             }
@@ -232,6 +248,24 @@ mod tests {
         // The largest power of two that does fit must stay accepted.
         cfg.table_capacity = Some(2048);
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn backend_defaults_to_sim_and_validation_tracks_the_selected_backend() {
+        let cfg = GpuJoinConfig::default();
+        assert_eq!(cfg.backend, GpuBackendKind::Sim);
+        // The host backend deliberately enforces the same limits as the
+        // simulator, so a config valid on one is valid on the other — and
+        // invalid configs are rejected against the selected backend's spec.
+        let mut host_cfg = GpuJoinConfig::default();
+        host_cfg.backend = GpuBackendKind::Host;
+        host_cfg.validate().unwrap();
+        assert_eq!(
+            host_cfg.effective_spec().shared_mem_per_block,
+            host_cfg.spec.shared_mem_per_block
+        );
+        host_cfg.table_capacity = Some(1 << 14); // exceeds shared memory
+        assert!(host_cfg.validate().is_err());
     }
 
     #[test]

@@ -13,8 +13,7 @@
 use std::time::Instant;
 
 use skewjoin_common::trace::counter;
-use skewjoin_common::{JoinError, JoinStats, OutputSink, Relation};
-use skewjoin_gpu_sim::Device;
+use skewjoin_common::{JoinError, JoinStats, Relation, SinkFactory};
 
 use crate::config::GpuJoinConfig;
 use crate::nmjoin::{build_nm_tasks, NmJoinKernel};
@@ -22,36 +21,25 @@ use crate::pack::upload_relation;
 use crate::partition::{gpu_partition, PartitionStyle};
 use crate::{aggregate_sinks, record_launches, GpuJoinOutcome};
 
-/// Runs the Gbase join on a fresh simulated device. `make_sink(slot)`
-/// builds the per-SM-slot output sinks. Phase durations in the returned
-/// stats are *simulated* device time; `simulated_cycles` carries the raw
-/// total.
-pub fn gbase_join<S, F>(
+/// Runs the Gbase join on a fresh backend selected by `cfg.backend`
+/// (the simulator by default). `factory` builds the per-SM-slot output
+/// sinks; any `Fn(usize) -> S + Sync` closure works through the blanket
+/// [`SinkFactory`] impl. Phase durations in the returned stats are
+/// *simulated* device time (zero on the host backend);
+/// `simulated_cycles` carries the raw total.
+pub fn gbase_join<F: SinkFactory>(
     r: &Relation,
     s: &Relation,
     cfg: &GpuJoinConfig,
-    make_sink: F,
-) -> Result<GpuJoinOutcome<S>, JoinError>
-where
-    S: OutputSink,
-    F: Fn(usize) -> S,
-{
+    factory: F,
+) -> Result<GpuJoinOutcome<F::Sink>, JoinError> {
     cfg.validate()?;
-    let mut device = Device::new(cfg.spec.clone());
+    let mut backend = cfg.backend.create(&cfg.spec)?;
+    let backend = backend.as_mut();
     let mut stats = JoinStats::new("Gbase");
 
-    let r_buf = upload_relation(&mut device, r).ok_or_else(|| {
-        JoinError::GpuResourceExhausted(format!(
-            "table R ({} tuples) exceeds global memory",
-            r.len()
-        ))
-    })?;
-    let s_buf = upload_relation(&mut device, s).ok_or_else(|| {
-        JoinError::GpuResourceExhausted(format!(
-            "table S ({} tuples) exceeds global memory",
-            s.len()
-        ))
-    })?;
+    let r_buf = upload_relation(backend, r, "table R")?;
+    let s_buf = upload_relation(backend, s, "table S")?;
 
     let radix = cfg.derived_radix(r.len().max(s.len()).max(1));
     let capacity = cfg.derived_table_capacity();
@@ -60,16 +48,18 @@ where
     };
 
     // ---- Partition phase (simulated time). ----
-    let c0 = device.total_cycles();
-    let l0 = device.launch_log().len();
-    let parted_r = gpu_partition(&mut device, r_buf, &radix, style, cfg.block_dim)?;
-    let parted_s = gpu_partition(&mut device, s_buf, &radix, style, cfg.block_dim)?;
+    let c0 = backend.total_cycles();
+    let l0 = backend.launch_log().len();
+    let parted_r = gpu_partition(backend, r_buf, &radix, style, cfg.block_dim)?;
+    let parted_s = gpu_partition(backend, s_buf, &radix, style, cfg.block_dim)?;
     stats.phases.record(
         "partition",
-        device.spec().cycles_to_duration(device.total_cycles() - c0),
+        backend
+            .spec()
+            .cycles_to_duration(backend.total_cycles() - c0),
     );
     stats.partitions = parted_r.partitions();
-    record_launches(&mut stats.trace, "partition", &device.launch_log()[l0..]);
+    record_launches(&mut stats.trace, "partition", &backend.launch_log()[l0..]);
     stats
         .trace
         .set("partition", counter::TUPLES_IN, (r.len() + s.len()) as u64);
@@ -86,8 +76,8 @@ where
     );
 
     // ---- Join phase: sub-list decomposition + write-bitmap probe. ----
-    let c1 = device.total_cycles();
-    let l1 = device.launch_log().len();
+    let c1 = backend.total_cycles();
+    let l1 = backend.launch_log().len();
     let host_t = Instant::now();
     let tasks = build_nm_tasks(
         parted_r.buf,
@@ -96,18 +86,22 @@ where
         &parted_s.starts,
         capacity,
     );
-    let mut sinks: Vec<S> = (0..device.spec().num_sms).map(&make_sink).collect();
+    let mut sinks: Vec<F::Sink> = (0..backend.spec().num_sms)
+        .map(|slot| factory.make_sink(slot))
+        .collect();
     if !tasks.is_empty() {
         let mut kernel = NmJoinKernel::new(&tasks, &mut sinks);
-        device.launch("gbase_join", tasks.len(), cfg.block_dim, &mut kernel)?;
+        backend.launch("gbase_join", tasks.len(), cfg.block_dim, &mut kernel)?;
     }
     stats.phases.record(
         "join",
-        device.spec().cycles_to_duration(device.total_cycles() - c1),
+        backend
+            .spec()
+            .cycles_to_duration(backend.total_cycles() - c1),
     );
     // Host-side simulation time is not part of the model; drop it.
     let _ = host_t.elapsed();
-    record_launches(&mut stats.trace, "join", &device.launch_log()[l1..]);
+    record_launches(&mut stats.trace, "join", &backend.launch_log()[l1..]);
     stats
         .trace
         .set("join", counter::TASKS_RUN, tasks.len() as u64);
@@ -116,8 +110,8 @@ where
     stats.trace.set("join", counter::BUILD_TUPLES, build as u64);
     stats.trace.set("join", counter::PROBE_TUPLES, probe as u64);
 
-    stats.simulated_cycles = device.total_cycles();
-    let timeline = device.render_timeline();
+    stats.simulated_cycles = backend.total_cycles();
+    let timeline = backend.render_timeline();
     aggregate_sinks(&mut stats, &sinks);
     stats
         .trace

@@ -22,8 +22,7 @@
 //! observation that the two are comparable at low skew.
 
 use skewjoin_common::trace::counter;
-use skewjoin_common::{JoinError, JoinStats, OutputSink, Relation};
-use skewjoin_gpu_sim::Device;
+use skewjoin_common::{JoinError, JoinStats, OutputSink, Relation, SinkFactory};
 
 use crate::config::GpuJoinConfig;
 use crate::nmjoin::{NmJoinKernel, NmTask};
@@ -32,8 +31,10 @@ use crate::partition::{gpu_partition, PartitionStyle};
 use crate::skew::{detect_skew, split_large_partition, SkewJoinKernel, SkewOutputTask};
 use crate::{aggregate_sinks, record_launches, GpuJoinOutcome};
 
-/// Runs the GSH join on a fresh simulated device. `make_sink(slot)` builds
-/// the per-SM-slot output sinks.
+/// Runs the GSH join on a fresh backend selected by `cfg.backend` (the
+/// simulator by default). `factory` builds the per-SM-slot output sinks;
+/// any `Fn(usize) -> S + Sync` closure works through the blanket
+/// [`SinkFactory`] impl.
 ///
 /// ```
 /// use skewjoin_common::{CountingSink, Relation};
@@ -49,48 +50,35 @@ use crate::{aggregate_sinks, record_launches, GpuJoinOutcome};
 /// // Simulated time, derived from modeled cycles:
 /// assert!(out.stats.simulated_cycles > 0);
 /// ```
-pub fn gsh_join<S, F>(
+pub fn gsh_join<F: SinkFactory>(
     r: &Relation,
     s: &Relation,
     cfg: &GpuJoinConfig,
-    make_sink: F,
-) -> Result<GpuJoinOutcome<S>, JoinError>
-where
-    S: OutputSink,
-    F: Fn(usize) -> S,
-{
+    factory: F,
+) -> Result<GpuJoinOutcome<F::Sink>, JoinError> {
     cfg.validate()?;
-    let mut device = Device::new(cfg.spec.clone());
+    let mut backend = cfg.backend.create(&cfg.spec)?;
+    let backend = backend.as_mut();
     let mut stats = JoinStats::new("GSH");
 
-    let r_buf = upload_relation(&mut device, r).ok_or_else(|| {
-        JoinError::GpuResourceExhausted(format!(
-            "table R ({} tuples) exceeds global memory",
-            r.len()
-        ))
-    })?;
-    let s_buf = upload_relation(&mut device, s).ok_or_else(|| {
-        JoinError::GpuResourceExhausted(format!(
-            "table S ({} tuples) exceeds global memory",
-            s.len()
-        ))
-    })?;
+    let r_buf = upload_relation(backend, r, "table R")?;
+    let s_buf = upload_relation(backend, s, "table S")?;
 
     let radix = cfg.derived_radix(r.len().max(s.len()).max(1));
     let capacity = cfg.derived_table_capacity();
 
     // ---- Phase 1: count-then-scatter partitioning. ----
-    let c0 = device.total_cycles();
-    let l0 = device.launch_log().len();
+    let c0 = backend.total_cycles();
+    let l0 = backend.launch_log().len();
     let parted_r = gpu_partition(
-        &mut device,
+        backend,
         r_buf,
         &radix,
         PartitionStyle::CountScatter,
         cfg.block_dim,
     )?;
     let parted_s = gpu_partition(
-        &mut device,
+        backend,
         s_buf,
         &radix,
         PartitionStyle::CountScatter,
@@ -98,10 +86,12 @@ where
     )?;
     stats.phases.record(
         "partition",
-        device.spec().cycles_to_duration(device.total_cycles() - c0),
+        backend
+            .spec()
+            .cycles_to_duration(backend.total_cycles() - c0),
     );
     stats.partitions = parted_r.partitions();
-    record_launches(&mut stats.trace, "partition", &device.launch_log()[l0..]);
+    record_launches(&mut stats.trace, "partition", &backend.launch_log()[l0..]);
     stats
         .trace
         .set("partition", counter::TUPLES_IN, (r.len() + s.len()) as u64);
@@ -118,24 +108,20 @@ where
     );
 
     // ---- Phase 2: detect skewed keys in large partitions. ----
-    let c1 = device.total_cycles();
-    let l1 = device.launch_log().len();
+    let c1 = backend.total_cycles();
+    let l1 = backend.launch_log().len();
     let large_pids: Vec<usize> = (0..parted_r.partitions())
         .filter(|&p| parted_r.size(p) > capacity)
         .collect();
-    let detected = detect_skew(
-        &mut device,
-        &parted_r,
-        &large_pids,
-        &cfg.skew,
-        cfg.block_dim,
-    )?;
+    let detected = detect_skew(backend, &parted_r, &large_pids, &cfg.skew, cfg.block_dim)?;
     stats.phases.record(
         "detect",
-        device.spec().cycles_to_duration(device.total_cycles() - c1),
+        backend
+            .spec()
+            .cycles_to_duration(backend.total_cycles() - c1),
     );
     stats.skewed_keys_detected = detected.iter().map(|d| d.keys.len()).sum();
-    record_launches(&mut stats.trace, "detect", &device.launch_log()[l1..]);
+    record_launches(&mut stats.trace, "detect", &backend.launch_log()[l1..]);
     stats.trace.set(
         "detect",
         counter::SKEWED_KEYS,
@@ -148,15 +134,15 @@ where
     }
 
     // ---- Phase 3: split large partitions (both sides, same key lists). ----
-    let c2 = device.total_cycles();
-    let l2 = device.launch_log().len();
+    let c2 = backend.total_cycles();
+    let l2 = backend.launch_log().len();
     let mut splits = Vec::new();
     for d in &detected {
         if d.keys.is_empty() {
             continue; // large but no skewed key found: NM sub-lists handle it
         }
         let r_split = split_large_partition(
-            &mut device,
+            backend,
             &parted_r,
             d.pid,
             &d.keys,
@@ -164,7 +150,7 @@ where
             "gsh_split_r",
         )?;
         let s_split = split_large_partition(
-            &mut device,
+            backend,
             &parted_s,
             d.pid,
             &d.keys,
@@ -175,9 +161,11 @@ where
     }
     stats.phases.record(
         "split",
-        device.spec().cycles_to_duration(device.total_cycles() - c2),
+        backend
+            .spec()
+            .cycles_to_duration(backend.total_cycles() - c2),
     );
-    record_launches(&mut stats.trace, "split", &device.launch_log()[l2..]);
+    record_launches(&mut stats.trace, "split", &backend.launch_log()[l2..]);
     let split_in: usize = splits.iter().map(|(rs, _)| parted_r.size(rs.pid)).sum();
     let split_s_in: usize = splits.iter().map(|(_, ss)| parted_s.size(ss.pid)).sum();
     stats
@@ -197,8 +185,8 @@ where
         .set("split", counter::TUPLES_OUT, split_out as u64);
 
     // ---- Phase 4: NM-join over normal partitions and residues. ----
-    let c3 = device.total_cycles();
-    let l3 = device.launch_log().len();
+    let c3 = backend.total_cycles();
+    let l3 = backend.launch_log().len();
     let split_pids: std::collections::HashSet<usize> =
         splits.iter().map(|(rs, _)| rs.pid).collect();
     let mut tasks: Vec<NmTask> = Vec::new();
@@ -226,17 +214,21 @@ where
         );
     }
     tasks.sort_by_key(|t| std::cmp::Reverse(t.r_range.len() + t.s_range.len()));
-    let mut sinks: Vec<S> = (0..device.spec().num_sms).map(&make_sink).collect();
+    let mut sinks: Vec<F::Sink> = (0..backend.spec().num_sms)
+        .map(|slot| factory.make_sink(slot))
+        .collect();
     if !tasks.is_empty() {
         let mut kernel = NmJoinKernel::new(&tasks, &mut sinks);
-        device.launch("gsh_nm_join", tasks.len(), cfg.block_dim, &mut kernel)?;
+        backend.launch("gsh_nm_join", tasks.len(), cfg.block_dim, &mut kernel)?;
     }
     stats.phases.record(
         "nm_join",
-        device.spec().cycles_to_duration(device.total_cycles() - c3),
+        backend
+            .spec()
+            .cycles_to_duration(backend.total_cycles() - c3),
     );
     let nm_results: u64 = sinks.iter().map(|s| s.count()).sum();
-    record_launches(&mut stats.trace, "nm_join", &device.launch_log()[l3..]);
+    record_launches(&mut stats.trace, "nm_join", &backend.launch_log()[l3..]);
     stats
         .trace
         .set("nm_join", counter::TASKS_RUN, tasks.len() as u64);
@@ -251,8 +243,8 @@ where
     stats.trace.set("nm_join", counter::RESULTS, nm_results);
 
     // ---- Phase 5: dedicated skew output (one block per skewed R tuple). ----
-    let c4 = device.total_cycles();
-    let l4 = device.launch_log().len();
+    let c4 = backend.total_cycles();
+    let l4 = backend.launch_log().len();
     let mut skew_tasks: Vec<SkewOutputTask> = Vec::new();
     for (r_split, s_split) in &splits {
         for (ki, &key) in r_split.keys.iter().enumerate() {
@@ -266,7 +258,7 @@ where
             for i in r_lo..r_hi {
                 skew_tasks.push(SkewOutputTask {
                     key,
-                    r_word: device.memory.host_read(r_split.skew_buf, i),
+                    r_word: backend.host_read(r_split.skew_buf, i),
                     s_buf: s_split.skew_buf,
                     s_range: s_lo..s_hi,
                 });
@@ -278,7 +270,7 @@ where
             tasks: &skew_tasks,
             sinks: &mut sinks,
         };
-        device.launch(
+        backend.launch(
             "gsh_skew_join",
             skew_tasks.len(),
             cfg.block_dim,
@@ -287,15 +279,17 @@ where
     }
     stats.phases.record(
         "skew_join",
-        device.spec().cycles_to_duration(device.total_cycles() - c4),
+        backend
+            .spec()
+            .cycles_to_duration(backend.total_cycles() - c4),
     );
-    record_launches(&mut stats.trace, "skew_join", &device.launch_log()[l4..]);
+    record_launches(&mut stats.trace, "skew_join", &backend.launch_log()[l4..]);
     stats
         .trace
         .set("skew_join", counter::TASKS_RUN, skew_tasks.len() as u64);
 
-    stats.simulated_cycles = device.total_cycles();
-    let timeline = device.render_timeline();
+    stats.simulated_cycles = backend.total_cycles();
+    let timeline = backend.render_timeline();
     aggregate_sinks(&mut stats, &sinks);
     stats.skew_path_results = stats.result_count - nm_results;
     stats

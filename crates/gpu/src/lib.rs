@@ -1,7 +1,8 @@
 //! # skewjoin-gpu
 //!
-//! GPU hash joins implemented as kernels on the [`skewjoin_gpu_sim`] SIMT
-//! simulator:
+//! GPU hash joins written against the pluggable [`backend::GpuBackend`]
+//! API (the SIMT simulator by default, host execution as a differential
+//! oracle, and a feature-gated real-device seam):
 //!
 //! * [`gbase`] — **Gbase**, the baseline hardware-conscious GPU partitioned
 //!   hash join (Sioulas et al., ICDE 2019, the paper's \[24\]): two-pass
@@ -35,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod backend;
 pub mod config;
 pub mod gbase;
 pub mod gsh;
@@ -43,6 +45,9 @@ pub mod pack;
 pub mod partition;
 pub mod skew;
 
+pub use backend::{
+    BlockOps, DeviceKernel, GpuBackend, GpuBackendKind, HostBackend, SharedRegion, SimBackend,
+};
 pub use config::GpuJoinConfig;
 pub use gbase::gbase_join;
 pub use gsh::gsh_join;

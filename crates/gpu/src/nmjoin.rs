@@ -18,8 +18,9 @@
 
 use skewjoin_common::hash::{bucket_bits_for, table_hash};
 use skewjoin_common::OutputSink;
-use skewjoin_gpu_sim::{BlockCtx, BufferId, Kernel};
+use skewjoin_gpu_sim::BufferId;
 
+use crate::backend::{BlockOps, DeviceKernel};
 use crate::pack::{key_of, payload_of};
 
 /// One NM-join task: an R sub-list and the S partition it probes.
@@ -60,9 +61,9 @@ impl<'a, S: OutputSink> NmJoinKernel<'a, S> {
     }
 }
 
-impl<S: OutputSink> Kernel for NmJoinKernel<'_, S> {
-    fn block(&mut self, ctx: &mut BlockCtx<'_>) {
-        let task = &self.tasks[ctx.block_idx];
+impl<S: OutputSink> DeviceKernel for NmJoinKernel<'_, S> {
+    fn block(&mut self, ctx: &mut dyn BlockOps) {
+        let task = &self.tasks[ctx.block_idx()];
         let r_len = task.r_range.len();
         if r_len == 0 || task.s_range.is_empty() {
             return;
@@ -116,7 +117,7 @@ impl<S: OutputSink> Kernel for NmJoinKernel<'_, S> {
 
         // ---- Probe: S partition in block-sized batches, chain walk in
         // lockstep with the write-bitmap protocol.
-        let block_dim = ctx.block_dim;
+        let block_dim = ctx.block_dim();
         let mut s = task.s_range.start;
         while s < task.s_range.end {
             let batch_end = (s + block_dim).min(task.s_range.end);
@@ -138,7 +139,7 @@ impl<S: OutputSink> Kernel for NmJoinKernel<'_, S> {
                     let rw = r_words[cursor as usize];
                     if key_of(rw) == skey {
                         matched_total += 1;
-                        self.sinks[ctx.sm_slot].emit(skey, payload_of(rw), payload_of(sw));
+                        self.sinks[ctx.sm_slot()].emit(skey, payload_of(rw), payload_of(sw));
                     }
                     cursor = next[cursor as usize];
                 }
@@ -216,14 +217,15 @@ pub fn build_nm_tasks(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{GpuBackend, SimBackend};
     use crate::pack::upload_relation;
     use skewjoin_common::{CountingSink, Relation, Tuple};
-    use skewjoin_gpu_sim::{Device, DeviceSpec};
+    use skewjoin_gpu_sim::DeviceSpec;
 
     fn run_nm(r: &Relation, s: &Relation, capacity: usize) -> (u64, skewjoin_gpu_sim::Metrics) {
-        let mut dev = Device::new(DeviceSpec::tiny(1 << 24));
-        let r_buf = upload_relation(&mut dev, r).unwrap();
-        let s_buf = upload_relation(&mut dev, s).unwrap();
+        let mut dev = SimBackend::new(DeviceSpec::tiny(1 << 24));
+        let r_buf = upload_relation(&mut dev, r, "table R").unwrap();
+        let s_buf = upload_relation(&mut dev, s, "table S").unwrap();
         // Single "partition" covering everything.
         let r_starts = vec![0, r.len()];
         let s_starts = vec![0, s.len()];

@@ -4,8 +4,10 @@
 //! gets from an 8-byte vectorized load of a `{u32 key; u32 payload;}`
 //! struct.
 
-use skewjoin_common::{Key, Payload, Relation, Tuple};
-use skewjoin_gpu_sim::{BufferId, Device};
+use skewjoin_common::{JoinError, Key, Payload, Relation, Tuple};
+use skewjoin_gpu_sim::BufferId;
+
+use crate::backend::GpuBackend;
 
 /// Packs a tuple into a device word.
 #[inline(always)]
@@ -32,19 +34,27 @@ pub fn payload_of(word: u64) -> Payload {
 }
 
 /// Uploads a relation into a fresh device buffer (host-side transfer; the
-/// paper joins GPU-resident data, so no cost is charged).
-///
-/// Returns `None` if the device is out of global memory.
-pub fn upload_relation(device: &mut Device, relation: &Relation) -> Option<BufferId> {
-    let buf = device.memory.alloc(relation.len(), 8)?;
+/// paper joins GPU-resident data, so no cost is charged). `label` names the
+/// relation in the out-of-memory error (e.g. `"table R"`).
+pub fn upload_relation(
+    backend: &mut dyn GpuBackend,
+    relation: &Relation,
+    label: &str,
+) -> Result<BufferId, JoinError> {
+    let buf = backend.alloc(
+        relation.len(),
+        8,
+        &format!("{label} ({} tuples)", relation.len()),
+    )?;
     let words: Vec<u64> = relation.iter().map(|&t| pack(t)).collect();
-    device.memory.host_upload(buf, 0, &words);
-    Some(buf)
+    backend.host_upload(buf, 0, &words);
+    Ok(buf)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::SimBackend;
     use skewjoin_gpu_sim::DeviceSpec;
 
     #[test]
@@ -63,17 +73,22 @@ mod tests {
 
     #[test]
     fn upload_places_all_tuples() {
-        let mut dev = Device::new(DeviceSpec::tiny(1 << 16));
+        let mut backend = SimBackend::new(DeviceSpec::tiny(1 << 16));
         let rel = Relation::from_keys(&[3, 1, 4, 1, 5]);
-        let buf = upload_relation(&mut dev, &rel).unwrap();
-        assert_eq!(dev.memory.len(buf), 5);
-        assert_eq!(unpack(dev.memory.host_read(buf, 2)), Tuple::new(4, 2));
+        let buf = upload_relation(&mut backend, &rel, "table R").unwrap();
+        assert_eq!(backend.buffer_len(buf), 5);
+        assert_eq!(unpack(backend.host_read(buf, 2)), Tuple::new(4, 2));
     }
 
     #[test]
-    fn upload_fails_when_out_of_memory() {
-        let mut dev = Device::new(DeviceSpec::tiny(16));
+    fn upload_fails_with_typed_error_when_out_of_memory() {
+        let mut backend = SimBackend::new(DeviceSpec::tiny(16));
         let rel = Relation::from_keys(&[1, 2, 3]);
-        assert!(upload_relation(&mut dev, &rel).is_none());
+        match upload_relation(&mut backend, &rel, "table R") {
+            Err(JoinError::GpuResourceExhausted(msg)) => {
+                assert!(msg.contains("table R (3 tuples)"), "{msg}");
+            }
+            other => panic!("expected GpuResourceExhausted, got {other:?}"),
+        }
     }
 }

@@ -20,8 +20,9 @@
 
 use skewjoin_common::hash::RadixConfig;
 use skewjoin_common::{JoinError, Key};
-use skewjoin_gpu_sim::{BlockCtx, BufferId, Device, Kernel};
+use skewjoin_gpu_sim::BufferId;
 
+use crate::backend::{BlockOps, DeviceKernel, GpuBackend};
 use crate::pack::key_of;
 
 /// A partitioned relation resident in device memory.
@@ -82,22 +83,18 @@ fn chunk_size(block_dim: usize) -> usize {
 /// Partitions `input` (packed tuples) with all passes of `cfg`. Returns the
 /// partitioned buffer + directory; intermediate buffers are freed.
 pub fn gpu_partition(
-    device: &mut Device,
+    backend: &mut dyn GpuBackend,
     input: BufferId,
     cfg: &RadixConfig,
     style: PartitionStyle,
     block_dim: usize,
 ) -> Result<DevicePartitioned, JoinError> {
-    let n = device.memory.len(input);
+    let n = backend.buffer_len(input);
 
     // ---- Pass 0 over the whole input. ----
-    let out0 = device.memory.alloc(n, 8).ok_or_else(|| {
-        JoinError::GpuResourceExhausted(format!(
-            "partition buffer ({n} tuples) exceeds global memory"
-        ))
-    })?;
+    let out0 = backend.alloc(n, 8, &format!("partition buffer ({n} tuples)"))?;
     let starts0 = run_pass(
-        device,
+        backend,
         input,
         None,
         out0,
@@ -116,13 +113,9 @@ pub fn gpu_partition(
     }
 
     // ---- Pass 1: one block-group per parent partition. ----
-    let out1 = device.memory.alloc(n, 8).ok_or_else(|| {
-        JoinError::GpuResourceExhausted(format!(
-            "second partition buffer ({n} tuples) exceeds global memory"
-        ))
-    })?;
+    let out1 = backend.alloc(n, 8, &format!("second partition buffer ({n} tuples)"))?;
     let starts1 = run_pass(
-        device,
+        backend,
         out0,
         Some(&starts0),
         out1,
@@ -132,7 +125,7 @@ pub fn gpu_partition(
         block_dim,
         "partition_pass1",
     )?;
-    device.memory.free(out0);
+    backend.free(out0);
 
     assert!(
         cfg.bits_per_pass.len() <= 2,
@@ -151,7 +144,7 @@ pub fn gpu_partition(
 /// range (pass-major order).
 #[allow(clippy::too_many_arguments)]
 fn run_pass(
-    device: &mut Device,
+    backend: &mut dyn GpuBackend,
     input: BufferId,
     parent_starts: Option<&[usize]>,
     output: BufferId,
@@ -161,7 +154,7 @@ fn run_pass(
     block_dim: usize,
     name: &str,
 ) -> Result<Vec<usize>, JoinError> {
-    let n = device.memory.len(input);
+    let n = backend.buffer_len(input);
     let fanout = cfg.fanout(pass);
     let chunk = chunk_size(block_dim);
 
@@ -191,7 +184,7 @@ fn run_pass(
 
     // Functional pre-computation of per-block histograms and write cursors
     // (host mirror of what the count kernel + scan produce).
-    let data_snapshot: Vec<u64> = device.memory.host_slice(input).to_vec();
+    let data_snapshot: Vec<u64> = backend.host_slice(input).to_vec();
     let mut block_hists: Vec<Vec<usize>> = Vec::with_capacity(blocks.len());
     for plan in &blocks {
         let mut hist = vec![0usize; fanout];
@@ -244,7 +237,7 @@ fn run_pass(
             blocks: &blocks,
             scratch: Scratch::default(),
         };
-        device.launch(
+        backend.launch(
             &format!("{name}_count"),
             blocks.len().max(1),
             block_dim,
@@ -255,7 +248,7 @@ fn run_pass(
         let mut scan = StreamKernel {
             bytes: words * 8, // read + write once each (4 B counters, 2 ops)
         };
-        device.launch(&format!("{name}_scan"), 1, block_dim, &mut scan)?;
+        backend.launch(&format!("{name}_scan"), 1, block_dim, &mut scan)?;
     }
 
     // ---- Scatter kernel. ----
@@ -269,7 +262,7 @@ fn run_pass(
         style,
         scratch: Scratch::default(),
     };
-    device.launch(
+    backend.launch(
         &format!("{name}_scatter"),
         blocks.len().max(1),
         block_dim,
@@ -311,9 +304,9 @@ struct CountKernel<'a> {
     scratch: Scratch,
 }
 
-impl Kernel for CountKernel<'_> {
-    fn block(&mut self, ctx: &mut BlockCtx<'_>) {
-        let Some(plan) = self.blocks.get(ctx.block_idx) else {
+impl DeviceKernel for CountKernel<'_> {
+    fn block(&mut self, ctx: &mut dyn BlockOps) {
+        let Some(plan) = self.blocks.get(ctx.block_idx()) else {
             return;
         };
         let fanout = self.cfg.fanout(self.pass);
@@ -352,18 +345,19 @@ struct ScatterKernel<'a> {
     cfg: &'a RadixConfig,
     pass: usize,
     blocks: &'a [BlockPlan],
-    /// Per-block write cursors per child partition.
+    /// Per-block write cursors per child partition (host-precomputed; relies
+    /// on the backend contract that blocks run in block-index order).
     cursors: Vec<Vec<usize>>,
     style: PartitionStyle,
     scratch: Scratch,
 }
 
-impl Kernel for ScatterKernel<'_> {
-    fn block(&mut self, ctx: &mut BlockCtx<'_>) {
-        let Some(plan) = self.blocks.get(ctx.block_idx) else {
+impl DeviceKernel for ScatterKernel<'_> {
+    fn block(&mut self, ctx: &mut dyn BlockOps) {
+        let Some(plan) = self.blocks.get(ctx.block_idx()) else {
             return;
         };
-        let cursors = &mut self.cursors[ctx.block_idx];
+        let cursors = &mut self.cursors[ctx.block_idx()];
         let warp = ctx.warp_size();
         let mut i = plan.range.start;
         while i < plan.range.end {
@@ -421,8 +415,8 @@ struct StreamKernel {
     bytes: u64,
 }
 
-impl Kernel for StreamKernel {
-    fn block(&mut self, ctx: &mut BlockCtx<'_>) {
+impl DeviceKernel for StreamKernel {
+    fn block(&mut self, ctx: &mut dyn BlockOps) {
         ctx.account_stream_bytes(self.bytes * 2); // read + write
         ctx.alu(self.bytes / 4);
     }
@@ -431,24 +425,24 @@ impl Kernel for StreamKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{HostBackend, SimBackend};
     use crate::pack::{pack, unpack};
     use skewjoin_common::{Relation, Tuple};
     use skewjoin_gpu_sim::DeviceSpec;
 
-    fn upload(device: &mut Device, rel: &Relation) -> BufferId {
-        crate::pack::upload_relation(device, rel).expect("fits")
+    fn upload(backend: &mut dyn GpuBackend, rel: &Relation) -> BufferId {
+        crate::pack::upload_relation(backend, rel, "test input").expect("fits")
     }
 
     fn check_partitioned(
-        device: &Device,
+        backend: &dyn GpuBackend,
         parted: &DevicePartitioned,
         cfg: &RadixConfig,
         original: &Relation,
     ) {
         assert_eq!(*parted.starts.last().unwrap(), original.len());
         // Multiset preserved.
-        let mut got: Vec<Tuple> = device
-            .memory
+        let mut got: Vec<Tuple> = backend
             .host_slice(parted.buf)
             .iter()
             .map(|&w| unpack(w))
@@ -460,7 +454,7 @@ mod tests {
         // Every tuple in its final_pid partition.
         for pid in 0..parted.partitions() {
             for i in parted.range(pid) {
-                let t = unpack(device.memory.host_read(parted.buf, i));
+                let t = unpack(backend.host_read(parted.buf, i));
                 assert_eq!(final_pid(cfg, t.key), pid, "tuple at {i}");
             }
         }
@@ -476,24 +470,25 @@ mod tests {
 
     #[test]
     fn count_scatter_two_pass() {
-        let mut dev = Device::new(DeviceSpec::tiny(1 << 22));
+        let mut backend = SimBackend::new(DeviceSpec::tiny(1 << 22));
         let rel = test_relation(5000);
-        let buf = upload(&mut dev, &rel);
+        let buf = upload(&mut backend, &rel);
         let cfg = RadixConfig::two_pass(6);
-        let parted = gpu_partition(&mut dev, buf, &cfg, PartitionStyle::CountScatter, 64).unwrap();
+        let parted =
+            gpu_partition(&mut backend, buf, &cfg, PartitionStyle::CountScatter, 64).unwrap();
         assert_eq!(parted.partitions(), 64);
-        check_partitioned(&dev, &parted, &cfg, &rel);
-        assert!(dev.total_cycles() > 0);
+        check_partitioned(&backend, &parted, &cfg, &rel);
+        assert!(backend.total_cycles() > 0);
     }
 
     #[test]
     fn linked_buckets_two_pass() {
-        let mut dev = Device::new(DeviceSpec::tiny(1 << 22));
+        let mut backend = SimBackend::new(DeviceSpec::tiny(1 << 22));
         let rel = test_relation(3000);
-        let buf = upload(&mut dev, &rel);
+        let buf = upload(&mut backend, &rel);
         let cfg = RadixConfig::two_pass(4);
         let parted = gpu_partition(
-            &mut dev,
+            &mut backend,
             buf,
             &cfg,
             PartitionStyle::LinkedBuckets {
@@ -502,44 +497,47 @@ mod tests {
             64,
         )
         .unwrap();
-        check_partitioned(&dev, &parted, &cfg, &rel);
+        check_partitioned(&backend, &parted, &cfg, &rel);
     }
 
     #[test]
     fn single_pass_partitioning() {
-        let mut dev = Device::new(DeviceSpec::tiny(1 << 22));
+        let mut backend = SimBackend::new(DeviceSpec::tiny(1 << 22));
         let rel = test_relation(1000);
-        let buf = upload(&mut dev, &rel);
+        let buf = upload(&mut backend, &rel);
         let cfg = RadixConfig::single_pass(3);
-        let parted = gpu_partition(&mut dev, buf, &cfg, PartitionStyle::CountScatter, 32).unwrap();
+        let parted =
+            gpu_partition(&mut backend, buf, &cfg, PartitionStyle::CountScatter, 32).unwrap();
         assert_eq!(parted.partitions(), 8);
-        check_partitioned(&dev, &parted, &cfg, &rel);
+        check_partitioned(&backend, &parted, &cfg, &rel);
     }
 
     #[test]
     fn empty_input() {
-        let mut dev = Device::new(DeviceSpec::tiny(1 << 22));
+        let mut backend = SimBackend::new(DeviceSpec::tiny(1 << 22));
         let rel = Relation::new();
-        let buf = upload(&mut dev, &rel);
+        let buf = upload(&mut backend, &rel);
         let cfg = RadixConfig::two_pass(4);
-        let parted = gpu_partition(&mut dev, buf, &cfg, PartitionStyle::CountScatter, 32).unwrap();
+        let parted =
+            gpu_partition(&mut backend, buf, &cfg, PartitionStyle::CountScatter, 32).unwrap();
         assert_eq!(parted.partitions(), 16);
         assert!(parted.starts.iter().all(|&s| s == 0));
     }
 
     #[test]
     fn single_hot_key_lands_in_one_partition() {
-        let mut dev = Device::new(DeviceSpec::tiny(1 << 22));
+        let mut backend = SimBackend::new(DeviceSpec::tiny(1 << 22));
         let rel = Relation::from_tuples(vec![Tuple::new(42, 7); 1000]);
-        let buf = upload(&mut dev, &rel);
+        let buf = upload(&mut backend, &rel);
         let cfg = RadixConfig::two_pass(6);
-        let parted = gpu_partition(&mut dev, buf, &cfg, PartitionStyle::CountScatter, 64).unwrap();
+        let parted =
+            gpu_partition(&mut backend, buf, &cfg, PartitionStyle::CountScatter, 64).unwrap();
         let non_empty: Vec<usize> = (0..parted.partitions())
             .filter(|&p| parted.size(p) > 0)
             .collect();
         assert_eq!(non_empty.len(), 1);
         assert_eq!(parted.size(non_empty[0]), 1000);
-        assert_eq!(pack(Tuple::new(42, 7)), dev.memory.host_read(parted.buf, 0));
+        assert_eq!(pack(Tuple::new(42, 7)), backend.host_read(parted.buf, 0));
     }
 
     #[test]
@@ -547,19 +545,26 @@ mod tests {
         let rel = test_relation(4000);
         let cfg = RadixConfig::two_pass(4);
 
-        let mut dev_a = Device::new(DeviceSpec::tiny(1 << 22));
-        let buf_a = upload(&mut dev_a, &rel);
-        gpu_partition(&mut dev_a, buf_a, &cfg, PartitionStyle::CountScatter, 64).unwrap();
-        let atomics_a: u64 = dev_a
+        let mut backend_a = SimBackend::new(DeviceSpec::tiny(1 << 22));
+        let buf_a = upload(&mut backend_a, &rel);
+        gpu_partition(
+            &mut backend_a,
+            buf_a,
+            &cfg,
+            PartitionStyle::CountScatter,
+            64,
+        )
+        .unwrap();
+        let atomics_a: u64 = backend_a
             .launch_log()
             .iter()
             .map(|l| l.metrics.atomic_cycles)
             .sum();
 
-        let mut dev_b = Device::new(DeviceSpec::tiny(1 << 22));
-        let buf_b = upload(&mut dev_b, &rel);
+        let mut backend_b = SimBackend::new(DeviceSpec::tiny(1 << 22));
+        let buf_b = upload(&mut backend_b, &rel);
         gpu_partition(
-            &mut dev_b,
+            &mut backend_b,
             buf_b,
             &cfg,
             PartitionStyle::LinkedBuckets {
@@ -568,7 +573,7 @@ mod tests {
             64,
         )
         .unwrap();
-        let atomics_b: u64 = dev_b
+        let atomics_b: u64 = backend_b
             .launch_log()
             .iter()
             .map(|l| l.metrics.atomic_cycles)
@@ -580,5 +585,29 @@ mod tests {
             atomics_b > atomics_a,
             "linked buckets {atomics_b} ≤ count-scatter {atomics_a}"
         );
+    }
+
+    #[test]
+    fn host_backend_partitions_identically_to_sim() {
+        let rel = test_relation(5000);
+        let cfg = RadixConfig::two_pass(6);
+
+        let mut sim = SimBackend::new(DeviceSpec::tiny(1 << 22));
+        let sim_buf = upload(&mut sim, &rel);
+        let sim_parted =
+            gpu_partition(&mut sim, sim_buf, &cfg, PartitionStyle::CountScatter, 64).unwrap();
+
+        let mut host = HostBackend::new(DeviceSpec::tiny(1 << 22));
+        let host_buf = upload(&mut host, &rel);
+        let host_parted =
+            gpu_partition(&mut host, host_buf, &cfg, PartitionStyle::CountScatter, 64).unwrap();
+
+        assert_eq!(sim_parted.starts, host_parted.starts);
+        assert_eq!(
+            sim.host_slice(sim_parted.buf),
+            host.host_slice(host_parted.buf)
+        );
+        assert_eq!(host.total_cycles(), 0);
+        check_partitioned(&host, &host_parted, &cfg, &rel);
     }
 }

@@ -5,8 +5,9 @@
 
 use skewjoin_common::hash::mix32;
 use skewjoin_common::{JoinError, Key, OutputSink};
-use skewjoin_gpu_sim::{BlockCtx, BufferId, Device, Kernel};
+use skewjoin_gpu_sim::BufferId;
 
+use crate::backend::{BlockOps, DeviceKernel, GpuBackend};
 use crate::config::GpuSkewConfig;
 use crate::pack::{key_of, payload_of};
 use crate::partition::DevicePartitioned;
@@ -27,7 +28,7 @@ pub struct DetectedSkew {
 /// linear-probing shared-memory table, and returns the top-k keys per
 /// partition (§IV-B step 2). One block per large partition.
 pub fn detect_skew(
-    device: &mut Device,
+    backend: &mut dyn GpuBackend,
     parted_r: &DevicePartitioned,
     large_pids: &[usize],
     cfg: &GpuSkewConfig,
@@ -46,7 +47,7 @@ pub fn detect_skew(
                 scratch_idx: Vec::new(),
                 scratch_vals: Vec::new(),
             };
-            device.launch("gsh_detect", large_pids.len(), block_dim, &mut kernel)?;
+            backend.launch("gsh_detect", large_pids.len(), block_dim, &mut kernel)?;
             kernel.results
         }
         crate::config::GpuDetectionMode::Exact => {
@@ -56,7 +57,7 @@ pub fn detect_skew(
                 top_k: cfg.top_k,
                 results: vec![Vec::new(); large_pids.len()],
             };
-            device.launch("gsh_detect_exact", large_pids.len(), block_dim, &mut kernel)?;
+            backend.launch("gsh_detect_exact", large_pids.len(), block_dim, &mut kernel)?;
             kernel.results
         }
     };
@@ -80,9 +81,9 @@ struct ExactCountKernel<'a> {
     results: Vec<Vec<(Key, u64)>>,
 }
 
-impl Kernel for ExactCountKernel<'_> {
-    fn block(&mut self, ctx: &mut BlockCtx<'_>) {
-        let pid = self.pids[ctx.block_idx];
+impl DeviceKernel for ExactCountKernel<'_> {
+    fn block(&mut self, ctx: &mut dyn BlockOps) {
+        let pid = self.pids[ctx.block_idx()];
         let range = self.parted.range(pid);
         let len = range.len();
         if len == 0 {
@@ -106,7 +107,7 @@ impl Kernel for ExactCountKernel<'_> {
         ctx.account_contiguous_read(self.parted.buf, counts.len().min(len));
         let mut entries: Vec<(u64, Key)> = counts.into_iter().map(|(k, c)| (c, k)).collect();
         entries.sort_unstable_by(|a, b| b.cmp(a));
-        self.results[ctx.block_idx] = entries
+        self.results[ctx.block_idx()] = entries
             .into_iter()
             .filter(|&(c, _)| c >= 2)
             .take(self.top_k)
@@ -125,9 +126,9 @@ struct SampleKernel<'a> {
     scratch_vals: Vec<u64>,
 }
 
-impl Kernel for SampleKernel<'_> {
-    fn block(&mut self, ctx: &mut BlockCtx<'_>) {
-        let pid = self.pids[ctx.block_idx];
+impl DeviceKernel for SampleKernel<'_> {
+    fn block(&mut self, ctx: &mut dyn BlockOps) {
+        let pid = self.pids[ctx.block_idx()];
         let range = self.parted.range(pid);
         let len = range.len();
         if len == 0 {
@@ -144,7 +145,7 @@ impl Kernel for SampleKernel<'_> {
         let cap = if table_region.is_some() {
             cap
         } else {
-            let fit = (ctx.spec().shared_mem_per_block - ctx.shared_used()) / 8;
+            let fit = (ctx.shared_mem_per_block() - ctx.shared_used()) / 8;
             // `next_power_of_two()/2` is 0 for fit ≤ 1, and the table below
             // needs at least a few slots for its mask arithmetic; if not
             // even a minimal table fits, leave the partition unsampled (no
@@ -215,7 +216,7 @@ impl Kernel for SampleKernel<'_> {
             .collect();
         // Write the result row to global memory for the host.
         ctx.account_stream_bytes((self.cfg.top_k * 8) as u64);
-        self.results[ctx.block_idx] = top;
+        self.results[ctx.block_idx()] = top;
     }
 }
 
@@ -241,7 +242,7 @@ pub struct SplitPartition {
 /// contention-free scatter kernel (the same count-then-scatter discipline
 /// as GSH's partitioning).
 pub fn split_large_partition(
-    device: &mut Device,
+    backend: &mut dyn GpuBackend,
     parted: &DevicePartitioned,
     pid: usize,
     keys: &[Key],
@@ -251,7 +252,7 @@ pub fn split_large_partition(
     let range = parted.range(pid);
 
     // Host mirror for cursor planning (the kernels do the costed work).
-    let words: Vec<u64> = device.memory.host_slice(parted.buf)[range.clone()].to_vec();
+    let words: Vec<u64> = backend.host_slice(parted.buf)[range.clone()].to_vec();
     let mut key_counts = vec![0usize; keys.len()];
     let mut norm_len = 0usize;
     for &w in &words {
@@ -268,16 +269,16 @@ pub fn split_large_partition(
     }
     skew_starts.push(acc);
 
-    let skew_buf = device.memory.alloc(acc.max(1), 8).ok_or_else(|| {
-        JoinError::GpuResourceExhausted(format!(
-            "skew arrays for partition {pid} ({acc} tuples) exceed global memory"
-        ))
-    })?;
-    let norm_buf = device.memory.alloc(norm_len.max(1), 8).ok_or_else(|| {
-        JoinError::GpuResourceExhausted(format!(
-            "normal residue for partition {pid} ({norm_len} tuples) exceeds global memory"
-        ))
-    })?;
+    let skew_buf = backend.alloc(
+        acc.max(1),
+        8,
+        &format!("skew arrays for partition {pid} ({acc} tuples)"),
+    )?;
+    let norm_buf = backend.alloc(
+        norm_len.max(1),
+        8,
+        &format!("normal residue for partition {pid} ({norm_len} tuples)"),
+    )?;
 
     let mut kernel = SplitKernel {
         src: parted.buf,
@@ -301,13 +302,13 @@ pub fn split_large_partition(
         keys_len: keys.len(),
         block_dim,
     };
-    device.launch(
+    backend.launch(
         &format!("{label}_count"),
         chunks,
         block_dim,
         &mut count_pass,
     )?;
-    device.launch(&format!("{label}_scatter"), chunks, block_dim, &mut kernel)?;
+    backend.launch(&format!("{label}_scatter"), chunks, block_dim, &mut kernel)?;
 
     Ok(SplitPartition {
         pid,
@@ -328,10 +329,10 @@ struct CountOnlyKernel {
     block_dim: usize,
 }
 
-impl Kernel for CountOnlyKernel {
-    fn block(&mut self, ctx: &mut BlockCtx<'_>) {
+impl DeviceKernel for CountOnlyKernel {
+    fn block(&mut self, ctx: &mut dyn BlockOps) {
         let chunk = self.block_dim * 8;
-        let lo = self.range.start + ctx.block_idx * chunk;
+        let lo = self.range.start + ctx.block_idx() * chunk;
         let hi = (lo + chunk).min(self.range.end);
         if lo >= hi {
             return;
@@ -346,9 +347,9 @@ impl Kernel for CountOnlyKernel {
 }
 
 /// Scatter pass of the split. Cursors are shared across blocks here (the
-/// host precomputed a single cursor set); contention-free because blocks
-/// run in block order in the simulator — the modeled cost is identical to
-/// per-block prefix-summed cursors.
+/// host precomputed a single cursor set); contention-free because the
+/// backend contract runs blocks in block-index order — the modeled cost is
+/// identical to per-block prefix-summed cursors.
 struct SplitKernel<'a> {
     src: BufferId,
     range: std::ops::Range<usize>,
@@ -363,10 +364,10 @@ struct SplitKernel<'a> {
     scratch_writes: Vec<(usize, u64)>,
 }
 
-impl Kernel for SplitKernel<'_> {
-    fn block(&mut self, ctx: &mut BlockCtx<'_>) {
+impl DeviceKernel for SplitKernel<'_> {
+    fn block(&mut self, ctx: &mut dyn BlockOps) {
         let chunk = self.block_dim * 8;
-        let lo = self.range.start + ctx.block_idx * chunk;
+        let lo = self.range.start + ctx.block_idx() * chunk;
         let hi = (lo + chunk).min(self.range.end);
         if lo >= hi {
             return;
@@ -430,18 +431,18 @@ pub struct SkewJoinKernel<'a, S> {
     pub sinks: &'a mut [S],
 }
 
-impl<S: OutputSink> Kernel for SkewJoinKernel<'_, S> {
-    fn block(&mut self, ctx: &mut BlockCtx<'_>) {
-        let task = &self.tasks[ctx.block_idx];
+impl<S: OutputSink> DeviceKernel for SkewJoinKernel<'_, S> {
+    fn block(&mut self, ctx: &mut dyn BlockOps) {
+        let task = &self.tasks[ctx.block_idx()];
         if task.s_range.is_empty() {
             return;
         }
         // One read for the block's own R tuple.
         ctx.account_stream_bytes(8);
         let r_payload = payload_of(task.r_word);
-        let sink = &mut self.sinks[ctx.sm_slot];
+        let sink = &mut self.sinks[ctx.sm_slot()];
 
-        let block_dim = ctx.block_dim;
+        let block_dim = ctx.block_dim();
         let mut s = task.s_range.start;
         while s < task.s_range.end {
             let end = (s + block_dim).min(task.s_range.end);
@@ -463,16 +464,17 @@ impl<S: OutputSink> Kernel for SkewJoinKernel<'_, S> {
 #[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
+    use crate::backend::SimBackend;
     use crate::pack::{pack, upload_relation};
     use skewjoin_common::{CountingSink, Relation, Tuple};
     use skewjoin_gpu_sim::DeviceSpec;
 
-    fn device() -> Device {
-        Device::new(DeviceSpec::tiny(1 << 24))
+    fn backend() -> SimBackend {
+        SimBackend::new(DeviceSpec::tiny(1 << 24))
     }
 
-    fn single_partition(device: &mut Device, rel: &Relation) -> DevicePartitioned {
-        let buf = upload_relation(device, rel).unwrap();
+    fn single_partition(backend: &mut dyn GpuBackend, rel: &Relation) -> DevicePartitioned {
+        let buf = upload_relation(backend, rel, "test partition").unwrap();
         DevicePartitioned {
             buf,
             starts: vec![0, rel.len()],
@@ -481,7 +483,7 @@ mod tests {
 
     #[test]
     fn detects_dominant_keys() {
-        let mut dev = device();
+        let mut dev = backend();
         let mut keys = vec![100u32; 3000];
         keys.extend(vec![200u32; 2000]);
         keys.extend(0..3000u32);
@@ -496,7 +498,7 @@ mod tests {
 
     #[test]
     fn no_large_partitions_no_work() {
-        let mut dev = device();
+        let mut dev = backend();
         let before = dev.total_cycles();
         let found = detect_skew(
             &mut dev,
@@ -515,7 +517,7 @@ mod tests {
 
     #[test]
     fn uniform_partition_detects_nothing() {
-        let mut dev = device();
+        let mut dev = backend();
         let keys: Vec<u32> = (0..5000).collect();
         let rel = Relation::from_keys(&keys);
         let parted = single_partition(&mut dev, &rel);
@@ -529,7 +531,7 @@ mod tests {
 
     #[test]
     fn exact_detection_finds_true_top_keys() {
-        let mut dev = device();
+        let mut dev = backend();
         let mut keys = vec![100u32; 3000];
         keys.extend(vec![200u32; 2000]);
         keys.extend(0..3000u32);
@@ -547,11 +549,11 @@ mod tests {
         let keys: Vec<u32> = (0..20_000u32).map(|i| i % 500).collect();
         let rel = Relation::from_keys(&keys);
 
-        let mut dev_a = device();
+        let mut dev_a = backend();
         let parted_a = single_partition(&mut dev_a, &rel);
         detect_skew(&mut dev_a, &parted_a, &[0], &GpuSkewConfig::default(), 64).unwrap();
 
-        let mut dev_b = device();
+        let mut dev_b = backend();
         let parted_b = single_partition(&mut dev_b, &rel);
         let mut cfg = GpuSkewConfig::default();
         cfg.detection = crate::config::GpuDetectionMode::Exact;
@@ -567,7 +569,7 @@ mod tests {
 
     #[test]
     fn split_separates_skewed_and_normal() {
-        let mut dev = device();
+        let mut dev = backend();
         let mut keys = vec![7u32; 500];
         keys.extend(vec![9u32; 300]);
         keys.extend(1000..1200u32);
@@ -579,22 +581,22 @@ mod tests {
         assert_eq!(split.norm_len, 200);
         // Array 0 = key 7, array 1 = key 9.
         for i in 0..500 {
-            assert_eq!(key_of(dev.memory.host_read(split.skew_buf, i)), 7);
+            assert_eq!(key_of(dev.host_read(split.skew_buf, i)), 7);
         }
         for i in 500..800 {
-            assert_eq!(key_of(dev.memory.host_read(split.skew_buf, i)), 9);
+            assert_eq!(key_of(dev.host_read(split.skew_buf, i)), 9);
         }
         for i in 0..200 {
-            let k = key_of(dev.memory.host_read(split.norm_buf, i));
+            let k = key_of(dev.host_read(split.norm_buf, i));
             assert!((1000..1200).contains(&k));
         }
     }
 
     #[test]
     fn skew_kernel_emits_cross_product() {
-        let mut dev = device();
+        let mut dev = backend();
         let s_rel = Relation::from_tuples((0..100).map(|i| Tuple::new(7, i)).collect());
-        let s_buf = upload_relation(&mut dev, &s_rel).unwrap();
+        let s_buf = upload_relation(&mut dev, &s_rel, "skewed S").unwrap();
         // 10 R tuples → 10 blocks, each emitting 100 results.
         let tasks: Vec<SkewOutputTask> = (0..10)
             .map(|i| SkewOutputTask {

@@ -5,9 +5,10 @@
 
 use skewjoin_common::hash::RadixConfig;
 use skewjoin_common::{Relation, Tuple};
+use skewjoin_gpu::backend::GpuBackendKind;
 use skewjoin_gpu::pack::{unpack, upload_relation};
 use skewjoin_gpu::partition::{final_pid, gpu_partition, PartitionStyle};
-use skewjoin_gpu_sim::{Device, DeviceSpec};
+use skewjoin_gpu_sim::DeviceSpec;
 
 /// Minimal deterministic generator (splitmix64) for the case batteries.
 struct TestRng(u64);
@@ -37,19 +38,27 @@ impl TestRng {
     }
 }
 
-fn check(keys: &[u32], bits: u32, style: PartitionStyle, block_dim: usize) -> Result<(), String> {
+fn check(
+    keys: &[u32],
+    bits: u32,
+    style: PartitionStyle,
+    block_dim: usize,
+    kind: GpuBackendKind,
+) -> Result<(), String> {
     let rel = Relation::from_keys(keys);
-    let mut dev = Device::new(DeviceSpec::tiny(1 << 24));
-    let buf = upload_relation(&mut dev, &rel).ok_or("alloc failed")?;
+    let mut dev = kind
+        .create(&DeviceSpec::tiny(1 << 24))
+        .map_err(|e| e.to_string())?;
+    let dev = dev.as_mut();
+    let buf = upload_relation(dev, &rel, "table R").map_err(|e| e.to_string())?;
     let cfg = RadixConfig::two_pass(bits);
-    let parted = gpu_partition(&mut dev, buf, &cfg, style, block_dim).map_err(|e| e.to_string())?;
+    let parted = gpu_partition(dev, buf, &cfg, style, block_dim).map_err(|e| e.to_string())?;
 
     if *parted.starts.last().unwrap() != rel.len() {
         return Err("directory total mismatch".into());
     }
     // Multiset preserved.
     let mut got: Vec<Tuple> = dev
-        .memory
         .host_slice(parted.buf)
         .iter()
         .map(|&w| unpack(w))
@@ -63,7 +72,7 @@ fn check(keys: &[u32], bits: u32, style: PartitionStyle, block_dim: usize) -> Re
     // Placement agrees with final_pid.
     for pid in 0..parted.partitions() {
         for i in parted.range(pid) {
-            let t = unpack(dev.memory.host_read(parted.buf, i));
+            let t = unpack(dev.host_read(parted.buf, i));
             if final_pid(&cfg, t.key) != pid {
                 return Err(format!("tuple {t:?} misplaced in {pid}"));
             }
@@ -78,8 +87,10 @@ fn count_scatter_partitions_exactly() {
     for case in 0..32 {
         let keys = rng.keys(600, u64::from(u32::MAX) + 1);
         let bits = 2 + rng.below(6) as u32;
-        check(&keys, bits, PartitionStyle::CountScatter, 64)
-            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        for kind in [GpuBackendKind::Sim, GpuBackendKind::Host] {
+            check(&keys, bits, PartitionStyle::CountScatter, 64, kind)
+                .unwrap_or_else(|e| panic!("case {case} on {kind}: {e}"));
+        }
     }
 }
 
@@ -90,13 +101,16 @@ fn linked_buckets_partitions_exactly() {
         let keys = rng.keys(600, 64); // collision-heavy
         let bits = 2 + rng.below(6) as u32;
         let bucket_capacity = 1 + rng.below(99);
-        check(
-            &keys,
-            bits,
-            PartitionStyle::LinkedBuckets { bucket_capacity },
-            32,
-        )
-        .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        for kind in [GpuBackendKind::Sim, GpuBackendKind::Host] {
+            check(
+                &keys,
+                bits,
+                PartitionStyle::LinkedBuckets { bucket_capacity },
+                32,
+                kind,
+            )
+            .unwrap_or_else(|e| panic!("case {case} on {kind}: {e}"));
+        }
     }
 }
 
@@ -112,14 +126,25 @@ fn styles_produce_identical_directories() {
         let rel = Relation::from_keys(&keys);
         let cfg = RadixConfig::two_pass(bits);
 
-        let mut dev_a = Device::new(DeviceSpec::tiny(1 << 24));
-        let buf_a = upload_relation(&mut dev_a, &rel).unwrap();
-        let a = gpu_partition(&mut dev_a, buf_a, &cfg, PartitionStyle::CountScatter, 64).unwrap();
+        let mut dev_a = GpuBackendKind::Sim
+            .create(&DeviceSpec::tiny(1 << 24))
+            .unwrap();
+        let buf_a = upload_relation(dev_a.as_mut(), &rel, "table R").unwrap();
+        let a = gpu_partition(
+            dev_a.as_mut(),
+            buf_a,
+            &cfg,
+            PartitionStyle::CountScatter,
+            64,
+        )
+        .unwrap();
 
-        let mut dev_b = Device::new(DeviceSpec::tiny(1 << 24));
-        let buf_b = upload_relation(&mut dev_b, &rel).unwrap();
+        let mut dev_b = GpuBackendKind::Sim
+            .create(&DeviceSpec::tiny(1 << 24))
+            .unwrap();
+        let buf_b = upload_relation(dev_b.as_mut(), &rel, "table R").unwrap();
         let b = gpu_partition(
-            &mut dev_b,
+            dev_b.as_mut(),
             buf_b,
             &cfg,
             PartitionStyle::LinkedBuckets {

@@ -251,6 +251,9 @@ fn draw_config(rng: &mut Rng, case_size: usize) -> FuzzConfig {
     cfg.gpu_top_k = [1, 3, 3, 8][rng.below(4)];
     cfg.gpu_bucket_capacity = [1, 16, 512, 512][rng.below(4)];
     cfg.tiny_device = case_size <= 16_384 && rng.below(8) == 0;
+    // A quarter of the GPU cases execute on the host backend, so every
+    // oracle identity doubles as a sim/host differential check.
+    cfg.gpu_backend_host = rng.below(4) == 0;
 
     // Occasionally break exactly one knob in a way `validate()` must
     // reject; completing the join anyway means an entry point skipped

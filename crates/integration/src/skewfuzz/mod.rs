@@ -43,7 +43,7 @@ use skewjoin::common::json::Json;
 use skewjoin::common::{Relation, Tuple};
 use skewjoin::cpu::{CpuJoinConfig, ScatterMode, SchedulerKind, SimdPolicy};
 use skewjoin::datagen::Rng;
-use skewjoin::gpu::GpuJoinConfig;
+use skewjoin::gpu::{GpuBackendKind, GpuJoinConfig};
 use skewjoin::gpu_sim::DeviceSpec;
 use skewjoin::Algorithm;
 
@@ -159,6 +159,10 @@ pub struct FuzzConfig {
     pub gpu_bucket_capacity: usize,
     /// Run on the 4 KB-shared-memory tiny device instead of the A100.
     pub tiny_device: bool,
+    /// Execute the GPU joins on the host backend instead of the simulator
+    /// — the fuzzer's arm of the backend-parity oracle: every differential
+    /// and metamorphic identity must hold regardless of which backend ran.
+    pub gpu_backend_host: bool,
     /// The generator deliberately broke one knob; the run must fail with a
     /// typed `InvalidConfig`, and completing successfully is a violation
     /// (it means a join entry point skipped validation).
@@ -190,6 +194,7 @@ impl Default for FuzzConfig {
             gpu_top_k: gpu.skew.top_k,
             gpu_bucket_capacity: gpu.bucket_capacity,
             tiny_device: false,
+            gpu_backend_host: false,
             expect_invalid: false,
         }
     }
@@ -247,6 +252,9 @@ impl FuzzConfig {
         if self.tiny_device {
             cfg.spec = DeviceSpec::tiny(1 << 22);
         }
+        if self.gpu_backend_host {
+            cfg.backend = GpuBackendKind::Host;
+        }
         cfg.skew.sample_rate = self.gpu_sample_rate;
         cfg.skew.top_k = self.gpu_top_k;
         cfg.skew.seed = self.detect_seed;
@@ -295,6 +303,7 @@ impl FuzzConfig {
                 Json::from_u64(self.gpu_bucket_capacity as u64),
             ),
             ("tiny_device", Json::Bool(self.tiny_device)),
+            ("gpu_backend_host", Json::Bool(self.gpu_backend_host)),
             ("expect_invalid", Json::Bool(self.expect_invalid)),
         ];
         if let Some(cap) = self.gpu_table_capacity {
@@ -371,6 +380,9 @@ impl FuzzConfig {
         }
         if let Some(v) = b("tiny_device") {
             cfg.tiny_device = v;
+        }
+        if let Some(v) = b("gpu_backend_host") {
+            cfg.gpu_backend_host = v;
         }
         if let Some(v) = b("expect_invalid") {
             cfg.expect_invalid = v;
@@ -726,6 +738,7 @@ mod tests {
                 morsel_tuples: 1024,
                 gpu_table_capacity: Some(256),
                 tiny_device: true,
+                gpu_backend_host: true,
                 expect_invalid: false,
                 ..FuzzConfig::default()
             },
@@ -753,6 +766,13 @@ mod tests {
         let cfg = FuzzConfig::default();
         cfg.to_cpu_config().validate().unwrap();
         cfg.to_gpu_config().validate().unwrap();
+        assert_eq!(cfg.to_gpu_config().backend, GpuBackendKind::Sim);
+        let host = FuzzConfig {
+            gpu_backend_host: true,
+            ..FuzzConfig::default()
+        };
+        assert_eq!(host.to_gpu_config().backend, GpuBackendKind::Host);
+        host.to_gpu_config().validate().unwrap();
     }
 
     #[test]

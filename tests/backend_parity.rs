@@ -1,0 +1,113 @@
+//! Backend-parity matrix: the sim and host GPU backends must produce
+//! identical join results.
+//!
+//! The host backend executes the same kernel code as the simulator but
+//! performs no cycle accounting, which makes it a differential oracle for
+//! the cost model's bookkeeping: any divergence means a kernel's *result*
+//! depends on something only one backend does (a charge call with a side
+//! effect, a block-order assumption, a shared-memory accounting bug).
+//!
+//! Every cell runs Gbase and GSH on both backends over a seed × size × zipf
+//! matrix and asserts per-key result counts (not just totals) agree with
+//! each other *and* with the trivially-correct `count_R(k) · count_S(k)`
+//! ground truth.
+
+use std::collections::BTreeMap;
+
+use skewjoin::common::Key;
+use skewjoin::datagen::{PaperWorkload, WorkloadSpec};
+use skewjoin::gpu::{gbase_join, gsh_join, GpuBackendKind, GpuJoinConfig};
+use skewjoin::GpuAlgorithm;
+use skewjoin_integration::{
+    first_divergence, gpu_config, merge_key_counts, reference_key_counts, CaseSpec, KeyCountSink,
+};
+
+struct ParityRun {
+    counts: BTreeMap<Key, u64>,
+    checksum: u64,
+    cycles: u64,
+}
+
+fn run_backend(
+    algo: GpuAlgorithm,
+    r: &skewjoin::common::Relation,
+    s: &skewjoin::common::Relation,
+    base: &GpuJoinConfig,
+    kind: GpuBackendKind,
+) -> ParityRun {
+    let cfg = GpuJoinConfig {
+        backend: kind,
+        ..base.clone()
+    };
+    let make = |_slot: usize| KeyCountSink::new();
+    let outcome = match algo {
+        GpuAlgorithm::Gbase => gbase_join(r, s, &cfg, make),
+        GpuAlgorithm::Gsh => gsh_join(r, s, &cfg, make),
+    }
+    .unwrap_or_else(|e| panic!("{} on {kind} failed: {e}", algo.name()));
+    ParityRun {
+        counts: merge_key_counts(&outcome.sinks),
+        checksum: outcome.stats.checksum,
+        cycles: outcome.stats.simulated_cycles,
+    }
+}
+
+#[test]
+fn sim_and_host_backends_agree_across_the_matrix() {
+    for &seed in &[11u64, 23] {
+        for &size in &[512usize, 4096] {
+            for &zipf in &[0.0f64, 1.0, 1.75] {
+                let w = PaperWorkload::generate(WorkloadSpec::paper(size, zipf, seed));
+                let spec = CaseSpec {
+                    seed,
+                    size,
+                    zipf,
+                    threads: 2,
+                };
+                // The diffcheck-scaled config: shrunken shared-memory table
+                // so the GSH skew machinery runs at this scale.
+                let base = gpu_config(spec);
+                let expected = reference_key_counts(&w.r, &w.s);
+                for algo in GpuAlgorithm::ALL {
+                    let cell = format!("{} seed={seed} size={size} zipf={zipf}", algo.name());
+                    let sim = run_backend(algo, &w.r, &w.s, &base, GpuBackendKind::Sim);
+                    let host = run_backend(algo, &w.r, &w.s, &base, GpuBackendKind::Host);
+                    if let Some(m) = first_divergence(&sim.counts, &host.counts) {
+                        panic!("{cell}: sim/host diverge at key {}: {m:?}", m.key);
+                    }
+                    if let Some(m) = first_divergence(&expected, &host.counts) {
+                        panic!("{cell}: host diverges from ground truth: {m:?}");
+                    }
+                    assert_eq!(sim.checksum, host.checksum, "{cell}: checksum");
+                    // Only the simulator models time; host execution must
+                    // report no cycles rather than a fabricated number.
+                    assert!(
+                        sim.cycles > 0 || size == 0,
+                        "{cell}: sim reported no cycles"
+                    );
+                    assert_eq!(host.cycles, 0, "{cell}: host backend charged cycles");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn host_backend_handles_degenerate_inputs() {
+    let empty = skewjoin::common::Relation::from_keys(&[]);
+    let one = skewjoin::common::Relation::from_keys(&[42]);
+    let base = GpuJoinConfig::default();
+    for algo in GpuAlgorithm::ALL {
+        for (r, s) in [
+            (&empty, &empty),
+            (&empty, &one),
+            (&one, &empty),
+            (&one, &one),
+        ] {
+            let sim = run_backend(algo, r, s, &base, GpuBackendKind::Sim);
+            let host = run_backend(algo, r, s, &base, GpuBackendKind::Host);
+            assert_eq!(sim.counts, host.counts, "{}", algo.name());
+            assert_eq!(sim.checksum, host.checksum, "{}", algo.name());
+        }
+    }
+}
