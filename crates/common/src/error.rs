@@ -27,6 +27,11 @@ pub enum JoinError {
     PartitionOverflow(String),
     /// The requested backend failed and no fallback could complete the join.
     BackendUnavailable(String),
+    /// An out-of-core (grace-hash) spill failed: a scratch-file write/read/
+    /// manifest operation errored or a reloaded run failed its checksum.
+    /// Retryable — the spill driver removes its scratch state on every exit
+    /// path, so a retry starts clean.
+    SpillFailed(String),
     /// The join was cancelled (explicitly or by a deadline) at a phase
     /// boundary; `phase` names the phase that was about to start.
     Cancelled {
@@ -49,6 +54,7 @@ impl fmt::Display for JoinError {
             }
             JoinError::PartitionOverflow(msg) => write!(f, "partition overflow: {msg}"),
             JoinError::BackendUnavailable(msg) => write!(f, "backend unavailable: {msg}"),
+            JoinError::SpillFailed(msg) => write!(f, "spill failed: {msg}"),
             JoinError::Cancelled { phase } => {
                 write!(f, "cancelled before the {phase} phase")
             }
@@ -85,6 +91,9 @@ mod tests {
             phase: "partition".into(),
         };
         assert_eq!(e.to_string(), "cancelled before the partition phase");
+        let e = JoinError::SpillFailed("write r_3.run: disk full".into());
+        assert!(e.to_string().contains("spill failed"));
+        assert!(e.to_string().contains("r_3.run"));
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod histogram;
 pub mod json;
 pub mod metrics;
 pub mod report;
+pub mod scratch;
 pub mod sink;
 pub mod stats;
 pub mod trace;

@@ -1,0 +1,186 @@
+//! Scratch-directory management for anything that touches disk.
+//!
+//! Spill files, CLI save files, and test fixtures all want the same three
+//! things: a configurable parent directory (`SKEWJOIN_SCRATCH_DIR`, falling
+//! back to the system temp dir), collision-free naming, and guaranteed
+//! removal — including when the owning thread panics. [`ScratchDir`] and
+//! [`ScratchFile`] are RAII guards providing exactly that; the soak
+//! harness's leak check asserts that nothing escapes them.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Environment variable naming the parent directory for scratch state.
+pub const SCRATCH_DIR_ENV: &str = "SKEWJOIN_SCRATCH_DIR";
+
+/// The configured scratch parent: `$SKEWJOIN_SCRATCH_DIR` if set (and
+/// non-empty), the system temp directory otherwise. The directory is not
+/// created here; guards create their own subtrees beneath it.
+pub fn default_scratch_dir() -> PathBuf {
+    match std::env::var(SCRATCH_DIR_ENV) {
+        Ok(dir) if !dir.trim().is_empty() => PathBuf::from(dir),
+        _ => std::env::temp_dir(),
+    }
+}
+
+/// Process-wide counter making concurrent guard names distinct.
+static NEXT_SCRATCH_ID: AtomicU64 = AtomicU64::new(0);
+
+fn unique_name(prefix: &str, seed: u64) -> String {
+    let id = NEXT_SCRATCH_ID.fetch_add(1, Ordering::Relaxed);
+    format!("{prefix}-{}-{seed:x}-{id}", std::process::id())
+}
+
+/// A uniquely named directory removed (recursively) on drop.
+///
+/// Removal runs on every exit path, panics included: the guard's `Drop`
+/// does a best-effort `remove_dir_all` and retries once, so a transient
+/// unlink failure (or an injected `spill.remove` fault handled by the
+/// caller) still converges to zero leaked files.
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    /// Creates `parent/<prefix>-<pid>-<seed>-<n>` (parent defaults to
+    /// [`default_scratch_dir`]), including any missing ancestors.
+    pub fn create(parent: Option<&Path>, prefix: &str, seed: u64) -> std::io::Result<ScratchDir> {
+        let parent = parent
+            .map(Path::to_path_buf)
+            .unwrap_or_else(default_scratch_dir);
+        let path = parent.join(unique_name(prefix, seed));
+        std::fs::create_dir_all(&path)?;
+        Ok(ScratchDir { path })
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path for `name` inside the directory.
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+
+    /// Explicitly removes the directory now, reporting the error the `Drop`
+    /// fallback would swallow. Idempotent: drop after success is a no-op.
+    pub fn remove_now(&self) -> std::io::Result<()> {
+        match std::fs::remove_dir_all(&self.path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        if std::fs::remove_dir_all(&self.path).is_err() {
+            // One retry: directories on busy filesystems occasionally fail
+            // a first removal while a reader closes.
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+/// A single scratch file removed on drop (panic path included).
+#[derive(Debug)]
+pub struct ScratchFile {
+    path: PathBuf,
+}
+
+impl ScratchFile {
+    /// Reserves a uniquely named path `parent/<prefix>-<pid>-<seed>-<n>`
+    /// (parent defaults to [`default_scratch_dir`], created if missing).
+    /// The file itself is created by whoever writes it.
+    pub fn reserve(parent: Option<&Path>, prefix: &str, seed: u64) -> std::io::Result<ScratchFile> {
+        let parent = parent
+            .map(Path::to_path_buf)
+            .unwrap_or_else(default_scratch_dir);
+        std::fs::create_dir_all(&parent)?;
+        Ok(ScratchFile {
+            path: parent.join(unique_name(prefix, seed)),
+        })
+    }
+
+    /// Wraps an existing path so it is removed on drop.
+    pub fn adopt(path: PathBuf) -> ScratchFile {
+        ScratchFile { path }
+    }
+
+    /// The file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for ScratchFile {
+    fn drop(&mut self) {
+        if std::fs::remove_file(&self.path).is_err() {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_dir_is_removed_on_drop() {
+        let path = {
+            let dir = ScratchDir::create(None, "skewjoin-scratch-test", 1).unwrap();
+            std::fs::write(dir.file("a.bin"), b"x").unwrap();
+            assert!(dir.path().is_dir());
+            dir.path().to_path_buf()
+        };
+        assert!(!path.exists(), "guard must remove its tree");
+    }
+
+    #[test]
+    fn scratch_dir_is_removed_on_panic() {
+        let probe = std::sync::Arc::new(std::sync::Mutex::new(PathBuf::new()));
+        let probe2 = std::sync::Arc::clone(&probe);
+        let result = std::panic::catch_unwind(move || {
+            let dir = ScratchDir::create(None, "skewjoin-scratch-panic", 2).unwrap();
+            *probe2.lock().unwrap() = dir.path().to_path_buf();
+            std::fs::write(dir.file("b.bin"), b"y").unwrap();
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        let path = probe.lock().unwrap().clone();
+        assert!(!path.exists(), "panic path must still remove the tree");
+    }
+
+    #[test]
+    fn remove_now_is_idempotent() {
+        let dir = ScratchDir::create(None, "skewjoin-scratch-now", 3).unwrap();
+        let path = dir.path().to_path_buf();
+        dir.remove_now().unwrap();
+        assert!(!path.exists());
+        dir.remove_now().unwrap(); // NotFound is success
+    }
+
+    #[test]
+    fn scratch_file_removed_on_drop() {
+        let path = {
+            let f = ScratchFile::reserve(None, "skewjoin-scratch-file", 4).unwrap();
+            std::fs::write(f.path(), b"z").unwrap();
+            f.path().to_path_buf()
+        };
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn names_are_unique_and_env_override_applies() {
+        let a = unique_name("p", 7);
+        let b = unique_name("p", 7);
+        assert_ne!(a, b);
+        // Without the env var the default is the system temp dir.
+        if std::env::var(SCRATCH_DIR_ENV).is_err() {
+            assert_eq!(default_scratch_dir(), std::env::temp_dir());
+        }
+    }
+}

@@ -62,6 +62,15 @@ pub mod counter {
     pub const ATOMIC_CYCLES: &str = "atomic_cycles";
     /// 128-byte global-memory transactions issued.
     pub const MEM_TRANSACTIONS: &str = "mem_transactions";
+    /// Bytes written to spill (scratch) files by an out-of-core join.
+    pub const SPILL_BYTES_WRITTEN: &str = "spill_bytes_written";
+    /// Bytes read back from spill files.
+    pub const SPILL_BYTES_READ: &str = "spill_bytes_read";
+    /// Partitions spilled to disk (across all recursion levels).
+    pub const SPILL_PARTITIONS: &str = "spill_partitions";
+    /// Deepest recursive re-partitioning level an out-of-core join reached
+    /// (0 = every level-0 partition pair fit the reload budget).
+    pub const SPILL_RECURSION_DEPTH: &str = "spill_recursion_depth";
 }
 
 /// A skewed key reported by a detector, with the frequency evidence that

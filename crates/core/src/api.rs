@@ -10,7 +10,7 @@
 
 use skewjoin_common::hash::RadixConfig;
 use skewjoin_common::{JoinError, JoinStats, Relation, SinkSpec};
-use skewjoin_cpu::{cbase_join, csh_join, npj_join, CpuJoinConfig};
+use skewjoin_cpu::{cbase_join, csh_join, grace_join, npj_join, CpuJoinConfig};
 use skewjoin_gpu::{gbase_join, gsh_join, GpuJoinConfig};
 
 pub use skewjoin_common::{CountSinkFactory, SinkFactory, VolcanoSinkFactory};
@@ -193,6 +193,16 @@ pub fn run_join_with<F: SinkFactory>(
     factory: F,
 ) -> Result<JoinStats, JoinError> {
     let make = |worker: usize| factory.make_sink(worker);
+    // A configured spill routes every CPU algorithm through the out-of-core
+    // grace-hash driver: the in-memory algorithms assume the whole input is
+    // resident, which is exactly what a spill configuration says is not
+    // affordable. GPU algorithms keep their own ladder; their CPU fallback
+    // re-enters this path and picks up the spill.
+    if cfg.cpu.spill.is_some() {
+        if let Algorithm::Cpu(_) = algorithm {
+            return Ok(grace_join(r, s, &cfg.cpu, make)?.stats);
+        }
+    }
     Ok(match algorithm {
         Algorithm::Cpu(CpuAlgorithm::Cbase) => cbase_join(r, s, &cfg.cpu, make)?.stats,
         Algorithm::Cpu(CpuAlgorithm::CbaseNpj) => npj_join(r, s, &cfg.cpu, make)?.stats,
@@ -336,6 +346,43 @@ mod tests {
             let gpu = run_join(algo.into(), &w.r, &w.s, &cfg, SinkSpec::Count).unwrap();
             assert_eq!(gpu.result_count, cpu.result_count, "{algo}");
             assert_eq!(gpu.checksum, cpu.checksum, "{algo}");
+        }
+    }
+
+    #[test]
+    fn spill_config_routes_cpu_joins_through_grace_and_matches() {
+        let w = PaperWorkload::generate(WorkloadSpec::paper(4096, 0.9, 41));
+        let in_memory_cfg = JoinConfig::from(CpuJoinConfig::with_threads(2));
+        let expected = run_join(
+            Algorithm::Cpu(CpuAlgorithm::Cbase),
+            &w.r,
+            &w.s,
+            &in_memory_cfg,
+            SinkSpec::Count,
+        )
+        .unwrap();
+
+        let mut spill_cfg = in_memory_cfg.clone();
+        // A budget far below the input footprint: the join must spill.
+        spill_cfg.cpu.spill = Some(skewjoin_cpu::SpillConfig::with_budget(
+            skewjoin_cpu::MIN_SPILL_BUDGET,
+        ));
+        for algo in CpuAlgorithm::ALL {
+            let stats = run_join(algo.into(), &w.r, &w.s, &spill_cfg, SinkSpec::Count).unwrap();
+            assert_eq!(stats.result_count, expected.result_count, "{algo}");
+            assert_eq!(stats.checksum, expected.checksum, "{algo}");
+            assert_eq!(stats.algorithm, "Grace(cbase-npj)", "{algo}");
+            assert!(
+                stats
+                    .trace
+                    .get(
+                        "spill",
+                        skewjoin_common::trace::counter::SPILL_BYTES_WRITTEN
+                    )
+                    .unwrap_or(0)
+                    > 0,
+                "{algo}: no bytes spilled"
+            );
         }
     }
 

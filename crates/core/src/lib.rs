@@ -47,8 +47,8 @@ pub use api::{
     SinkFactory, VolcanoSinkFactory,
 };
 pub use planner::{
-    estimate_join_memory, validate_config, CostEstimate, JoinPlan, PlanCache, PlanCacheKey,
-    PlannerOptions, TargetDevice,
+    estimate_join_memory, estimate_spill_cost, validate_config, CostEstimate, JoinPlan, PlanCache,
+    PlanCacheKey, PlannerOptions, SpillEstimate, TargetDevice,
 };
 
 // Re-export the component crates under stable names.

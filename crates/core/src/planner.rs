@@ -258,6 +258,43 @@ pub fn estimate_join_memory(
     }
 }
 
+/// The footprint of running a join through the out-of-core grace-hash rung
+/// instead of fully in memory: a bounded host working set plus scratch disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillEstimate {
+    /// Peak host bytes while spilling: the scatter buffers during the
+    /// partition phase and the largest affordable reloaded pair afterward,
+    /// both bounded by the spill `mem_budget`.
+    pub host_bytes: u64,
+    /// Peak scratch-disk bytes: the level-0 copy of both relations plus one
+    /// concurrently-live recursion level (a sub-partitioning re-spills a
+    /// partition's tuples before the parent files are removed).
+    pub disk_bytes: u64,
+}
+
+impl SpillEstimate {
+    /// Whether the spill fits the given disk budget (the host side is
+    /// bounded by the spill config's own `mem_budget`, checked separately).
+    pub fn fits_disk(&self, disk_budget: u64) -> bool {
+        self.disk_bytes <= disk_budget
+    }
+}
+
+/// Estimates the cost of completing `r_tuples ⋈ s_tuples` through the
+/// grace-hash spill under an in-memory working-set budget of `mem_budget`
+/// bytes. Conservative in the same direction as [`estimate_join_memory`]:
+/// the disk bound covers the worst case of a whole extra resident recursion
+/// level, so a reservation that fits never runs out of scratch space
+/// mid-join.
+pub fn estimate_spill_cost(r_tuples: usize, s_tuples: usize, mem_budget: u64) -> SpillEstimate {
+    let tuple = std::mem::size_of::<Tuple>() as u64;
+    let level0 = (r_tuples as u64 + s_tuples as u64) * tuple;
+    SpillEstimate {
+        host_bytes: mem_budget.max(skewjoin_cpu::MIN_SPILL_BUDGET),
+        disk_bytes: 2 * level0,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Plan cache
 // ---------------------------------------------------------------------------
@@ -553,6 +590,37 @@ mod tests {
         );
         assert!(npj.host_bytes > 0);
         assert_eq!(npj.device_bytes, 0);
+    }
+
+    #[test]
+    fn spill_estimates_bound_host_by_budget_and_disk_by_input() {
+        let est = estimate_spill_cost(1 << 20, 1 << 20, 32 << 20);
+        // Host stays at the configured working-set budget regardless of
+        // input size; disk covers both level-0 copies plus one recursion.
+        assert_eq!(est.host_bytes, 32 << 20);
+        assert_eq!(est.disk_bytes, 2 * 2 * (1u64 << 20) * 8);
+        assert!(est.fits_disk(est.disk_bytes));
+        assert!(!est.fits_disk(est.disk_bytes - 1));
+
+        // A budget below the spill floor is rounded up to it — the grace
+        // join cannot run with less.
+        let tiny = estimate_spill_cost(1024, 1024, 1);
+        assert_eq!(tiny.host_bytes, skewjoin_cpu::MIN_SPILL_BUDGET);
+    }
+
+    #[test]
+    fn spill_config_is_validated_through_the_combined_config() {
+        let mut cfg = JoinConfig::default();
+        cfg.cpu.spill = Some(skewjoin_cpu::SpillConfig {
+            partition_bits: 0,
+            ..skewjoin_cpu::SpillConfig::default()
+        });
+        match validate_config(&cfg) {
+            Err(JoinError::InvalidConfig(msg)) => {
+                assert!(msg.contains("partition_bits"), "{msg}")
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 
     #[test]

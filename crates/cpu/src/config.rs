@@ -116,6 +116,11 @@ pub struct CpuJoinConfig {
     /// The default is inert; the join service installs a live token per
     /// admitted request.
     pub cancel: CancelToken,
+    /// Out-of-core grace-hash spill parameters. `None` (the default) keeps
+    /// every join in memory; `Some` routes the CPU algorithms through
+    /// [`crate::spill::grace_join`], which partitions both relations to
+    /// disk and reloads pairs under the configured working budget.
+    pub spill: Option<crate::spill::SpillConfig>,
 }
 
 impl Default for CpuJoinConfig {
@@ -136,6 +141,7 @@ impl Default for CpuJoinConfig {
             simd: SimdPolicy::default(),
             morsel_tuples: DEFAULT_MORSEL_TUPLES,
             cancel: CancelToken::none(),
+            spill: None,
         }
     }
 }
@@ -242,6 +248,9 @@ impl CpuJoinConfig {
                     1.0 / min_fraction
                 )));
             }
+        }
+        if let Some(spill) = &self.spill {
+            spill.validate()?;
         }
         self.skew.validate()
     }

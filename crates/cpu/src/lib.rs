@@ -33,6 +33,7 @@ pub mod partition;
 pub mod reference;
 pub mod simd;
 pub mod skew;
+pub mod spill;
 pub mod task;
 pub mod util;
 
@@ -43,6 +44,7 @@ pub use npj::npj_join;
 pub use partition::{PartitionOptions, PartitionStats, ScatterMode};
 pub use reference::reference_join;
 pub use simd::{SimdLevel, SimdPolicy};
+pub use spill::{grace_join, SpillConfig, SpillError, MIN_SPILL_BUDGET};
 pub use task::{SchedStats, SchedulerKind};
 
 use skewjoin_common::{JoinStats, OutputSink};

@@ -10,6 +10,7 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+use skewjoin_common::scratch::ScratchFile;
 use skewjoin_common::{Relation, Tuple};
 
 /// Magic bytes identifying the binary relation format.
@@ -103,12 +104,38 @@ pub fn from_bytes(data: &[u8]) -> Result<Relation, IoError> {
     Ok(Relation::from_tuples(tuples))
 }
 
-/// Writes a relation to `path` in the binary format.
-pub fn write_binary(relation: &Relation, path: &Path) -> Result<(), IoError> {
-    let mut out = BufWriter::new(File::create(path)?);
-    out.write_all(&to_bytes(relation))?;
+/// Writes through a uniquely named sibling that is renamed over `path`
+/// only after a successful flush + sync. The sibling is an RAII scratch
+/// guard, so every failure path — an I/O error, a panic, even an abort
+/// between runs — leaves the old `path` intact and no partial file behind
+/// (the rename makes the guard's drop-time removal a no-op on success).
+fn write_atomic(
+    path: &Path,
+    write: impl FnOnce(&mut BufWriter<File>) -> Result<(), IoError>,
+) -> Result<(), IoError> {
+    // The sibling must live in the destination directory: a rename across
+    // filesystems (e.g. from a tmpfs scratch default) would not be atomic.
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let tmp = ScratchFile::reserve(Some(parent), ".skewjoin-io-tmp", 0)?;
+    let mut out = BufWriter::new(File::create(tmp.path())?);
+    write(&mut out)?;
     out.flush()?;
+    out.get_ref().sync_all()?;
+    drop(out);
+    std::fs::rename(tmp.path(), path)?;
     Ok(())
+}
+
+/// Writes a relation to `path` in the binary format. The write is atomic:
+/// a crash mid-write can never leave a truncated or corrupt file at `path`.
+pub fn write_binary(relation: &Relation, path: &Path) -> Result<(), IoError> {
+    write_atomic(path, |out| {
+        out.write_all(&to_bytes(relation))?;
+        Ok(())
+    })
 }
 
 /// Reads a relation from a binary file written by [`write_binary`].
@@ -119,14 +146,15 @@ pub fn read_binary(path: &Path) -> Result<Relation, IoError> {
 }
 
 /// Writes a relation as a two-column `key,payload` CSV with a header row.
+/// Atomic like [`write_binary`].
 pub fn write_csv(relation: &Relation, path: &Path) -> Result<(), IoError> {
-    let mut out = BufWriter::new(File::create(path)?);
-    writeln!(out, "key,payload")?;
-    for t in relation.iter() {
-        writeln!(out, "{},{}", t.key, t.payload)?;
-    }
-    out.flush()?;
-    Ok(())
+    write_atomic(path, |out| {
+        writeln!(out, "key,payload")?;
+        for t in relation.iter() {
+            writeln!(out, "{},{}", t.key, t.payload)?;
+        }
+        Ok(())
+    })
 }
 
 /// Reads a relation from a CSV file.
@@ -234,6 +262,33 @@ mod tests {
         let mut wrong_ver = to_bytes(&Relation::new()).to_vec();
         wrong_ver[4] = 99;
         assert!(matches!(from_bytes(&wrong_ver), Err(IoError::Format(_))));
+    }
+
+    #[test]
+    fn atomic_write_failure_preserves_the_target_and_leaks_nothing() {
+        let dir = std::env::temp_dir().join(format!(
+            "skewjoin-io-atomic-{}-{:p}",
+            std::process::id(),
+            &MAGIC
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("rel.bin");
+        write_binary(&sample_relation(), &target).unwrap();
+
+        // A writer that emits partial bytes and then fails: the target must
+        // keep its old contents and the sibling must be cleaned up.
+        let err = write_atomic(&target, |out| {
+            out.write_all(b"partial")?;
+            Err(IoError::Format("simulated failure".into()))
+        });
+        assert!(err.is_err());
+        assert_eq!(read_binary(&target).unwrap(), sample_relation());
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(entries.len(), 1, "leaked scratch sibling: {entries:?}");
     }
 
     #[test]

@@ -14,12 +14,21 @@
 //! * the final metrics reconcile exactly: `submitted = admitted + rejected`
 //!   and `admitted = completed + cancelled + failed`.
 //!
+//! With `--memory-budget`, the harness instead runs in **spill mode**: the
+//! given budget replaces the derived one, scratch goes under a per-seed
+//! directory (removed and leak-checked at teardown), and the contract
+//! additionally requires that the budget forced at least one join through
+//! the grace-hash spill rung (`service.spilled` ≥ 1) per seed.
+//! `--disk-budget` quotas the governor's scratch-disk pool.
+//!
 //! ```text
 //! soak [--requests n] [--seeds a,b,..] [--workers n] [--tuples n] [--timeout-secs s]
+//!      [--memory-budget bytes] [--disk-budget bytes] [--scratch-dir dir]
 //! ```
 //!
 //! Exits non-zero iff any seed violated the contract.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use skewjoin::datagen::{PaperWorkload, WorkloadSpec};
@@ -37,12 +46,18 @@ struct SoakArgs {
     workers: usize,
     tuples: usize,
     timeout: Duration,
+    /// `Some` switches the soak into spill mode: this budget replaces the
+    /// derived tight one, and every seed must spill at least once.
+    memory_budget: Option<u64>,
+    disk_budget: Option<u64>,
+    scratch_dir: Option<PathBuf>,
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("soak: {msg}");
     eprintln!(
-        "usage: soak [--requests n] [--seeds a,b,..] [--workers n] [--tuples n] [--timeout-secs s]"
+        "usage: soak [--requests n] [--seeds a,b,..] [--workers n] [--tuples n] [--timeout-secs s]\n\
+         \x20           [--memory-budget bytes] [--disk-budget bytes] [--scratch-dir dir]"
     );
     std::process::exit(2);
 }
@@ -54,6 +69,9 @@ fn parse_args() -> SoakArgs {
         workers: 4,
         tuples: 8192,
         timeout: Duration::from_secs(120),
+        memory_budget: None,
+        disk_budget: None,
+        scratch_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -94,6 +112,21 @@ fn parse_args() -> SoakArgs {
                         .unwrap_or_else(|_| die("bad --timeout-secs value")),
                 )
             }
+            "--memory-budget" => {
+                args.memory_budget = Some(
+                    value("--memory-budget")
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --memory-budget value")),
+                )
+            }
+            "--disk-budget" => {
+                args.disk_budget = Some(
+                    value("--disk-budget")
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --disk-budget value")),
+                )
+            }
+            "--scratch-dir" => args.scratch_dir = Some(PathBuf::from(value("--scratch-dir"))),
             "--help" | "-h" => die("service soak harness"),
             other => die(&format!("unknown argument {other:?}")),
         }
@@ -186,6 +219,7 @@ fn verify_completed(request: &JoinRequest, outcome: &Outcome) -> Result<(), Stri
 
 fn soak_one_seed(args: &SoakArgs, seed: u64) -> Vec<String> {
     let mut violations = Vec::new();
+    let spill_mode = args.memory_budget.is_some();
 
     let mut cfg = ServiceConfig {
         workers: args.workers,
@@ -194,7 +228,26 @@ fn soak_one_seed(args: &SoakArgs, seed: u64) -> Vec<String> {
         ..ServiceConfig::default()
     };
     cfg.join_config.cpu.threads = 2;
-    cfg.memory_budget = tight_budget(args.tuples, &cfg.join_config);
+    cfg.memory_budget = args
+        .memory_budget
+        .unwrap_or_else(|| tight_budget(args.tuples, &cfg.join_config));
+    if let Some(disk) = args.disk_budget {
+        cfg.disk_budget = disk;
+    }
+    // Every seed gets its own scratch directory so teardown can assert the
+    // service left nothing behind — the spill path's hygiene contract.
+    let scratch = args
+        .scratch_dir
+        .clone()
+        .unwrap_or_else(std::env::temp_dir)
+        .join(format!("skewjoin-soak-{seed}-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&scratch) {
+        return vec![format!(
+            "cannot create scratch dir {}: {e}",
+            scratch.display()
+        )];
+    }
+    cfg.scratch_dir = Some(scratch.clone());
     let budget = cfg.memory_budget;
     let service = JoinService::start(cfg);
 
@@ -272,7 +325,18 @@ fn soak_one_seed(args: &SoakArgs, seed: u64) -> Vec<String> {
 
     let m = service.metrics();
     let memory_waits = m.counter_value("service.memory_waits");
-    if memory_waits == 0 {
+    let spilled = m.counter_value("service.spilled");
+    if spill_mode {
+        // The whole point of spill mode: the budget must have pushed at
+        // least one join through the grace-hash rung.
+        if spilled == 0 {
+            violations.push(format!(
+                "budget {budget} B never forced a spill (service.spilled == 0)"
+            ));
+        }
+    } else if memory_waits == 0 {
+        // The derived tight budget's contract; a user-chosen budget makes
+        // no queuing promise.
         violations.push("budget never forced queuing (service.memory_waits == 0)".into());
     }
     if ladder_engagements == 0 {
@@ -280,6 +344,23 @@ fn soak_one_seed(args: &SoakArgs, seed: u64) -> Vec<String> {
     }
 
     service.shutdown();
+    // Teardown hygiene: after shutdown the scratch directory must be empty
+    // — any leftover entry is a leaked spill file.
+    match std::fs::read_dir(&scratch) {
+        Ok(entries) => {
+            let leaked: Vec<String> = entries
+                .filter_map(|e| Some(e.ok()?.file_name().to_string_lossy().into_owned()))
+                .collect();
+            std::fs::remove_dir_all(&scratch).ok();
+            if !leaked.is_empty() {
+                violations.push(format!("leaked scratch after shutdown: {leaked:?}"));
+            }
+        }
+        Err(e) => violations.push(format!(
+            "cannot audit scratch dir {}: {e}",
+            scratch.display()
+        )),
+    }
     let submitted = m.counter_value("service.submitted");
     let admitted = m.counter_value("service.admitted");
     let m_rejected = m.counter_value("service.rejected");
@@ -316,7 +397,8 @@ fn soak_one_seed(args: &SoakArgs, seed: u64) -> Vec<String> {
     println!(
         "  seed {seed}: {completed} completed ({ladder_engagements} via governor ladder, \
          {plan_cache_hits} plan-cache hits), {rejected} rejected, {cancelled} cancelled, \
-         {failed} failed; {memory_waits} memory waits; peak {peak}/{budget} B; wall {:?}",
+         {failed} failed; {memory_waits} memory waits; {spilled} spilled; \
+         peak {peak}/{budget} B; wall {:?}",
         started.elapsed()
     );
     violations
@@ -332,6 +414,14 @@ fn main() {
         args.tuples,
         args.timeout
     );
+    if let Some(budget) = args.memory_budget {
+        println!(
+            "soak: spill mode — memory budget {budget} B, disk budget {} B; \
+             every seed must spill at least once",
+            args.disk_budget
+                .unwrap_or_else(|| ServiceConfig::default().disk_budget)
+        );
+    }
 
     let mut violations = Vec::new();
     for &seed in &args.seeds {

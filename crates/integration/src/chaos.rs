@@ -26,17 +26,21 @@ use std::time::Duration;
 use skewjoin::common::faults::{self, Schedule};
 use skewjoin::common::sink::tuple_mix;
 use skewjoin::common::{JoinError, Key, Payload, Relation, SinkSpec};
+use skewjoin::cpu::{grace_join, SpillConfig, MIN_SPILL_BUDGET};
 use skewjoin::datagen::{PaperWorkload, WorkloadSpec};
-use skewjoin::{run_join, Algorithm, JoinConfig};
+use skewjoin::{run_join, Algorithm, CpuAlgorithm, GpuAlgorithm, JoinConfig};
 
 use crate::{
-    cpu_config, first_divergence, gpu_config, reference_key_counts, try_run_with_key_counts,
-    CaseSpec,
+    cpu_config, first_divergence, gpu_config, merge_key_counts, reference_key_counts,
+    try_run_with_key_counts, CaseSpec, KeyCountSink,
 };
 
 /// Every failpoint site the pipeline exposes, one per fault class the
-/// recovery machinery must absorb.
-pub const FAILPOINT_SITES: [&str; 9] = [
+/// recovery machinery must absorb. The `spill.*` sites run their cells
+/// through the out-of-core grace-hash path (CPU-only: GPU algorithms are
+/// mapped to their CPU counterpart, mirroring the service's spill rung)
+/// under a per-cell scratch directory that must be empty afterwards.
+pub const FAILPOINT_SITES: [&str; 13] = [
     "sched.task.run",
     "sched.steal",
     "cpu.partition.scatter",
@@ -46,6 +50,10 @@ pub const FAILPOINT_SITES: [&str; 9] = [
     "gpu.memory.alloc",
     "gpu.launch",
     "gpu.shared_alloc",
+    "spill.write",
+    "spill.read",
+    "spill.manifest",
+    "spill.remove",
 ];
 
 /// The deterministic schedule a matrix cell arms `site` with. Seed-dependent
@@ -75,6 +83,14 @@ pub fn schedule_for(site: &str, seed: u64) -> Schedule {
         // Per-block shared allocations fail persistently: the ladder must
         // walk all the way down to the CPU fallback.
         "gpu.shared_alloc" => Schedule::Probability(0.05),
+        // Disk faults: writes/reads run once per partition file, so a small
+        // probability lands mid-spill at varying positions; a manifest has
+        // only a handful of store/load points, so fire exactly once.
+        "spill.write" | "spill.read" => Schedule::Probability(0.05),
+        "spill.manifest" => Schedule::OnHit(1 + seed % 2),
+        // Unlink failures are absorbed (retried by the scratch guard), so
+        // firing persistently is the strongest leak test.
+        "spill.remove" => Schedule::Always,
         _ => Schedule::OnHit(1),
     }
 }
@@ -97,6 +113,9 @@ pub enum CellOutcome {
     /// A panic escaped the public API instead of being absorbed by a
     /// recovery boundary.
     EscapedPanic(String),
+    /// A spill cell left files behind in its scratch directory — temp-file
+    /// hygiene must survive injected disk faults.
+    LeakedScratch(String),
     /// The cell exceeded the watchdog deadline.
     Hang,
 }
@@ -106,7 +125,10 @@ impl CellOutcome {
     pub fn is_violation(&self) -> bool {
         matches!(
             self,
-            CellOutcome::WrongAnswer(_) | CellOutcome::EscapedPanic(_) | CellOutcome::Hang
+            CellOutcome::WrongAnswer(_)
+                | CellOutcome::EscapedPanic(_)
+                | CellOutcome::LeakedScratch(_)
+                | CellOutcome::Hang
         )
     }
 }
@@ -121,6 +143,7 @@ impl std::fmt::Display for CellOutcome {
             CellOutcome::TypedError(e) => write!(f, "typed error: {e}"),
             CellOutcome::WrongAnswer(e) => write!(f, "WRONG ANSWER: {e}"),
             CellOutcome::EscapedPanic(e) => write!(f, "ESCAPED PANIC: {e}"),
+            CellOutcome::LeakedScratch(e) => write!(f, "LEAKED SCRATCH: {e}"),
             CellOutcome::Hang => write!(f, "HANG (watchdog timeout)"),
         }
     }
@@ -258,6 +281,34 @@ fn cell_body(
     seed: u64,
     cfg: &MatrixConfig,
 ) -> CellOutcome {
+    // Spill faults only fire on the out-of-core path, which is CPU-only:
+    // route GPU cells through the CPU counterpart the service's spill rung
+    // would pick, and force the grace driver with a tight budget so every
+    // cell actually touches the disk surface under test.
+    let spill_cell = site.starts_with("spill.");
+    let algorithm = if spill_cell {
+        match algorithm {
+            Algorithm::Gpu(GpuAlgorithm::Gbase) => Algorithm::Cpu(CpuAlgorithm::Cbase),
+            Algorithm::Gpu(GpuAlgorithm::Gsh) => Algorithm::Cpu(CpuAlgorithm::Csh),
+            cpu => cpu,
+        }
+    } else {
+        algorithm
+    };
+    let scratch = spill_cell.then(|| {
+        let dir = std::env::temp_dir().join(format!(
+            "skewjoin-chaos-{}-{seed}-{}",
+            site.replace('.', "-"),
+            std::process::id()
+        ));
+        let _ = std::fs::create_dir_all(&dir);
+        dir
+    });
+    let spill_config = |scratch: &std::path::Path| SpillConfig {
+        scratch_dir: Some(scratch.to_path_buf()),
+        ..SpillConfig::with_budget(MIN_SPILL_BUDGET)
+    };
+
     let spec = CaseSpec {
         seed,
         size: cfg.size,
@@ -269,22 +320,37 @@ fn cell_body(
     let expected_total: u64 = expected.values().sum();
     let expected_checksum = reference_checksum(&w.r, &w.s);
 
-    // Run 1: the algorithm's direct entry point, per-key oracle.
+    // Run 1: the algorithm's direct entry point, per-key oracle. Spill
+    // cells call the grace driver directly — it *is* the entry point the
+    // spill rung routes to.
     faults::reset(seed);
     faults::arm(site, schedule_for(site, seed));
-    let direct = try_run_with_key_counts(algorithm, &w.r, &w.s, spec).map(|(counts, _)| {
-        first_divergence(&expected, &counts)
-            .map(|m| format!("key {}: expected {}, got {}", m.key, m.expected, m.actual))
-    });
+    let direct = if let Some(scratch) = &scratch {
+        let mut cpu = cpu_config(spec);
+        cpu.spill = Some(spill_config(scratch));
+        grace_join(&w.r, &w.s, &cpu, |_| KeyCountSink::new()).map(|out| {
+            let counts = merge_key_counts(&out.sinks);
+            first_divergence(&expected, &counts)
+                .map(|m| format!("key {}: expected {}, got {}", m.key, m.expected, m.actual))
+        })
+    } else {
+        try_run_with_key_counts(algorithm, &w.r, &w.s, spec).map(|(counts, _)| {
+            first_divergence(&expected, &counts)
+                .map(|m| format!("key {}: expected {}, got {}", m.key, m.expected, m.actual))
+        })
+    };
 
     // Run 2: the public API, where the degradation ladder may engage.
     // Re-arm so the schedule's hit counter restarts from zero.
     faults::reset(seed);
     faults::arm(site, schedule_for(site, seed));
-    let join_cfg = JoinConfig {
+    let mut join_cfg = JoinConfig {
         cpu: cpu_config(spec),
         gpu: gpu_config(spec),
     };
+    if let Some(scratch) = &scratch {
+        join_cfg.cpu.spill = Some(spill_config(scratch));
+    }
     let api = run_join(algorithm, &w.r, &w.s, &join_cfg, SinkSpec::Count).map(|stats| {
         let diff = if stats.result_count != expected_total {
             Some(format!(
@@ -303,7 +369,30 @@ fn cell_body(
     });
 
     faults::reset(0);
-    classify(direct, api)
+    let outcome = classify(direct, api);
+
+    // Spill cells must leave their scratch directory empty no matter how
+    // the runs ended — leak detection outranks every non-violation outcome.
+    if let Some(scratch) = &scratch {
+        let leaked: Vec<String> = std::fs::read_dir(scratch)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| Some(e.ok()?.file_name().to_string_lossy().into_owned()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let _ = std::fs::remove_dir_all(scratch);
+        if !leaked.is_empty() && !outcome.is_violation() {
+            return CellOutcome::LeakedScratch(format!(
+                "{} entr{} left in {}: {} (outcome was: {outcome})",
+                leaked.len(),
+                if leaked.len() == 1 { "y" } else { "ies" },
+                scratch.display(),
+                leaked.join(", ")
+            ));
+        }
+    }
+    outcome
 }
 
 /// Runs one cell under a watchdog: arms `site`, runs `algorithm` through
@@ -417,5 +506,26 @@ mod tests {
         };
         let outcome = run_cell(Algorithm::ALL[0], FAILPOINT_SITES[0], 5, &cfg);
         assert_eq!(outcome, CellOutcome::Correct { degradations: 0 });
+    }
+
+    /// Spill cells route through the grace driver (GPU algorithms mapped
+    /// to their CPU counterpart) and must come back correct with an empty
+    /// scratch directory even without fault injection.
+    #[cfg(not(feature = "fault-injection"))]
+    #[test]
+    fn spill_cells_run_clean_and_leak_free_without_the_feature() {
+        let cfg = MatrixConfig {
+            seeds: vec![5],
+            size: 512,
+            ..MatrixConfig::default()
+        };
+        for algorithm in [Algorithm::ALL[0], Algorithm::ALL[3]] {
+            let outcome = run_cell(algorithm, "spill.write", 5, &cfg);
+            assert!(
+                matches!(outcome, CellOutcome::Correct { .. }),
+                "{} x spill.write: {outcome}",
+                algorithm.name()
+            );
+        }
     }
 }

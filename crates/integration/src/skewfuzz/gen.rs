@@ -254,13 +254,26 @@ fn draw_config(rng: &mut Rng, case_size: usize) -> FuzzConfig {
     // A quarter of the GPU cases execute on the host backend, so every
     // oracle identity doubles as a sim/host differential check.
     cfg.gpu_backend_host = rng.below(4) == 0;
+    // Roughly one case in six runs the CPU joins out of core: budgets
+    // tight relative to the input force recursive re-partitioning and,
+    // at the floor, NM decomposition — all under the same oracles. Large
+    // inputs stay in memory; spilling them is covered by soak, and here
+    // it would only burn the watchdog budget on file I/O.
+    cfg.spill_budget = match rng.below(6) {
+        0 if case_size <= 200_000 => Some(if rng.below(2) == 0 {
+            skewjoin::cpu::MIN_SPILL_BUDGET
+        } else {
+            1 << 20
+        }),
+        _ => None,
+    };
 
     // Occasionally break exactly one knob in a way `validate()` must
     // reject; completing the join anyway means an entry point skipped
     // validation.
     if rng.below(16) == 0 {
         cfg.expect_invalid = true;
-        match rng.below(11) {
+        match rng.below(12) {
             0 => cfg.wc_tuples = 7,
             1 => cfg.max_bucket_bits = 0,
             2 => cfg.max_bucket_bits = 29,
@@ -273,6 +286,9 @@ fn draw_config(rng: &mut Rng, case_size: usize) -> FuzzConfig {
             // 2²⁰-tuple table cannot fit any block's shared memory.
             8 => cfg.gpu_table_capacity = Some(0),
             9 => cfg.gpu_table_capacity = Some(1 << 20),
+            // Below the spill floor: the grace driver cannot hold even
+            // one partition's hash table in its working set.
+            10 => cfg.spill_budget = Some(1024),
             _ => cfg.morsel_tuples = 0,
         }
         // The broken GPU knobs only fail GPU algorithms and vice versa;

@@ -41,7 +41,7 @@ use std::time::Duration;
 use skewjoin::common::hash::{RadixConfig, RadixMode};
 use skewjoin::common::json::Json;
 use skewjoin::common::{Relation, Tuple};
-use skewjoin::cpu::{CpuJoinConfig, ScatterMode, SchedulerKind, SimdPolicy};
+use skewjoin::cpu::{CpuJoinConfig, ScatterMode, SchedulerKind, SimdPolicy, SpillConfig};
 use skewjoin::datagen::Rng;
 use skewjoin::gpu::{GpuBackendKind, GpuJoinConfig};
 use skewjoin::gpu_sim::DeviceSpec;
@@ -157,6 +157,11 @@ pub struct FuzzConfig {
     pub gpu_top_k: usize,
     /// Gbase linked-bucket size.
     pub gpu_bucket_capacity: usize,
+    /// In-memory working-set budget (bytes) forcing the CPU joins through
+    /// the out-of-core grace-hash spill; `None` keeps them in memory.
+    /// Budgets tight relative to the input exercise recursive
+    /// re-partitioning and the NM decomposition floor.
+    pub spill_budget: Option<u64>,
     /// Run on the 4 KB-shared-memory tiny device instead of the A100.
     pub tiny_device: bool,
     /// Execute the GPU joins on the host backend instead of the simulator
@@ -193,6 +198,7 @@ impl Default for FuzzConfig {
             gpu_sample_rate: gpu.skew.sample_rate,
             gpu_top_k: gpu.skew.top_k,
             gpu_bucket_capacity: gpu.bucket_capacity,
+            spill_budget: None,
             tiny_device: false,
             gpu_backend_host: false,
             expect_invalid: false,
@@ -238,6 +244,7 @@ impl FuzzConfig {
         cfg.skew.sample_rate = self.sample_rate;
         cfg.skew.min_sample_freq = self.min_sample_freq;
         cfg.skew.seed = self.detect_seed;
+        cfg.spill = self.spill_budget.map(SpillConfig::with_budget);
         cfg
     }
 
@@ -309,6 +316,9 @@ impl FuzzConfig {
         if let Some(cap) = self.gpu_table_capacity {
             fields.push(("gpu_table_capacity", Json::from_u64(cap as u64)));
         }
+        if let Some(budget) = self.spill_budget {
+            fields.push(("spill_budget", Json::from_u64(budget)));
+        }
         Json::obj(fields)
     }
 
@@ -366,6 +376,8 @@ impl FuzzConfig {
             cfg.detect_seed = v;
         }
         cfg.gpu_table_capacity = u("gpu_table_capacity").map(|v| v as usize);
+        // Absent in pre-spill corpus entries: stays disabled.
+        cfg.spill_budget = u("spill_budget");
         if let Some(v) = u("gpu_block_dim") {
             cfg.gpu_block_dim = v as usize;
         }

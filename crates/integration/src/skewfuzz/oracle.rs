@@ -62,10 +62,17 @@ pub fn run_algorithm(
         Algorithm::Cpu(algo) => {
             let mut cpu = cfg.to_cpu_config();
             cpu.cancel = cancel.clone();
-            let out = match algo {
-                CpuAlgorithm::Cbase => cbase_join(r, s, &cpu, make),
-                CpuAlgorithm::CbaseNpj => npj_join(r, s, &cpu, make),
-                CpuAlgorithm::Csh => csh_join(r, s, &cpu, make),
+            // A spill budget reroutes every CPU join through the
+            // out-of-core grace driver — the same routing `run_join_with`
+            // applies — so the knob puts the disk path under every oracle.
+            let out = if cpu.spill.is_some() {
+                skewjoin::cpu::grace_join(r, s, &cpu, make)
+            } else {
+                match algo {
+                    CpuAlgorithm::Cbase => cbase_join(r, s, &cpu, make),
+                    CpuAlgorithm::CbaseNpj => npj_join(r, s, &cpu, make),
+                    CpuAlgorithm::Csh => csh_join(r, s, &cpu, make),
+                }
             }?;
             (out.stats, out.sinks)
         }

@@ -144,6 +144,7 @@ pub fn shrink_join(case: &JoinCase, timeout: Duration, mut budget: usize) -> Joi
         try_default!(gpu_bucket_capacity);
         try_default!(tiny_device);
         try_default!(gpu_backend_host);
+        try_default!(spill_budget);
     }
     best
 }

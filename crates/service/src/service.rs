@@ -24,11 +24,17 @@
 //! metadata and write-combining footprints; (2) for GPU algorithms, the
 //! simulated device memory is clamped to the budget so the executor's own
 //! ladder (`GpuResourceExhausted` → finer fan-out → CPU fallback) engages
-//! organically; (3) a request that cannot fit even fully degraded is
+//! organically; (3) a join that cannot fit in memory even fully degraded
+//! runs out-of-core through the grace-hash spill (`spill:<bits>` rung): the
+//! working set is capped at a fraction of the budget and the relations
+//! stream through scratch disk reserved from the governor's disk pool;
+//! (4) only a request whose *spill* is also infeasible (scratch footprint
+//! over the disk budget, or a memory budget below the spill floor) is
 //! rejected *at admission*, before it occupies queue space. Every rung
 //! taken is reported in the response's `degradations`.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -38,7 +44,10 @@ use skewjoin::common::hash::RadixConfig;
 use skewjoin::common::json::Json;
 use skewjoin::common::metrics::{default_latency_bounds_micros, MetricsRegistry};
 use skewjoin::common::{faults, CancelToken, JoinError, Relation, SinkSpec};
-use skewjoin::planner::{estimate_join_memory, PlanCache, PlannerOptions, TargetDevice};
+use skewjoin::cpu::{SpillConfig, MIN_SPILL_BUDGET};
+use skewjoin::planner::{
+    estimate_join_memory, estimate_spill_cost, PlanCache, PlannerOptions, TargetDevice,
+};
 use skewjoin::{run_join, Algorithm, CpuAlgorithm, GpuAlgorithm, JoinConfig};
 use skewjoin_datagen::{PaperWorkload, WorkloadSpec};
 
@@ -68,6 +77,13 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Global memory budget in bytes the governor reserves against.
     pub memory_budget: u64,
+    /// Scratch-disk budget in bytes for spilled joins. `0` disables the
+    /// spill rung entirely: over-budget joins are rejected at admission as
+    /// before.
+    pub disk_budget: u64,
+    /// Directory spilled joins create their scratch directories under.
+    /// `None` uses `SKEWJOIN_SCRATCH_DIR` or the system temp dir.
+    pub scratch_dir: Option<PathBuf>,
     /// Planner decisions cached.
     pub plan_cache_capacity: usize,
     /// Execution configuration for requests that do not carry their own.
@@ -83,6 +99,8 @@ impl Default for ServiceConfig {
             workers: 4,
             queue_capacity: 64,
             memory_budget: 1 << 30,
+            disk_budget: 8 << 30,
+            scratch_dir: None,
             plan_cache_capacity: 64,
             join_config: JoinConfig::default(),
             default_deadline: None,
@@ -155,7 +173,7 @@ impl JoinService {
         let workers = cfg.workers.max(1);
         let shared = Arc::new(Shared {
             queue: FairQueue::new(cfg.queue_capacity),
-            governor: MemoryGovernor::new(cfg.memory_budget),
+            governor: MemoryGovernor::with_disk(cfg.memory_budget, cfg.disk_budget),
             plan_cache: PlanCache::new(cfg.plan_cache_capacity),
             metrics: MetricsRegistry::new(),
             next_id: AtomicU64::new(1),
@@ -207,16 +225,10 @@ impl JoinService {
         }
 
         // Budget-infeasibility is an *admission* decision: a request whose
-        // fully-degraded footprint exceeds the budget would only ever
-        // occupy queue space before failing, so it is shed here.
-        if let Err(need) = self.fits_budget_degraded(&request) {
-            reject(
-                format!(
-                    "memory estimate {need} B exceeds budget {} B even fully degraded",
-                    shared.cfg.memory_budget
-                ),
-                self.retry_after(),
-            );
+        // fully-degraded footprint exceeds memory *and* cannot spill would
+        // only ever occupy queue space before failing, so it is shed here.
+        if let Err(reason) = self.fits_budget_degraded(&request) {
+            reject(reason, self.retry_after());
             return ticket;
         }
 
@@ -308,6 +320,19 @@ impl JoinService {
                         Json::from_u64(shared.governor.occupancy()),
                     ),
                     ("peak_bytes", Json::from_u64(shared.governor.peak())),
+                    (
+                        "disk_budget_bytes",
+                        Json::from_u64(shared.governor.disk_budget()),
+                    ),
+                    (
+                        "disk_occupancy_bytes",
+                        Json::from_u64(shared.governor.disk_occupancy()),
+                    ),
+                    (
+                        "disk_peak_bytes",
+                        Json::from_u64(shared.governor.disk_peak()),
+                    ),
+                    ("waiters", Json::from_u64(shared.governor.waiters())),
                 ]),
             ),
             (
@@ -365,16 +390,20 @@ impl JoinService {
             .set(shared.queue.len() as u64);
     }
 
-    /// Backoff hint scaled to queue pressure: deeper queue, longer wait.
+    /// Backoff hint scaled to service pressure: deeper queue and more
+    /// reservations blocked on the governor both mean freed capacity will
+    /// be contended, so the hint grows with each.
     fn retry_after(&self) -> Duration {
-        let depth = self.shared.queue.len() as u64;
-        Duration::from_millis(10 + 5 * depth)
+        retry_after_hint(
+            self.shared.queue.len() as u64,
+            self.shared.governor.waiters(),
+        )
     }
 
     /// `Ok` if the request fits the budget after every degradation rung
-    /// (narrowest radix, CPU fallback); `Err(bytes)` with the irreducible
-    /// estimate otherwise.
-    fn fits_budget_degraded(&self, request: &JoinRequest) -> Result<(), u64> {
+    /// (narrowest radix, CPU fallback, grace-hash spill); `Err(reason)`
+    /// otherwise.
+    fn fits_budget_degraded(&self, request: &JoinRequest) -> Result<(), String> {
         let cfg = &self.shared.cfg;
         let algorithm = match request.algo {
             AlgoChoice::Fixed(a) => a,
@@ -399,12 +428,53 @@ impl JoinService {
             request.payload.s_tuples(),
             &floor_cfg,
         );
-        if est.total_bytes() > cfg.memory_budget {
-            Err(est.total_bytes())
-        } else {
-            Ok(())
+        if est.total_bytes() <= cfg.memory_budget {
+            return Ok(());
         }
+        // The in-memory floor does not fit; the spill rung is the last
+        // resort. It needs a working set of at least MIN_SPILL_BUDGET from
+        // the memory budget and the scratch footprint from the disk budget.
+        let spill_budget = spill_working_set(cfg.memory_budget);
+        let spill_est = estimate_spill_cost(
+            request.payload.r_tuples(),
+            request.payload.s_tuples(),
+            spill_budget,
+        );
+        if spill_budget > cfg.memory_budget {
+            return Err(format!(
+                "memory estimate {} B exceeds budget {} B even fully degraded, and the budget \
+                 is below the {MIN_SPILL_BUDGET} B spill floor",
+                est.total_bytes(),
+                cfg.memory_budget
+            ));
+        }
+        if !spill_est.fits_disk(cfg.disk_budget) {
+            return Err(format!(
+                "memory estimate {} B exceeds budget {} B even fully degraded, and the spill \
+                 would need {} B of scratch against a {} B disk budget",
+                est.total_bytes(),
+                cfg.memory_budget,
+                spill_est.disk_bytes,
+                cfg.disk_budget
+            ));
+        }
+        Ok(())
     }
+}
+
+/// The bounded in-memory working set a spilled join runs under: most of the
+/// budget, leaving headroom for the service's own structures, floored at
+/// the grace join's minimum.
+fn spill_working_set(memory_budget: u64) -> u64 {
+    (memory_budget / 4 * 3).max(MIN_SPILL_BUDGET)
+}
+
+/// Backoff hint from the two congestion signals a rejected client cares
+/// about: queued requests ahead of it and reservations already blocked on
+/// the governor. Monotone in both — pinned by a unit test, because clients
+/// build retry loops on this.
+fn retry_after_hint(queue_depth: u64, governor_waiters: u64) -> Duration {
+    Duration::from_millis(10 + 5 * queue_depth + 25 * governor_waiters)
 }
 
 impl Drop for JoinService {
@@ -502,7 +572,7 @@ fn execute(shared: &Arc<Shared>, pending: Pending) {
         .config
         .clone()
         .unwrap_or_else(|| shared.cfg.join_config.clone());
-    let (algorithm, plan_cache_hit) = match request.algo {
+    let (mut algorithm, plan_cache_hit) = match request.algo {
         AlgoChoice::Fixed(a) => (a, false),
         AlgoChoice::Auto(device) => {
             let opts = PlannerOptions {
@@ -562,15 +632,58 @@ fn execute(shared: &Arc<Shared>, pending: Pending) {
         }
     }
 
+    // Spill rung: when even the fully-degraded in-memory floor cannot fit,
+    // the join runs out-of-core through the grace-hash spill — a bounded
+    // working set from the memory budget, the relations streamed through
+    // scratch disk reserved from the governor's disk pool. GPU algorithms
+    // switch to their CPU counterpart first (the spill path is CPU-only).
+    let mut reserve_bytes = est.total_bytes();
+    let mut spill_disk_bytes = 0u64;
+    if est.total_bytes() > budget {
+        let spill_budget = spill_working_set(budget);
+        let spill_est = estimate_spill_cost(r.len(), s.len(), spill_budget);
+        if spill_budget <= budget && spill_est.fits_disk(shared.governor.disk_budget()) {
+            if let Algorithm::Gpu(gpu_algo) = algorithm {
+                let fallback = Algorithm::Cpu(match gpu_algo {
+                    GpuAlgorithm::Gbase => CpuAlgorithm::Cbase,
+                    GpuAlgorithm::Gsh => CpuAlgorithm::Csh,
+                });
+                degradations.push(format!(
+                    "governor: {gpu_algo}→{} — out-of-core execution is CPU-only",
+                    fallback.name()
+                ));
+                algorithm = fallback;
+            }
+            let spill = SpillConfig {
+                scratch_dir: shared.cfg.scratch_dir.clone(),
+                ..SpillConfig::with_budget(spill_budget)
+            };
+            degradations.push(format!(
+                "governor: spill:{} — floor estimate {} B exceeds budget {budget} B; \
+                 grace-hash spill under a {spill_budget} B working set \
+                 ({} B scratch reserved)",
+                spill.partition_bits,
+                est.total_bytes(),
+                spill_est.disk_bytes
+            ));
+            cfg.cpu.spill = Some(spill);
+            shared.metrics.counter("service.spilled").inc();
+            reserve_bytes = spill_budget;
+            spill_disk_bytes = spill_est.disk_bytes;
+        }
+        // If the spill is infeasible too, fall through: the memory
+        // reservation below fails typed (admission should have shed this).
+    }
+
     // Reserve; blocks (queuing under memory pressure) until space frees or
     // the deadline/cancel fires. `service.memory_waits` counts requests
     // that could not reserve immediately — the observable for "the budget
     // forced queuing".
-    let reservation = match shared.governor.try_reserve(est.total_bytes()) {
+    let reservation = match shared.governor.try_reserve(reserve_bytes) {
         Some(res) => Ok(res),
         None => {
             shared.metrics.counter("service.memory_waits").inc();
-            shared.governor.reserve(est.total_bytes(), &cancel)
+            shared.governor.reserve(reserve_bytes, &cancel)
         }
     };
     let reservation = match reservation {
@@ -601,10 +714,66 @@ fn execute(shared: &Arc<Shared>, pending: Pending) {
         }
     };
 
+    // The scratch-disk reservation for a spilled join, held (like the
+    // memory reservation) for the duration of the run. Taken second, after
+    // memory, in the same order everywhere — no lock-order inversion.
+    let disk_reservation = if spill_disk_bytes > 0 {
+        match shared.governor.try_reserve_disk(spill_disk_bytes) {
+            Some(res) => Some(res),
+            None => {
+                shared.metrics.counter("service.disk_waits").inc();
+                match shared.governor.reserve_disk(spill_disk_bytes, &cancel) {
+                    Ok(res) => Some(res),
+                    Err(ReserveError::Cancelled) => {
+                        return finish(
+                            shared,
+                            id,
+                            &tx,
+                            Outcome::Cancelled {
+                                phase: "disk_wait".into(),
+                            },
+                        );
+                    }
+                    Err(ReserveError::ExceedsBudget { requested, budget }) => {
+                        return finish(
+                            shared,
+                            id,
+                            &tx,
+                            Outcome::Failed {
+                                error: format!(
+                                    "spill scratch estimate {requested} B exceeds disk budget \
+                                     {budget} B post-degradation"
+                                ),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    } else {
+        None
+    };
+
     cfg.cpu.cancel = cancel.clone();
     let started = Instant::now();
-    let result = run_join(algorithm, &r, &s, &cfg, SinkSpec::Count);
+    let mut result = run_join(algorithm, &r, &s, &cfg, SinkSpec::Count);
+    if cfg.cpu.spill.is_some() {
+        if let Err(JoinError::SpillFailed(msg)) = &result {
+            // Spill failures are I/O-shaped (transient fault, full scratch
+            // device) and the failed attempt already cleaned up after
+            // itself, so one retry is cheap and safe.
+            shared.metrics.counter("service.spill_retries").inc();
+            let first = msg.clone();
+            result = run_join(algorithm, &r, &s, &cfg, SinkSpec::Count).map(|mut stats| {
+                stats
+                    .trace
+                    .record_degradation(format!("spill retry succeeded after: {first}"));
+                stats
+            });
+        }
+    }
     drop(reservation);
+    drop(disk_reservation);
 
     let outcome = match result {
         Ok(stats) => {
@@ -691,17 +860,122 @@ mod tests {
     }
 
     #[test]
-    fn infeasible_memory_is_rejected_at_admission() {
-        let svc = small_service(1, 8, 1 << 16);
+    fn infeasible_memory_without_disk_is_rejected_at_admission() {
+        // With the spill rung disabled (no disk budget) the seed behavior
+        // is preserved: an over-budget request is shed before queuing.
+        let mut cfg = ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            memory_budget: 1 << 16,
+            disk_budget: 0,
+            ..ServiceConfig::default()
+        };
+        cfg.join_config.cpu.threads = 2;
+        let svc = JoinService::start(cfg);
         let resp = svc
             .submit(JoinRequest::generate("t", csh(), 1 << 20, 0.0, 1))
             .wait();
         match resp.outcome {
-            Outcome::Rejected { reason, .. } => assert!(reason.contains("budget")),
+            Outcome::Rejected { reason, .. } => assert!(reason.contains("budget"), "{reason}"),
             other => panic!("expected rejection, got {other:?}"),
         }
         svc.shutdown();
         reconcile(&svc);
+    }
+
+    #[test]
+    fn over_budget_join_completes_via_spill_rung() {
+        // The same class of request the seed build hard-rejects: a 2^17
+        // tuple join against a 64 KiB memory budget (the in-memory floor
+        // needs megabytes). With a disk budget it must now complete through
+        // the grace-hash spill and produce exactly the in-memory answer.
+        let tuples = 1usize << 17;
+        let scratch = tempdir_for_test("svc-spill");
+        let mut cfg = ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            memory_budget: 1 << 16,
+            disk_budget: 1 << 30,
+            scratch_dir: Some(scratch.clone()),
+            ..ServiceConfig::default()
+        };
+        cfg.join_config.cpu.threads = 2;
+        let svc = JoinService::start(cfg);
+        let resp = svc
+            .submit(JoinRequest::generate("t", csh(), tuples, 0.0, 1))
+            .wait();
+        let summary = match resp.outcome {
+            Outcome::Completed(summary) => summary,
+            other => panic!("expected spill completion, got {other:?}"),
+        };
+        assert!(
+            summary.degradations.iter().any(|d| d.contains("spill:")),
+            "expected a spill rung in {:?}",
+            summary.degradations
+        );
+        assert_eq!(summary.algorithm, "Grace(cbase-npj)");
+
+        // Ground truth: the identical workload joined fully in memory.
+        let w = PaperWorkload::generate(WorkloadSpec::paper(tuples, 0.0, 1));
+        let mut ref_cfg = JoinConfig::default();
+        ref_cfg.cpu.threads = 2;
+        let expected = run_join(
+            Algorithm::Cpu(CpuAlgorithm::Csh),
+            &w.r,
+            &w.s,
+            &ref_cfg,
+            SinkSpec::Count,
+        )
+        .unwrap();
+        assert_eq!(summary.result_count, expected.result_count);
+        assert_eq!(summary.checksum, expected.checksum);
+
+        assert_eq!(svc.metrics().counter_value("service.spilled"), 1);
+        assert!(svc.governor().disk_peak() > 0, "no disk was reserved");
+        assert!(svc.governor().peak() <= svc.governor().budget());
+        svc.shutdown();
+        reconcile(&svc);
+        assert_eq!(svc.governor().disk_occupancy(), 0);
+        // The spilled join left no scratch behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&scratch)
+            .map(|it| it.filter_map(|e| e.ok()).collect())
+            .unwrap_or_default();
+        assert!(leftovers.is_empty(), "scratch leak: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+
+    #[test]
+    fn retry_after_hint_is_monotone_in_both_pressure_signals() {
+        let base = retry_after_hint(0, 0);
+        assert!(base > Duration::ZERO);
+        let mut prev = base;
+        for depth in 1..=8 {
+            let hint = retry_after_hint(depth, 0);
+            assert!(hint > prev, "queue depth {depth} did not raise the hint");
+            prev = hint;
+        }
+        let mut prev = base;
+        for waiters in 1..=8 {
+            let hint = retry_after_hint(0, waiters);
+            assert!(hint > prev, "waiters {waiters} did not raise the hint");
+            prev = hint;
+        }
+        // Joint pressure dominates either alone.
+        assert!(retry_after_hint(4, 4) > retry_after_hint(4, 0));
+        assert!(retry_after_hint(4, 4) > retry_after_hint(0, 4));
+    }
+
+    fn tempdir_for_test(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "skewjoin-test-{tag}-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap_or_default()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).expect("create test scratch dir");
+        dir
     }
 
     #[test]

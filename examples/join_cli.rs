@@ -47,6 +47,13 @@ struct CliArgs {
     threads: Option<usize>,
     connect: Option<String>,
     serve: Option<String>,
+    /// Scratch parent for anything that spills to disk. `None` resolves
+    /// through `SKEWJOIN_SCRATCH_DIR`, then the system temp dir; scratch
+    /// state is removed on every exit path, panics included.
+    scratch_dir: Option<PathBuf>,
+    /// In-memory working-set budget (bytes) forcing local CPU joins
+    /// through the out-of-core grace-hash path.
+    spill_budget: Option<u64>,
 }
 
 fn parse_args() -> CliArgs {
@@ -61,6 +68,8 @@ fn parse_args() -> CliArgs {
         threads: None,
         connect: None,
         serve: None,
+        scratch_dir: None,
+        spill_budget: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -99,14 +108,27 @@ fn parse_args() -> CliArgs {
             }
             "--connect" => args.connect = Some(val("--connect")),
             "--serve" => args.serve = Some(val("--serve")),
+            "--scratch-dir" => args.scratch_dir = Some(PathBuf::from(val("--scratch-dir"))),
+            "--spill-budget" => {
+                args.spill_budget = Some(
+                    val("--spill-budget")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--spill-budget needs a byte count")),
+                )
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: join_cli [--r FILE --s FILE | --generate N [--zipf Z] [--seed S]]\n\
                      \x20               [--algo cbase|npj|csh|gbase|gsh|plan|plan-gpu] [--threads N]\n\
                      \x20               [--save-prefix PATH] [--connect ADDR | --serve ADDR]\n\
+                     \x20               [--scratch-dir DIR] [--spill-budget BYTES]\n\
                      FILE may be .csv (key in column 0) or the binary .skjr format.\n\
                      --connect submits the request to a running skewjoind instead of\n\
-                     joining in-process; --serve runs a skewjoind on ADDR until killed."
+                     joining in-process; --serve runs a skewjoind on ADDR until killed.\n\
+                     --spill-budget forces local CPU joins out of core under the given\n\
+                     working set; scratch state goes to --scratch-dir (default:\n\
+                     $SKEWJOIN_SCRATCH_DIR, then the system temp dir) and is removed\n\
+                     on every exit path."
                 );
                 std::process::exit(0);
             }
@@ -127,11 +149,12 @@ fn load(path: &Path) -> Relation {
 }
 
 /// `--serve` mode: a one-binary skewjoind.
-fn serve(addr: &str, threads: Option<usize>) -> ! {
+fn serve(addr: &str, threads: Option<usize>, scratch_dir: Option<PathBuf>) -> ! {
     let mut cfg = ServiceConfig::default();
     if let Some(t) = threads {
         cfg.join_config.cpu.threads = t;
     }
+    cfg.scratch_dir = scratch_dir;
     let service = JoinService::start(cfg);
     let server = protocol::serve(Arc::clone(&service), addr)
         .unwrap_or_else(|e| fail(&format!("cannot listen on {addr}: {e}")));
@@ -196,7 +219,7 @@ fn main() {
     let args = parse_args();
 
     if let Some(addr) = &args.serve {
-        serve(addr, args.threads);
+        serve(addr, args.threads, args.scratch_dir.clone());
     }
 
     let (r, s) = match (&args.r_path, &args.s_path, args.generate) {
@@ -240,6 +263,12 @@ fn main() {
     let mut opts = PlannerOptions::default();
     if let Some(t) = args.threads {
         opts.cpu.threads = t;
+    }
+    if let Some(budget) = args.spill_budget {
+        opts.cpu.spill = Some(skewjoin::cpu::SpillConfig {
+            scratch_dir: args.scratch_dir.clone(),
+            ..skewjoin::cpu::SpillConfig::with_budget(budget)
+        });
     }
 
     let run = |algo: Algorithm| {

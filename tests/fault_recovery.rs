@@ -278,6 +278,162 @@ mod injected {
         assert_eq!((stats.result_count, stats.checksum), truth);
     }
 
+    use skewjoin::cpu::{SpillConfig, MIN_SPILL_BUDGET};
+    use std::path::{Path, PathBuf};
+
+    /// A fresh per-test scratch parent; the grace driver creates (and must
+    /// remove) its own subdirectory inside it.
+    fn scratch_parent(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("skewjoin-frt-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn spilling_cfg(scratch: &Path) -> JoinConfig {
+        let mut cfg = cpu_cfg();
+        cfg.cpu.spill = Some(SpillConfig {
+            scratch_dir: Some(scratch.to_path_buf()),
+            ..SpillConfig::with_budget(MIN_SPILL_BUDGET)
+        });
+        cfg
+    }
+
+    /// The hygiene half of the spill fault contract: whatever happened, the
+    /// scratch parent is empty afterwards.
+    fn assert_no_scratch_leak(parent: &Path) {
+        let leaked: Vec<_> = std::fs::read_dir(parent)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        let _ = std::fs::remove_dir_all(parent);
+        assert!(leaked.is_empty(), "leaked scratch entries: {leaked:?}");
+    }
+
+    #[test]
+    fn spill_write_fault_is_a_typed_error_with_no_scratch_leak() {
+        let _guard = lock();
+        let _disarm = DisarmOnDrop;
+        let w = workload(0.9, 41);
+        let scratch = scratch_parent("write");
+        faults::reset(41);
+        faults::arm("spill.write", Schedule::OnHit(3));
+        let cfg = spilling_cfg(&scratch);
+        let (r, s) = (w.r.clone(), w.s.clone());
+        let err = with_deadline(60, move || {
+            skewjoin::run_join(
+                Algorithm::Cpu(CpuAlgorithm::Cbase),
+                &r,
+                &s,
+                &cfg,
+                SinkSpec::Count,
+            )
+            .unwrap_err()
+        });
+        assert!(matches!(err, JoinError::SpillFailed(_)), "{err:?}");
+        assert_no_scratch_leak(&scratch);
+    }
+
+    #[test]
+    fn spill_fault_then_retry_completes_with_the_clean_answer() {
+        // The service's retry-once rung in miniature: an OnHit fault is
+        // consumed by the failing run, so re-running the same join must
+        // succeed and match the in-memory ground truth.
+        let _guard = lock();
+        let _disarm = DisarmOnDrop;
+        let w = workload(0.9, 43);
+        let truth = clean_truth(&w);
+        let scratch = scratch_parent("retry");
+        faults::reset(43);
+        faults::arm("spill.read", Schedule::OnHit(2));
+        let cfg = spilling_cfg(&scratch);
+        let (r, s) = (w.r.clone(), w.s.clone());
+        let (first, second) = with_deadline(120, move || {
+            let first = skewjoin::run_join(
+                Algorithm::Cpu(CpuAlgorithm::Csh),
+                &r,
+                &s,
+                &cfg,
+                SinkSpec::Count,
+            );
+            let second = skewjoin::run_join(
+                Algorithm::Cpu(CpuAlgorithm::Csh),
+                &r,
+                &s,
+                &cfg,
+                SinkSpec::Count,
+            );
+            (first, second)
+        });
+        match first {
+            Err(JoinError::SpillFailed(_)) => {}
+            other => panic!("expected SpillFailed on the first run, got {other:?}"),
+        }
+        let stats = second.expect("retry after a consumed fault must succeed");
+        assert_eq!((stats.result_count, stats.checksum), truth);
+        assert_eq!(stats.algorithm, "Grace(cbase-npj)");
+        assert_no_scratch_leak(&scratch);
+    }
+
+    #[test]
+    fn spill_manifest_fault_is_typed_and_never_partial() {
+        let _guard = lock();
+        let _disarm = DisarmOnDrop;
+        let w = workload(0.9, 47);
+        let scratch = scratch_parent("manifest");
+        faults::reset(47);
+        faults::arm("spill.manifest", Schedule::OnHit(1));
+        let cfg = spilling_cfg(&scratch);
+        let (r, s) = (w.r.clone(), w.s.clone());
+        let err = with_deadline(60, move || {
+            skewjoin::run_join(
+                Algorithm::Cpu(CpuAlgorithm::CbaseNpj),
+                &r,
+                &s,
+                &cfg,
+                SinkSpec::Count,
+            )
+            .unwrap_err()
+        });
+        assert!(matches!(err, JoinError::SpillFailed(_)), "{err:?}");
+        assert_no_scratch_leak(&scratch);
+    }
+
+    #[test]
+    fn persistent_spill_remove_faults_are_absorbed_and_leak_nothing() {
+        let _guard = lock();
+        let _disarm = DisarmOnDrop;
+        let w = workload(0.9, 53);
+        let truth = clean_truth(&w);
+        let scratch = scratch_parent("remove");
+        faults::reset(53);
+        faults::arm("spill.remove", Schedule::Always);
+        let cfg = spilling_cfg(&scratch);
+        let (r, s) = (w.r.clone(), w.s.clone());
+        let stats = with_deadline(60, move || {
+            skewjoin::run_join(
+                Algorithm::Cpu(CpuAlgorithm::Cbase),
+                &r,
+                &s,
+                &cfg,
+                SinkSpec::Count,
+            )
+            .unwrap()
+        });
+        assert_eq!((stats.result_count, stats.checksum), truth);
+        assert!(
+            stats
+                .trace
+                .degradations
+                .iter()
+                .any(|d| d.contains("scratch removal failed")),
+            "degradations: {:?}",
+            stats.trace.degradations
+        );
+        // The RAII guard retries the removal without the failpoint in the
+        // way, so even a persistent unlink fault leaves nothing behind.
+        assert_no_scratch_leak(&scratch);
+    }
+
     #[test]
     fn forced_overflows_are_absorbed_by_recursive_splitting_or_typed() {
         let _guard = lock();
