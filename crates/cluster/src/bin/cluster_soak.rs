@@ -1,0 +1,332 @@
+//! `cluster_soak` — multi-process cluster soak with an induced shard kill.
+//!
+//! Spawns a coordinator (this process) plus three real `skewjoind` shard
+//! processes, drives a mixed zipf workload through cluster joins, kills
+//! one shard mid-run, and verifies:
+//!
+//! * every cluster join completes (the dead shard's tasks re-route);
+//! * per-key result counts equal single-node ground truth, join by join —
+//!   nothing lost, nothing double-counted;
+//! * the surviving shards' service accounting reconciles exactly
+//!   (`submitted = admitted + rejected`,
+//!   `admitted = completed + cancelled + failed`);
+//! * teardown is clean (children killed and reaped).
+//!
+//! ```text
+//! cargo run --release -p skewjoin-cluster --bin cluster_soak -- \
+//!     --requests 18 --tuples 4096 --timeout-secs 180
+//! ```
+//!
+//! Exit code 0 = clean; 1 = violation; 2 = watchdog timeout.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::Duration;
+
+use skewjoin::common::sink::merge_key_counts;
+use skewjoin::common::{Key, KeyCountSink, Relation};
+use skewjoin::{run_shard_join, Algorithm, CpuAlgorithm, JoinConfig};
+use skewjoin_cluster::{ClusterConfig, Coordinator};
+use skewjoin_datagen::{PaperWorkload, WorkloadSpec};
+use skewjoin_service::{Client, PROTOCOL_VERSION};
+
+struct Args {
+    requests: usize,
+    tuples: usize,
+    timeout_secs: u64,
+}
+
+const USAGE: &str = "usage: cluster_soak [--requests N] [--tuples N] [--timeout-secs N]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        requests: 18,
+        tuples: 4096,
+        timeout_secs: 300,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(String::new());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
+        let bad = |e| format!("bad value {value:?} for {flag}: {e}");
+        match flag.as_str() {
+            "--requests" => args.requests = value.parse().map_err(bad)?,
+            "--tuples" => args.tuples = value.parse().map_err(bad)?,
+            "--timeout-secs" => args.timeout_secs = value.parse().map_err(bad)?,
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// A spawned `skewjoind` shard process and its bound address.
+struct Shard {
+    child: Child,
+    addr: String,
+}
+
+/// Spawns `skewjoind --shard slot` on an ephemeral port and parses the
+/// bound address from its banner line.
+fn spawn_shard(slot: u32) -> Result<Shard, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let bin = exe
+        .parent()
+        .ok_or("current_exe has no parent dir")?
+        .join("skewjoind");
+    if !bin.exists() {
+        return Err(format!(
+            "{} not built — build the workspace (cargo build [--release] -p skewjoin-service) first",
+            bin.display()
+        ));
+    }
+    let mut child = Command::new(&bin)
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--shard",
+            &slot.to_string(),
+            "--workers",
+            "2",
+            "--queue",
+            "32",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", bin.display()))?;
+    let stdout = child.stdout.take().ok_or("no child stdout")?;
+    let mut banner = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut banner)
+        .map_err(|e| format!("read shard banner: {e}"))?;
+    // "skewjoind listening on 127.0.0.1:PORT (...)"
+    let addr = banner
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .ok_or_else(|| format!("unparsable shard banner: {banner:?}"))?
+        .to_string();
+    Ok(Shard { child, addr })
+}
+
+/// Single-node ground truth: per-key counts over the same inputs.
+fn local_key_counts(r: &Relation, s: &Relation) -> BTreeMap<Key, u64> {
+    let mut cfg = JoinConfig::default();
+    cfg.cpu.threads = 2;
+    let out = run_shard_join(
+        Algorithm::Cpu(CpuAlgorithm::Csh),
+        r,
+        s,
+        &cfg,
+        None,
+        |_: usize| KeyCountSink::new(),
+    )
+    .expect("single-node ground truth join");
+    merge_key_counts(&out.sinks)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("cluster_soak: VIOLATION: {msg}");
+    std::process::exit(1);
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) if msg.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("cluster_soak: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Watchdog: a hang is a failure, not a stall.
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(args.timeout_secs));
+        eprintln!(
+            "cluster_soak: watchdog timeout after {}s",
+            args.timeout_secs
+        );
+        std::process::exit(2);
+    });
+
+    let mut shards = Vec::new();
+    for slot in 0..3u32 {
+        match spawn_shard(slot) {
+            Ok(shard) => {
+                println!("cluster_soak: shard {slot} on {}", shard.addr);
+                shards.push(shard);
+            }
+            Err(e) => {
+                for s in &mut shards {
+                    let _ = s.child.kill();
+                    let _ = s.child.wait();
+                }
+                eprintln!("cluster_soak: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let addrs: Vec<String> = shards.iter().map(|s| s.addr.clone()).collect();
+
+    let mut cluster_cfg = ClusterConfig::new(addrs);
+    cluster_cfg.client = "cluster-soak".into();
+    cluster_cfg.client_attempts = 2;
+    cluster_cfg.client_backoff = Duration::from_millis(10);
+    let coordinator = match Coordinator::new(cluster_cfg) {
+        Ok(c) => c,
+        Err(e) => fail(&format!("coordinator construction: {e}")),
+    };
+
+    // Mixed workload: uniform, paper-skewed, and heavily skewed keys.
+    let zipfs = [0.0, 0.75, 1.5];
+    let kill_at = (args.requests / 3).max(1);
+    let mut killed = false;
+    let mut completed = 0usize;
+    let mut total_reassigned = 0u64;
+    let mut joins_with_dead_shard = 0usize;
+    let mut saw_replication = false;
+    let mut saw_probe_split = false;
+
+    for i in 0..args.requests {
+        if i == kill_at {
+            // Kill shard 2 mid-run; its in-flight and future tasks must
+            // re-route to the survivors.
+            let victim = &mut shards[2];
+            victim.child.kill().unwrap_or_else(|e| {
+                fail(&format!("could not kill shard 2: {e}"));
+            });
+            let _ = victim.child.wait();
+            killed = true;
+            println!("cluster_soak: killed shard 2 before join {i}");
+        }
+        let zipf = zipfs[i % zipfs.len()];
+        let seed = 1000 + i as u64;
+        let w = PaperWorkload::generate(WorkloadSpec::paper(args.tuples, zipf, seed));
+        let expected = local_key_counts(&w.r, &w.s);
+        let out = match coordinator.join(&w.r, &w.s) {
+            Ok(out) => out,
+            Err(e) => fail(&format!("join {i} (zipf {zipf}, seed {seed}) failed: {e}")),
+        };
+        if out.key_counts != expected {
+            let diffs = out
+                .key_counts
+                .iter()
+                .filter(|(k, v)| expected.get(k) != Some(v))
+                .take(5)
+                .map(|(k, v)| format!("key {k}: cluster {v} vs local {:?}", expected.get(k)))
+                .collect::<Vec<_>>()
+                .join("; ");
+            fail(&format!(
+                "join {i} per-key mismatch (zipf {zipf}, seed {seed}): {diffs}"
+            ));
+        }
+        let expected_total: u64 = expected.values().sum();
+        if out.result_count != expected_total {
+            fail(&format!(
+                "join {i} total {} != ground truth {expected_total}",
+                out.result_count
+            ));
+        }
+        completed += 1;
+        total_reassigned += out.reassigned;
+        if out.dead_shards > 0 {
+            joins_with_dead_shard += 1;
+        }
+        saw_replication |= out.routing.replicated_build_copies > 0;
+        saw_probe_split |= out.routing.split_probe_tuples > 0;
+        println!(
+            "cluster_soak: join {i} ok — zipf {zipf}, {} results, {} hot keys, \
+             {} reassigned, {} dead shard(s)",
+            out.result_count, out.routing.hot_keys, out.reassigned, out.dead_shards
+        );
+    }
+
+    // The soak must have exercised both skew moves and survived the kill.
+    if completed != args.requests {
+        fail(&format!("{completed}/{} joins completed", args.requests));
+    }
+    if !killed {
+        fail("the shard kill never happened — raise --requests");
+    }
+    if joins_with_dead_shard == 0 {
+        fail("no join observed the dead shard");
+    }
+    if !saw_replication {
+        fail("no join exercised build replication — workload not skewed enough");
+    }
+    if !saw_probe_split {
+        fail("no join exercised probe splitting — workload not skewed enough");
+    }
+
+    // Exact reconciliation on the survivors, over the wire.
+    for (slot, shard) in shards.iter().enumerate().take(2) {
+        let mut client = match Client::connect_with(
+            shard.addr.as_str(),
+            PROTOCOL_VERSION,
+            3,
+            Duration::from_millis(20),
+        ) {
+            Ok(c) => c,
+            Err(e) => fail(&format!("survivor shard {slot} unreachable: {e}")),
+        };
+        let status = match client.shard_status() {
+            Ok(s) => s,
+            Err(e) => fail(&format!("survivor shard {slot} status: {e}")),
+        };
+        let metrics = status
+            .get("status")
+            .and_then(|s| s.get("metrics"))
+            .unwrap_or_else(|| fail(&format!("shard {slot} status has no metrics")));
+        let counter = |name: &str| {
+            metrics
+                .get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(skewjoin::common::json::Json::as_u64)
+                .unwrap_or(0)
+        };
+        let (submitted, admitted, rejected) = (
+            counter("service.submitted"),
+            counter("service.admitted"),
+            counter("service.rejected"),
+        );
+        let (done, cancelled, failed) = (
+            counter("service.completed"),
+            counter("service.cancelled"),
+            counter("service.failed"),
+        );
+        if submitted != admitted + rejected || admitted != done + cancelled + failed {
+            fail(&format!(
+                "shard {slot} accounting broken: submitted {submitted} = admitted {admitted} \
+                 + rejected {rejected}; admitted = completed {done} + cancelled {cancelled} \
+                 + failed {failed}"
+            ));
+        }
+        println!(
+            "cluster_soak: shard {slot} reconciles — {submitted} submitted, {done} completed, \
+             {rejected} rejected"
+        );
+    }
+
+    // Clean teardown.
+    for (slot, shard) in shards.iter_mut().enumerate() {
+        let _ = shard.child.kill();
+        let _ = shard.child.wait();
+        println!("cluster_soak: shard {slot} reaped");
+    }
+
+    println!(
+        "cluster_soak: PASS — {completed} joins, {total_reassigned} task reassignment(s), \
+         {joins_with_dead_shard} join(s) ran with a dead shard, replication and probe \
+         splitting both exercised"
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,37 @@
+//! # skewjoin-cluster
+//!
+//! Sharded multi-node joins with skew-aware key routing: a coordinator
+//! that radix-partitions one join across N `skewjoind` shard processes
+//! over the length-prefixed TCP protocol.
+//!
+//! The skew story is the paper's, lifted one level up: just as a
+//! single-node join collapses when one hot key defeats key-based
+//! partitioning, a hash-sharded *cluster* collapses when one hot key
+//! funnels the whole probe side into one shard. The coordinator runs the
+//! same CSH sampling pass the single-node joins use and routes detected
+//! heavy hitters through the two classic distributed moves:
+//!
+//! * **build replication** — a hot key's (small) build side is broadcast
+//!   to every shard;
+//! * **probe splitting** — its (large) probe side is dealt round-robin
+//!   across shards.
+//!
+//! Cold keys hash both sides to one owner shard. Each (r, s) match pair
+//! is produced by exactly one shard, so per-shard counts, checksums, and
+//! per-key counts merge additively into exactly the single-node answer —
+//! the invariant the distributed diffcheck asserts.
+//!
+//! Shards are unmodified `skewjoind` daemons (plan cache, memory
+//! governor, admission control all apply per shard); the coordinator
+//! speaks the `shard_join` / `shard_status` ops. Shard death mid-join is
+//! survivable: tasks are self-contained and re-route to surviving shards;
+//! only losing *every* shard with work pending fails the join, typed.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod coordinator;
+
+pub use coordinator::{
+    scatter, ClusterConfig, ClusterError, ClusterJoin, Coordinator, RoutingStats, Scattered,
+};

@@ -152,6 +152,17 @@ pub fn bucket_bits_for(n: usize) -> u32 {
     (n.max(2).next_power_of_two().trailing_zeros()).clamp(1, 31)
 }
 
+/// Owner shard of `key` in a `shards`-way cluster: a multiply-shift range
+/// partition of the mixed key, so any shard count (not just powers of two)
+/// gets a near-uniform split. Independent of the radix partition bits
+/// (those consume the *low* mixed bits; this consumes the full word through
+/// a 32×32→64 multiply), so intra-shard radix partitioning stays balanced.
+#[inline(always)]
+pub fn shard_of(key: Key, shards: usize) -> usize {
+    debug_assert!(shards >= 1, "shard_of needs at least one shard");
+    ((mix32(key) as u64 * shards as u64) >> 32) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,5 +228,32 @@ mod tests {
     fn mix64_changes_all_zero_input() {
         assert_ne!(mix64(0), 0);
         assert_ne!(mix64(1), mix64(2));
+    }
+
+    #[test]
+    fn shard_of_stays_in_range_and_is_deterministic() {
+        for shards in [1usize, 2, 3, 4, 7, 16] {
+            for k in [0u32, 1, 17, 12345, u32::MAX, 0xDEAD_BEEF] {
+                let s = shard_of(k, shards);
+                assert!(s < shards, "shard {s} out of range for {shards} shards");
+                assert_eq!(s, shard_of(k, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_spreads_dense_keys() {
+        // A dense key range must not collapse onto one shard.
+        let shards = 4;
+        let mut counts = vec![0usize; shards];
+        for k in 0..10_000u32 {
+            counts[shard_of(k, shards)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 10_000 / shards / 2,
+                "shard {i} got only {c} of 10000 keys"
+            );
+        }
     }
 }

@@ -33,8 +33,8 @@ pub use error::JoinError;
 pub use json::Json;
 pub use metrics::MetricsRegistry;
 pub use sink::{
-    CountSinkFactory, CountingSink, MaterializeSink, OutputSink, SinkFactory, SinkSpec,
-    VolcanoSink, VolcanoSinkFactory,
+    CountSinkFactory, CountingSink, KeyCountSink, MaterializeSink, OutputSink, SinkFactory,
+    SinkSpec, VolcanoSink, VolcanoSinkFactory,
 };
 pub use stats::{JoinStats, PhaseTimes};
 pub use trace::{PhaseTrace, SkewedKey, Trace};

@@ -12,6 +12,8 @@
 //! different output *orders* (radix vs no-partition vs GPU) can still be
 //! compared for exact result-set equality.
 
+use std::collections::BTreeMap;
+
 use crate::hash::mix64;
 use crate::tuple::{Key, Payload, Tuple};
 
@@ -211,6 +213,60 @@ impl OutputSink for MaterializeSink {
     fn checksum(&self) -> u64 {
         self.checksum
     }
+}
+
+/// A sink that counts results *per key* (plus the usual total/checksum).
+///
+/// Two consumers depend on per-key granularity: the diffcheck oracle
+/// localizes a divergence to the specific key that lost or gained results,
+/// and the cluster coordinator merges per-shard key counts to verify a
+/// sharded join against single-node ground truth.
+#[derive(Debug, Default, Clone)]
+pub struct KeyCountSink {
+    counts: BTreeMap<Key, u64>,
+    total: u64,
+    checksum: u64,
+}
+
+impl KeyCountSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-key result counts, ordered by key.
+    pub fn counts(&self) -> &BTreeMap<Key, u64> {
+        &self.counts
+    }
+}
+
+impl OutputSink for KeyCountSink {
+    fn emit(&mut self, key: Key, r_payload: Payload, s_payload: Payload) {
+        *self.counts.entry(key).or_insert(0) += 1;
+        self.total += 1;
+        self.checksum = self
+            .checksum
+            .wrapping_add(tuple_mix(key, r_payload, s_payload));
+    }
+
+    fn count(&self) -> u64 {
+        self.total
+    }
+
+    fn checksum(&self) -> u64 {
+        self.checksum
+    }
+}
+
+/// Merges per-worker key-count maps into one.
+pub fn merge_key_counts(sinks: &[KeyCountSink]) -> BTreeMap<Key, u64> {
+    let mut merged = BTreeMap::new();
+    for sink in sinks {
+        for (&key, &count) in sink.counts() {
+            *merged.entry(key).or_insert(0) += count;
+        }
+    }
+    merged
 }
 
 /// Declarative sink selection for the top-level join APIs, which construct

@@ -8,8 +8,8 @@
 //! checked at every CPU phase boundary and between degradation-ladder
 //! rungs, surfacing as [`JoinError::Cancelled`].
 
-use skewjoin_common::hash::RadixConfig;
-use skewjoin_common::{JoinError, JoinStats, Relation, SinkSpec};
+use skewjoin_common::hash::{shard_of, RadixConfig};
+use skewjoin_common::{JoinError, JoinStats, Key, Relation, SinkSpec};
 use skewjoin_cpu::{cbase_join, csh_join, grace_join, npj_join, CpuJoinConfig};
 use skewjoin_gpu::{gbase_join, gsh_join, GpuJoinConfig};
 
@@ -192,6 +192,34 @@ pub fn run_join_with<F: SinkFactory>(
     cfg: &JoinConfig,
     factory: F,
 ) -> Result<JoinStats, JoinError> {
+    run_join_collecting(algorithm, r, s, cfg, factory).map(|o| o.stats)
+}
+
+/// Aggregate statistics plus the per-worker sinks of one completed join —
+/// the device-independent outcome type unifying the CPU joins'
+/// `JoinOutcome` and the GPU joins' `GpuJoinOutcome`.
+#[derive(Debug)]
+pub struct CollectedJoin<S> {
+    /// Aggregate execution statistics.
+    pub stats: JoinStats,
+    /// One sink per worker (CPU thread or GPU SM slot).
+    pub sinks: Vec<S>,
+}
+
+/// Like [`run_join_with`], but returns the per-worker sinks alongside the
+/// statistics instead of dropping them.
+///
+/// The degradation ladder stays correct under collection because every rung
+/// builds *fresh* sinks from the factory — a failed attempt's partial sinks
+/// are dropped with the attempt, and only the successful rung's sinks are
+/// returned, so nothing is ever double-counted.
+pub fn run_join_collecting<F: SinkFactory>(
+    algorithm: Algorithm,
+    r: &Relation,
+    s: &Relation,
+    cfg: &JoinConfig,
+    factory: F,
+) -> Result<CollectedJoin<F::Sink>, JoinError> {
     let make = |worker: usize| factory.make_sink(worker);
     // A configured spill routes every CPU algorithm through the out-of-core
     // grace-hash driver: the in-memory algorithms assume the whole input is
@@ -200,30 +228,42 @@ pub fn run_join_with<F: SinkFactory>(
     // re-enters this path and picks up the spill.
     if cfg.cpu.spill.is_some() {
         if let Algorithm::Cpu(_) = algorithm {
-            return Ok(grace_join(r, s, &cfg.cpu, make)?.stats);
+            let o = grace_join(r, s, &cfg.cpu, make)?;
+            return Ok(CollectedJoin {
+                stats: o.stats,
+                sinks: o.sinks,
+            });
         }
     }
-    Ok(match algorithm {
-        Algorithm::Cpu(CpuAlgorithm::Cbase) => cbase_join(r, s, &cfg.cpu, make)?.stats,
-        Algorithm::Cpu(CpuAlgorithm::CbaseNpj) => npj_join(r, s, &cfg.cpu, make)?.stats,
-        Algorithm::Cpu(CpuAlgorithm::Csh) => csh_join(r, s, &cfg.cpu, make)?.stats,
+    let o = match algorithm {
+        Algorithm::Cpu(CpuAlgorithm::Cbase) => cbase_join(r, s, &cfg.cpu, make)?,
+        Algorithm::Cpu(CpuAlgorithm::CbaseNpj) => npj_join(r, s, &cfg.cpu, make)?,
+        Algorithm::Cpu(CpuAlgorithm::Csh) => csh_join(r, s, &cfg.cpu, make)?,
         Algorithm::Gpu(gpu_algo) => return run_gpu_degrading(gpu_algo, r, s, cfg, &factory),
+    };
+    Ok(CollectedJoin {
+        stats: o.stats,
+        sinks: o.sinks,
     })
 }
 
-/// The GPU degradation ladder behind [`run_join_with`]'s GPU arms.
+/// The GPU degradation ladder behind [`run_join_collecting`]'s GPU arms.
 fn run_gpu_degrading<F: SinkFactory>(
     algorithm: GpuAlgorithm,
     r: &Relation,
     s: &Relation,
     cfg: &JoinConfig,
     factory: &F,
-) -> Result<JoinStats, JoinError> {
-    let run_gpu = |gpu_cfg: &GpuJoinConfig| -> Result<JoinStats, JoinError> {
+) -> Result<CollectedJoin<F::Sink>, JoinError> {
+    let run_gpu = |gpu_cfg: &GpuJoinConfig| -> Result<CollectedJoin<F::Sink>, JoinError> {
         let make = |worker: usize| factory.make_sink(worker);
-        Ok(match algorithm {
-            GpuAlgorithm::Gbase => gbase_join(r, s, gpu_cfg, make)?.stats,
-            GpuAlgorithm::Gsh => gsh_join(r, s, gpu_cfg, make)?.stats,
+        let o = match algorithm {
+            GpuAlgorithm::Gbase => gbase_join(r, s, gpu_cfg, make)?,
+            GpuAlgorithm::Gsh => gsh_join(r, s, gpu_cfg, make)?,
+        };
+        Ok(CollectedJoin {
+            stats: o.stats,
+            sinks: o.sinks,
         })
     };
 
@@ -235,7 +275,7 @@ fn run_gpu_degrading<F: SinkFactory>(
     let backend = cfg.gpu.backend.name();
     let mut degradations: Vec<String> = Vec::new();
     let mut last_gpu_err = match run_gpu(&cfg.gpu) {
-        Ok(stats) => return Ok(stats),
+        Ok(out) => return Ok(out),
         Err(e @ JoinError::GpuResourceExhausted(_)) => e,
         Err(e) => return Err(e),
     };
@@ -256,11 +296,11 @@ fn run_gpu_degrading<F: SinkFactory>(
              after: {last_gpu_err}"
         ));
         match run_gpu(&retry_cfg) {
-            Ok(mut stats) => {
+            Ok(mut out) => {
                 for d in degradations {
-                    stats.trace.record_degradation(d);
+                    out.stats.trace.record_degradation(d);
                 }
-                return Ok(stats);
+                return Ok(out);
             }
             Err(e @ JoinError::GpuResourceExhausted(_)) => last_gpu_err = e,
             Err(e) => return Err(e),
@@ -272,24 +312,118 @@ fn run_gpu_degrading<F: SinkFactory>(
     cfg.cpu.cancel.check("cpu_fallback")?;
     let make = |worker: usize| factory.make_sink(worker);
     let (cpu_name, cpu_result) = match algorithm {
-        GpuAlgorithm::Gbase => ("Cbase", cbase_join(r, s, &cfg.cpu, make).map(|o| o.stats)),
-        GpuAlgorithm::Gsh => ("CSH", csh_join(r, s, &cfg.cpu, make).map(|o| o.stats)),
+        GpuAlgorithm::Gbase => ("Cbase", cbase_join(r, s, &cfg.cpu, make)),
+        GpuAlgorithm::Gsh => ("CSH", csh_join(r, s, &cfg.cpu, make)),
     };
     degradations.push(format!(
         "{algorithm}→{cpu_name} (gpu backend {backend}): {last_gpu_err}"
     ));
     match cpu_result {
-        Ok(mut stats) => {
+        Ok(mut o) => {
             for d in degradations {
-                stats.trace.record_degradation(d);
+                o.stats.trace.record_degradation(d);
             }
-            Ok(stats)
+            Ok(CollectedJoin {
+                stats: o.stats,
+                sinks: o.sinks,
+            })
         }
         Err(cpu_err) => Err(JoinError::BackendUnavailable(format!(
             "GPU {algorithm} failed ({last_gpu_err}) and the CPU fallback {cpu_name} failed \
              ({cpu_err})"
         ))),
     }
+}
+
+/// The slice of a sharded join one shard is responsible for.
+///
+/// A cluster coordinator splits a join across `shards` nodes by key
+/// ownership (`shard_of`), with two skew-aware exceptions carried in
+/// `hot_keys`: a detected heavy hitter's build tuples are *replicated* to
+/// every shard and its probe tuples *split* across shards, so hot keys may
+/// legitimately appear on a shard that does not own them. [`run_shard_join`]
+/// enforces exactly this contract on its inputs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardPartition {
+    /// This shard's slot, `0..shards`.
+    pub slot: usize,
+    /// Total shards in the cluster.
+    pub shards: usize,
+    /// Keys exempt from ownership routing (replicated/split hot keys).
+    pub hot_keys: Vec<Key>,
+}
+
+impl ShardPartition {
+    /// Validates the shard geometry.
+    pub fn validate(&self) -> Result<(), JoinError> {
+        if self.shards == 0 {
+            return Err(JoinError::InvalidConfig(
+                "shard partition needs at least one shard".into(),
+            ));
+        }
+        if self.slot >= self.shards {
+            return Err(JoinError::InvalidConfig(format!(
+                "shard slot {} out of range for {} shards",
+                self.slot, self.shards
+            )));
+        }
+        Ok(())
+    }
+
+    /// Whether `key` may appear in this shard's inputs: either this shard
+    /// owns it, or it is a hot key exempt from ownership routing.
+    pub fn admits(&self, key: Key) -> bool {
+        shard_of(key, self.shards) == self.slot || self.hot_keys.contains(&key)
+    }
+}
+
+/// Runs one shard's slice of a sharded join, collecting per-worker sinks.
+///
+/// With `restriction = None` this is exactly [`run_join_collecting`] plus
+/// config validation. With a [`ShardPartition`], both inputs are first
+/// checked against the routing contract — every tuple must be admitted by
+/// [`ShardPartition::admits`] — and a misrouted tuple surfaces as a typed
+/// [`JoinError::InvalidInput`] naming the first foreign key, rather than
+/// silently producing results a different shard will also produce. The
+/// returned trace carries a `shard` phase recording the geometry and the
+/// admitted tuple counts, which the coordinator folds into its
+/// cluster-level trace.
+pub fn run_shard_join<F: SinkFactory>(
+    algorithm: Algorithm,
+    r: &Relation,
+    s: &Relation,
+    cfg: &JoinConfig,
+    restriction: Option<&ShardPartition>,
+    factory: F,
+) -> Result<CollectedJoin<F::Sink>, JoinError> {
+    crate::planner::validate_config(cfg)?;
+    if let Some(part) = restriction {
+        part.validate()?;
+        let hot: std::collections::HashSet<Key> = part.hot_keys.iter().copied().collect();
+        let admits = |key: Key| hot.contains(&key) || shard_of(key, part.shards) == part.slot;
+        for (side, rel) in [("R", r), ("S", s)] {
+            if let Some(t) = rel.tuples().iter().find(|t| !admits(t.key)) {
+                return Err(JoinError::InvalidInput(format!(
+                    "shard {}/{}: {side} tuple with key {} belongs to shard {} \
+                     and is not a registered hot key — coordinator misrouting",
+                    part.slot,
+                    part.shards,
+                    t.key,
+                    shard_of(t.key, part.shards),
+                )));
+            }
+        }
+    }
+    let mut out = run_join_collecting(algorithm, r, s, cfg, factory)?;
+    if let Some(part) = restriction {
+        let trace = &mut out.stats.trace;
+        trace.set("shard", "slot", part.slot as u64);
+        trace.set("shard", "shards", part.shards as u64);
+        trace.set("shard", "hot_keys", part.hot_keys.len() as u64);
+        trace.set("shard", "r_tuples", r.len() as u64);
+        trace.set("shard", "s_tuples", s.len() as u64);
+    }
+    Ok(out)
 }
 
 /// Rejects sink specifications that would panic at worker construction.
@@ -503,6 +637,137 @@ mod tests {
             }
             other => panic!("expected BackendUnavailable, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn collecting_sinks_agree_with_stats() {
+        use skewjoin_common::OutputSink;
+        let w = PaperWorkload::generate(WorkloadSpec::paper(2048, 0.9, 13));
+        let cfg = JoinConfig::from(CpuJoinConfig::with_threads(2));
+        for algo in Algorithm::ALL {
+            let out = run_join_collecting(algo, &w.r, &w.s, &cfg, |_w: usize| {
+                skewjoin_common::CountingSink::new()
+            })
+            .unwrap();
+            let total: u64 = out.sinks.iter().map(|s| s.count()).sum();
+            assert_eq!(total, out.stats.result_count, "{algo}");
+            let sum: u64 = out
+                .sinks
+                .iter()
+                .fold(0u64, |acc, s| acc.wrapping_add(s.checksum()));
+            assert_eq!(sum, out.stats.checksum, "{algo}");
+        }
+    }
+
+    #[test]
+    fn shard_join_rejects_misrouted_tuples() {
+        use skewjoin_common::hash::shard_of;
+        use skewjoin_common::Tuple;
+        let foreign = (0..100u32).find(|&k| shard_of(k, 2) == 1).unwrap();
+        let local = (0..100u32).find(|&k| shard_of(k, 2) == 0).unwrap();
+        let r = Relation::from_tuples(vec![Tuple::new(local, 0), Tuple::new(foreign, 1)]);
+        let s = Relation::from_tuples(vec![Tuple::new(local, 2)]);
+        let cfg = JoinConfig::from(CpuJoinConfig::with_threads(1));
+        let part = ShardPartition {
+            slot: 0,
+            shards: 2,
+            hot_keys: vec![],
+        };
+        let err = run_shard_join(
+            Algorithm::Cpu(CpuAlgorithm::Cbase),
+            &r,
+            &s,
+            &cfg,
+            Some(&part),
+            CountSinkFactory,
+        )
+        .unwrap_err();
+        match err {
+            JoinError::InvalidInput(msg) => {
+                assert!(msg.contains(&foreign.to_string()), "{msg}");
+                assert!(msg.contains("misrouting"), "{msg}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+
+        // Registering the key as hot lifts the ownership restriction.
+        let part_hot = ShardPartition {
+            hot_keys: vec![foreign],
+            ..part
+        };
+        let out = run_shard_join(
+            Algorithm::Cpu(CpuAlgorithm::Cbase),
+            &r,
+            &s,
+            &cfg,
+            Some(&part_hot),
+            CountSinkFactory,
+        )
+        .unwrap();
+        assert_eq!(out.stats.trace.get("shard", "shards"), Some(2));
+        assert_eq!(out.stats.trace.get("shard", "hot_keys"), Some(1));
+    }
+
+    #[test]
+    fn sharded_slices_reassemble_the_full_join() {
+        use skewjoin_common::hash::shard_of;
+        use skewjoin_common::sink::merge_key_counts;
+        use skewjoin_common::{KeyCountSink, Tuple};
+        let w = PaperWorkload::generate(WorkloadSpec::paper(2048, 0.75, 17));
+        let cfg = JoinConfig::from(CpuJoinConfig::with_threads(2));
+        let make = |_w: usize| KeyCountSink::new();
+        let full =
+            run_join_collecting(Algorithm::Cpu(CpuAlgorithm::Csh), &w.r, &w.s, &cfg, make).unwrap();
+        let expected = merge_key_counts(&full.sinks);
+
+        let shards = 4;
+        let mut merged = std::collections::BTreeMap::new();
+        for slot in 0..shards {
+            let keep = |t: &&Tuple| shard_of(t.key, shards) == slot;
+            let r = Relation::from_tuples(w.r.tuples().iter().filter(keep).copied().collect());
+            let s = Relation::from_tuples(w.s.tuples().iter().filter(keep).copied().collect());
+            let part = ShardPartition {
+                slot,
+                shards,
+                hot_keys: vec![],
+            };
+            let out = run_shard_join(
+                Algorithm::Cpu(CpuAlgorithm::Csh),
+                &r,
+                &s,
+                &cfg,
+                Some(&part),
+                make,
+            )
+            .unwrap();
+            for (k, c) in merge_key_counts(&out.sinks) {
+                *merged.entry(k).or_insert(0u64) += c;
+            }
+        }
+        assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn shard_partition_validates_geometry() {
+        let bad_shards = ShardPartition {
+            slot: 0,
+            shards: 0,
+            hot_keys: vec![],
+        };
+        assert!(bad_shards.validate().is_err());
+        let bad_slot = ShardPartition {
+            slot: 3,
+            shards: 2,
+            hot_keys: vec![],
+        };
+        assert!(bad_slot.validate().is_err());
+        let ok = ShardPartition {
+            slot: 1,
+            shards: 2,
+            hot_keys: vec![7],
+        };
+        assert!(ok.validate().is_ok());
+        assert!(ok.admits(7)); // hot key admitted regardless of owner
     }
 
     #[test]

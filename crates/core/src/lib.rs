@@ -43,8 +43,9 @@ pub mod api;
 pub mod planner;
 
 pub use api::{
-    run_join, run_join_with, Algorithm, CountSinkFactory, CpuAlgorithm, GpuAlgorithm, JoinConfig,
-    SinkFactory, VolcanoSinkFactory,
+    run_join, run_join_collecting, run_join_with, run_shard_join, Algorithm, CollectedJoin,
+    CountSinkFactory, CpuAlgorithm, GpuAlgorithm, JoinConfig, ShardPartition, SinkFactory,
+    VolcanoSinkFactory,
 };
 pub use planner::{
     estimate_join_memory, estimate_spill_cost, validate_config, CostEstimate, JoinPlan, PlanCache,

@@ -31,6 +31,7 @@ pub mod morsel;
 pub mod npj;
 pub mod partition;
 pub mod reference;
+pub mod route;
 pub mod simd;
 pub mod skew;
 pub mod spill;
@@ -43,6 +44,7 @@ pub use csh::csh_join;
 pub use npj::npj_join;
 pub use partition::{PartitionOptions, PartitionStats, ScatterMode};
 pub use reference::reference_join;
+pub use route::{BuildRoute, ShardRouter};
 pub use simd::{SimdLevel, SimdPolicy};
 pub use spill::{grace_join, SpillConfig, SpillError, MIN_SPILL_BUDGET};
 pub use task::{SchedStats, SchedulerKind};

@@ -42,6 +42,8 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use skewjoin_common::hash::{mix32, mix64, radix_pass};
@@ -685,6 +687,115 @@ where
     Ok(files)
 }
 
+/// Morsel-style parallel scatter over an in-memory slice — the level-0 fast
+/// path. Workers claim fixed-size chunks through an atomic cursor,
+/// accumulate tuples into *private* bounded buffers, and append full
+/// buffers to the shared per-partition files under a per-file mutex. Run
+/// order within a file becomes nondeterministic across threads, which is
+/// harmless by construction: runs are self-delimiting, the join phase is
+/// order-insensitive, and the manifest checksum is an order-independent
+/// wrapping sum. Recursion levels keep the sequential [`partition_chunks`]
+/// path — their input streams from disk, so a parallel scatter would just
+/// contend on the reader.
+#[allow(clippy::too_many_arguments)]
+fn partition_slice_parallel(
+    tuples: &[Tuple],
+    dir: &Path,
+    side: char,
+    shift: u32,
+    bits: u32,
+    buffer_tuples: usize,
+    threads: usize,
+    cancel: &skewjoin_common::CancelToken,
+) -> Result<Vec<SpillFile>, JoinError> {
+    let threads = threads.max(1);
+    if threads == 1 || tuples.len() <= SCATTER_CHUNK_TUPLES {
+        return partition_chunks(
+            tuples.chunks(SCATTER_CHUNK_TUPLES).map(|c| Ok(c.to_vec())),
+            dir,
+            side,
+            shift,
+            bits,
+            buffer_tuples,
+            cancel,
+        );
+    }
+    let fanout = 1usize << bits;
+    let mut files = Vec::with_capacity(fanout);
+    for p in 0..fanout {
+        files.push(Mutex::new(SpillFile::create(
+            dir,
+            &format!("{side}_{p}.run"),
+        )?));
+    }
+    let chunk_count = tuples.len().div_ceil(SCATTER_CHUNK_TUPLES);
+    let cursor = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let first_error: Mutex<Option<JoinError>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(chunk_count) {
+            scope.spawn(|| {
+                let mut buffers: Vec<Vec<Tuple>> = (0..fanout)
+                    .map(|_| Vec::with_capacity(buffer_tuples))
+                    .collect();
+                let fail = |e: JoinError| {
+                    stop.store(true, Ordering::Relaxed);
+                    let mut slot = first_error.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                };
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= chunk_count || stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Err(e) = cancel.check("spill_partition") {
+                        fail(e);
+                        return;
+                    }
+                    let start = i * SCATTER_CHUNK_TUPLES;
+                    let end = (start + SCATTER_CHUNK_TUPLES).min(tuples.len());
+                    for t in &tuples[start..end] {
+                        let p = radix_pass(mix32(t.key), shift, bits);
+                        buffers[p].push(*t);
+                        if buffers[p].len() >= buffer_tuples {
+                            let appended = files[p].lock().unwrap().append_run(&buffers[p]);
+                            buffers[p].clear();
+                            if let Err(e) = appended {
+                                fail(e.into());
+                                return;
+                            }
+                        }
+                    }
+                }
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                for (p, buf) in buffers.iter().enumerate() {
+                    if buf.is_empty() {
+                        continue;
+                    }
+                    if let Err(e) = files[p].lock().unwrap().append_run(buf) {
+                        fail(e.into());
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = first_error.into_inner().unwrap() {
+        return Err(e);
+    }
+    let mut finished = Vec::with_capacity(fanout);
+    for file in files {
+        let mut f = file.into_inner().unwrap();
+        f.finish()?;
+        finished.push(f);
+    }
+    Ok(finished)
+}
+
 /// Builds and stores a level manifest from freshly written partition files.
 fn store_level_manifest(
     dir: &Path,
@@ -746,33 +857,35 @@ where
     };
 
     // Level-0 scatter: both relations stream to disk through bounded
-    // buffers; nothing near the full input is ever resident at once.
+    // buffers, parallelized morsel-style across the configured worker
+    // count; nothing near the full input is ever resident at once. The
+    // buffers are divided across workers so the aggregate stays within the
+    // same budget share the sequential scatter used.
     let scatter_started = Instant::now();
     let bits = spill.partition_bits;
-    let buffer_tuples = scatter_buffer_tuples(spill.mem_budget, 1 << bits);
+    let scatter_threads = cfg.threads.max(1);
+    let buffer_tuples = scatter_buffer_tuples(spill.mem_budget, (1usize << bits) * scatter_threads);
     let level_dir = dir.path().join("level0");
     std::fs::create_dir_all(&level_dir)
         .map_err(|e| JoinError::SpillFailed(format!("create level dir: {e}")))?;
-    let r_files = partition_chunks(
-        r.tuples()
-            .chunks(SCATTER_CHUNK_TUPLES)
-            .map(|c| Ok(c.to_vec())),
+    let r_files = partition_slice_parallel(
+        r.tuples(),
         &level_dir,
         'r',
         0,
         bits,
         buffer_tuples,
+        scatter_threads,
         &cfg.cancel,
     )?;
-    let s_files = partition_chunks(
-        s.tuples()
-            .chunks(SCATTER_CHUNK_TUPLES)
-            .map(|c| Ok(c.to_vec())),
+    let s_files = partition_slice_parallel(
+        s.tuples(),
         &level_dir,
         's',
         0,
         bits,
         buffer_tuples,
+        scatter_threads,
         &cfg.cancel,
     )?;
     for f in r_files.iter().chain(&s_files) {
@@ -816,6 +929,7 @@ where
     phase.set(counter::TUPLES_IN, (r.len() + s.len()) as u64);
     phase.set("pairs_in_memory", ctx.counters.pairs_in_memory);
     phase.set("pairs_nm_decomposed", ctx.counters.pairs_nm);
+    phase.set("scatter_threads", scatter_threads as u64);
     for d in ctx.degradations.drain(..) {
         stats.trace.record_degradation(d);
     }
@@ -1265,6 +1379,78 @@ mod tests {
             ..SpillConfig::default()
         };
         assert!(over_width.validate().is_err());
+    }
+
+    #[test]
+    fn parallel_scatter_writes_the_same_partitions_as_sequential() {
+        // > SCATTER_CHUNK_TUPLES tuples so the parallel path actually runs,
+        // skew included so partitions are uneven.
+        let tuples: Vec<Tuple> = (0..3 * SCATTER_CHUNK_TUPLES as u32)
+            .map(|i| Tuple::new(if i % 5 == 0 { 7 } else { i % 4096 }, i))
+            .collect();
+        let bits = 3u32;
+        let seq_dir = ScratchDir::create(None, "scatter-seq", 21).unwrap();
+        let seq = partition_chunks(
+            tuples.chunks(SCATTER_CHUNK_TUPLES).map(|c| Ok(c.to_vec())),
+            seq_dir.path(),
+            'r',
+            0,
+            bits,
+            512,
+            &CancelToken::default(),
+        )
+        .unwrap();
+        let par_dir = ScratchDir::create(None, "scatter-par", 22).unwrap();
+        let par = partition_slice_parallel(
+            &tuples,
+            par_dir.path(),
+            'r',
+            0,
+            bits,
+            512,
+            4,
+            &CancelToken::default(),
+        )
+        .unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (sf, pf) in seq.iter().zip(&par) {
+            let sm = sf.meta();
+            let pm = pf.meta();
+            // Same tuple multiset per partition: count, order-independent
+            // checksum, and key range all agree; run layout may differ.
+            assert_eq!(sm.tuples, pm.tuples, "{}", sm.file);
+            assert_eq!(sm.checksum, pm.checksum, "{}", sm.file);
+            assert_eq!(sm.min_key, pm.min_key, "{}", sm.file);
+            assert_eq!(sm.max_key, pm.max_key, "{}", sm.file);
+            let (mut s_rel, _) = SpillReader::read_all(seq_dir.path(), &sm).unwrap();
+            let (mut p_rel, _) = SpillReader::read_all(par_dir.path(), &pm).unwrap();
+            s_rel
+                .tuples_mut()
+                .sort_unstable_by_key(|t| (t.key, t.payload));
+            p_rel
+                .tuples_mut()
+                .sort_unstable_by_key(|t| (t.key, t.payload));
+            assert_eq!(s_rel.tuples(), p_rel.tuples(), "{}", sm.file);
+        }
+    }
+
+    #[test]
+    fn grace_join_result_is_thread_count_independent() {
+        let r = zipfish(3 * SCATTER_CHUNK_TUPLES, 3, 31);
+        let s = zipfish(3 * SCATTER_CHUNK_TUPLES, 4, 32);
+        let mut single = spill_cfg(MIN_SPILL_BUDGET);
+        single.threads = 1;
+        let mut multi = spill_cfg(MIN_SPILL_BUDGET);
+        multi.threads = 4;
+        let a = grace_join(&r, &s, &single, |_| CountingSink::new()).unwrap();
+        let b = grace_join(&r, &s, &multi, |_| CountingSink::new()).unwrap();
+        assert_eq!(a.stats.result_count, b.stats.result_count);
+        assert_eq!(a.stats.checksum, b.stats.checksum);
+        assert_eq!(
+            b.stats.trace.get("spill", "scatter_threads"),
+            Some(4),
+            "parallel scatter not engaged"
+        );
     }
 
     #[test]

@@ -22,65 +22,14 @@ pub mod skewfuzz;
 
 use std::collections::BTreeMap;
 
-use skewjoin::common::sink::tuple_mix;
+pub use skewjoin::common::sink::{merge_key_counts, KeyCountSink};
 use skewjoin::common::trace::counter;
-use skewjoin::common::{JoinError, Key, OutputSink, Payload, Relation, Trace};
+use skewjoin::common::{JoinError, Key, Relation, Trace};
 use skewjoin::cpu::{cbase_join, csh_join, npj_join, CpuJoinConfig};
 use skewjoin::datagen::{PaperWorkload, WorkloadSpec};
 use skewjoin::gpu::{gbase_join, gsh_join, GpuJoinConfig};
 pub use skewjoin::Algorithm;
 use skewjoin::{CpuAlgorithm, GpuAlgorithm};
-
-/// A sink that counts results *per key* (plus the usual total/checksum), so
-/// the oracle can localize a divergence to the specific key that lost or
-/// gained results.
-#[derive(Debug, Default, Clone)]
-pub struct KeyCountSink {
-    counts: BTreeMap<Key, u64>,
-    total: u64,
-    checksum: u64,
-}
-
-impl KeyCountSink {
-    /// Creates an empty sink.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Per-key result counts, ordered by key.
-    pub fn counts(&self) -> &BTreeMap<Key, u64> {
-        &self.counts
-    }
-}
-
-impl OutputSink for KeyCountSink {
-    fn emit(&mut self, key: Key, r_payload: Payload, s_payload: Payload) {
-        *self.counts.entry(key).or_insert(0) += 1;
-        self.total += 1;
-        self.checksum = self
-            .checksum
-            .wrapping_add(tuple_mix(key, r_payload, s_payload));
-    }
-
-    fn count(&self) -> u64 {
-        self.total
-    }
-
-    fn checksum(&self) -> u64 {
-        self.checksum
-    }
-}
-
-/// Merges per-worker key-count maps into one.
-pub fn merge_key_counts(sinks: &[KeyCountSink]) -> BTreeMap<Key, u64> {
-    let mut merged = BTreeMap::new();
-    for sink in sinks {
-        for (&key, &count) in sink.counts() {
-            *merged.entry(key).or_insert(0) += count;
-        }
-    }
-    merged
-}
 
 /// The ground truth per-key result counts of an inner join on `key`:
 /// `|R ⋈ S|ₖ = count_R(k) · count_S(k)`. Independent of every hash-join
@@ -381,7 +330,7 @@ mod tests {
 
     #[test]
     fn key_count_sink_checksum_matches_counting_sink() {
-        use skewjoin::common::CountingSink;
+        use skewjoin::common::{CountingSink, OutputSink};
         let mut kc = KeyCountSink::new();
         let mut cs = CountingSink::new();
         for i in 0..50u32 {
@@ -395,7 +344,7 @@ mod tests {
 
     #[test]
     fn reference_counts_are_products() {
-        use skewjoin::common::Tuple;
+        use skewjoin::common::{Payload, Tuple};
         let pairs = |ps: &[(Key, Payload)]| {
             Relation::from_tuples(ps.iter().map(|&(k, p)| Tuple::new(k, p)).collect())
         };

@@ -23,19 +23,22 @@ use skewjoin_service::{protocol, JoinService, ServiceConfig};
 
 struct Args {
     listen: String,
+    shard: Option<u32>,
     cfg: ServiceConfig,
 }
 
 const USAGE: &str = "usage: skewjoind [--listen ADDR] [--workers N] [--queue N] \
-[--budget-mb N] [--cache N]
+[--budget-mb N] [--cache N] [--shard N]
   --listen ADDR   TCP address to bind (default 127.0.0.1:7733; use port 0 for ephemeral)
   --workers N     worker threads executing joins (default 4)
   --queue N       admission queue capacity before load shedding (default 64)
   --budget-mb N   memory governor budget in MiB (default 1024)
-  --cache N       plan cache capacity in entries (default 64)";
+  --cache N       plan cache capacity in entries (default 64)
+  --shard N       cluster shard slot this daemon serves (reported in ping/shard_status)";
 
 fn parse_args() -> Result<Args, String> {
     let mut listen = "127.0.0.1:7733".to_string();
+    let mut shard = None;
     let mut cfg = ServiceConfig::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -54,10 +57,11 @@ fn parse_args() -> Result<Args, String> {
                 cfg.memory_budget = value.parse::<u64>().map_err(bad)? * (1 << 20);
             }
             "--cache" => cfg.plan_cache_capacity = value.parse().map_err(bad)?,
+            "--shard" => shard = Some(value.parse().map_err(bad)?),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
-    Ok(Args { listen, cfg })
+    Ok(Args { listen, shard, cfg })
 }
 
 fn main() -> ExitCode {
@@ -77,19 +81,25 @@ fn main() -> ExitCode {
     let queue = args.cfg.queue_capacity;
     let budget = args.cfg.memory_budget;
     let service = JoinService::start(args.cfg);
-    let server = match protocol::serve(Arc::clone(&service), args.listen.as_str()) {
+    let server = match protocol::serve_shard(Arc::clone(&service), args.listen.as_str(), args.shard)
+    {
         Ok(server) => server,
         Err(e) => {
             eprintln!("skewjoind: cannot listen on {}: {e}", args.listen);
             return ExitCode::FAILURE;
         }
     };
+    let shard_tag = args
+        .shard
+        .map(|s| format!(", shard {s}"))
+        .unwrap_or_default();
     println!(
-        "skewjoind listening on {} ({} workers, queue {}, budget {} MiB)",
+        "skewjoind listening on {} ({} workers, queue {}, budget {} MiB{})",
         server.addr(),
         workers,
         queue,
         budget >> 20,
+        shard_tag,
     );
 
     // Serve until killed. The accept loop and workers run on their own

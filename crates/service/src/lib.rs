@@ -39,7 +39,7 @@ pub mod request;
 pub mod service;
 
 pub use governor::{MemoryGovernor, Reservation, ReserveError};
-pub use protocol::{serve, Client, ServerHandle};
+pub use protocol::{serve, serve_shard, Client, ClientError, ServerHandle, PROTOCOL_VERSION};
 pub use queue::{FairQueue, PushError};
 pub use request::{
     AlgoChoice, JoinRequest, JoinResponse, JoinSummary, Outcome, Priority, RequestId,

@@ -5,19 +5,40 @@
 //!
 //! * `"join"` (default) — a [`JoinRequest`]; answered with one
 //!   [`JoinResponse`] frame once the join resolves.
+//! * `"shard_join"` — a [`JoinRequest`] carrying a shard restriction: the
+//!   cluster coordinator's per-shard task. Identical lifecycle to `"join"`,
+//!   but the request must name its shard slice and the completed summary
+//!   carries per-key counts and the shard trace so the coordinator can
+//!   merge and diff-check the pieces.
+//! * `"shard_status"` — answered with the shard's identity, protocol
+//!   version, queue depth, and the full service snapshot; what the
+//!   coordinator polls for liveness and accounting.
 //! * `"metrics"` — answered with the service snapshot (metrics, governor,
 //!   plan cache).
-//! * `"ping"` — answered with `{"ok": true}`; liveness probe.
+//! * `"ping"` — the hello/liveness probe. The reply always carries the
+//!   server's `protocol_version`; a request that announces a different
+//!   `protocol_version` is answered with `{"ok": false}` plus the server's
+//!   version so the client can raise a typed
+//!   [`ClientError::VersionMismatch`] instead of misparsing frames.
 //!
 //! Malformed frames get a `failed` response naming the parse error (id 0,
 //! since no request was admitted) instead of a dropped connection; only a
-//! broken transport closes the stream.
+//! broken transport closes the stream. A connection dying mid-frame — in
+//! the middle of the 4-byte length prefix or inside the payload — surfaces
+//! as a descriptive `ErrorKind::UnexpectedEof` ("torn frame"), never a
+//! hang or a panic.
+//!
+//! [`Client`] reconnects: an op that fails with a connection-shaped error
+//! (refused, reset, broken pipe, EOF mid-reply) transparently redials with
+//! doubling backoff and retries, up to a bounded attempt count; exhaustion
+//! surfaces as a typed [`ClientError::ConnectionLost`].
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use skewjoin::common::json::Json;
 
@@ -27,6 +48,18 @@ use crate::service::JoinService;
 /// Frames larger than this are refused — a corrupt length prefix must not
 /// trigger a multi-gigabyte allocation.
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Version of the frame protocol this build speaks. Carried in the
+/// `ping` hello exchange; a mismatch is a typed
+/// [`ClientError::VersionMismatch`], not a frame-parse failure.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Connection attempts a [`Client`] makes per op before reporting
+/// [`ClientError::ConnectionLost`].
+pub const DEFAULT_CLIENT_ATTEMPTS: u32 = 4;
+
+/// Base backoff between client reconnection attempts; doubles per retry.
+pub const DEFAULT_CLIENT_BACKOFF: Duration = Duration::from_millis(25);
 
 /// Writes one length-prefixed JSON frame.
 pub fn write_frame(w: &mut impl Write, json: &Json) -> io::Result<()> {
@@ -45,11 +78,40 @@ pub fn write_frame(w: &mut impl Write, json: &Json) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads one length-prefixed JSON frame. A clean EOF before the length
-/// prefix surfaces as `ErrorKind::UnexpectedEof`.
+/// Reads one length-prefixed JSON frame.
+///
+/// A clean EOF *between* frames surfaces as `ErrorKind::UnexpectedEof`
+/// with a "connection closed between frames" message; a connection dying
+/// *inside* a frame — mid-length-prefix or mid-payload — is also
+/// `UnexpectedEof` but describes the torn frame, so callers (and logs) can
+/// tell a peer's orderly close from a crash mid-send.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Json> {
+    // The length prefix is read incrementally: a peer can die after
+    // sending 1–3 of the 4 bytes, and `read_exact` would erase that
+    // distinction.
     let mut len_bytes = [0u8; 4];
-    r.read_exact(&mut len_bytes)?;
+    let mut filled = 0usize;
+    while filled < len_bytes.len() {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed between frames",
+                ));
+            }
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!(
+                        "torn frame: connection closed after {filled} of 4 length-prefix bytes"
+                    ),
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
     let len = u32::from_be_bytes(len_bytes);
     if len > MAX_FRAME_BYTES {
         return Err(io::Error::new(
@@ -58,7 +120,16 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Json> {
         ));
     }
     let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body)?;
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("torn frame: connection closed inside a {len}-byte payload"),
+            )
+        } else {
+            e
+        }
+    })?;
     let text = String::from_utf8(body)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("non-UTF-8 frame: {e}")))?;
     Json::parse(&text)
@@ -104,6 +175,17 @@ impl Drop for ServerHandle {
 /// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves `service` over it until
 /// [`ServerHandle::stop`].
 pub fn serve(service: Arc<JoinService>, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+    serve_shard(service, addr, None)
+}
+
+/// [`serve`], with a cluster shard identity: `shard_status` and `ping`
+/// replies name the slot, so a coordinator can confirm it dialed the shard
+/// it meant to.
+pub fn serve_shard(
+    service: Arc<JoinService>,
+    addr: impl ToSocketAddrs,
+    shard: Option<u32>,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -119,7 +201,7 @@ pub fn serve(service: Arc<JoinService>, addr: impl ToSocketAddrs) -> io::Result<
                 let service = Arc::clone(&service);
                 let _ = std::thread::Builder::new()
                     .name("skewjoind-conn".into())
-                    .spawn(move || handle_connection(&service, stream));
+                    .spawn(move || handle_connection(&service, stream, shard));
             }
         })?;
     Ok(ServerHandle {
@@ -129,7 +211,7 @@ pub fn serve(service: Arc<JoinService>, addr: impl ToSocketAddrs) -> io::Result<
     })
 }
 
-fn handle_connection(service: &JoinService, mut stream: TcpStream) {
+fn handle_connection(service: &JoinService, mut stream: TcpStream, shard: Option<u32>) {
     let peer = stream
         .peer_addr()
         .map(|a| a.to_string())
@@ -137,7 +219,8 @@ fn handle_connection(service: &JoinService, mut stream: TcpStream) {
     loop {
         let frame = match read_frame(&mut stream) {
             Ok(frame) => frame,
-            // Clean close or broken transport: nothing left to answer.
+            // Clean close, torn frame, or broken transport: nothing left
+            // to answer on this stream.
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return,
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // Describe the malformed frame, then resynchronization is
@@ -149,10 +232,31 @@ fn handle_connection(service: &JoinService, mut stream: TcpStream) {
         };
         let op = frame.get("op").and_then(Json::as_str).unwrap_or("join");
         let reply = match op {
-            "ping" => Json::obj(vec![("ok", Json::Bool(true))]),
+            "ping" => ping_reply(&frame, shard),
             "metrics" => service.snapshot(),
-            "join" => match JoinRequest::from_json(&frame, &peer) {
-                Ok(request) => service.submit(request).wait().to_json(),
+            "shard_status" => {
+                let mut fields = vec![
+                    ("ok", Json::Bool(true)),
+                    (
+                        "protocol_version",
+                        Json::from_u64(u64::from(PROTOCOL_VERSION)),
+                    ),
+                    ("queue_depth", Json::from_u64(service.queue_depth() as u64)),
+                ];
+                if let Some(slot) = shard {
+                    fields.push(("shard", Json::from_u64(u64::from(slot))));
+                }
+                fields.push(("status", service.snapshot()));
+                Json::obj(fields)
+            }
+            "join" | "shard_join" => match JoinRequest::from_json(&frame, &peer) {
+                Ok(request) => {
+                    if op == "shard_join" && request.shard.is_none() {
+                        protocol_error("shard_join requires a \"shard\" restriction")
+                    } else {
+                        service.submit(request).wait().to_json()
+                    }
+                }
                 Err(msg) => protocol_error(&msg),
             },
             other => protocol_error(&format!("unknown op {other:?}")),
@@ -161,6 +265,37 @@ fn handle_connection(service: &JoinService, mut stream: TcpStream) {
             return;
         }
     }
+}
+
+/// The `ping` reply: liveness plus the version handshake. A hello that
+/// announces a foreign protocol version gets `ok: false` and the server's
+/// version, which the client turns into a typed mismatch error.
+fn ping_reply(frame: &Json, shard: Option<u32>) -> Json {
+    let announced = frame
+        .get("protocol_version")
+        .and_then(Json::as_u64)
+        .map(|v| v as u32);
+    let compatible = !announced.is_some_and(|v| v != PROTOCOL_VERSION);
+    let mut fields = vec![
+        ("ok", Json::Bool(compatible)),
+        (
+            "protocol_version",
+            Json::from_u64(u64::from(PROTOCOL_VERSION)),
+        ),
+    ];
+    if let Some(slot) = shard {
+        fields.push(("shard", Json::from_u64(u64::from(slot))));
+    }
+    if !compatible {
+        fields.push((
+            "error",
+            Json::str(format!(
+                "protocol version mismatch: client v{}, server v{PROTOCOL_VERSION}",
+                announced.unwrap_or(0)
+            )),
+        ));
+    }
+    Json::obj(fields)
 }
 
 /// A `failed` response with id 0: the frame never became an admitted
@@ -175,43 +310,213 @@ fn protocol_error(msg: &str) -> Json {
     .to_json()
 }
 
-/// A blocking client for the frame protocol.
+/// Typed client-side failure of a protocol op.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed and every reconnection attempt was exhausted.
+    ConnectionLost {
+        /// Connection attempts made (including the first).
+        attempts: u32,
+        /// The last transport error observed.
+        last: String,
+    },
+    /// The server speaks a different protocol version.
+    VersionMismatch {
+        /// The version this client announced.
+        client: u32,
+        /// The version the server reported.
+        server: u32,
+    },
+    /// The transport is healthy but the conversation is not: a malformed
+    /// reply, an oversized frame, or a server-side frame rejection.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::ConnectionLost { attempts, last } => {
+                write!(f, "connection lost after {attempts} attempt(s): {last}")
+            }
+            ClientError::VersionMismatch { client, server } => {
+                write!(
+                    f,
+                    "protocol version mismatch: client v{client}, server v{server}"
+                )
+            }
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Whether an I/O error is connection-shaped — worth a redial — rather
+/// than a protocol-level failure that a fresh connection cannot fix.
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::TimedOut
+    )
+}
+
+/// A blocking client for the frame protocol, with bounded
+/// reconnect-with-backoff on connection-shaped failures.
+///
+/// Retrying an op after a connection loss re-sends the request on a fresh
+/// connection. That is safe for every op here: `ping`, `metrics`, and
+/// `shard_status` are read-only, and join results exist only in the
+/// response — a re-sent join re-executes but cannot double-deliver, which
+/// is exactly the property the cluster coordinator's task reassignment
+/// leans on.
+#[derive(Debug)]
 pub struct Client {
-    stream: TcpStream,
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    attempts: u32,
+    backoff: Duration,
+    version: u32,
 }
 
 impl Client {
-    /// Connects to a running server.
-    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        Ok(Client {
-            stream: TcpStream::connect(addr)?,
+    /// Connects to a running server and performs the version hello.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Self::connect_with(
+            addr,
+            PROTOCOL_VERSION,
+            DEFAULT_CLIENT_ATTEMPTS,
+            DEFAULT_CLIENT_BACKOFF,
+        )
+    }
+
+    /// [`Client::connect`] with explicit retry policy and announced
+    /// protocol version (tests use a foreign version to provoke the typed
+    /// mismatch).
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        version: u32,
+        attempts: u32,
+        backoff: Duration,
+    ) -> Result<Client, ClientError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| ClientError::Protocol(format!("unresolvable address: {e}")))?
+            .next()
+            .ok_or_else(|| ClientError::Protocol("address resolved to nothing".into()))?;
+        let mut client = Client {
+            addr,
+            stream: None,
+            attempts: attempts.max(1),
+            backoff,
+            version,
+        };
+        client.hello()?;
+        Ok(client)
+    }
+
+    /// The server address this client dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sends the version hello and checks the reply.
+    fn hello(&mut self) -> Result<(), ClientError> {
+        let reply = self.request(&Json::obj(vec![
+            ("op", Json::str("ping")),
+            ("protocol_version", Json::from_u64(u64::from(self.version))),
+        ]))?;
+        self.check_version(&reply)
+    }
+
+    /// Raises [`ClientError::VersionMismatch`] if the reply names a
+    /// protocol version other than ours. Replies without a version (a
+    /// pre-versioning server) pass — the frames are compatible either way.
+    fn check_version(&self, reply: &Json) -> Result<(), ClientError> {
+        if let Some(server) = reply.get("protocol_version").and_then(Json::as_u64) {
+            let server = server as u32;
+            if server != self.version {
+                return Err(ClientError::VersionMismatch {
+                    client: self.version,
+                    server,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// One request/reply exchange with reconnect-with-backoff.
+    fn request(&mut self, frame: &Json) -> Result<Json, ClientError> {
+        let mut last: Option<io::Error> = None;
+        for attempt in 0..self.attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.backoff * (1 << (attempt - 1).min(8)));
+            }
+            match self.try_once(frame) {
+                Ok(reply) => return Ok(reply),
+                Err(e) if is_transient(&e) => {
+                    // The stream offset is unknowable after a mid-frame
+                    // failure; only a fresh connection is usable.
+                    self.stream = None;
+                    last = Some(e);
+                }
+                Err(e) => return Err(ClientError::Protocol(e.to_string())),
+            }
+        }
+        Err(ClientError::ConnectionLost {
+            attempts: self.attempts,
+            last: last
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "unknown transport error".into()),
         })
     }
 
+    fn try_once(&mut self, frame: &Json) -> io::Result<Json> {
+        if self.stream.is_none() {
+            self.stream = Some(TcpStream::connect(self.addr)?);
+        }
+        let stream = self.stream.as_mut().expect("stream just ensured");
+        write_frame(stream, frame)?;
+        read_frame(stream)
+    }
+
     /// Submits a join and blocks for its response.
-    pub fn join(&mut self, request: &JoinRequest) -> io::Result<JoinResponse> {
-        write_frame(&mut self.stream, &request.to_json())?;
-        let reply = read_frame(&mut self.stream)?;
+    pub fn join(&mut self, request: &JoinRequest) -> Result<JoinResponse, ClientError> {
+        let reply = self.request(&request.to_json())?;
         JoinResponse::from_json(&reply)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+            .map_err(|e| ClientError::Protocol(format!("bad response: {e}")))
+    }
+
+    /// Submits one shard task of a sharded join (a request carrying a
+    /// shard restriction) and blocks for its response.
+    pub fn shard_join(&mut self, request: &JoinRequest) -> Result<JoinResponse, ClientError> {
+        let reply = self.request(&request.wire_json("shard_join"))?;
+        JoinResponse::from_json(&reply)
+            .map_err(|e| ClientError::Protocol(format!("bad response: {e}")))
     }
 
     /// Fetches the service snapshot.
-    pub fn metrics(&mut self) -> io::Result<Json> {
-        write_frame(
-            &mut self.stream,
-            &Json::obj(vec![("op", Json::str("metrics"))]),
-        )?;
-        read_frame(&mut self.stream)
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        self.request(&Json::obj(vec![("op", Json::str("metrics"))]))
     }
 
-    /// Liveness probe.
-    pub fn ping(&mut self) -> io::Result<bool> {
-        write_frame(
-            &mut self.stream,
-            &Json::obj(vec![("op", Json::str("ping"))]),
-        )?;
-        let reply = read_frame(&mut self.stream)?;
+    /// Fetches the shard's identity, version, queue depth, and snapshot.
+    pub fn shard_status(&mut self) -> Result<Json, ClientError> {
+        self.request(&Json::obj(vec![("op", Json::str("shard_status"))]))
+    }
+
+    /// Liveness probe (also re-checks the protocol version).
+    pub fn ping(&mut self) -> Result<bool, ClientError> {
+        let reply = self.request(&Json::obj(vec![
+            ("op", Json::str("ping")),
+            ("protocol_version", Json::from_u64(u64::from(self.version))),
+        ]))?;
+        self.check_version(&reply)?;
         Ok(reply.get("ok").and_then(Json::as_bool).unwrap_or(false))
     }
 }
@@ -252,6 +557,22 @@ mod tests {
         buf.extend_from_slice(b"short");
         let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(err.to_string().contains("torn frame"), "{err}");
+    }
+
+    #[test]
+    fn torn_length_prefix_is_a_described_eof() {
+        // The peer died after 2 of the 4 length-prefix bytes.
+        let err = read_frame(&mut Cursor::new(vec![0u8, 0u8])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(
+            err.to_string().contains("2 of 4 length-prefix bytes"),
+            "{err}"
+        );
+        // A clean close between frames is distinguishable.
+        let err = read_frame(&mut Cursor::new(Vec::new())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(err.to_string().contains("between frames"), "{err}");
     }
 
     fn tiny_server() -> (Arc<JoinService>, ServerHandle) {
@@ -307,5 +628,136 @@ mod tests {
         drop(stream);
         handle.stop();
         service.shutdown();
+    }
+
+    #[test]
+    fn server_survives_torn_frames_from_clients() {
+        let (service, handle) = tiny_server();
+
+        // Client 1 dies mid-length-prefix.
+        {
+            let mut stream = TcpStream::connect(handle.addr()).unwrap();
+            stream.write_all(&[0u8, 0u8]).unwrap();
+        }
+        // Client 2 promises 100 bytes and dies after 5.
+        {
+            let mut stream = TcpStream::connect(handle.addr()).unwrap();
+            stream.write_all(&100u32.to_be_bytes()).unwrap();
+            stream.write_all(b"short").unwrap();
+        }
+
+        // The server is still healthy: a fresh client completes a full
+        // round trip.
+        let mut client = Client::connect(handle.addr()).unwrap();
+        assert!(client.ping().unwrap());
+        drop(client);
+        handle.stop();
+        service.shutdown();
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let (service, handle) = tiny_server();
+        let err = Client::connect_with(
+            handle.addr(),
+            PROTOCOL_VERSION + 1,
+            2,
+            Duration::from_millis(1),
+        )
+        .unwrap_err();
+        match err {
+            ClientError::VersionMismatch { client, server } => {
+                assert_eq!(client, PROTOCOL_VERSION + 1);
+                assert_eq!(server, PROTOCOL_VERSION);
+            }
+            other => panic!("expected a version mismatch, got {other}"),
+        }
+        handle.stop();
+        service.shutdown();
+    }
+
+    #[test]
+    fn shard_status_names_the_slot_and_version() {
+        let mut cfg = ServiceConfig {
+            workers: 1,
+            queue_capacity: 4,
+            ..ServiceConfig::default()
+        };
+        cfg.join_config.cpu.threads = 2;
+        let service = JoinService::start(cfg);
+        let handle = serve_shard(Arc::clone(&service), "127.0.0.1:0", Some(3)).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let status = client.shard_status().unwrap();
+        assert_eq!(status.get("shard").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            status.get("protocol_version").and_then(Json::as_u64),
+            Some(u64::from(PROTOCOL_VERSION))
+        );
+        assert!(status
+            .get("status")
+            .and_then(|s| s.get("governor"))
+            .is_some());
+        drop(client);
+        handle.stop();
+        service.shutdown();
+    }
+
+    #[test]
+    fn client_reconnects_after_a_dropped_connection() {
+        // A flaky server: the first connection is read then dropped
+        // without a reply (the client sees EOF mid-exchange); the second
+        // serves pings properly.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut dropped_one = false;
+            for conn in listener.incoming() {
+                let Ok(mut stream) = conn else { continue };
+                if !dropped_one {
+                    dropped_one = true;
+                    let _ = read_frame(&mut stream);
+                    continue; // drop without replying
+                }
+                while let Ok(_frame) = read_frame(&mut stream) {
+                    let reply = Json::obj(vec![
+                        ("ok", Json::Bool(true)),
+                        (
+                            "protocol_version",
+                            Json::from_u64(u64::from(PROTOCOL_VERSION)),
+                        ),
+                    ]);
+                    if write_frame(&mut stream, &reply).is_err() {
+                        break;
+                    }
+                }
+                break;
+            }
+        });
+
+        // connect() performs the hello, which transparently survives the
+        // dropped first connection.
+        let mut client =
+            Client::connect_with(addr, PROTOCOL_VERSION, 4, Duration::from_millis(1)).unwrap();
+        assert!(client.ping().unwrap());
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn exhausted_retries_surface_connection_lost() {
+        // Bind, learn the port, drop the listener: every dial is refused.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let err =
+            Client::connect_with(addr, PROTOCOL_VERSION, 3, Duration::from_millis(1)).unwrap_err();
+        match err {
+            ClientError::ConnectionLost { attempts, last } => {
+                assert_eq!(attempts, 3);
+                assert!(!last.is_empty());
+            }
+            other => panic!("expected connection loss, got {other}"),
+        }
     }
 }

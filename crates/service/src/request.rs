@@ -10,9 +10,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use skewjoin::common::json::Json;
-use skewjoin::common::{Relation, Tuple};
+use skewjoin::common::{Key, Relation, Trace, Tuple};
 use skewjoin::planner::TargetDevice;
-use skewjoin::{Algorithm, CpuAlgorithm, GpuAlgorithm, JoinConfig};
+use skewjoin::{Algorithm, CpuAlgorithm, GpuAlgorithm, JoinConfig, ShardPartition};
 
 /// Service-assigned request identifier, unique within one service instance.
 pub type RequestId = u64;
@@ -161,6 +161,15 @@ pub struct JoinRequest {
     /// Not carried over the wire (remote requests always run the service
     /// config).
     pub config: Option<JoinConfig>,
+    /// For sharded (cluster) execution: the slice of the key space this
+    /// node owns plus the hot keys exempt from ownership. Tuples outside
+    /// the slice are rejected as coordinator misrouting. A restricted
+    /// request always reports per-key counts and its trace.
+    pub shard: Option<ShardPartition>,
+    /// Ask for per-key result counts (and the execution trace) in the
+    /// summary even without a shard restriction — what the distributed
+    /// diffcheck uses to fetch single-node ground truth over the wire.
+    pub want_key_counts: bool,
 }
 
 impl JoinRequest {
@@ -173,6 +182,8 @@ impl JoinRequest {
             deadline: None,
             payload: RequestPayload::Generate { tuples, zipf, seed },
             config: None,
+            shard: None,
+            want_key_counts: false,
         }
     }
 
@@ -185,11 +196,19 @@ impl JoinRequest {
             deadline: None,
             payload: RequestPayload::Inline { r, s },
             config: None,
+            shard: None,
+            want_key_counts: false,
         }
     }
 
     /// Serializes for the wire (the `config` override does not travel).
     pub fn to_json(&self) -> Json {
+        self.wire_json("join")
+    }
+
+    /// [`JoinRequest::to_json`] under an explicit op name (`"join"` or
+    /// `"shard_join"`).
+    pub fn wire_json(&self, op: &str) -> Json {
         let payload = match &self.payload {
             RequestPayload::Generate { tuples, zipf, seed } => Json::obj(vec![(
                 "generate",
@@ -205,7 +224,7 @@ impl JoinRequest {
             )]),
         };
         let mut fields = vec![
-            ("op", Json::str("join")),
+            ("op", Json::str(op)),
             ("client", Json::str(&self.client)),
             ("algo", Json::str(self.algo.name())),
             ("priority", Json::str(self.priority.name())),
@@ -213,6 +232,28 @@ impl JoinRequest {
         ];
         if let Some(d) = self.deadline {
             fields.push(("deadline_ms", Json::from_u64(d.as_millis() as u64)));
+        }
+        if let Some(shard) = &self.shard {
+            fields.push((
+                "shard",
+                Json::obj(vec![
+                    ("slot", Json::from_u64(shard.slot as u64)),
+                    ("shards", Json::from_u64(shard.shards as u64)),
+                    (
+                        "hot_keys",
+                        Json::Arr(
+                            shard
+                                .hot_keys
+                                .iter()
+                                .map(|&k| Json::from_u64(u64::from(k)))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        if self.want_key_counts {
+            fields.push(("want_key_counts", Json::Bool(true)));
         }
         Json::obj(fields)
     }
@@ -264,6 +305,35 @@ impl JoinRequest {
         } else {
             return Err("payload must be \"generate\" or \"inline\"".into());
         };
+        let shard = match json.get("shard") {
+            None => None,
+            Some(shard) => {
+                let slot = shard
+                    .get("slot")
+                    .and_then(Json::as_u64)
+                    .ok_or("shard needs \"slot\"")? as usize;
+                let shards = shard
+                    .get("shards")
+                    .and_then(Json::as_u64)
+                    .ok_or("shard needs \"shards\"")? as usize;
+                let mut hot_keys = Vec::new();
+                if let Some(keys) = shard.get("hot_keys").and_then(Json::as_array) {
+                    for k in keys {
+                        let k = k.as_u64().ok_or("shard hot key must be an integer")?;
+                        hot_keys.push(Key::try_from(k).map_err(|_| "shard hot key exceeds u32")?);
+                    }
+                }
+                Some(ShardPartition {
+                    slot,
+                    shards,
+                    hot_keys,
+                })
+            }
+        };
+        let want_key_counts = json
+            .get("want_key_counts")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
         Ok(JoinRequest {
             client,
             algo,
@@ -271,6 +341,8 @@ impl JoinRequest {
             deadline,
             payload,
             config: None,
+            shard,
+            want_key_counts,
         })
     }
 }
@@ -329,6 +401,14 @@ pub struct JoinSummary {
     pub degradations: Vec<String>,
     /// Whether the planner decision came from the plan cache.
     pub plan_cache_hit: bool,
+    /// Per-key result counts, sorted by key — present when the request
+    /// was sharded or asked for them (`want_key_counts`). The cluster
+    /// coordinator merges these for the distributed diffcheck.
+    pub key_counts: Option<Vec<(Key, u64)>>,
+    /// The execution trace, carried alongside `key_counts` so a
+    /// coordinator can merge per-shard phase counters into a
+    /// cluster-level trace.
+    pub trace: Option<Trace>,
 }
 
 /// Terminal outcome of a request.
@@ -387,21 +467,38 @@ impl JoinResponse {
         ];
         match &self.outcome {
             Outcome::Completed(s) => {
-                fields.push((
-                    "summary",
-                    Json::obj(vec![
-                        ("algorithm", Json::str(&s.algorithm)),
-                        ("result_count", Json::from_u64(s.result_count)),
-                        ("checksum", Json::str(format!("{:#018x}", s.checksum))),
-                        ("exec_nanos", Json::from_u64(s.exec_nanos)),
-                        ("queue_nanos", Json::from_u64(s.queue_nanos)),
-                        (
-                            "degradations",
-                            Json::Arr(s.degradations.iter().map(Json::str).collect()),
+                let mut summary = vec![
+                    ("algorithm", Json::str(&s.algorithm)),
+                    ("result_count", Json::from_u64(s.result_count)),
+                    ("checksum", Json::str(format!("{:#018x}", s.checksum))),
+                    ("exec_nanos", Json::from_u64(s.exec_nanos)),
+                    ("queue_nanos", Json::from_u64(s.queue_nanos)),
+                    (
+                        "degradations",
+                        Json::Arr(s.degradations.iter().map(Json::str).collect()),
+                    ),
+                    ("plan_cache_hit", Json::Bool(s.plan_cache_hit)),
+                ];
+                if let Some(counts) = &s.key_counts {
+                    summary.push((
+                        "key_counts",
+                        Json::Arr(
+                            counts
+                                .iter()
+                                .map(|&(key, count)| {
+                                    Json::Arr(vec![
+                                        Json::from_u64(u64::from(key)),
+                                        Json::from_u64(count),
+                                    ])
+                                })
+                                .collect(),
                         ),
-                        ("plan_cache_hit", Json::Bool(s.plan_cache_hit)),
-                    ]),
-                ));
+                    ));
+                }
+                if let Some(trace) = &s.trace {
+                    summary.push(("trace", trace.to_json()));
+                }
+                fields.push(("summary", Json::obj(summary)));
             }
             Outcome::Rejected {
                 reason,
@@ -464,6 +561,32 @@ impl JoinResponse {
                         .get("plan_cache_hit")
                         .and_then(Json::as_bool)
                         .unwrap_or(false),
+                    key_counts: match s.get("key_counts").and_then(Json::as_array) {
+                        None => None,
+                        Some(rows) => {
+                            let mut counts = Vec::with_capacity(rows.len());
+                            for row in rows {
+                                let pair = row
+                                    .as_array()
+                                    .filter(|p| p.len() == 2)
+                                    .ok_or("key_counts entries must be [key, count] pairs")?;
+                                let key = pair[0]
+                                    .as_u64()
+                                    .and_then(|k| Key::try_from(k).ok())
+                                    .ok_or("key_counts key must fit u32")?;
+                                let count =
+                                    pair[1].as_u64().ok_or("key_counts count must be a u64")?;
+                                counts.push((key, count));
+                            }
+                            Some(counts)
+                        }
+                    },
+                    trace: match s.get("trace") {
+                        None => None,
+                        Some(t) => {
+                            Some(Trace::from_json(t).ok_or("summary trace failed to parse")?)
+                        }
+                    },
                 })
             }
             "rejected" => Outcome::Rejected {
@@ -568,6 +691,27 @@ mod tests {
                     queue_nanos: 7,
                     degradations: vec!["GSH→CSH: oom".into()],
                     plan_cache_hit: true,
+                    key_counts: None,
+                    trace: None,
+                }),
+            },
+            JoinResponse {
+                id: 13,
+                outcome: Outcome::Completed(JoinSummary {
+                    algorithm: "Cbase".into(),
+                    result_count: 6,
+                    checksum: 0x0000_0000_0000_00FF,
+                    exec_nanos: 1,
+                    queue_nanos: 2,
+                    degradations: vec![],
+                    plan_cache_hit: false,
+                    key_counts: Some(vec![(1, 2), (7, 4)]),
+                    trace: Some({
+                        let mut t = Trace::new();
+                        t.set("shard", "slot", 1);
+                        t.set("build", "tuples", 99);
+                        t
+                    }),
                 }),
             },
             JoinResponse {
@@ -595,6 +739,28 @@ mod tests {
             let back = JoinResponse::from_json(&Json::parse(&text).unwrap()).unwrap();
             assert_eq!(back, resp);
         }
+    }
+
+    #[test]
+    fn sharded_request_round_trips() {
+        let mut req =
+            JoinRequest::generate("coord", AlgoChoice::parse("csh").unwrap(), 1024, 1.2, 3);
+        req.shard = Some(ShardPartition {
+            slot: 2,
+            shards: 4,
+            hot_keys: vec![7, 42],
+        });
+        req.want_key_counts = true;
+        let wire = req.wire_json("shard_join");
+        assert_eq!(wire.get("op").and_then(Json::as_str), Some("shard_join"));
+        let back = JoinRequest::from_json(&wire, "coord").unwrap();
+        assert_eq!(back.shard, req.shard);
+        assert!(back.want_key_counts);
+        // Requests without shard fields stay unrestricted.
+        let plain = JoinRequest::generate("c", AlgoChoice::parse("csh").unwrap(), 64, 0.0, 1);
+        let back = JoinRequest::from_json(&plain.to_json(), "c").unwrap();
+        assert!(back.shard.is_none());
+        assert!(!back.want_key_counts);
     }
 
     #[test]

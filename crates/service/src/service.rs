@@ -43,12 +43,15 @@ use std::time::{Duration, Instant};
 use skewjoin::common::hash::RadixConfig;
 use skewjoin::common::json::Json;
 use skewjoin::common::metrics::{default_latency_bounds_micros, MetricsRegistry};
-use skewjoin::common::{faults, CancelToken, JoinError, Relation, SinkSpec};
+use skewjoin::common::sink::merge_key_counts;
+use skewjoin::common::{
+    faults, CancelToken, JoinError, JoinStats, Key, KeyCountSink, Relation, SinkSpec,
+};
 use skewjoin::cpu::{SpillConfig, MIN_SPILL_BUDGET};
 use skewjoin::planner::{
     estimate_join_memory, estimate_spill_cost, PlanCache, PlannerOptions, TargetDevice,
 };
-use skewjoin::{run_join, Algorithm, CpuAlgorithm, GpuAlgorithm, JoinConfig};
+use skewjoin::{run_join, run_shard_join, Algorithm, CpuAlgorithm, GpuAlgorithm, JoinConfig};
 use skewjoin_datagen::{PaperWorkload, WorkloadSpec};
 
 use crate::governor::{MemoryGovernor, ReserveError};
@@ -516,6 +519,10 @@ fn finish(shared: &Shared, id: RequestId, tx: &mpsc::Sender<JoinResponse>, outco
     let _ = tx.send(JoinResponse { id, outcome });
 }
 
+/// One join attempt's outcome: stats plus per-key counts when the request
+/// asked for them (sharded requests always do).
+type AttemptResult = Result<(JoinStats, Option<Vec<(Key, u64)>>), JoinError>;
+
 fn execute(shared: &Arc<Shared>, pending: Pending) {
     let Pending {
         id,
@@ -756,7 +763,28 @@ fn execute(shared: &Arc<Shared>, pending: Pending) {
 
     cfg.cpu.cancel = cancel.clone();
     let started = Instant::now();
-    let mut result = run_join(algorithm, &r, &s, &cfg, SinkSpec::Count);
+    // Sharded (cluster) requests — and any request asking for per-key
+    // counts — run through `run_shard_join` with key-counting sinks, so
+    // the summary can carry the counts and trace the coordinator merges.
+    // Everything else keeps the cheap counting path.
+    let wants_counts = request.shard.is_some() || request.want_key_counts;
+    let run_once = |cfg: &JoinConfig| -> AttemptResult {
+        if wants_counts {
+            let out = run_shard_join(
+                algorithm,
+                &r,
+                &s,
+                cfg,
+                request.shard.as_ref(),
+                |_: usize| KeyCountSink::new(),
+            )?;
+            let counts: Vec<(Key, u64)> = merge_key_counts(&out.sinks).into_iter().collect();
+            Ok((out.stats, Some(counts)))
+        } else {
+            run_join(algorithm, &r, &s, cfg, SinkSpec::Count).map(|stats| (stats, None))
+        }
+    };
+    let mut result = run_once(&cfg);
     if cfg.cpu.spill.is_some() {
         if let Err(JoinError::SpillFailed(msg)) = &result {
             // Spill failures are I/O-shaped (transient fault, full scratch
@@ -764,11 +792,11 @@ fn execute(shared: &Arc<Shared>, pending: Pending) {
             // itself, so one retry is cheap and safe.
             shared.metrics.counter("service.spill_retries").inc();
             let first = msg.clone();
-            result = run_join(algorithm, &r, &s, &cfg, SinkSpec::Count).map(|mut stats| {
+            result = run_once(&cfg).map(|(mut stats, counts)| {
                 stats
                     .trace
                     .record_degradation(format!("spill retry succeeded after: {first}"));
-                stats
+                (stats, counts)
             });
         }
     }
@@ -776,7 +804,7 @@ fn execute(shared: &Arc<Shared>, pending: Pending) {
     drop(disk_reservation);
 
     let outcome = match result {
-        Ok(stats) => {
+        Ok((stats, key_counts)) => {
             shared
                 .metrics
                 .histogram("service.exec_micros", &default_latency_bounds_micros())
@@ -791,6 +819,8 @@ fn execute(shared: &Arc<Shared>, pending: Pending) {
                 queue_nanos: queue_wait.as_nanos() as u64,
                 degradations: all_degradations,
                 plan_cache_hit,
+                trace: wants_counts.then(|| stats.trace.clone()),
+                key_counts,
             })
         }
         Err(JoinError::Cancelled { phase }) => Outcome::Cancelled { phase },
@@ -832,6 +862,46 @@ mod tests {
                 assert_eq!(summary.algorithm, "CSH");
             }
             other => panic!("expected completion, got {other:?}"),
+        }
+        svc.shutdown();
+        reconcile(&svc);
+    }
+
+    #[test]
+    fn key_counts_travel_with_the_summary() {
+        let svc = small_service(2, 8, 1 << 30);
+        let mut req = JoinRequest::generate("t", csh(), 2048, 0.9, 7);
+        req.want_key_counts = true;
+        let resp = svc.submit(req).wait();
+        match resp.outcome {
+            Outcome::Completed(summary) => {
+                let counts = summary.key_counts.expect("requested key counts");
+                let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+                assert_eq!(total, summary.result_count, "counts must sum to the total");
+                assert!(summary.trace.is_some(), "trace travels with the counts");
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        svc.shutdown();
+        reconcile(&svc);
+    }
+
+    #[test]
+    fn misrouted_shard_request_fails_typed() {
+        use skewjoin::ShardPartition;
+        // A zipf workload spreads keys over all four shards, so a slot-0
+        // restriction with no hot keys must trip the misrouting check.
+        let svc = small_service(1, 8, 1 << 30);
+        let mut req = JoinRequest::generate("t", csh(), 2048, 0.5, 7);
+        req.shard = Some(ShardPartition {
+            slot: 0,
+            shards: 4,
+            hot_keys: vec![],
+        });
+        let resp = svc.submit(req).wait();
+        match resp.outcome {
+            Outcome::Failed { error } => assert!(error.contains("misrouting"), "{error}"),
+            other => panic!("expected a typed misrouting failure, got {other:?}"),
         }
         svc.shutdown();
         reconcile(&svc);
